@@ -1,0 +1,59 @@
+//! Reproduces **Fig. 4**: the BLOD property — the histogram of oxide
+//! thicknesses within one block of one sample chip follows a Gaussian
+//! curve, with R² ≈ 99.8 % (5 K devices) and 99.5 % (20 K devices) in the
+//! paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statobd_num::dist::{ContinuousDistribution, Normal};
+use statobd_num::hist::Histogram1d;
+use statobd_num::stats::{mean, r_squared, sample_variance};
+use statobd_variation::{
+    CorrelationKernel, FieldSampler, GridSpec, ThicknessModelBuilder, VarianceBudget,
+};
+
+fn blod_histogram(n_devices: usize, seed: u64) -> (f64, Vec<(f64, f64, f64)>) {
+    let model = ThicknessModelBuilder::new()
+        .grid(GridSpec::square_unit(25).expect("grid"))
+        .nominal(2.2)
+        .budget(VarianceBudget::itrs_2008(2.2).expect("budget"))
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .build()
+        .expect("model");
+    let mut sampler = FieldSampler::new(&model);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let die = sampler.sample_die(&mut rng);
+    // One block sitting in a single grid (grid 312 = center): its devices
+    // share the correlated base and differ by the independent residual.
+    let xs = sampler.sample_devices(&mut rng, &die, 312, n_devices);
+
+    let bins = 40;
+    let hist = Histogram1d::from_data(&xs, bins).expect("histogram");
+    let density = hist.density();
+    let fit = Normal::new(mean(&xs), sample_variance(&xs).sqrt()).expect("fit");
+    let modeled: Vec<f64> = (0..bins).map(|i| fit.pdf(hist.bin_center(i))).collect();
+    let r2 = r_squared(&density, &modeled).expect("r-squared");
+
+    let rows = (0..bins)
+        .map(|i| (hist.bin_center(i), density[i], modeled[i]))
+        .collect();
+    (r2, rows)
+}
+
+fn main() {
+    println!("== Fig. 4: BLOD histograms vs Gaussian fit ==");
+    for (n, label) in [(5_000usize, "(a) 5K devices"), (20_000, "(b) 20K devices")] {
+        let (r2, rows) = blod_histogram(n, 42);
+        println!();
+        println!("-- {label}: R^2 = {:.2}% --", r2 * 100.0);
+        println!("{:>10} {:>12} {:>12}", "x (nm)", "density", "gauss fit");
+        let max_d = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        for &(x, d, m) in rows.iter().step_by(2) {
+            let bar = "#".repeat((d / max_d * 40.0) as usize);
+            println!("{x:>10.4} {d:>12.2} {m:>12.2}  |{bar}");
+        }
+    }
+    println!();
+    println!("Expected shape (paper): distinctly Gaussian-like curves with fitting");
+    println!("goodness (R-square) above 99% for both block sizes.");
+}

@@ -1,0 +1,123 @@
+//! Reproduces **Fig. 6** (joint PDF `f(u,v)` vs the marginal product
+//! `f(u)·f(v)`) and **Fig. 7** (contour of their normalized error, plus
+//! the mutual information ≈ 0.003 the paper quotes) for a multi-grid
+//! block — the evidence behind the independence approximation of
+//! Sec. IV-C.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statobd_core::{BlockSpec, BlodMoments};
+use statobd_num::hist::Histogram2d;
+use statobd_num::rng::NormalSampler;
+use statobd_num::stats::mutual_information;
+use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+
+fn main() {
+    let model = ThicknessModelBuilder::new()
+        .grid(GridSpec::square_unit(25).expect("grid"))
+        .nominal(2.2)
+        .budget(VarianceBudget::itrs_2008(2.2).expect("budget"))
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .build()
+        .expect("model");
+
+    // A block spanning a 5x3 patch of grids (row-major indices).
+    let mut weights = Vec::new();
+    for row in 10..13 {
+        for col in 8..13 {
+            weights.push((row * 25 + col, 1.0 / 15.0));
+        }
+    }
+    let block = BlockSpec::new("fig6", 20_000.0, 20_000, 358.15, 1.2, weights).expect("block spec");
+    let moments = BlodMoments::characterize(&model, &block);
+
+    // Sample (u, v) pairs.
+    let n_samples = 200_000;
+    let mut rng = StdRng::seed_from_u64(67);
+    let mut normal = NormalSampler::new();
+    let mut z = vec![0.0; model.n_components()];
+    let mut pairs = Vec::with_capacity(n_samples);
+    let (mut ulo, mut uhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut vlo, mut vhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for _ in 0..n_samples {
+        normal.fill(&mut rng, &mut z);
+        let (u, v) = moments.uv_given_z(&z);
+        ulo = ulo.min(u);
+        uhi = uhi.max(u);
+        vlo = vlo.min(v);
+        vhi = vhi.max(v);
+        pairs.push((u, v));
+    }
+    let bins = 30;
+    let mut hist = Histogram2d::new(
+        (ulo, uhi + 1e-9 * (uhi - ulo), bins),
+        (vlo, vhi + 1e-9 * (vhi - vlo), bins),
+    )
+    .expect("histogram");
+    for &(u, v) in &pairs {
+        hist.add(u, v);
+    }
+
+    let joint = hist.joint_probabilities();
+    let mu = hist.marginal_x();
+    let mv = hist.marginal_y();
+    let peak = joint.iter().cloned().fold(0.0, f64::max);
+
+    // Fig. 7: normalized error contour and its maximum.
+    let mut max_err = 0.0f64;
+    let mut contour = vec![vec![' '; bins]; bins];
+    for i in 0..bins {
+        for j in 0..bins {
+            let err = (joint[i * bins + j] - mu[i] * mv[j]).abs() / peak;
+            max_err = max_err.max(err);
+            contour[i][j] = match err {
+                e if e >= 0.05 => '#',
+                e if e >= 0.02 => '+',
+                e if e >= 0.01 => '.',
+                _ => ' ',
+            };
+        }
+    }
+
+    let mi = mutual_information(&hist);
+
+    println!("== Fig. 6: joint PDF vs marginal product (block over 15 grids) ==");
+    println!(
+        "u range: [{ulo:.4}, {uhi:.4}] nm; v range: [{vlo:.3e}, {vhi:.3e}] nm^2; {n_samples} samples"
+    );
+    println!();
+    println!("joint-PDF heat map (rows = u bins, cols = v bins, '@' = peak):");
+    for i in 0..bins {
+        let row: String = (0..bins)
+            .map(|j| {
+                let p = joint[i * bins + j] / peak;
+                match p {
+                    p if p >= 0.75 => '@',
+                    p if p >= 0.50 => '#',
+                    p if p >= 0.25 => '+',
+                    p if p >= 0.05 => '.',
+                    _ => ' ',
+                }
+            })
+            .collect();
+        println!("  {row}");
+    }
+    println!();
+    println!(
+        "== Fig. 7: normalized |joint - product| contour ('#' >= 5%, '+' >= 2%, '.' >= 1%) =="
+    );
+    for row in &contour {
+        let s: String = row.iter().collect();
+        println!("  {s}");
+    }
+    println!();
+    println!(
+        "max normalized error: {:.1}%  (paper: ~7% in a small region)",
+        max_err * 100.0
+    );
+    println!("mutual information I(u; v) = {mi:.4} nats  (paper: ~0.003)");
+    println!();
+    println!("Expected shape (paper): the dependence between u and v is weak — small");
+    println!("mutual information, with the largest normalized errors confined to a");
+    println!("small low-probability region.");
+}

@@ -1,0 +1,70 @@
+//! Reproduces **Fig. 8**: the CDF of the BLOD sample variance (a quadratic
+//! form in normal variables) against its Yuan–Bentler χ² approximation
+//! (eqs. 29–30).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statobd_core::{BlockSpec, BlodMoments};
+use statobd_num::rng::NormalSampler;
+use statobd_num::stats::ks_distance;
+use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+
+fn main() {
+    let model = ThicknessModelBuilder::new()
+        .grid(GridSpec::square_unit(25).expect("grid"))
+        .nominal(2.2)
+        .budget(VarianceBudget::itrs_2008(2.2).expect("budget"))
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .build()
+        .expect("model");
+
+    // A wide block spanning a 6x4 patch of grids — a genuinely
+    // multi-dimensional quadratic form.
+    let mut weights = Vec::new();
+    for row in 5..9 {
+        for col in 4..10 {
+            weights.push((row * 25 + col, 1.0 / 24.0));
+        }
+    }
+    let block = BlockSpec::new("fig8", 50_000.0, 50_000, 358.15, 1.2, weights).expect("block spec");
+    let moments = BlodMoments::characterize(&model, &block);
+    let v_dist = moments.v_dist();
+
+    println!("== Fig. 8: quadratic-form CDF vs chi-square approximation ==");
+    println!(
+        "chi2 fit: a_hat = {:.4e}, b_hat = {:.3} dof; v floor = {:.4e}",
+        moments.chi2_scale(),
+        moments.chi2_dof(),
+        moments.v_floor()
+    );
+    println!();
+
+    // Monte-Carlo CDF of the exact quadratic form.
+    let n_samples = 100_000;
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut normal = NormalSampler::new();
+    let mut z = vec![0.0; model.n_components()];
+    let mut samples: Vec<f64> = (0..n_samples)
+        .map(|_| {
+            normal.fill(&mut rng, &mut z);
+            moments.uv_given_z(&z).1
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    println!("{:>12} {:>12} {:>12}", "v (nm^2)", "MC CDF", "chi2 CDF");
+    let n = samples.len();
+    for q in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+        let idx = ((n as f64 * q) as usize).min(n - 1);
+        let v = samples[idx];
+        println!("{:>12.4e} {:>12.4} {:>12.4}", v, q, v_dist.cdf(v));
+    }
+
+    let ks = ks_distance(&mut samples, |v| v_dist.cdf(v)).expect("ks");
+    println!();
+    println!("Kolmogorov-Smirnov distance: {ks:.4}");
+    println!();
+    println!("Expected shape (paper): the computationally efficient chi-square");
+    println!("representation is in good agreement with the MC-simulated CDF of the");
+    println!("quadratic normal form.");
+}

@@ -1,0 +1,80 @@
+//! Smoke test: runs every reliability method on design C1 and prints a
+//! one-screen summary — a fast end-to-end sanity check of the whole
+//! pipeline (design construction, thermal solve, PCA, BLOD, engines).
+use statobd_bench::*;
+use statobd_circuits::{build_design, Benchmark, DesignConfig};
+use statobd_core::MonteCarloConfig;
+use statobd_core::StMcConfig;
+use statobd_device::ClosedFormTech;
+
+fn main() {
+    let built = build_design(Benchmark::C1, &DesignConfig::default()).unwrap();
+    println!(
+        "C1 built: {} blocks, {} devices",
+        built.spec.n_blocks(),
+        built.spec.total_devices()
+    );
+    for b in built.spec.blocks() {
+        println!(
+            "  {:>4}: m={:>7} T={:.1}C",
+            b.name(),
+            b.m_devices(),
+            b.temperature_k() - 273.15
+        );
+    }
+    let t0 = std::time::Instant::now();
+    let model = thickness_model_for(&built, 0.5);
+    println!(
+        "model built in {:.2}s: {} grids, {} PCs",
+        t0.elapsed().as_secs_f64(),
+        model.n_grids(),
+        model.n_components()
+    );
+    let tech = ClosedFormTech::nominal_45nm();
+    let t0 = std::time::Instant::now();
+    let analysis = analyze(&built, &model, &tech).unwrap();
+    println!("analysis in {:.2}s", t0.elapsed().as_secs_f64());
+    let mc = run_mc(&analysis, MonteCarloConfig::default()).unwrap();
+    println!(
+        "MC:      t1={} t10={} rt={}",
+        fmt_lifetime(mc.t_1pm),
+        fmt_lifetime(mc.t_10pm),
+        fmt_seconds(mc.runtime_s)
+    );
+    let fast = run_st_fast(&analysis).unwrap();
+    let (e1, e10) = fast.error_pct(&mc);
+    println!(
+        "st_fast: t1={} err=({:.2}%,{:.2}%) rt={}",
+        fmt_lifetime(fast.t_1pm),
+        e1,
+        e10,
+        fmt_seconds(fast.runtime_s)
+    );
+    let smc = run_st_mc(&analysis, StMcConfig::default()).unwrap();
+    let (e1, e10) = smc.error_pct(&mc);
+    println!(
+        "st_MC:   t1={} err=({:.2}%,{:.2}%) rt={}",
+        fmt_lifetime(smc.t_1pm),
+        e1,
+        e10,
+        fmt_seconds(smc.runtime_s)
+    );
+    let (build_s, hyb) = run_hybrid(&analysis).unwrap();
+    let (e1, e10) = hyb.error_pct(&mc);
+    println!(
+        "hybrid:  t1={} err=({:.2}%,{:.2}%) rt={} (build {})",
+        fmt_lifetime(hyb.t_1pm),
+        e1,
+        e10,
+        fmt_seconds(hyb.runtime_s),
+        fmt_seconds(build_s)
+    );
+    let guard = run_guard(&analysis).unwrap();
+    let (e1, e10) = guard.error_pct(&mc);
+    println!(
+        "guard:   t1={} err=({:.2}%,{:.2}%)",
+        fmt_lifetime(guard.t_1pm),
+        e1,
+        e10
+    );
+}

@@ -1,0 +1,249 @@
+//! The full benchmark pipeline: floorplan → power → thermal →
+//! [`ChipSpec`].
+
+use crate::synthetic::synthetic_floorplan;
+use crate::{Benchmark, Result};
+use statobd_core::{BlockSpec, ChipSpec};
+use statobd_thermal::{
+    alpha_ev6_floorplan, alpha_ev6_power, many_core_floorplan, many_core_power, Floorplan,
+    PowerModel, TemperatureMap, ThermalConfig, ThermalSolver,
+};
+use statobd_variation::GridSpec;
+
+/// Configuration of the design-construction pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignConfig {
+    /// Correlation-grid resolution per axis (the paper's default is
+    /// 25 × 25; Table V sweeps it).
+    pub correlation_grid_side: usize,
+    /// Thermal solver configuration.
+    pub thermal: ThermalConfig,
+    /// Supply voltage applied to every block (V).
+    pub vdd_v: f64,
+    /// Normalized gate area per device (minimum-device-area units).
+    pub area_per_device: f64,
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        DesignConfig {
+            correlation_grid_side: statobd_core::params::DEFAULT_GRID_SIDE,
+            thermal: ThermalConfig::default(),
+            vdd_v: statobd_core::params::NOMINAL_VDD_V,
+            area_per_device: 1.0,
+        }
+    }
+}
+
+/// A fully constructed benchmark: the reliability spec plus the substrate
+/// artifacts it was derived from.
+#[derive(Debug)]
+pub struct BuiltDesign {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// The reliability-analysis chip specification.
+    pub spec: ChipSpec,
+    /// The variation-model grid matched to the die dimensions.
+    pub grid: GridSpec,
+    /// The floorplan.
+    pub floorplan: Floorplan,
+    /// The power model.
+    pub power: PowerModel,
+    /// The solved temperature map.
+    pub map: TemperatureMap,
+}
+
+/// Builds a benchmark design end to end: generates (or loads) the
+/// floorplan and power model, solves the steady-state thermal profile,
+/// extracts block-level worst-case temperatures, distributes devices over
+/// the correlation grids by area overlap, and assembles the
+/// [`ChipSpec`].
+///
+/// # Errors
+///
+/// Propagates substrate failures ([`crate::CircuitError`]).
+pub fn build_design(benchmark: Benchmark, config: &DesignConfig) -> Result<BuiltDesign> {
+    let (floorplan, power) = match benchmark {
+        Benchmark::C6 => (alpha_ev6_floorplan()?, alpha_ev6_power()?),
+        Benchmark::ManyCore16 => {
+            // A third of the cores busy — compact hot spots (Fig. 1b).
+            let fp = many_core_floorplan()?;
+            let pm = many_core_power(&[1, 5, 6, 10, 14], 6.5)?;
+            (fp, pm)
+        }
+        synthetic => synthetic_floorplan(synthetic.n_blocks(), synthetic.seed())?,
+    };
+
+    let solver = ThermalSolver::new(config.thermal);
+    let map = solver.solve(&floorplan, &power)?;
+
+    let grid = GridSpec::new(
+        floorplan.die_w(),
+        floorplan.die_h(),
+        config.correlation_grid_side,
+        config.correlation_grid_side,
+    )
+    .map_err(|e| crate::CircuitError::InvalidParameter {
+        detail: format!("correlation grid: {e}"),
+    })?;
+
+    // Device budget: distribute over blocks proportional to area, with
+    // largest-remainder rounding so the total matches exactly.
+    let total_devices = benchmark.target_devices();
+    let total_area: f64 = floorplan.blocks().iter().map(|b| b.rect().area()).sum();
+    let mut quotas: Vec<(usize, u64, f64)> = floorplan
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let exact = total_devices as f64 * b.rect().area() / total_area;
+            (i, exact.floor() as u64, exact.fract())
+        })
+        .collect();
+    let assigned: u64 = quotas.iter().map(|&(_, c, _)| c).sum();
+    let mut remainder = total_devices - assigned;
+    quotas.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite fractions"));
+    for q in quotas.iter_mut() {
+        if remainder == 0 {
+            break;
+        }
+        q.1 += 1;
+        remainder -= 1;
+    }
+    quotas.sort_by_key(|&(i, _, _)| i);
+
+    let mut spec = ChipSpec::new();
+    for (block, &(_, m_devices, _)) in floorplan.blocks().iter().zip(&quotas) {
+        let r = block.rect();
+        let stats = map.block_stats(r);
+        // Device distribution over correlation grids by area overlap.
+        let overlaps = grid.rect_overlaps(r.x(), r.y(), r.x1(), r.y1());
+        let overlap_total: f64 = overlaps.iter().map(|&(_, a)| a).sum();
+        let weights: Vec<(usize, f64)> = overlaps
+            .iter()
+            .map(|&(g, a)| (g, a / overlap_total))
+            .collect();
+        spec.add_block(
+            BlockSpec::new(
+                block.name(),
+                m_devices as f64 * config.area_per_device,
+                m_devices.max(2),
+                stats.max_k,
+                config.vdd_v,
+                weights,
+            )
+            .map_err(crate::CircuitError::from)?,
+        )
+        .map_err(crate::CircuitError::from)?;
+    }
+
+    Ok(BuiltDesign {
+        benchmark,
+        spec,
+        grid,
+        floorplan,
+        power,
+        map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> DesignConfig {
+        DesignConfig {
+            correlation_grid_side: 10,
+            thermal: ThermalConfig {
+                nx: 32,
+                ny: 32,
+                ..ThermalConfig::default()
+            },
+            ..DesignConfig::default()
+        }
+    }
+
+    #[test]
+    fn c1_builds_with_exact_device_count() {
+        let built = build_design(Benchmark::C1, &quick_config()).unwrap();
+        assert_eq!(built.spec.total_devices(), 50_000);
+        assert_eq!(built.spec.n_blocks(), 6);
+    }
+
+    #[test]
+    fn c6_is_the_alpha_processor() {
+        let built = build_design(Benchmark::C6, &quick_config()).unwrap();
+        assert_eq!(built.spec.n_blocks(), 15);
+        assert_eq!(built.spec.total_devices(), 840_000);
+        // Temperature spread echoes Fig. 1.
+        let spread = built.map.max_k() - built.map.min_k();
+        assert!((10.0..50.0).contains(&spread), "spread {spread:.1} K");
+        // The intexec block must be among the hottest.
+        let intexec = built
+            .spec
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "intexec")
+            .unwrap();
+        let max_t = built.spec.max_temperature_k().unwrap();
+        assert!((intexec.temperature_k() - max_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_grid_weights_sum_to_one() {
+        let built = build_design(Benchmark::C2, &quick_config()).unwrap();
+        for b in built.spec.blocks() {
+            let s: f64 = b.grid_weights().iter().map(|&(_, w)| w).sum();
+            assert!((s - 1.0).abs() < 1e-9, "block {}: {s}", b.name());
+        }
+    }
+
+    #[test]
+    fn devices_scale_with_benchmark() {
+        let c1 = build_design(Benchmark::C1, &quick_config()).unwrap();
+        let c4 = build_design(Benchmark::C4, &quick_config()).unwrap();
+        assert!(c4.spec.total_devices() > 3 * c1.spec.total_devices());
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let a = build_design(Benchmark::C3, &quick_config()).unwrap();
+        let b = build_design(Benchmark::C3, &quick_config()).unwrap();
+        assert_eq!(a.spec, b.spec);
+    }
+
+    #[test]
+    fn many_core_has_sixteen_blocks() {
+        let built = build_design(Benchmark::ManyCore16, &quick_config()).unwrap();
+        assert_eq!(built.spec.n_blocks(), 16);
+        // Active cores are hotter than idle ones.
+        let active = built
+            .spec
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core_5")
+            .unwrap();
+        let idle = built
+            .spec
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core_3")
+            .unwrap();
+        assert!(active.temperature_k() > idle.temperature_k() + 3.0);
+    }
+
+    #[test]
+    fn temperatures_are_physical() {
+        for bench in Benchmark::table_iii() {
+            let built = build_design(bench, &quick_config()).unwrap();
+            for b in built.spec.blocks() {
+                let t = b.temperature_k();
+                assert!(
+                    (318.0..420.0).contains(&t),
+                    "{bench}: block {} at {t:.1} K",
+                    b.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Temperature-uniform block refinement (the paper's footnote 1: a
+//! "block" may be "some sub-block that can ensure the assumption of
+//! uniform temperature").
+//!
+//! The BLOD projection assumes each block's devices share one operating
+//! temperature; a large architectural block sitting on a thermal gradient
+//! violates that. [`refine_blocks`] recursively quadrisects any block
+//! whose internal temperature spread exceeds a threshold, producing the
+//! finer temperature-uniform partition the analysis needs.
+
+use crate::Result;
+use statobd_thermal::{Floorplan, Rect, TemperatureMap};
+
+/// A refined (possibly split) analysis block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinedBlock {
+    /// Name: the parent block's name, with `/q<k>` suffixes per split.
+    pub name: String,
+    /// Geometry of the refined block.
+    pub rect: Rect,
+    /// Worst-case (max) temperature over the refined block (K).
+    pub worst_k: f64,
+    /// Internal temperature spread of the refined block (K).
+    pub spread_k: f64,
+}
+
+/// Recursively splits the floorplan's blocks until every piece has an
+/// internal temperature spread at most `max_spread_k` (or `max_depth`
+/// quadrisections have been applied).
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::InvalidParameter`] for a non-positive
+/// spread threshold.
+pub fn refine_blocks(
+    floorplan: &Floorplan,
+    map: &TemperatureMap,
+    max_spread_k: f64,
+    max_depth: usize,
+) -> Result<Vec<RefinedBlock>> {
+    if !(max_spread_k > 0.0) {
+        return Err(crate::CircuitError::InvalidParameter {
+            detail: format!("max_spread_k must be positive, got {max_spread_k}"),
+        });
+    }
+    let mut out = Vec::new();
+    for block in floorplan.blocks() {
+        refine_one(
+            block.name(),
+            *block.rect(),
+            map,
+            max_spread_k,
+            max_depth,
+            &mut out,
+        )?;
+    }
+    Ok(out)
+}
+
+fn refine_one(
+    name: &str,
+    rect: Rect,
+    map: &TemperatureMap,
+    max_spread_k: f64,
+    depth_left: usize,
+    out: &mut Vec<RefinedBlock>,
+) -> Result<()> {
+    let stats = map.block_stats(&rect);
+    let spread = stats.max_k - stats.min_k;
+    if spread <= max_spread_k || depth_left == 0 {
+        out.push(RefinedBlock {
+            name: name.to_string(),
+            rect,
+            worst_k: stats.max_k,
+            spread_k: spread,
+        });
+        return Ok(());
+    }
+    // Quadrisect.
+    let hw = rect.w() / 2.0;
+    let hh = rect.h() / 2.0;
+    for (k, (dx, dy)) in [(0.0, 0.0), (hw, 0.0), (0.0, hh), (hw, hh)]
+        .into_iter()
+        .enumerate()
+    {
+        let child =
+            Rect::new(rect.x() + dx, rect.y() + dy, hw, hh).map_err(crate::CircuitError::from)?;
+        refine_one(
+            &format!("{name}/q{k}"),
+            child,
+            map,
+            max_spread_k,
+            depth_left - 1,
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statobd_thermal::{
+        Block, BlockPower, Floorplan, PowerModel, Rect, ThermalConfig, ThermalSolver,
+    };
+
+    /// One big block with a hot corner: a strong internal gradient.
+    fn gradient_setup() -> (Floorplan, TemperatureMap) {
+        let mut fp = Floorplan::new(0.016, 0.016).unwrap();
+        fp.add_block(Block::new("big", Rect::new(0.0, 0.0, 0.016, 0.016).unwrap()).unwrap())
+            .unwrap();
+        fp.add_block(Block::new("hot", Rect::new(0.001, 0.001, 0.002, 0.002).unwrap()).unwrap())
+            .ok(); // overlapping heater block
+        let mut pm = PowerModel::new();
+        pm.set_block_power("big", BlockPower::new(8.0, 0.0).unwrap())
+            .unwrap();
+        pm.set_block_power("hot", BlockPower::new(10.0, 0.0).unwrap())
+            .unwrap();
+        let solver = ThermalSolver::new(ThermalConfig {
+            nx: 32,
+            ny: 32,
+            ..ThermalConfig::default()
+        });
+        let map = solver.solve(&fp, &pm).unwrap();
+        (fp, map)
+    }
+
+    #[test]
+    fn gradient_block_gets_split() {
+        let (fp, map) = gradient_setup();
+        let spread = map.max_k() - map.min_k();
+        assert!(spread > 5.0, "setup should have a gradient, got {spread}");
+        let refined = refine_blocks(&fp, &map, 3.0, 4).unwrap();
+        assert!(refined.len() > fp.blocks().len(), "no splitting happened");
+        // Every refined piece honours the spread bound (depth permitting).
+        for r in &refined {
+            assert!(
+                r.spread_k <= 3.0 + 1e-9 || r.name.matches("/q").count() >= 4,
+                "block {} has spread {:.2}",
+                r.name,
+                r.spread_k
+            );
+        }
+    }
+
+    #[test]
+    fn children_tile_the_parent() {
+        let (fp, map) = gradient_setup();
+        let refined = refine_blocks(&fp, &map, 3.0, 3).unwrap();
+        let big_children: f64 = refined
+            .iter()
+            .filter(|r| r.name.starts_with("big"))
+            .map(|r| r.rect.area())
+            .sum();
+        assert!((big_children - 0.016 * 0.016).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_block_is_untouched() {
+        let mut fp = Floorplan::new(0.01, 0.01).unwrap();
+        fp.add_block(Block::new("b", Rect::new(0.0, 0.0, 0.01, 0.01).unwrap()).unwrap())
+            .unwrap();
+        let mut pm = PowerModel::new();
+        pm.set_block_power("b", BlockPower::new(5.0, 0.0).unwrap())
+            .unwrap();
+        let solver = ThermalSolver::new(ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::default()
+        });
+        let map = solver.solve(&fp, &pm).unwrap();
+        // Uniform power density: negligible spread.
+        let refined = refine_blocks(&fp, &map, 2.0, 4).unwrap();
+        assert_eq!(refined.len(), 1);
+        assert_eq!(refined[0].name, "b");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (fp, map) = gradient_setup();
+        let refined = refine_blocks(&fp, &map, 0.01, 2).unwrap();
+        for r in &refined {
+            assert!(r.name.matches("/q").count() <= 2, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let (fp, map) = gradient_setup();
+        assert!(refine_blocks(&fp, &map, 0.0, 2).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic synthetic floorplan and power generation for C1–C5.
+//!
+//! The paper's C1–C5 "were automatically generated"; this module plays
+//! that role with a seeded generator so every build of a benchmark is
+//! identical. Blocks tile the die in rows with varying widths; a minority
+//! of blocks are "hot" (high power density), the rest near-idle — giving
+//! the compact-hot-spot structure of the paper's Fig. 1.
+
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use statobd_thermal::{Block, BlockPower, Floorplan, PowerModel, Rect};
+
+/// Die edge for the synthetic designs (m).
+const DIE_EDGE: f64 = 0.016;
+
+/// Generates a deterministic synthetic floorplan with `n_blocks` blocks
+/// tiling a 16 mm × 16 mm die, plus a matching power model.
+///
+/// Roughly a quarter of the blocks (at least one) are "hot": their dynamic
+/// power density is ~2.5× the idle blocks'.
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::InvalidParameter`] if `n_blocks == 0`.
+pub fn synthetic_floorplan(n_blocks: usize, seed: u64) -> Result<(Floorplan, PowerModel)> {
+    if n_blocks == 0 {
+        return Err(crate::CircuitError::InvalidParameter {
+            detail: "need at least one block".to_string(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fp = Floorplan::new(DIE_EDGE, DIE_EDGE)?;
+    let mut pm = PowerModel::new();
+
+    // Partition blocks into rows: rows ≈ sqrt(n), last row takes the
+    // remainder.
+    let rows = (n_blocks as f64).sqrt().floor().max(1.0) as usize;
+    let per_row = n_blocks / rows;
+    let mut remaining = n_blocks;
+    let mut row_counts = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let count = if r + 1 == rows { remaining } else { per_row };
+        row_counts.push(count);
+        remaining -= count;
+    }
+
+    // Choose hot blocks: every 4th index, at least one.
+    let n_hot = (n_blocks / 4).max(1);
+    let hot: Vec<usize> = (0..n_hot).map(|i| (i * n_blocks) / n_hot).collect();
+
+    let row_h = DIE_EDGE / rows as f64;
+    let mut block_idx = 0usize;
+    for (r, &count) in row_counts.iter().enumerate() {
+        // Random widths normalized to the die edge.
+        let weights: Vec<f64> = (0..count).map(|_| rng.gen_range(0.6..1.6)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = 0.0;
+        for (c, &w) in weights.iter().enumerate() {
+            let width = if c + 1 == count {
+                DIE_EDGE - x // absorb rounding so the row tiles exactly
+            } else {
+                DIE_EDGE * w / total
+            };
+            let rect = Rect::new(x, r as f64 * row_h, width, row_h)?;
+            let name = format!("b{block_idx}");
+            fp.add_block(Block::new(name.clone(), rect)?)?;
+
+            let area_mm2 = rect.area() * 1e6;
+            let is_hot = hot.contains(&block_idx);
+            let density = if is_hot {
+                rng.gen_range(0.38..0.52) // W/mm²
+            } else {
+                rng.gen_range(0.14..0.22)
+            };
+            let dyn_w = density * area_mm2;
+            pm.set_block_power(name, BlockPower::new(dyn_w, dyn_w * 0.12)?)?;
+
+            x += width;
+            block_idx += 1;
+        }
+    }
+    Ok((fp, pm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_die_exactly() {
+        for n in [1, 3, 6, 8, 10, 14] {
+            let (fp, _) = synthetic_floorplan(n, 42).unwrap();
+            assert_eq!(fp.blocks().len(), n);
+            assert!(
+                (fp.total_block_area() - fp.die_area()).abs() < 1e-12,
+                "n={n}: {} vs {}",
+                fp.total_block_area(),
+                fp.die_area()
+            );
+            assert_eq!(fp.max_overlap(), 0.0, "n={n} overlaps");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (fp1, pm1) = synthetic_floorplan(8, 7).unwrap();
+        let (fp2, pm2) = synthetic_floorplan(8, 7).unwrap();
+        assert_eq!(fp1, fp2);
+        assert_eq!(pm1, pm2);
+        let (fp3, _) = synthetic_floorplan(8, 8).unwrap();
+        assert_ne!(fp1, fp3);
+    }
+
+    #[test]
+    fn has_hot_and_cool_blocks() {
+        let (fp, pm) = synthetic_floorplan(8, 1).unwrap();
+        let mut densities: Vec<f64> = fp
+            .blocks()
+            .iter()
+            .map(|b| pm.block_power(b.name()).unwrap().dynamic_w() / (b.rect().area() * 1e6))
+            .collect();
+        densities.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Max density should be well above the min.
+        assert!(densities.last().unwrap() / densities.first().unwrap() > 1.6);
+    }
+
+    #[test]
+    fn rejects_zero_blocks() {
+        assert!(synthetic_floorplan(0, 1).is_err());
+    }
+}

@@ -1,0 +1,565 @@
+//! Block-level oxide-thickness distribution (BLOD) characterization
+//! (paper Sec. IV-A/IV-C).
+//!
+//! For block `j` with device weights `w_g` over the correlation grids, the
+//! BLOD sample mean and variance as functions of the principal components
+//! `z` are
+//!
+//! ```text
+//! u_j(z) = u_{j,0} + Σ_k u_{j,k} z_k                    (eq. 22)
+//! v_j(z) = λ_r² + zᵀ Q_j z                              (eq. 24, corrected)
+//! Q_j    = Σ_g w_g (λ_g − u_j)(λ_g − u_j)ᵀ
+//! ```
+//!
+//! (The paper's printed eq. 24 has a sign typo; the centered quadratic
+//! form above is the correct covariance-of-deviations expression — see
+//! DESIGN.md. Its positive semidefiniteness is what makes the χ²
+//! approximation applicable.)
+//!
+//! `u_j` is Gaussian. `v_j` is a quadratic form in Gaussians, approximated
+//! by the Yuan–Bentler two-moment fit (eqs. 29–30):
+//!
+//! ```text
+//! v_j ≈ λ_r² + â·χ²_b̂,   â = tr(Q²)/tr(Q),   b̂ = tr(Q)²/tr(Q²)
+//! ```
+
+use crate::chip::BlockSpec;
+use crate::Result;
+use statobd_num::dist::{ContinuousDistribution, Gamma, Normal};
+use statobd_num::eigen::SymmetricEigen;
+use statobd_num::matrix::DMatrix;
+use statobd_variation::ThicknessModel;
+
+/// Fraction of `tr(Q)` the retained low-rank projection of `Q` must
+/// capture (used by the sampling-based engines to evaluate `v(z)`).
+///
+/// The within-block dispersion spectrum decays fast — neighbouring grids
+/// are strongly correlated — so a handful of components carry virtually
+/// all of `tr(Q)`; truncating at `1 − 10⁻⁴` keeps `v(z)` accurate to a
+/// relative 10⁻⁴ — two orders below the method's ~1 % accuracy target —
+/// while making the `st_MC` sampling an order of magnitude cheaper.
+const PROJECTION_ENERGY: f64 = 1.0 - 1e-4;
+
+/// Distribution of the BLOD sample mean `u_j`.
+#[derive(Debug, Clone)]
+pub enum MeanDist {
+    /// No correlated components: `u_j` is a constant.
+    Deterministic(f64),
+    /// `u_j ~ N(u_{j,0}, σ_u²)`.
+    Gaussian(Normal),
+}
+
+impl MeanDist {
+    /// Mean of `u_j`.
+    pub fn mean(&self) -> f64 {
+        match self {
+            MeanDist::Deterministic(u) => *u,
+            MeanDist::Gaussian(n) => n.mean(),
+        }
+    }
+
+    /// Standard deviation of `u_j`.
+    pub fn std_dev(&self) -> f64 {
+        match self {
+            MeanDist::Deterministic(_) => 0.0,
+            MeanDist::Gaussian(n) => n.std_dev(),
+        }
+    }
+}
+
+/// Distribution of the BLOD sample variance `v_j` (the χ² approximation
+/// of the quadratic form, eqs. 29–30).
+#[derive(Debug, Clone)]
+pub enum VarianceDist {
+    /// The block sits inside one grid (or has no correlated variation):
+    /// `v_j` is constant.
+    Deterministic(f64),
+    /// `v_j = floor + G`, `G ~ Gamma(b̂/2, 2â)`.
+    ShiftedGamma {
+        /// The deterministic floor `v_{j,0} = λ_r²` (plus any systematic
+        /// within-block spread).
+        floor: f64,
+        /// The fitted gamma component.
+        gamma: Gamma,
+    },
+}
+
+impl VarianceDist {
+    /// Mean of `v_j`.
+    pub fn mean(&self) -> f64 {
+        match self {
+            VarianceDist::Deterministic(v) => *v,
+            VarianceDist::ShiftedGamma { floor, gamma } => floor + gamma.mean(),
+        }
+    }
+
+    /// Variance of `v_j`.
+    pub fn variance(&self) -> f64 {
+        match self {
+            VarianceDist::Deterministic(_) => 0.0,
+            VarianceDist::ShiftedGamma { gamma, .. } => gamma.variance(),
+        }
+    }
+
+    /// Quantile of `v_j`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantile domain errors for `p ∉ [0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        match self {
+            VarianceDist::Deterministic(v) => Ok(*v),
+            VarianceDist::ShiftedGamma { floor, gamma } => Ok(floor + gamma.quantile(p)?),
+        }
+    }
+
+    /// CDF of `v_j` at `v`.
+    pub fn cdf(&self, v: f64) -> f64 {
+        match self {
+            VarianceDist::Deterministic(v0) => {
+                if v >= *v0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            VarianceDist::ShiftedGamma { floor, gamma } => gamma.cdf(v - floor),
+        }
+    }
+
+    /// Moment-generating function `E[e^{s·v}]` (used by the closed-form
+    /// engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns a domain error when the gamma MGF diverges (`s·scale ≥ 1`).
+    pub fn mgf(&self, s: f64) -> Result<f64> {
+        match self {
+            VarianceDist::Deterministic(v) => Ok((s * v).exp()),
+            VarianceDist::ShiftedGamma { floor, gamma } => Ok((s * floor).exp() * gamma.mgf(s)?),
+        }
+    }
+}
+
+/// The characterized BLOD of one block.
+#[derive(Debug, Clone)]
+pub struct BlodMoments {
+    /// Nominal sample mean `u_{j,0}`.
+    u_nominal: f64,
+    /// Principal-component sensitivities `u_{j,k}` (eq. 22).
+    u_coeffs: Vec<f64>,
+    /// `σ_u = ‖u_coeffs‖`.
+    u_sigma: f64,
+    /// `v_{j,0}`: the independent-variance floor (plus systematic spread).
+    v_floor: f64,
+    /// `tr(Q_j)`.
+    q_trace: f64,
+    /// `tr(Q_j²)`.
+    q_trace_sq: f64,
+    /// Low-rank projection vectors `a_r` with `zᵀQz = Σ_r (a_rᵀ z)²`.
+    v_projections: Vec<Vec<f64>>,
+    /// The fitted χ² scale `â` (0 when `Q = 0`).
+    chi2_scale: f64,
+    /// The fitted χ² degrees of freedom `b̂` (0 when `Q = 0`).
+    chi2_dof: f64,
+}
+
+impl BlodMoments {
+    /// Characterizes the BLOD of `block` under `model` (eqs. 22/24/29/30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block references grids outside the model (the
+    /// [`crate::ChipAnalysis`] constructor validates this).
+    pub fn characterize(model: &ThicknessModel, block: &BlockSpec) -> Self {
+        let n_pc = model.n_components();
+        let weights = block.grid_weights();
+
+        // u coefficients (eq. 22): u_k = Σ_g w_g λ[g, k].
+        let mut u_coeffs = vec![0.0; n_pc];
+        let mut u_nominal = 0.0;
+        for &(g, w) in weights {
+            u_nominal += w * model.nominal()[g];
+            let row = model.loadings().row(g);
+            for (uk, l) in u_coeffs.iter_mut().zip(row) {
+                *uk += w * l;
+            }
+        }
+        let u_sigma = u_coeffs.iter().map(|c| c * c).sum::<f64>().sqrt();
+
+        // Centered factor rows: F[r] = sqrt(w_g) (λ_g − u_coeffs), so that
+        // Q = FᵀF. Also accumulate the systematic nominal spread into the
+        // floor (approximation documented in DESIGN.md).
+        let n_bg = weights.len();
+        let mut f = DMatrix::zeros(n_bg, n_pc);
+        let mut nominal_spread = 0.0;
+        for (r, &(g, w)) in weights.iter().enumerate() {
+            let sw = w.sqrt();
+            let row = model.loadings().row(g);
+            for k in 0..n_pc {
+                f[(r, k)] = sw * (row[k] - u_coeffs[k]);
+            }
+            let dn = model.nominal()[g] - u_nominal;
+            nominal_spread += w * dn * dn;
+        }
+        let v_floor = model.sigma_ind().powi(2) + nominal_spread;
+
+        // Gram matrix G = F·Fᵀ (n_bg × n_bg): tr(Q) = tr(G),
+        // tr(Q²) = Σ G_ik², and the eigenvectors of G give the low-rank
+        // projection of Q.
+        let gram = f.mul(&f.transpose()).expect("F·Fᵀ dimensions always agree");
+        let q_trace = gram.trace();
+        let q_trace_sq = gram.as_slice().iter().map(|x| x * x).sum::<f64>();
+
+        // Yuan–Bentler fit (eqs. 29–30, repaired form):
+        // â = tr(Q²)/tr(Q), b̂ = tr(Q)²/tr(Q²).
+        let (chi2_scale, chi2_dof) = if q_trace > 1e-30 && q_trace_sq > 0.0 {
+            (q_trace_sq / q_trace, q_trace * q_trace / q_trace_sq)
+        } else {
+            (0.0, 0.0)
+        };
+
+        // Low-rank projections a_r = Fᵀ·y_r (y_r eigenvectors of G), so
+        // zᵀQz = Σ_r (a_rᵀz)². Retained until PROJECTION_ENERGY of tr(Q).
+        let mut v_projections = Vec::new();
+        if q_trace > 1e-30 {
+            let eig = SymmetricEigen::new(&gram).expect("gram matrix is symmetric");
+            let mut captured = 0.0;
+            for (r, &mu) in eig.eigenvalues().iter().enumerate() {
+                if mu <= 0.0 || captured >= PROJECTION_ENERGY * q_trace {
+                    break;
+                }
+                captured += mu;
+                let y: Vec<f64> = eig.eigenvectors().column(r);
+                // a_r = Fᵀ y_r.
+                let mut a = vec![0.0; n_pc];
+                for (row_idx, &yv) in y.iter().enumerate() {
+                    if yv == 0.0 {
+                        continue;
+                    }
+                    let frow = f.row(row_idx);
+                    for (ak, fv) in a.iter_mut().zip(frow) {
+                        *ak += yv * fv;
+                    }
+                }
+                v_projections.push(a);
+            }
+        }
+
+        BlodMoments {
+            u_nominal,
+            u_coeffs,
+            u_sigma,
+            v_floor,
+            q_trace,
+            q_trace_sq,
+            v_projections,
+            chi2_scale,
+            chi2_dof,
+        }
+    }
+
+    /// Nominal sample mean `u_{j,0}`.
+    pub fn u_nominal(&self) -> f64 {
+        self.u_nominal
+    }
+
+    /// Principal-component sensitivities of the sample mean.
+    pub fn u_coeffs(&self) -> &[f64] {
+        &self.u_coeffs
+    }
+
+    /// Standard deviation of the sample mean.
+    pub fn u_sigma(&self) -> f64 {
+        self.u_sigma
+    }
+
+    /// The variance floor `v_{j,0}`.
+    pub fn v_floor(&self) -> f64 {
+        self.v_floor
+    }
+
+    /// `tr(Q_j)` — the mean of the quadratic-form part of `v_j`.
+    pub fn q_trace(&self) -> f64 {
+        self.q_trace
+    }
+
+    /// `tr(Q_j²)` — half the variance of the quadratic-form part.
+    pub fn q_trace_sq(&self) -> f64 {
+        self.q_trace_sq
+    }
+
+    /// Fitted χ² scale `â`.
+    pub fn chi2_scale(&self) -> f64 {
+        self.chi2_scale
+    }
+
+    /// Fitted χ² degrees of freedom `b̂`.
+    pub fn chi2_dof(&self) -> f64 {
+        self.chi2_dof
+    }
+
+    /// Number of retained low-rank projection vectors for `v(z)`.
+    pub fn n_projections(&self) -> usize {
+        self.v_projections.len()
+    }
+
+    /// The retained eigenvalues of the quadratic form `Q_j` (the squared
+    /// norms of the projection vectors) — the input to the exact Imhof
+    /// evaluation of the sample-variance distribution.
+    pub fn q_eigenvalues(&self) -> Vec<f64> {
+        self.v_projections
+            .iter()
+            .map(|a| a.iter().map(|x| x * x).sum())
+            .collect()
+    }
+
+    /// Quantile of `v_j` computed by the *exact* Imhof inversion of the
+    /// quadratic form instead of the χ² two-moment fit — the ablation the
+    /// paper's reference to Imhof (its ref. 32) invites.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantile domain and Imhof convergence failures.
+    pub fn v_quantile_imhof(&self, p: f64) -> Result<f64> {
+        if self.q_trace <= 1e-30 {
+            return Ok(self.v_floor + self.q_trace);
+        }
+        let eigen = self.q_eigenvalues();
+        Ok(self.v_floor + statobd_num::quadform::imhof_quantile(&eigen, p)?)
+    }
+
+    /// Distribution of the sample mean `u_j`.
+    pub fn u_dist(&self) -> MeanDist {
+        if self.u_sigma > 0.0 {
+            MeanDist::Gaussian(Normal::new(self.u_nominal, self.u_sigma).expect("validated sigma"))
+        } else {
+            MeanDist::Deterministic(self.u_nominal)
+        }
+    }
+
+    /// Distribution of the sample variance `v_j` (χ² approximation).
+    pub fn v_dist(&self) -> VarianceDist {
+        if self.chi2_dof > 0.0 {
+            VarianceDist::ShiftedGamma {
+                floor: self.v_floor,
+                gamma: Gamma::new(self.chi2_dof / 2.0, 2.0 * self.chi2_scale)
+                    .expect("validated chi2 parameters"),
+            }
+        } else {
+            VarianceDist::Deterministic(self.v_floor + self.q_trace)
+        }
+    }
+
+    /// Exact `(u_j, v_j)` for a given principal-component draw `z`
+    /// (used by the `st_MC` engine and by validation tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` does not match the model's component count.
+    pub fn uv_given_z(&self, z: &[f64]) -> (f64, f64) {
+        assert_eq!(z.len(), self.u_coeffs.len(), "component count mismatch");
+        let mut u = self.u_nominal;
+        for (c, zk) in self.u_coeffs.iter().zip(z) {
+            u += c * zk;
+        }
+        let mut v = self.v_floor;
+        for a in &self.v_projections {
+            let mut d = 0.0;
+            for (ak, zk) in a.iter().zip(z) {
+                d += ak * zk;
+            }
+            v += d * d;
+        }
+        (u, v)
+    }
+}
+
+/// Computes the exact `(u_j, v_j)` of a block directly from a sampled
+/// grid base field (`base[g]` = correlated thickness of grid `g`), as the
+/// per-device Monte-Carlo reference does:
+///
+/// `u = Σ w_g·base_g`, `v = σ_ind² + Σ w_g·(base_g − u)²`.
+pub fn uv_from_grid_base(
+    grid_weights: &[(usize, f64)],
+    base: &[f64],
+    sigma_ind: f64,
+) -> (f64, f64) {
+    let mut u = 0.0;
+    for &(g, w) in grid_weights {
+        u += w * base[g];
+    }
+    let mut v = sigma_ind * sigma_ind;
+    for &(g, w) in grid_weights {
+        let d = base[g] - u;
+        v += w * d * d;
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::BlockSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use statobd_num::rng::NormalSampler;
+    use statobd_num::stats::OnlineStats;
+    use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+
+    fn model(n: usize) -> ThicknessModel {
+        ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(n).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build()
+            .unwrap()
+    }
+
+    fn block(grids: Vec<(usize, f64)>) -> BlockSpec {
+        BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, grids).unwrap()
+    }
+
+    #[test]
+    fn single_grid_block_has_deterministic_variance() {
+        let m = model(4);
+        let mom = BlodMoments::characterize(&m, &block(vec![(5, 1.0)]));
+        assert_eq!(mom.q_trace(), 0.0);
+        assert!(matches!(mom.v_dist(), VarianceDist::Deterministic(v)
+            if (v - m.sigma_ind().powi(2)).abs() < 1e-18));
+        // u sigma equals that grid's correlated sigma.
+        assert!((mom.u_sigma() - m.grid_sigma(5)).abs() < 1e-12);
+        assert!((mom.u_nominal() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_grid_block_gains_variance_spread() {
+        let m = model(4);
+        // Far-apart grids: within-block dispersion is large.
+        let mom = BlodMoments::characterize(&m, &block(vec![(0, 0.5), (15, 0.5)]));
+        assert!(mom.q_trace() > 0.0);
+        let v = mom.v_dist();
+        assert!(v.mean() > m.sigma_ind().powi(2));
+        // Mean of the χ² fit matches tr(Q) by construction.
+        assert!((v.mean() - (mom.v_floor() + mom.q_trace())).abs() < 1e-15);
+        // Variance matches 2·tr(Q²).
+        assert!((v.variance() - 2.0 * mom.q_trace_sq()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn uv_given_z_matches_brute_force_quadratic_form() {
+        let m = model(5);
+        let b = block(vec![(0, 0.25), (1, 0.25), (7, 0.5)]);
+        let mom = BlodMoments::characterize(&m, &b);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ns = NormalSampler::new();
+        for _ in 0..50 {
+            let mut z = vec![0.0; m.n_components()];
+            ns.fill(&mut rng, &mut z);
+            let (u, v) = mom.uv_given_z(&z);
+            // Brute force via the grid base field. The projection is
+            // truncated at PROJECTION_ENERGY, so v matches to a relative
+            // ~1e-6, u exactly.
+            let base = m.grid_base(&z);
+            let (u_ref, v_ref) = uv_from_grid_base(b.grid_weights(), &base, m.sigma_ind());
+            assert!((u - u_ref).abs() < 1e-12, "u {u} vs {u_ref}");
+            assert!((v - v_ref).abs() < 1e-3 * v_ref, "v {v} vs {v_ref}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_moments_match_analytic() {
+        let m = model(5);
+        let b = block(vec![(0, 0.3), (6, 0.4), (24, 0.3)]);
+        let mom = BlodMoments::characterize(&m, &b);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ns = NormalSampler::new();
+        let mut u_stats = OnlineStats::new();
+        let mut v_stats = OnlineStats::new();
+        for _ in 0..40_000 {
+            let mut z = vec![0.0; m.n_components()];
+            ns.fill(&mut rng, &mut z);
+            let (u, v) = mom.uv_given_z(&z);
+            u_stats.push(u);
+            v_stats.push(v);
+        }
+        // E[u] and SD[u].
+        assert!((u_stats.mean() - mom.u_nominal()).abs() < 5e-4);
+        assert!((u_stats.std_dev() - mom.u_sigma()).abs() < 0.02 * mom.u_sigma());
+        // E[v] = floor + tr(Q); Var[v] = 2 tr(Q²).
+        let v_mean_expected = mom.v_floor() + mom.q_trace();
+        assert!(
+            (v_stats.mean() - v_mean_expected).abs() < 0.02 * v_mean_expected,
+            "v mean {} vs {}",
+            v_stats.mean(),
+            v_mean_expected
+        );
+        let v_var_expected = 2.0 * mom.q_trace_sq();
+        assert!(
+            (v_stats.sample_variance() - v_var_expected).abs() < 0.1 * v_var_expected,
+            "v var {} vs {}",
+            v_stats.sample_variance(),
+            v_var_expected
+        );
+    }
+
+    #[test]
+    fn chi2_fit_matches_quadratic_form_cdf() {
+        // The Fig. 8 validation in unit-test form: the χ² CDF should track
+        // the empirical CDF of the quadratic form.
+        let m = model(5);
+        let b = block(vec![(0, 0.2), (3, 0.2), (12, 0.2), (20, 0.2), (24, 0.2)]);
+        let mom = BlodMoments::characterize(&m, &b);
+        let vd = mom.v_dist();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ns = NormalSampler::new();
+        let mut samples: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let mut z = vec![0.0; m.n_components()];
+                ns.fill(&mut rng, &mut z);
+                mom.uv_given_z(&z).1
+            })
+            .collect();
+        let ks = statobd_num::stats::ks_distance(&mut samples, |v| vd.cdf(v)).unwrap();
+        assert!(ks < 0.05, "KS distance {ks} too large for the χ² fit");
+    }
+
+    #[test]
+    fn mean_dist_variants() {
+        let m = model(3);
+        let mom = BlodMoments::characterize(&m, &block(vec![(0, 1.0)]));
+        match mom.u_dist() {
+            MeanDist::Gaussian(n) => {
+                assert!((n.mean() - 2.2).abs() < 1e-12);
+            }
+            MeanDist::Deterministic(_) => panic!("expected Gaussian u"),
+        }
+    }
+
+    #[test]
+    fn variance_dist_quantile_and_cdf_consistency() {
+        let m = model(4);
+        let mom = BlodMoments::characterize(&m, &block(vec![(0, 0.5), (15, 0.5)]));
+        let vd = mom.v_dist();
+        for &p in &[0.01, 0.5, 0.99] {
+            let q = vd.quantile(p).unwrap();
+            assert!((vd.cdf(q) - p).abs() < 1e-8);
+        }
+        // Deterministic variant.
+        let det = VarianceDist::Deterministic(0.5);
+        assert_eq!(det.quantile(0.3).unwrap(), 0.5);
+        assert_eq!(det.cdf(0.49), 0.0);
+        assert_eq!(det.cdf(0.5), 1.0);
+        assert_eq!(det.mgf(2.0).unwrap(), (1.0f64).exp());
+    }
+
+    #[test]
+    fn uv_from_grid_base_weighted_mean() {
+        let base = vec![2.0, 3.0, 4.0];
+        let (u, v) = uv_from_grid_base(&[(0, 0.5), (2, 0.5)], &base, 0.1);
+        assert!((u - 3.0).abs() < 1e-15);
+        // v = 0.01 + 0.5·1 + 0.5·1 = 1.01
+        assert!((v - 1.01).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,423 @@
+//! Chip specifications and the per-block analysis context.
+//!
+//! A [`ChipSpec`] describes a design at the granularity the analysis
+//! needs: temperature-uniform blocks with device counts, normalized areas,
+//! operating points, and how each block's devices distribute over the
+//! correlation grids. [`ChipAnalysis`] binds a spec to a process model and
+//! technology and precomputes every block's BLOD moments and Weibull
+//! parameters.
+
+use crate::blod::BlodMoments;
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use statobd_device::ObdTechnology;
+use statobd_variation::ThicknessModel;
+
+/// One temperature-uniform functional block (the paper's "block").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    name: String,
+    /// Total normalized gate area `A_j` (minimum-device-area units).
+    area: f64,
+    /// Device count `m_j`.
+    m_devices: u64,
+    /// Block-level worst-case operating temperature (K).
+    temperature_k: f64,
+    /// Block supply voltage (V).
+    voltage_v: f64,
+    /// `(grid index, weight)` pairs: the fraction of the block's devices
+    /// (and area) in each correlation grid. Weights must sum to 1.
+    grid_weights: Vec<(usize, f64)>,
+}
+
+impl BlockSpec {
+    /// Creates a block specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for non-positive area,
+    /// fewer than 2 devices, a non-physical operating point, or weights
+    /// that are negative/empty/don't sum to 1 (tolerance `1e-6`).
+    pub fn new(
+        name: impl Into<String>,
+        area: f64,
+        m_devices: u64,
+        temperature_k: f64,
+        voltage_v: f64,
+        grid_weights: Vec<(usize, f64)>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                detail: "block name must be non-empty".to_string(),
+            });
+        }
+        if !(area > 0.0) || !area.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("block '{name}': area must be positive, got {area}"),
+            });
+        }
+        if m_devices < 2 {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("block '{name}': needs at least 2 devices, got {m_devices}"),
+            });
+        }
+        if !(temperature_k > 0.0) || !(voltage_v > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                detail: format!(
+                    "block '{name}': operating point must be positive, got {temperature_k} K, {voltage_v} V"
+                ),
+            });
+        }
+        if grid_weights.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("block '{name}': needs at least one grid weight"),
+            });
+        }
+        if grid_weights.iter().any(|&(_, w)| w < 0.0 || !w.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("block '{name}': weights must be non-negative"),
+            });
+        }
+        let sum: f64 = grid_weights.iter().map(|&(_, w)| w).sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("block '{name}': grid weights sum to {sum}, expected 1"),
+            });
+        }
+        Ok(BlockSpec {
+            name,
+            area,
+            m_devices,
+            temperature_k,
+            voltage_v,
+            grid_weights,
+        })
+    }
+
+    /// The block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total normalized gate area `A_j`.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Device count `m_j`.
+    pub fn m_devices(&self) -> u64 {
+        self.m_devices
+    }
+
+    /// Block worst-case temperature (K).
+    pub fn temperature_k(&self) -> f64 {
+        self.temperature_k
+    }
+
+    /// Block supply voltage (V).
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Device distribution over correlation grids.
+    pub fn grid_weights(&self) -> &[(usize, f64)] {
+        &self.grid_weights
+    }
+
+    /// Returns a copy with a different operating temperature (used for the
+    /// temperature-unaware comparison mode).
+    pub fn with_temperature(&self, temperature_k: f64) -> Self {
+        BlockSpec {
+            temperature_k,
+            ..self.clone()
+        }
+    }
+}
+
+/// A chip specification: the set of temperature-uniform blocks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    blocks: Vec<BlockSpec>,
+}
+
+impl ChipSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        ChipSpec { blocks: Vec::new() }
+    }
+
+    /// Adds a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on duplicate block names.
+    pub fn add_block(&mut self, block: BlockSpec) -> Result<()> {
+        if self.blocks.iter().any(|b| b.name() == block.name()) {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("duplicate block name '{}'", block.name()),
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// The blocks in insertion order.
+    pub fn blocks(&self) -> &[BlockSpec] {
+        &self.blocks
+    }
+
+    /// Number of blocks `N`.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total device count `m`.
+    pub fn total_devices(&self) -> u64 {
+        self.blocks.iter().map(|b| b.m_devices()).sum()
+    }
+
+    /// Total normalized area `A`.
+    pub fn total_area(&self) -> f64 {
+        self.blocks.iter().map(|b| b.area()).sum()
+    }
+
+    /// The hottest block temperature (K) — the traditional methods'
+    /// "worst operating temperature".
+    ///
+    /// Returns `None` for an empty spec.
+    pub fn max_temperature_k(&self) -> Option<f64> {
+        self.blocks
+            .iter()
+            .map(|b| b.temperature_k())
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Returns a copy with every block at the chip's worst-case
+    /// temperature (the "temperature-unaware" comparison mode of the
+    /// paper's Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the spec is empty.
+    pub fn with_uniform_worst_temperature(&self) -> Result<Self> {
+        let worst = self
+            .max_temperature_k()
+            .ok_or_else(|| CoreError::InvalidParameter {
+                detail: "cannot take worst temperature of an empty spec".to_string(),
+            })?;
+        Ok(ChipSpec {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| b.with_temperature(worst))
+                .collect(),
+        })
+    }
+}
+
+/// A block with its derived analysis quantities.
+#[derive(Debug, Clone)]
+pub struct AnalysisBlock {
+    spec: BlockSpec,
+    /// Weibull scale `α_j` (s) at the block operating point.
+    alpha_s: f64,
+    /// Weibull thickness coefficient `b_j` (1/nm) at the block temperature.
+    b_per_nm: f64,
+    /// The block's BLOD moments.
+    moments: BlodMoments,
+}
+
+impl AnalysisBlock {
+    /// The underlying block specification.
+    pub fn spec(&self) -> &BlockSpec {
+        &self.spec
+    }
+
+    /// Weibull scale `α_j` (s).
+    pub fn alpha_s(&self) -> f64 {
+        self.alpha_s
+    }
+
+    /// Weibull thickness coefficient `b_j` (1/nm).
+    pub fn b_per_nm(&self) -> f64 {
+        self.b_per_nm
+    }
+
+    /// The BLOD moments.
+    pub fn moments(&self) -> &BlodMoments {
+        &self.moments
+    }
+}
+
+/// A chip bound to a process model and technology, with all per-block
+/// quantities precomputed — the input to every reliability engine.
+#[derive(Debug, Clone)]
+pub struct ChipAnalysis {
+    spec: ChipSpec,
+    model: ThicknessModel,
+    blocks: Vec<AnalysisBlock>,
+}
+
+impl ChipAnalysis {
+    /// Characterizes every block of `spec` against the process `model` and
+    /// `tech` (paper step 1: eqs. 22/24 + Weibull parameters).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for an empty spec,
+    /// * [`CoreError::GridMismatch`] if a block references a grid outside
+    ///   the model.
+    pub fn new<T: ObdTechnology + ?Sized>(
+        spec: ChipSpec,
+        model: ThicknessModel,
+        tech: &T,
+    ) -> Result<Self> {
+        if spec.n_blocks() == 0 {
+            return Err(CoreError::InvalidParameter {
+                detail: "chip spec has no blocks".to_string(),
+            });
+        }
+        let n_grids = model.n_grids();
+        let mut blocks = Vec::with_capacity(spec.n_blocks());
+        for b in spec.blocks() {
+            if let Some(&(g, _)) = b.grid_weights().iter().find(|&&(g, _)| g >= n_grids) {
+                return Err(CoreError::GridMismatch {
+                    detail: format!(
+                        "block '{}' references grid {g} but the model has {n_grids} grids",
+                        b.name()
+                    ),
+                });
+            }
+            let moments = BlodMoments::characterize(&model, b);
+            blocks.push(AnalysisBlock {
+                spec: b.clone(),
+                alpha_s: tech.alpha(b.temperature_k(), b.voltage_v()),
+                b_per_nm: tech.b(b.temperature_k()),
+                moments,
+            });
+        }
+        Ok(ChipAnalysis {
+            spec,
+            model,
+            blocks,
+        })
+    }
+
+    /// The chip specification.
+    pub fn spec(&self) -> &ChipSpec {
+        &self.spec
+    }
+
+    /// The process model.
+    pub fn model(&self) -> &ThicknessModel {
+        &self.model
+    }
+
+    /// The analyzed blocks.
+    pub fn blocks(&self) -> &[AnalysisBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks `N`.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statobd_device::ClosedFormTech;
+    use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+
+    fn model(n: usize) -> ThicknessModel {
+        ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(n).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build()
+            .unwrap()
+    }
+
+    fn block(name: &str, t_k: f64, grids: Vec<(usize, f64)>) -> BlockSpec {
+        BlockSpec::new(name, 10_000.0, 10_000, t_k, 1.2, grids).unwrap()
+    }
+
+    #[test]
+    fn block_spec_validation() {
+        assert!(BlockSpec::new("", 1.0, 10, 350.0, 1.2, vec![(0, 1.0)]).is_err());
+        assert!(BlockSpec::new("b", 0.0, 10, 350.0, 1.2, vec![(0, 1.0)]).is_err());
+        assert!(BlockSpec::new("b", 1.0, 1, 350.0, 1.2, vec![(0, 1.0)]).is_err());
+        assert!(BlockSpec::new("b", 1.0, 10, -1.0, 1.2, vec![(0, 1.0)]).is_err());
+        assert!(BlockSpec::new("b", 1.0, 10, 350.0, 1.2, vec![]).is_err());
+        assert!(BlockSpec::new("b", 1.0, 10, 350.0, 1.2, vec![(0, 0.5)]).is_err());
+        assert!(BlockSpec::new("b", 1.0, 10, 350.0, 1.2, vec![(0, -0.5), (1, 1.5)]).is_err());
+        assert!(BlockSpec::new("b", 1.0, 10, 350.0, 1.2, vec![(0, 0.4), (1, 0.6)]).is_ok());
+    }
+
+    #[test]
+    fn chip_spec_accounting() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("a", 350.0, vec![(0, 1.0)])).unwrap();
+        spec.add_block(block("b", 370.0, vec![(1, 1.0)])).unwrap();
+        assert_eq!(spec.n_blocks(), 2);
+        assert_eq!(spec.total_devices(), 20_000);
+        assert_eq!(spec.total_area(), 20_000.0);
+        assert_eq!(spec.max_temperature_k(), Some(370.0));
+        // Duplicate name rejected.
+        assert!(spec.add_block(block("a", 350.0, vec![(0, 1.0)])).is_err());
+    }
+
+    #[test]
+    fn worst_temperature_mode_flattens() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("a", 350.0, vec![(0, 1.0)])).unwrap();
+        spec.add_block(block("b", 370.0, vec![(1, 1.0)])).unwrap();
+        let flat = spec.with_uniform_worst_temperature().unwrap();
+        assert!(flat.blocks().iter().all(|b| b.temperature_k() == 370.0));
+        assert!(ChipSpec::new().with_uniform_worst_temperature().is_err());
+    }
+
+    #[test]
+    fn analysis_binds_technology() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("hot", 370.0, vec![(0, 1.0)])).unwrap();
+        spec.add_block(block("cool", 340.0, vec![(1, 1.0)]))
+            .unwrap();
+        let tech = ClosedFormTech::nominal_45nm();
+        let a = ChipAnalysis::new(spec, model(3), &tech).unwrap();
+        assert_eq!(a.n_blocks(), 2);
+        // Hotter block has shorter characteristic life and smaller b.
+        assert!(a.blocks()[0].alpha_s() < a.blocks()[1].alpha_s());
+        assert!(a.blocks()[0].b_per_nm() < a.blocks()[1].b_per_nm());
+    }
+
+    #[test]
+    fn analysis_rejects_bad_grid_reference() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("a", 350.0, vec![(99, 1.0)])).unwrap();
+        let tech = ClosedFormTech::nominal_45nm();
+        assert!(matches!(
+            ChipAnalysis::new(spec, model(3), &tech),
+            Err(CoreError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn analysis_rejects_empty_spec() {
+        let tech = ClosedFormTech::nominal_45nm();
+        assert!(ChipAnalysis::new(ChipSpec::new(), model(2), &tech).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_spec() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("a", 350.0, vec![(0, 0.25), (1, 0.75)]))
+            .unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ChipSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,401 @@
+//! The hybrid analytical/table-lookup engine (paper Sec. IV-E).
+//!
+//! Designers re-evaluate the same design under many setup/application
+//! profiles; different profiles change only the per-block Weibull
+//! parameters `(α_j, b_j)`. Since the double integral of eq. (28) depends
+//! on the operating point only through `γ = ln(t/α_j)` and `b_j`, each
+//! block's integral can be precomputed once on a `(γ, b)` grid and then
+//! evaluated for *any* profile by bilinear interpolation — the paper
+//! reports three to five orders of magnitude speed-up over Monte Carlo at
+//! near-identical accuracy.
+//!
+//! Tables store `ln P_j` (failure probabilities span many decades, and the
+//! logarithm is nearly linear in `γ`, which is exactly what bilinear
+//! interpolation wants). Tables serialize with `serde` so they can be
+//! shipped into a runtime reliability monitor.
+
+use crate::chip::ChipAnalysis;
+use crate::engines::st_fast::{BlockQuadrature, StFastConfig};
+use crate::engines::ReliabilityEngine;
+use crate::gfun::GCoefficients;
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use statobd_num::interp::Bilinear;
+
+/// Floor applied before taking logs of probabilities.
+const LN_P_FLOOR: f64 = -700.0;
+
+/// Configuration of the hybrid table construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Range of `γ = ln(t/α)` covered by the tables.
+    pub gamma_range: (f64, f64),
+    /// Range of `b` (1/nm) covered by the tables.
+    pub b_range: (f64, f64),
+    /// Number of `γ` samples (`n_α` in the paper; default 100).
+    pub n_gamma: usize,
+    /// Number of `b` samples (`n_b` in the paper; default 100).
+    pub n_b: usize,
+    /// Quadrature settings used to fill the table entries.
+    pub quadrature_l0: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            // ln(t/α) from −30 (P astronomically small) to 0 (t = α).
+            gamma_range: (-30.0, 0.0),
+            // b range covering 300–430 K for the 45 nm-class model.
+            b_range: (0.74, 0.86),
+            n_gamma: 100,
+            n_b: 100,
+            quadrature_l0: crate::params::DEFAULT_L0,
+        }
+    }
+}
+
+/// One block's lookup table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BlockTable {
+    /// Bilinear interpolant of `ln P_j` over `(γ, b)`.
+    ln_p: BilinearData,
+    /// The block's current Weibull scale `α_j` (s).
+    alpha_s: f64,
+    /// The block's current `b_j` (1/nm).
+    b_per_nm: f64,
+}
+
+/// Serializable backing for [`Bilinear`] (axes + row-major values).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BilinearData {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl BilinearData {
+    fn to_interp(&self) -> Result<Bilinear> {
+        Bilinear::new(self.xs.clone(), self.ys.clone(), self.values.clone())
+            .map_err(CoreError::from)
+    }
+}
+
+/// The hybrid analytical/table-lookup engine (`hybrid` in Table III).
+#[derive(Debug)]
+pub struct HybridTables {
+    tables: Vec<BlockTable>,
+    interps: Vec<Bilinear>,
+    config: HybridConfig,
+}
+
+impl HybridTables {
+    /// Precomputes the per-block `(γ, b)` tables (the expensive step,
+    /// performed once per design).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for degenerate ranges or
+    /// sample counts, and propagates quadrature failures.
+    pub fn build(analysis: &ChipAnalysis, config: HybridConfig) -> Result<Self> {
+        let (g0, g1) = config.gamma_range;
+        let (b0, b1) = config.b_range;
+        if !(g0 < g1) || !(b0 < b1) || config.n_gamma < 2 || config.n_b < 2 {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("invalid hybrid config: {config:?}"),
+            });
+        }
+        let quad = StFastConfig {
+            l0: config.quadrature_l0,
+            ..StFastConfig::default()
+        };
+        let gammas: Vec<f64> = (0..config.n_gamma)
+            .map(|i| g0 + (g1 - g0) * i as f64 / (config.n_gamma - 1) as f64)
+            .collect();
+        let bs: Vec<f64> = (0..config.n_b)
+            .map(|i| b0 + (b1 - b0) * i as f64 / (config.n_b - 1) as f64)
+            .collect();
+
+        let mut tables = Vec::with_capacity(analysis.n_blocks());
+        let mut interps = Vec::with_capacity(analysis.n_blocks());
+        for block in analysis.blocks() {
+            let quadrature = BlockQuadrature::new(block.moments(), &quad)?;
+            let mut values = Vec::with_capacity(gammas.len() * bs.len());
+            for &gamma in &gammas {
+                for &b in &bs {
+                    let gb = gamma * b;
+                    let coeff = GCoefficients {
+                        s1: gb,
+                        s2: 0.5 * gb * gb,
+                    };
+                    let p = quadrature.integrate(block.spec().area(), coeff);
+                    values.push(p.max(f64::MIN_POSITIVE).ln().max(LN_P_FLOOR));
+                }
+            }
+            let data = BilinearData {
+                xs: gammas.clone(),
+                ys: bs.clone(),
+                values,
+            };
+            interps.push(data.to_interp()?);
+            tables.push(BlockTable {
+                ln_p: data,
+                alpha_s: block.alpha_s(),
+                b_per_nm: block.b_per_nm(),
+            });
+        }
+        Ok(HybridTables {
+            tables,
+            interps,
+            config,
+        })
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Number of block tables.
+    pub fn n_blocks(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Updates block `block_idx`'s operating parameters `(α, b)` — the
+    /// "different setup/application profiles" use-case: no re-integration
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an out-of-range index
+    /// or non-positive parameters.
+    pub fn set_operating_point(
+        &mut self,
+        block_idx: usize,
+        alpha_s: f64,
+        b_per_nm: f64,
+    ) -> Result<()> {
+        if block_idx >= self.tables.len() {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("block index {block_idx} out of range"),
+            });
+        }
+        if !(alpha_s > 0.0) || !(b_per_nm > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("operating point must be positive, got ({alpha_s}, {b_per_nm})"),
+            });
+        }
+        self.tables[block_idx].alpha_s = alpha_s;
+        self.tables[block_idx].b_per_nm = b_per_nm;
+        Ok(())
+    }
+
+    /// Per-block failure probability by bilinear interpolation in
+    /// `(γ, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_idx` is out of range.
+    pub fn block_failure_probability(&self, block_idx: usize, t_s: f64) -> f64 {
+        let table = &self.tables[block_idx];
+        let gamma = (t_s / table.alpha_s).ln();
+        let ln_p = self.interps[block_idx].eval(gamma, table.b_per_nm);
+        ln_p.exp().min(1.0)
+    }
+
+    /// Serializes the tables to JSON (for embedding in a reliability
+    /// monitor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on serialization failure
+    /// (does not occur for well-formed tables).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(&SerializedTables {
+            tables: self.tables.clone(),
+            config: self.config,
+        })
+        .map_err(|e| CoreError::InvalidParameter {
+            detail: format!("serialization failed: {e}"),
+        })
+    }
+
+    /// Restores tables from [`HybridTables::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let s: SerializedTables =
+            serde_json::from_str(json).map_err(|e| CoreError::InvalidParameter {
+                detail: format!("deserialization failed: {e}"),
+            })?;
+        let interps = s
+            .tables
+            .iter()
+            .map(|t| t.ln_p.to_interp())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(HybridTables {
+            tables: s.tables,
+            interps,
+            config: s.config,
+        })
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SerializedTables {
+    tables: Vec<BlockTable>,
+    config: HybridConfig,
+}
+
+impl ReliabilityEngine for HybridTables {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
+        let mut total = 0.0;
+        for j in 0..self.tables.len() {
+            total += self.block_failure_probability(j, t_s);
+        }
+        Ok(total.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{BlockSpec, ChipSpec};
+    use crate::engines::st_fast::StFast;
+    use statobd_device::{ClosedFormTech, ObdTechnology};
+    use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+
+    fn analysis() -> ChipAnalysis {
+        let model = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(5).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build()
+            .unwrap();
+        let mut spec = ChipSpec::new();
+        spec.add_block(
+            BlockSpec::new(
+                "core",
+                40_000.0,
+                40_000,
+                368.15,
+                1.2,
+                vec![(0, 0.5), (6, 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        spec.add_block(
+            BlockSpec::new("cache", 60_000.0, 60_000, 341.15, 1.2, vec![(12, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        ChipAnalysis::new(spec, model, &ClosedFormTech::nominal_45nm()).unwrap()
+    }
+
+    #[test]
+    fn hybrid_matches_st_fast_percent_level() {
+        let a = analysis();
+        let mut hybrid = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        let mut fast = StFast::new(&a, StFastConfig::default());
+        for &t in &[1e8, 1e9, 5e9] {
+            let ph = hybrid.failure_probability(t).unwrap();
+            let pf = fast.failure_probability(t).unwrap();
+            let rel = ((ph - pf) / pf).abs();
+            assert!(
+                rel < 0.05,
+                "hybrid {ph:.4e} vs st_fast {pf:.4e} at {t:e} (rel {rel:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn query_is_fast_relative_to_build() {
+        let a = analysis();
+        let build_start = std::time::Instant::now();
+        let mut hybrid = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        let build_time = build_start.elapsed();
+        let queries = 1000;
+        let q_start = std::time::Instant::now();
+        for i in 0..queries {
+            let t = 1e8 * (1.0 + i as f64);
+            let _ = hybrid.failure_probability(t).unwrap();
+        }
+        let per_query = q_start.elapsed() / queries;
+        // A query must be at least 100x cheaper than the build.
+        assert!(
+            per_query.as_secs_f64() * 100.0 < build_time.as_secs_f64(),
+            "per-query {per_query:?} vs build {build_time:?}"
+        );
+    }
+
+    #[test]
+    fn operating_point_update_tracks_new_temperature() {
+        let a = analysis();
+        let mut hybrid = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        let t = 1e9;
+        let p_before = hybrid.failure_probability(t).unwrap();
+        // Heat block 1 (the cache) to the core temperature: reliability
+        // must get worse without rebuilding.
+        let tech = ClosedFormTech::nominal_45nm();
+        hybrid
+            .set_operating_point(1, tech.alpha(368.15, 1.2), tech.b(368.15))
+            .unwrap();
+        let p_after = hybrid.failure_probability(t).unwrap();
+        assert!(p_after > p_before);
+        // And it should now match a fresh st_fast on the hotter spec.
+        let model = a.model().clone();
+        let hot_spec = a.spec().with_uniform_worst_temperature().unwrap();
+        let hot = ChipAnalysis::new(hot_spec, model, &tech).unwrap();
+        let pf = StFast::new(&hot, StFastConfig::default())
+            .block_failure_probability(1, t)
+            .unwrap()
+            + StFast::new(&hot, StFastConfig::default())
+                .block_failure_probability(0, t)
+                .unwrap();
+        let rel = ((p_after - pf) / pf).abs();
+        assert!(rel < 0.05, "updated hybrid {p_after:.4e} vs {pf:.4e}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_results() {
+        let a = analysis();
+        let mut hybrid = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        let json = hybrid.to_json().unwrap();
+        let mut restored = HybridTables::from_json(&json).unwrap();
+        for &t in &[1e8, 1e9] {
+            let a = hybrid.failure_probability(t).unwrap();
+            let b = restored.failure_probability(t).unwrap();
+            assert!(((a - b) / a).abs() < 1e-12, "{a:e} vs {b:e}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config_and_indices() {
+        let a = analysis();
+        assert!(HybridTables::build(
+            &a,
+            HybridConfig {
+                gamma_range: (0.0, -1.0),
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(HybridTables::build(
+            &a,
+            HybridConfig {
+                n_gamma: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let mut h = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        assert!(h.set_operating_point(99, 1e16, 0.6).is_err());
+        assert!(h.set_operating_point(0, -1.0, 0.6).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! The reliability engines: different evaluators of the ensemble chip
+//! failure probability `P(t) = 1 − R_c(t)`.
+
+pub mod guard;
+pub mod hybrid;
+pub mod monte_carlo;
+pub mod st_closed;
+pub mod st_fast;
+pub mod st_mc;
+
+use crate::Result;
+
+/// A chip-level reliability evaluator.
+///
+/// Engines expose the *failure probability* `P(t) = 1 − R_c(t)` rather
+/// than `R_c(t)` because the quantities of interest (1- and 10-per-million
+/// criteria) live at the `10⁻⁶` scale where `R` itself has no usable
+/// precision.
+///
+/// `&mut self` allows engines to cache (the hybrid engine's tables, the
+/// Monte-Carlo engine's chip samples).
+pub trait ReliabilityEngine {
+    /// A short identifier (`"st_fast"`, `"st_MC"`, `"hybrid"`, `"guard"`,
+    /// `"MC"`, ...) matching the paper's method abbreviations.
+    fn name(&self) -> &str;
+
+    /// The ensemble failure probability at time `t_s` (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific numerical failures.
+    fn failure_probability(&mut self, t_s: f64) -> Result<f64>;
+}

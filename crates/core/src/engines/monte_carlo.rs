@@ -1,0 +1,626 @@
+//! The reference per-device Monte-Carlo engine (paper's `MC` column).
+//!
+//! For each sample chip the full thickness field is drawn: one correlated
+//! base value per grid (principal components) plus an independent residual
+//! per *device*. Devices are binned into a fine per-block thickness
+//! histogram, so the conditional chip reliability
+//!
+//! ```text
+//! R_chip(t) = exp(−Σ_j (A_j/m_j) Σ_devices (t/α_j)^{b_j·x_i})
+//! ```
+//!
+//! is evaluated exactly (up to binning at ~10⁻⁴ nm resolution) at any `t`
+//! without re-simulation, and the ensemble failure probability is the
+//! average over chips. Chip sampling is embarrassingly parallel and fans
+//! out across threads with `crossbeam`.
+
+use crate::blod::uv_from_grid_base;
+use crate::chip::ChipAnalysis;
+use crate::engines::ReliabilityEngine;
+use crate::{CoreError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statobd_num::rng::NormalSampler;
+
+/// Configuration of the Monte-Carlo reference engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of sample chips (the paper uses 1000 for Table III).
+    pub n_chips: usize,
+    /// Thickness histogram bins per block.
+    pub bins: usize,
+    /// RNG seed; chip `i` derives its stream from `seed` and `i`, so
+    /// results are independent of the thread count.
+    pub seed: u64,
+    /// Worker threads (`None` = all available cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            n_chips: 1000,
+            bins: 400,
+            seed: 0xC0FFEE,
+            threads: None,
+        }
+    }
+}
+
+/// Per-block device allocation across grids.
+#[derive(Debug, Clone)]
+struct BlockAllocation {
+    /// `(grid, device count)` with counts summing to `m_j`.
+    per_grid: Vec<(usize, u64)>,
+    /// Histogram axis start (nm).
+    x_lo: f64,
+    /// Histogram bin width (nm).
+    bin_w: f64,
+}
+
+/// The Monte-Carlo reference engine (`MC` in Table III).
+#[derive(Debug)]
+pub struct MonteCarlo<'a> {
+    analysis: &'a ChipAnalysis,
+    config: MonteCarloConfig,
+    allocations: Vec<BlockAllocation>,
+    /// Device-count histograms, laid out `[chip][block][bin]`.
+    counts: Vec<u32>,
+    /// Exact per-chip-block `(u, v)` pairs (kept for validation studies).
+    uv: Vec<(f64, f64)>,
+    /// Wall-clock seconds spent sampling chips.
+    build_seconds: f64,
+}
+
+impl<'a> MonteCarlo<'a> {
+    /// Samples `config.n_chips` chips of the analyzed design (the
+    /// expensive step — per-device work, parallelized over chips).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a degenerate
+    /// configuration.
+    pub fn build(analysis: &'a ChipAnalysis, config: MonteCarloConfig) -> Result<Self> {
+        if config.n_chips == 0 || config.bins < 8 {
+            return Err(CoreError::InvalidParameter {
+                detail: format!(
+                    "MC needs n_chips > 0 and bins >= 8, got {} and {}",
+                    config.n_chips, config.bins
+                ),
+            });
+        }
+        let model = analysis.model();
+        let sigma_ind = model.sigma_ind();
+
+        // Precompute per-block device allocations and histogram axes.
+        let mut allocations = Vec::with_capacity(analysis.n_blocks());
+        for block in analysis.blocks() {
+            let spec = block.spec();
+            let m = spec.m_devices();
+            // Largest-remainder apportionment of devices to grids.
+            let mut per_grid: Vec<(usize, u64, f64)> = spec
+                .grid_weights()
+                .iter()
+                .map(|&(g, w)| {
+                    let exact = w * m as f64;
+                    (g, exact.floor() as u64, exact.fract())
+                })
+                .collect();
+            let assigned: u64 = per_grid.iter().map(|&(_, c, _)| c).sum();
+            let mut remainder = m - assigned;
+            per_grid.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite fractions"));
+            for entry in per_grid.iter_mut() {
+                if remainder == 0 {
+                    break;
+                }
+                entry.1 += 1;
+                remainder -= 1;
+            }
+            let per_grid: Vec<(usize, u64)> = per_grid
+                .into_iter()
+                .filter(|&(_, c, _)| c > 0)
+                .map(|(g, c, _)| (g, c))
+                .collect();
+
+            // Axis: nominal range ± (6σ_corr + 6σ_ind) with headroom.
+            let u0 = block.moments().u_nominal();
+            let spread = 6.0 * block.moments().u_sigma()
+                + 6.0 * sigma_ind
+                + 3.0 * block.moments().q_trace().sqrt();
+            let x_lo = u0 - spread;
+            let bin_w = 2.0 * spread / config.bins as f64;
+            allocations.push(BlockAllocation {
+                per_grid,
+                x_lo,
+                bin_w,
+            });
+        }
+
+        let n_blocks = analysis.n_blocks();
+        let stride_chip = n_blocks * config.bins;
+        let mut counts = vec![0u32; config.n_chips * stride_chip];
+        let mut uv = vec![(0.0, 0.0); config.n_chips * n_blocks];
+
+        let threads = config
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let chunk_chips = config.n_chips.div_ceil(threads);
+
+        let start = std::time::Instant::now();
+        crossbeam::thread::scope(|scope| {
+            let allocations = &allocations;
+            for (chunk_idx, (count_chunk, uv_chunk)) in counts
+                .chunks_mut(chunk_chips * stride_chip)
+                .zip(uv.chunks_mut(chunk_chips * n_blocks))
+                .enumerate()
+            {
+                let first_chip = chunk_idx * chunk_chips;
+                scope.spawn(move |_| {
+                    let n_pc = model.n_components();
+                    let mut z = vec![0.0; n_pc];
+                    let chips_here = count_chunk.len() / stride_chip;
+                    for local in 0..chips_here {
+                        let chip = first_chip + local;
+                        // Per-chip deterministic stream (SplitMix-style mix);
+                        // a fresh sampler per chip keeps results independent
+                        // of the thread partitioning.
+                        let mut normal = NormalSampler::new();
+                        let chip_seed = config
+                            .seed
+                            .wrapping_add((chip as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut rng = StdRng::seed_from_u64(chip_seed);
+                        normal.fill(&mut rng, &mut z);
+                        let base = model.grid_base(&z);
+                        let chip_counts =
+                            &mut count_chunk[local * stride_chip..(local + 1) * stride_chip];
+                        for (j, (block, alloc)) in
+                            analysis.blocks().iter().zip(allocations.iter()).enumerate()
+                        {
+                            let bins = &mut chip_counts[j * config.bins..(j + 1) * config.bins];
+                            let inv_w = 1.0 / alloc.bin_w;
+                            for &(g, m_g) in &alloc.per_grid {
+                                let b0 = base[g];
+                                for _ in 0..m_g {
+                                    let x = b0 + sigma_ind * normal.sample(&mut rng);
+                                    let idx = ((x - alloc.x_lo) * inv_w) as isize;
+                                    let idx = idx.clamp(0, config.bins as isize - 1) as usize;
+                                    bins[idx] += 1;
+                                }
+                            }
+                            uv_chunk[local * n_blocks + j] =
+                                uv_from_grid_base(block.spec().grid_weights(), &base, sigma_ind);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let build_seconds = start.elapsed().as_secs_f64();
+
+        Ok(MonteCarlo {
+            analysis,
+            config,
+            allocations,
+            counts,
+            uv,
+            build_seconds,
+        })
+    }
+
+    /// Seconds spent in the chip-sampling phase.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    /// Number of sampled chips.
+    pub fn n_chips(&self) -> usize {
+        self.config.n_chips
+    }
+
+    /// The exact `(u_j, v_j)` of block `block_idx` on chip `chip_idx`
+    /// (used by validation experiments such as the paper's Figs. 5–7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn chip_block_uv(&self, chip_idx: usize, block_idx: usize) -> (f64, f64) {
+        let n_blocks = self.analysis.n_blocks();
+        assert!(chip_idx < self.config.n_chips && block_idx < n_blocks);
+        self.uv[chip_idx * n_blocks + block_idx]
+    }
+
+    /// Per-chip cumulative hazards `H_chip(t) = Σ_j (A_j/m_j) Σ_i
+    /// (t/α_j)^{b_j x_i}` for every sampled chip.
+    pub fn per_chip_hazard(&self, t_s: f64) -> Vec<f64> {
+        let weights = self.bin_weights(t_s);
+        let n_blocks = self.analysis.n_blocks();
+        let bins = self.config.bins;
+        let stride_chip = n_blocks * bins;
+        (0..self.config.n_chips)
+            .map(|chip| {
+                let chip_counts = &self.counts[chip * stride_chip..(chip + 1) * stride_chip];
+                let mut hazard = 0.0;
+                for j in 0..n_blocks {
+                    let w = &weights[j * bins..(j + 1) * bins];
+                    let c = &chip_counts[j * bins..(j + 1) * bins];
+                    let mut acc = 0.0;
+                    for (wi, ci) in w.iter().zip(c) {
+                        if *ci != 0 {
+                            acc += wi * *ci as f64;
+                        }
+                    }
+                    hazard += acc;
+                }
+                hazard
+            })
+            .collect()
+    }
+
+    /// Per-chip conditional failure probabilities `1 − R_chip(t)` for
+    /// every sampled chip (the lifetime-distribution view of Fig. 10).
+    pub fn per_chip_failure(&self, t_s: f64) -> Vec<f64> {
+        self.per_chip_hazard(t_s)
+            .into_iter()
+            .map(|h| -(-h).exp_m1())
+            .collect()
+    }
+
+    /// Ensemble probability that at least `k` breakdowns occur by `t` —
+    /// the multi-breakdown (SBD-tolerant design) extension: breakdowns
+    /// arrive as a Poisson process with the chip's cumulative hazard as
+    /// its mean, so `P(N ≥ k) = P_gamma(k, H_chip)` averaged over chips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `k == 0`.
+    pub fn failure_probability_multi(&self, t_s: f64, k: u32) -> Result<f64> {
+        if k == 0 {
+            return Err(CoreError::InvalidParameter {
+                detail: "breakdown count k must be at least 1".to_string(),
+            });
+        }
+        let hazards = self.per_chip_hazard(t_s);
+        let mut acc = 0.0;
+        for h in &hazards {
+            acc += if k == 1 {
+                -(-h).exp_m1()
+            } else {
+                statobd_num::special::gamma_p(k as f64, *h)?
+            };
+        }
+        Ok(acc / hazards.len() as f64)
+    }
+
+    /// Samples one failure time of chip `chip_idx` by inverse transform:
+    /// given the chip's thicknesses, `T` satisfies `H_chip(T) = E` with
+    /// `E ~ Exp(1)` — solved by bisection on `ln t`. This is the "simulate
+    /// the failure time of N sample chips" view behind the paper's
+    /// Fig. 10 lifetime distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_idx` is out of range.
+    pub fn sample_failure_time<R: rand::Rng + ?Sized>(&self, chip_idx: usize, rng: &mut R) -> f64 {
+        assert!(chip_idx < self.config.n_chips, "chip index out of range");
+        let e = statobd_num::rng::sample_exp1(rng);
+        // Bracket in log-time.
+        let hazard_at = |t: f64| -> f64 {
+            let weights = self.bin_weights(t);
+            let n_blocks = self.analysis.n_blocks();
+            let bins = self.config.bins;
+            let stride_chip = n_blocks * bins;
+            let chip_counts = &self.counts[chip_idx * stride_chip..(chip_idx + 1) * stride_chip];
+            let mut hazard = 0.0;
+            for j in 0..n_blocks {
+                let w = &weights[j * bins..(j + 1) * bins];
+                let c = &chip_counts[j * bins..(j + 1) * bins];
+                for (wi, ci) in w.iter().zip(c) {
+                    if *ci != 0 {
+                        hazard += wi * *ci as f64;
+                    }
+                }
+            }
+            hazard
+        };
+        let (mut lo, mut hi) = (1e2_f64, 1e14_f64);
+        while hazard_at(lo) > e {
+            lo /= 16.0;
+        }
+        while hazard_at(hi) < e {
+            hi *= 16.0;
+        }
+        let (mut ln_lo, mut ln_hi) = (lo.ln(), hi.ln());
+        for _ in 0..80 {
+            let mid = 0.5 * (ln_lo + ln_hi);
+            if hazard_at(mid.exp()) < e {
+                ln_lo = mid;
+            } else {
+                ln_hi = mid;
+            }
+            if ln_hi - ln_lo < 1e-9 {
+                break;
+            }
+        }
+        (0.5 * (ln_lo + ln_hi)).exp()
+    }
+
+    /// Per-block per-bin hazard weights `(A_j/m_j)·exp(γ_j·b_j·x_bin)`.
+    fn bin_weights(&self, t_s: f64) -> Vec<f64> {
+        let bins = self.config.bins;
+        let mut weights = vec![0.0; self.analysis.n_blocks() * bins];
+        for (j, (block, alloc)) in self
+            .analysis
+            .blocks()
+            .iter()
+            .zip(self.allocations.iter())
+            .enumerate()
+        {
+            let gamma = (t_s / block.alpha_s()).ln();
+            let gb = gamma * block.b_per_nm();
+            let area_per_device = block.spec().area() / block.spec().m_devices() as f64;
+            for k in 0..bins {
+                let x = alloc.x_lo + (k as f64 + 0.5) * alloc.bin_w;
+                weights[j * bins + k] = area_per_device * (gb * x).exp();
+            }
+        }
+        weights
+    }
+}
+
+impl ReliabilityEngine for MonteCarlo<'_> {
+    fn name(&self) -> &str {
+        "MC"
+    }
+
+    fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
+        let per_chip = self.per_chip_failure(t_s);
+        Ok(per_chip.iter().sum::<f64>() / per_chip.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{BlockSpec, ChipSpec};
+    use crate::engines::st_fast::{StFast, StFastConfig};
+    use statobd_device::ClosedFormTech;
+    use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+
+    fn analysis(devices: u64) -> ChipAnalysis {
+        let model = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(5).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build()
+            .unwrap();
+        let mut spec = ChipSpec::new();
+        spec.add_block(
+            BlockSpec::new(
+                "core",
+                devices as f64 * 0.4,
+                (devices as f64 * 0.4) as u64,
+                368.15,
+                1.2,
+                vec![(0, 0.5), (6, 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        spec.add_block(
+            BlockSpec::new(
+                "cache",
+                devices as f64 * 0.6,
+                (devices as f64 * 0.6) as u64,
+                341.15,
+                1.2,
+                vec![(12, 0.7), (13, 0.3)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        ChipAnalysis::new(spec, model, &ClosedFormTech::nominal_45nm()).unwrap()
+    }
+
+    #[test]
+    fn mc_agrees_with_st_fast() {
+        // The paper's central result: st_fast within ~1-2 % of MC.
+        let a = analysis(50_000);
+        let mut mc = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 600,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut fast = StFast::new(
+            &a,
+            StFastConfig {
+                l0: 50,
+                ..Default::default()
+            },
+        );
+        for &t in &[3e8, 1e9] {
+            let pm = mc.failure_probability(t).unwrap();
+            let pf = fast.failure_probability(t).unwrap();
+            let rel = ((pm - pf) / pf).abs();
+            assert!(
+                rel < 0.12,
+                "MC {pm:.4e} vs st_fast {pf:.4e} at t={t:e} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let a = analysis(5_000);
+        let base = MonteCarloConfig {
+            n_chips: 50,
+            threads: Some(1),
+            ..Default::default()
+        };
+        let mut one = MonteCarlo::build(&a, base).unwrap();
+        let mut four = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                threads: Some(4),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            one.failure_probability(1e9).unwrap(),
+            four.failure_probability(1e9).unwrap()
+        );
+    }
+
+    #[test]
+    fn per_chip_failure_bounds_and_mean() {
+        let a = analysis(5_000);
+        let mut mc = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t = 1e9;
+        let per_chip = mc.per_chip_failure(t);
+        assert_eq!(per_chip.len(), 100);
+        assert!(per_chip.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let mean: f64 = per_chip.iter().sum::<f64>() / 100.0;
+        assert!((mean - mc.failure_probability(t).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chip_uv_matches_blod_statistics() {
+        // Across chips, the sampled (u, v) must match the analytic BLOD
+        // moments — tying the MC reference back to eqs. 22/24.
+        let a = analysis(20_000);
+        let mc = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 4000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut u_stats = statobd_num::stats::OnlineStats::new();
+        let mut v_stats = statobd_num::stats::OnlineStats::new();
+        for chip in 0..4000 {
+            let (u, v) = mc.chip_block_uv(chip, 0);
+            u_stats.push(u);
+            v_stats.push(v);
+        }
+        let m = a.blocks()[0].moments();
+        assert!((u_stats.mean() - m.u_nominal()).abs() < 3e-3 * m.u_nominal());
+        assert!((u_stats.std_dev() - m.u_sigma()).abs() < 0.05 * m.u_sigma());
+        let v_expected = m.v_floor() + m.q_trace();
+        assert!(
+            (v_stats.mean() - v_expected).abs() < 0.05 * v_expected,
+            "v mean {} vs {}",
+            v_stats.mean(),
+            v_expected
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let a = analysis(5_000);
+        assert!(MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                bins: 4,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sampled_failure_times_match_the_reliability_curve() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let a = analysis(5_000);
+        let mut mc = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Median of sampled failure times across chips should match the
+        // t where P(t) = 0.5.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut times: Vec<f64> = (0..60)
+            .flat_map(|chip| {
+                (0..20)
+                    .map(|_| mc.sample_failure_time(chip, &mut rng))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        times.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = times[times.len() / 2];
+        let t_half = crate::lifetime::solve_lifetime(&mut mc, 0.5, (1e6, 1e12)).unwrap();
+        let rel = ((median - t_half) / t_half).abs();
+        assert!(rel < 0.25, "median {median:e} vs P=0.5 time {t_half:e}");
+    }
+
+    #[test]
+    fn multi_breakdown_consistency() {
+        let a = analysis(5_000);
+        let mut mc = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t = 1e10;
+        // k = 1 equals the engine probability exactly (same hazards).
+        let p1 = mc.failure_probability_multi(t, 1).unwrap();
+        let p_engine = mc.failure_probability(t).unwrap();
+        assert!((p1 - p_engine).abs() < 1e-15);
+        // Decreasing in k, and a 2-SBD-tolerant design lives longer.
+        let p2 = mc.failure_probability_multi(t, 2).unwrap();
+        assert!(p2 < p1);
+        assert!(mc.failure_probability_multi(t, 0).is_err());
+    }
+
+    #[test]
+    fn failure_probability_is_monotone() {
+        let a = analysis(5_000);
+        let mut mc = MonteCarlo::build(
+            &a,
+            MonteCarloConfig {
+                n_chips: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut prev = 0.0;
+        for i in 0..8 {
+            let t = 10f64.powf(7.0 + i as f64);
+            let p = mc.failure_probability(t).unwrap();
+            assert!(p >= prev - 1e-15);
+            prev = p;
+        }
+    }
+}

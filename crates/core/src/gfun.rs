@@ -1,0 +1,139 @@
+//! The closed-form conditional reliability kernel (paper eq. 17).
+//!
+//! For a block at time `t` with Weibull parameters `(α, b)`, define
+//! `γ = ln(t/α)`. The BLOD-integrated hazard of the block is
+//!
+//! ```text
+//! g(u, v) = exp( γ·b·u + γ²·b²·v/2 )                    (eq. 17)
+//! ```
+//!
+//! and the block's conditional failure probability is
+//! `1 − exp(−A·g) = −expm1(−A·g)` — evaluated with `expm1` so the
+//! 10⁻⁶-scale probabilities the lifetime criteria require survive f64
+//! cancellation (see DESIGN.md).
+
+/// Time-dependent coefficients of the `g` kernel for one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GCoefficients {
+    /// `s₁ = γ·b` — the coefficient of `u`.
+    pub s1: f64,
+    /// `s₂ = γ²·b²/2` — the coefficient of `v`.
+    pub s2: f64,
+}
+
+impl GCoefficients {
+    /// Computes the coefficients for time `t_s` and block parameters
+    /// `(alpha_s, b_per_nm)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for non-positive `t_s` or `alpha_s`.
+    pub fn at(t_s: f64, alpha_s: f64, b_per_nm: f64) -> Self {
+        debug_assert!(t_s > 0.0 && alpha_s > 0.0, "invalid time or alpha");
+        let gamma = (t_s / alpha_s).ln();
+        let gb = gamma * b_per_nm;
+        GCoefficients {
+            s1: gb,
+            s2: 0.5 * gb * gb,
+        }
+    }
+
+    /// Evaluates `g(u, v) = exp(s₁·u + s₂·v)`.
+    pub fn g(&self, u: f64, v: f64) -> f64 {
+        (self.s1 * u + self.s2 * v).exp()
+    }
+
+    /// Evaluates `ln g(u, v)`.
+    pub fn ln_g(&self, u: f64, v: f64) -> f64 {
+        self.s1 * u + self.s2 * v
+    }
+}
+
+/// `g(u, v)` for time `t` and block parameters `(α, b)` — paper eq. 17.
+///
+/// # Example
+///
+/// ```
+/// use statobd_core::g_function;
+///
+/// // At t = α the kernel is exp(0) = 1 regardless of (u, v).
+/// let g = g_function(1.0e16, 1.0e16, 0.65, 2.2, 0.001);
+/// assert!((g - 1.0).abs() < 1e-12);
+/// ```
+pub fn g_function(t_s: f64, alpha_s: f64, b_per_nm: f64, u: f64, v: f64) -> f64 {
+    GCoefficients::at(t_s, alpha_s, b_per_nm).g(u, v)
+}
+
+/// Conditional block failure probability `1 − exp(−A·g)`, evaluated
+/// cancellation-free.
+pub fn conditional_block_failure(area: f64, g: f64) -> f64 {
+    -(-area * g).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statobd_num::quad::{integrate_1d, QuadRule};
+    use statobd_num::special::norm_pdf;
+
+    #[test]
+    fn g_matches_gaussian_integral_identity() {
+        // Eq. 17 is the Gaussian MGF identity:
+        //   ∫ φ((x−u)/√v)/√v (t/α)^{bx} dx = e^{γbu + γ²b²v/2}.
+        // Verify numerically.
+        let (t, alpha, b) = (1e12_f64, 1e16_f64, 0.65);
+        let (u, v) = (2.2_f64, 0.0009_f64);
+        let gamma = (t / alpha).ln();
+        let sd = v.sqrt();
+        let numeric = integrate_1d(
+            QuadRule::GaussLegendre,
+            200,
+            u - 12.0 * sd,
+            u + 12.0 * sd,
+            |x| norm_pdf((x - u) / sd) / sd * (gamma * b * x).exp(),
+        )
+        .unwrap();
+        let closed = g_function(t, alpha, b, u, v);
+        assert!(
+            ((numeric - closed) / closed).abs() < 1e-9,
+            "numeric {numeric} vs closed {closed}"
+        );
+    }
+
+    #[test]
+    fn g_decreases_with_thickness_before_alpha() {
+        // For t < α (γ < 0), thicker mean oxide → smaller g → more
+        // reliable.
+        let c = GCoefficients::at(1e10, 1e16, 0.65);
+        assert!(c.s1 < 0.0);
+        assert!(c.g(2.3, 1e-4) < c.g(2.1, 1e-4));
+    }
+
+    #[test]
+    fn g_increases_with_blod_variance() {
+        // s₂ ≥ 0 always: within-block spread always hurts reliability.
+        let c = GCoefficients::at(1e10, 1e16, 0.65);
+        assert!(c.s2 > 0.0);
+        assert!(c.g(2.2, 2e-3) > c.g(2.2, 1e-3));
+    }
+
+    #[test]
+    fn conditional_failure_small_probability_accuracy() {
+        // For A·g = 1e-9 the naive 1 − exp(−x) loses 7 digits; expm1 keeps
+        // full precision.
+        let p = conditional_block_failure(1e5, 1e-14);
+        assert!((p - 1e-9).abs() / 1e-9 < 1e-9);
+    }
+
+    #[test]
+    fn conditional_failure_saturates_at_one() {
+        assert!((conditional_block_failure(1e5, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_g_consistency() {
+        let c = GCoefficients::at(3e9, 2e16, 0.6);
+        let (u, v) = (2.25, 5e-4);
+        assert!((c.ln_g(u, v).exp() - c.g(u, v)).abs() < 1e-12 * c.g(u, v));
+    }
+}

@@ -1,0 +1,58 @@
+//! The experiment parameters of the paper's Table II.
+
+/// Nominal oxide thickness `z₀` (nm).
+pub const NOMINAL_THICKNESS_NM: f64 = 2.2;
+
+/// Nominal supply voltage `VDD_nom` (V).
+pub const NOMINAL_VDD_V: f64 = 1.2;
+
+/// Total variation as `3σ_tot / z₀` (ITRS 2008).
+pub const THREE_SIGMA_RATIO: f64 = 0.04;
+
+/// Inter-die variance ratio `σ²_global / σ²_tot` (Reda–Nassif).
+pub const FRAC_GLOBAL: f64 = 0.50;
+
+/// Spatially correlated variance ratio `σ²_spa / σ²_tot`.
+pub const FRAC_SPATIAL: f64 = 0.25;
+
+/// Independent variance ratio `σ²_ind / σ²_tot`.
+pub const FRAC_INDEPENDENT: f64 = 0.25;
+
+/// The paper's default relative correlation distance (`ρ_dist`).
+pub const DEFAULT_CORRELATION_DISTANCE: f64 = 0.5;
+
+/// The paper's default correlation-grid resolution (25 × 25; Table V also
+/// explores 10 × 10 and 20 × 20).
+pub const DEFAULT_GRID_SIDE: usize = 25;
+
+/// Default integration sub-domain count `l0` (the paper notes `l0 = 10`
+/// is already sufficient).
+pub const DEFAULT_L0: usize = 10;
+
+/// Failure-probability target for the "1-fault-per-million-parts"
+/// criterion.
+pub const ONE_PER_MILLION: f64 = 1e-6;
+
+/// Failure-probability target for the "10-faults-per-million-parts"
+/// criterion.
+pub const TEN_PER_MILLION: f64 = 1e-5;
+
+/// Guard-band thickness margin: the traditional method assumes the
+/// minimum thickness `u₀ − 3σ_tot`.
+pub const GUARD_BAND_SIGMAS: f64 = 3.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_fractions_sum_to_one() {
+        assert!((FRAC_GLOBAL + FRAC_SPATIAL + FRAC_INDEPENDENT - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigma_total_matches_table_ii() {
+        let sigma = NOMINAL_THICKNESS_NM * THREE_SIGMA_RATIO / 3.0;
+        assert!((sigma - 0.029333333333333333).abs() < 1e-15);
+    }
+}

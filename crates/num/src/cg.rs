@@ -1,0 +1,236 @@
+//! Preconditioned conjugate-gradient solver for symmetric positive-definite
+//! sparse systems (the thermal grid's conductance matrix).
+
+use crate::matrix::{axpy, dot};
+use crate::sparse::CsrMatrix;
+use crate::{NumError, Result};
+
+/// Options controlling the conjugate-gradient iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Relative residual tolerance: stop when `‖r‖ ≤ rel_tol·‖b‖`.
+    pub rel_tol: f64,
+    /// Hard cap on iterations.
+    pub max_iter: usize,
+    /// Use the Jacobi (diagonal) preconditioner.
+    pub jacobi_precondition: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            rel_tol: 1e-10,
+            max_iter: 10_000,
+            jacobi_precondition: true,
+        }
+    }
+}
+
+/// Result of a converged CG solve.
+#[derive(Debug, Clone)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Solves `A·x = b` for SPD `A` by preconditioned conjugate gradients.
+///
+/// # Errors
+///
+/// * [`NumError::Dimension`] if shapes are inconsistent,
+/// * [`NumError::NoConvergence`] if `max_iter` is exhausted,
+/// * [`NumError::NotPositiveDefinite`] if a non-positive curvature
+///   `pᵀ·A·p ≤ 0` is detected (the matrix is not SPD).
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::sparse::CooMatrix;
+/// use statobd_num::cg::{solve_cg, CgOptions};
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 4.0);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0);
+/// coo.push(1, 1, 3.0);
+/// let a = coo.to_csr();
+/// let sol = solve_cg(&a, &[1.0, 2.0], &CgOptions::default())?;
+/// assert!(sol.relative_residual < 1e-9);
+/// # Ok::<(), statobd_num::NumError>(())
+/// ```
+pub fn solve_cg(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution> {
+    let n = a.nrows();
+    if a.ncols() != n || b.len() != n {
+        return Err(NumError::Dimension {
+            detail: format!(
+                "CG needs square A and matching b: A is {}x{}, b has {}",
+                a.nrows(),
+                a.ncols(),
+                b.len()
+            ),
+        });
+    }
+    let b_norm = dot(b, b).sqrt();
+    if b_norm == 0.0 {
+        return Ok(CgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+
+    let inv_diag: Option<Vec<f64>> = if opts.jacobi_precondition {
+        let d = a.diagonal();
+        if d.iter().any(|&v| v <= 0.0) {
+            return Err(NumError::NotPositiveDefinite);
+        }
+        Some(d.iter().map(|&v| 1.0 / v).collect())
+    } else {
+        None
+    };
+    let precondition = |r: &[f64]| -> Vec<f64> {
+        match &inv_diag {
+            Some(inv) => r.iter().zip(inv).map(|(ri, di)| ri * di).collect(),
+            None => r.to_vec(),
+        }
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = precondition(&r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iter in 0..opts.max_iter {
+        let r_norm = dot(&r, &r).sqrt();
+        if r_norm <= opts.rel_tol * b_norm {
+            return Ok(CgSolution {
+                x,
+                iterations: iter,
+                relative_residual: r_norm / b_norm,
+            });
+        }
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(NumError::NotPositiveDefinite);
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        z = precondition(&r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    let r_norm = dot(&r, &r).sqrt();
+    Err(NumError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: r_norm / b_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CooMatrix;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Tridiagonal [−1, 2+ε, −1] — SPD.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.01);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_small_spd() {
+        let a = laplacian_1d(50);
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let sol = solve_cg(&a, &b, &CgOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian_1d(10);
+        let sol = solve_cg(&a, &[0.0; 10], &CgOptions::default()).unwrap();
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn preconditioner_reduces_iterations() {
+        // Badly scaled diagonal: Jacobi helps a lot.
+        let n = 100;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let scale = if i % 2 == 0 { 1.0 } else { 1000.0 };
+            coo.push(i, i, 2.01 * scale);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let b = vec![1.0; n];
+        let with = solve_cg(&a, &b, &CgOptions::default()).unwrap();
+        let without = solve_cg(
+            &a,
+            &b,
+            &CgOptions {
+                jacobi_precondition: false,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(with.iterations <= without.iterations);
+    }
+
+    #[test]
+    fn detects_indefinite_matrix() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, -1.0);
+        let a = coo.to_csr();
+        let err = solve_cg(&a, &[1.0, 1.0], &CgOptions::default());
+        assert!(matches!(err, Err(NumError::NotPositiveDefinite)));
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let a = laplacian_1d(200);
+        let b = vec![1.0; 200];
+        let err = solve_cg(
+            &a,
+            &b,
+            &CgOptions {
+                max_iter: 2,
+                rel_tol: 1e-14,
+                jacobi_precondition: false,
+            },
+        );
+        assert!(matches!(err, Err(NumError::NoConvergence { .. })));
+    }
+}

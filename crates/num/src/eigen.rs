@@ -1,0 +1,281 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! The spatial-correlation matrices used by the variation model are dense,
+//! symmetric and at most a few hundred rows (one per correlation grid), which
+//! is squarely in the regime where Jacobi is simple, numerically excellent
+//! (it computes small eigenvalues to high relative accuracy — important
+//! because principal components with tiny variance are truncated) and fast
+//! enough.
+
+use crate::matrix::DMatrix;
+use crate::{NumError, Result};
+
+/// Result of a symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+///
+/// Eigenvalues are sorted in **descending** order; column `k` of the
+/// eigenvector matrix corresponds to eigenvalue `k`. This matches the
+/// principal-component convention where the first component explains the
+/// most variance.
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::matrix::DMatrix;
+/// use statobd_num::eigen::SymmetricEigen;
+///
+/// let a = DMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.0]]);
+/// let e = SymmetricEigen::new(&a)?;
+/// assert_eq!(e.eigenvalues(), &[2.0, 1.0]);
+/// # Ok::<(), statobd_num::NumError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Column `k` is the eigenvector for `eigenvalues[k]`.
+    eigenvectors: DMatrix,
+}
+
+impl SymmetricEigen {
+    /// Default tolerance on the off-diagonal Frobenius norm, relative to the
+    /// matrix norm.
+    pub const DEFAULT_TOL: f64 = 1e-12;
+
+    /// Maximum number of Jacobi sweeps before reporting non-convergence.
+    pub const MAX_SWEEPS: usize = 64;
+
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::NotSymmetric`] if `a` is not symmetric to `1e-8`
+    ///   relative tolerance,
+    /// * [`NumError::NoConvergence`] if the Jacobi sweeps do not converge
+    ///   (does not occur for finite symmetric input in practice).
+    pub fn new(a: &DMatrix) -> Result<Self> {
+        let scale = a.frobenius_norm().max(1.0);
+        if !a.is_symmetric(1e-8 * scale) {
+            return Err(NumError::NotSymmetric);
+        }
+        Self::decompose(a, Self::DEFAULT_TOL)
+    }
+
+    fn decompose(a: &DMatrix, tol: f64) -> Result<Self> {
+        let n = a.nrows();
+        let mut m = a.clone();
+        // Symmetrize exactly so rounding asymmetry cannot accumulate.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+                m[(i, j)] = avg;
+                m[(j, i)] = avg;
+            }
+        }
+        let mut v = DMatrix::identity(n);
+        let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
+        let threshold = tol * norm;
+
+        let mut sweeps = 0;
+        loop {
+            let off = off_diagonal_norm(&m);
+            if off <= threshold {
+                break;
+            }
+            if sweeps >= Self::MAX_SWEEPS {
+                return Err(NumError::NoConvergence {
+                    iterations: sweeps,
+                    residual: off,
+                });
+            }
+            sweeps += 1;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= threshold / (n as f64) {
+                        continue;
+                    }
+                    let (c, s) = jacobi_rotation(m[(p, p)], m[(q, q)], apq);
+                    apply_rotation(&mut m, &mut v, p, q, c, s);
+                }
+            }
+        }
+
+        // Extract and sort (descending by eigenvalue).
+        let mut order: Vec<usize> = (0..n).collect();
+        let eigenvalues_raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| {
+            eigenvalues_raw[j]
+                .partial_cmp(&eigenvalues_raw[i])
+                .expect("eigenvalues are finite")
+        });
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| eigenvalues_raw[i]).collect();
+        let eigenvectors = DMatrix::from_fn(n, n, |i, k| v[(i, order[k])]);
+
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Orthonormal eigenvector matrix; column `k` pairs with eigenvalue `k`.
+    pub fn eigenvectors(&self) -> &DMatrix {
+        &self.eigenvectors
+    }
+
+    /// Reconstructs `V · diag(λ) · Vᵀ` (used by tests and sanity checks).
+    pub fn reconstruct(&self) -> DMatrix {
+        let n = self.eigenvalues.len();
+        DMatrix::from_fn(n, n, |i, j| {
+            (0..n)
+                .map(|k| {
+                    self.eigenvalues[k] * self.eigenvectors[(i, k)] * self.eigenvectors[(j, k)]
+                })
+                .sum()
+        })
+    }
+}
+
+/// Frobenius norm of the strictly-off-diagonal part.
+fn off_diagonal_norm(m: &DMatrix) -> f64 {
+    let n = m.nrows();
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            acc += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    acc.sqrt()
+}
+
+/// Computes the (cos, sin) of the Jacobi rotation that annihilates `a_pq`.
+fn jacobi_rotation(app: f64, aqq: f64, apq: f64) -> (f64, f64) {
+    let theta = (aqq - app) / (2.0 * apq);
+    // Choose the smaller-magnitude root for stability (Golub & Van Loan).
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    (c, t * c)
+}
+
+/// Applies the symmetric rotation `J(p,q,θ)ᵀ · M · J(p,q,θ)` in place and
+/// accumulates the rotation into `V`.
+fn apply_rotation(m: &mut DMatrix, v: &mut DMatrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.nrows();
+    for k in 0..n {
+        let mkp = m[(k, p)];
+        let mkq = m[(k, q)];
+        m[(k, p)] = c * mkp - s * mkq;
+        m[(k, q)] = s * mkp + c * mkq;
+    }
+    for k in 0..n {
+        let mpk = m[(p, k)];
+        let mqk = m[(q, k)];
+        m[(p, k)] = c * mpk - s * mqk;
+        m[(q, k)] = s * mpk + c * mqk;
+    }
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = DMatrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues(), &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_close(e.eigenvalues()[0], 3.0, 1e-12);
+        assert_close(e.eigenvalues()[1], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn rejects_asymmetric_input() {
+        let a = DMatrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]);
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(NumError::NotSymmetric)
+        ));
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        // Exponential-decay correlation matrix like the variation model uses.
+        let n = 16;
+        let a = DMatrix::from_fn(n, n, |i, j| (-((i as f64 - j as f64).abs()) / 4.0).exp());
+        let e = SymmetricEigen::new(&a).unwrap();
+        let r = e.reconstruct();
+        for i in 0..n {
+            for j in 0..n {
+                assert_close(r[(i, j)], a[(i, j)], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let n = 12;
+        let a = DMatrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = SymmetricEigen::new(&a).unwrap();
+        let v = e.eigenvectors();
+        let vtv = v.transpose().mul(v).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert_close(vtv[(i, j)], expected, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let n = 20;
+        let a = DMatrix::from_fn(n, n, |i, j| {
+            (-((i % 5) as f64 - (j % 5) as f64).abs() / 2.0).exp()
+                * (-((i / 5) as f64 - (j / 5) as f64).abs() / 2.0).exp()
+        });
+        let e = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        assert_close(sum, a.trace(), 1e-9);
+    }
+
+    #[test]
+    fn psd_correlation_matrix_has_nonnegative_eigenvalues() {
+        // 2-D grid exponential correlation is positive semidefinite.
+        let side = 6;
+        let n = side * side;
+        let coord = |k: usize| ((k % side) as f64, (k / side) as f64);
+        let a = DMatrix::from_fn(n, n, |i, j| {
+            let (xi, yi) = coord(i);
+            let (xj, yj) = coord(j);
+            let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            (-d / 3.0).exp()
+        });
+        let e = SymmetricEigen::new(&a).unwrap();
+        for &l in e.eigenvalues() {
+            assert!(l > -1e-9, "eigenvalue {l} should be non-negative");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! 1-D and 2-D histograms.
+//!
+//! Used for (a) building block-level oxide-thickness distributions (BLODs)
+//! from Monte-Carlo samples (paper Fig. 4), (b) constructing the numerical
+//! joint PDF of `(u_j, v_j)` for the `st_MC` engine (paper Sec. V), and
+//! (c) the mutual-information estimate of Fig. 7.
+
+use crate::{NumError, Result};
+
+/// A uniform-bin 1-D histogram over `[lo, hi)`.
+///
+/// Values outside the range are counted in saturating edge bins' *outlier*
+/// counters, never silently dropped.
+#[derive(Debug, Clone)]
+pub struct Histogram1d {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total_in_range: u64,
+}
+
+impl Histogram1d {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 || !(lo < hi) {
+            return Err(NumError::Domain {
+                detail: format!("histogram needs bins > 0 and lo < hi, got {bins}, [{lo}, {hi})"),
+            });
+        }
+        Ok(Histogram1d {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total_in_range: 0,
+        })
+    }
+
+    /// Builds a histogram spanning the min/max of `data` with `bins` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if `data` is empty, contains non-finite
+    /// values, or is constant.
+    pub fn from_data(data: &[f64], bins: usize) -> Result<Self> {
+        if data.is_empty() {
+            return Err(NumError::Domain {
+                detail: "cannot build a histogram from empty data".to_string(),
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in data {
+            if !v.is_finite() {
+                return Err(NumError::Domain {
+                    detail: "histogram data contains non-finite values".to_string(),
+                });
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo == hi {
+            return Err(NumError::Domain {
+                detail: "histogram data is constant".to_string(),
+            });
+        }
+        // Nudge the top so the max lands in the last bin.
+        let span = hi - lo;
+        let mut h = Self::new(lo, hi + span * 1e-9, bins)?;
+        for &v in data {
+            h.add(v);
+        }
+        Ok(h)
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let bins = self.counts.len();
+            let idx = (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize;
+            self.counts[idx.min(bins - 1)] += 1;
+            self.total_in_range += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw in-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below/above the range.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.total_in_range
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Normalized density values (integrate to 1 over the in-range mass).
+    pub fn density(&self) -> Vec<f64> {
+        let norm = self.total_in_range.max(1) as f64 * self.bin_width();
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// Empirical probability per bin (sums to 1 over in-range mass).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let n = self.total_in_range.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+}
+
+/// A uniform-bin 2-D histogram over `[xlo, xhi) × [ylo, yhi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram2d {
+    xlo: f64,
+    xhi: f64,
+    ylo: f64,
+    yhi: f64,
+    xbins: usize,
+    ybins: usize,
+    counts: Vec<u64>,
+    total_in_range: u64,
+    outliers: u64,
+}
+
+impl Histogram2d {
+    /// Creates a 2-D histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] on empty bins or inverted ranges.
+    pub fn new(
+        (xlo, xhi, xbins): (f64, f64, usize),
+        (ylo, yhi, ybins): (f64, f64, usize),
+    ) -> Result<Self> {
+        if xbins == 0 || ybins == 0 || !(xlo < xhi) || !(ylo < yhi) {
+            return Err(NumError::Domain {
+                detail: "2-D histogram needs positive bins and ordered ranges".to_string(),
+            });
+        }
+        Ok(Histogram2d {
+            xlo,
+            xhi,
+            ylo,
+            yhi,
+            xbins,
+            ybins,
+            counts: vec![0; xbins * ybins],
+            total_in_range: 0,
+            outliers: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64, y: f64) {
+        if x < self.xlo || x >= self.xhi || y < self.ylo || y >= self.yhi {
+            self.outliers += 1;
+            return;
+        }
+        let i = (((x - self.xlo) / (self.xhi - self.xlo)) * self.xbins as f64) as usize;
+        let j = (((y - self.ylo) / (self.yhi - self.ylo)) * self.ybins as f64) as usize;
+        let i = i.min(self.xbins - 1);
+        let j = j.min(self.ybins - 1);
+        self.counts[i * self.ybins + j] += 1;
+        self.total_in_range += 1;
+    }
+
+    /// Bin counts (row-major over x, then y).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// (xbins, ybins).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.xbins, self.ybins)
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.total_in_range
+    }
+
+    /// Observations that fell outside the range.
+    pub fn outlier_count(&self) -> u64 {
+        self.outliers
+    }
+
+    /// (x bin width, y bin width).
+    pub fn bin_widths(&self) -> (f64, f64) {
+        (
+            (self.xhi - self.xlo) / self.xbins as f64,
+            (self.yhi - self.ylo) / self.ybins as f64,
+        )
+    }
+
+    /// Center of bin `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn bin_center(&self, i: usize, j: usize) -> (f64, f64) {
+        assert!(i < self.xbins && j < self.ybins, "bin index out of range");
+        let (wx, wy) = self.bin_widths();
+        (
+            self.xlo + (i as f64 + 0.5) * wx,
+            self.ylo + (j as f64 + 0.5) * wy,
+        )
+    }
+
+    /// Joint probability mass per bin (sums to 1 over in-range mass).
+    pub fn joint_probabilities(&self) -> Vec<f64> {
+        let n = self.total_in_range.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Joint density per bin (integrates to 1 over in-range mass).
+    pub fn joint_density(&self) -> Vec<f64> {
+        let (wx, wy) = self.bin_widths();
+        let norm = self.total_in_range.max(1) as f64 * wx * wy;
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// Marginal probability over x (length `xbins`).
+    pub fn marginal_x(&self) -> Vec<f64> {
+        let n = self.total_in_range.max(1) as f64;
+        (0..self.xbins)
+            .map(|i| {
+                (0..self.ybins)
+                    .map(|j| self.counts[i * self.ybins + j] as f64)
+                    .sum::<f64>()
+                    / n
+            })
+            .collect()
+    }
+
+    /// Marginal probability over y (length `ybins`).
+    pub fn marginal_y(&self) -> Vec<f64> {
+        let n = self.total_in_range.max(1) as f64;
+        (0..self.ybins)
+            .map(|j| {
+                (0..self.xbins)
+                    .map(|i| self.counts[i * self.ybins + j] as f64)
+                    .sum::<f64>()
+                    / n
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_correct_bins() {
+        let mut h = Histogram1d::new(0.0, 10.0, 10).unwrap();
+        h.add(0.5);
+        h.add(9.99);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn outliers_tracked_not_dropped() {
+        let mut h = Histogram1d::new(0.0, 1.0, 4).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram1d::new(0.0, 2.0, 8).unwrap();
+        for i in 0..1000 {
+            h.add((i as f64 / 1000.0) * 2.0);
+        }
+        let integral: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_data_covers_all_points() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let h = Histogram1d::from_data(&data, 16).unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+
+    #[test]
+    fn from_data_rejects_degenerate() {
+        assert!(Histogram1d::from_data(&[], 4).is_err());
+        assert!(Histogram1d::from_data(&[1.0, 1.0], 4).is_err());
+        assert!(Histogram1d::from_data(&[1.0, f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn hist2d_marginals_sum_to_one() {
+        let mut h = Histogram2d::new((0.0, 1.0, 4), (0.0, 1.0, 5)).unwrap();
+        for i in 0..200 {
+            let x = (i as f64 * 0.618) % 1.0;
+            let y = (i as f64 * 0.414) % 1.0;
+            h.add(x, y);
+        }
+        let sx: f64 = h.marginal_x().iter().sum();
+        let sy: f64 = h.marginal_y().iter().sum();
+        assert!((sx - 1.0).abs() < 1e-12);
+        assert!((sy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist2d_joint_matches_marginal_product_for_independent_fill() {
+        // A full-grid deterministic fill is exactly independent.
+        let mut h = Histogram2d::new((0.0, 1.0, 3), (0.0, 1.0, 3)).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                h.add(0.17 + i as f64 / 3.0, 0.17 + j as f64 / 3.0);
+            }
+        }
+        let joint = h.joint_probabilities();
+        let mx = h.marginal_x();
+        let my = h.marginal_y();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((joint[i * 3 + j] - mx[i] * my[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hist2d_outliers() {
+        let mut h = Histogram2d::new((0.0, 1.0, 2), (0.0, 1.0, 2)).unwrap();
+        h.add(2.0, 0.5);
+        h.add(0.5, -0.1);
+        h.add(0.5, 0.5);
+        assert_eq!(h.outlier_count(), 2);
+        assert_eq!(h.total(), 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Interpolation: 1-D linear, 2-D bilinear, and monotone cubic (PCHIP).
+//!
+//! The hybrid analytical/table-lookup reliability engine (paper Sec. IV-E)
+//! interpolates a precomputed `(ln(t/α), b)` table bilinearly; the
+//! lookup-table technology model interpolates `α(T)`/`b(T)` linearly.
+
+use crate::{NumError, Result};
+
+/// Locates `x` in a sorted axis, returning the left index and the fractional
+/// position within the cell, clamping to the axis range.
+///
+/// # Panics
+///
+/// Panics if the axis has fewer than 2 points (checked by callers).
+fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+    debug_assert!(axis.len() >= 2);
+    let n = axis.len();
+    if x <= axis[0] {
+        return (0, 0.0);
+    }
+    if x >= axis[n - 1] {
+        return (n - 2, 1.0);
+    }
+    // Binary search for the cell containing x.
+    let mut lo = 0;
+    let mut hi = n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if axis[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let frac = (x - axis[lo]) / (axis[lo + 1] - axis[lo]);
+    (lo, frac)
+}
+
+fn validate_axis(axis: &[f64], name: &str) -> Result<()> {
+    if axis.len() < 2 {
+        return Err(NumError::Domain {
+            detail: format!("{name} axis needs at least 2 points, got {}", axis.len()),
+        });
+    }
+    if !axis.windows(2).all(|w| w[0] < w[1]) {
+        return Err(NumError::Domain {
+            detail: format!("{name} axis must be strictly increasing"),
+        });
+    }
+    Ok(())
+}
+
+/// 1-D piecewise-linear interpolant over a strictly increasing axis.
+///
+/// Queries outside the axis range are clamped to the endpoint values (the
+/// technology tables are always constructed to cover the operating range,
+/// so clamping is the conservative behaviour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Creates an interpolant from matched samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if the axis is too short, not strictly
+    /// increasing, or the lengths differ.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate_axis(&xs, "x")?;
+        if xs.len() != ys.len() {
+            return Err(NumError::Domain {
+                detail: format!("xs has {} points but ys has {}", xs.len(), ys.len()),
+            });
+        }
+        Ok(LinearInterp { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped to the axis range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let (i, t) = locate(&self.xs, x);
+        self.ys[i] * (1.0 - t) + self.ys[i + 1] * t
+    }
+
+    /// The sample axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The sample values.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+/// 2-D bilinear interpolant over a rectilinear grid.
+///
+/// Values are stored row-major: `values[i * ny + j]` is the sample at
+/// `(xs[i], ys[j])`. Out-of-range queries clamp to the grid edge.
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::interp::Bilinear;
+///
+/// let b = Bilinear::new(
+///     vec![0.0, 1.0],
+///     vec![0.0, 1.0],
+///     vec![0.0, 1.0, 2.0, 3.0], // f(0,0)=0 f(0,1)=1 f(1,0)=2 f(1,1)=3
+/// )?;
+/// assert!((b.eval(0.5, 0.5) - 1.5).abs() < 1e-14);
+/// # Ok::<(), statobd_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bilinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Bilinear {
+    /// Creates a bilinear interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] for malformed axes or a value vector of
+    /// the wrong length.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        validate_axis(&xs, "x")?;
+        validate_axis(&ys, "y")?;
+        if values.len() != xs.len() * ys.len() {
+            return Err(NumError::Domain {
+                detail: format!(
+                    "expected {} values for a {}x{} grid, got {}",
+                    xs.len() * ys.len(),
+                    xs.len(),
+                    ys.len(),
+                    values.len()
+                ),
+            });
+        }
+        Ok(Bilinear { xs, ys, values })
+    }
+
+    /// Evaluates the interpolant at `(x, y)` (clamped to the grid).
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let ny = self.ys.len();
+        let (i, tx) = locate(&self.xs, x);
+        let (j, ty) = locate(&self.ys, y);
+        let v00 = self.values[i * ny + j];
+        let v01 = self.values[i * ny + j + 1];
+        let v10 = self.values[(i + 1) * ny + j];
+        let v11 = self.values[(i + 1) * ny + j + 1];
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v10 * tx * (1.0 - ty)
+            + v11 * tx * ty
+    }
+
+    /// The x axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y axis.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The row-major sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_exact_on_nodes_and_midpoints() {
+        let li = LinearInterp::new(vec![0.0, 1.0, 3.0], vec![2.0, 4.0, 0.0]).unwrap();
+        assert_eq!(li.eval(0.0), 2.0);
+        assert_eq!(li.eval(1.0), 4.0);
+        assert_eq!(li.eval(0.5), 3.0);
+        assert_eq!(li.eval(2.0), 2.0);
+    }
+
+    #[test]
+    fn linear_clamps_out_of_range() {
+        let li = LinearInterp::new(vec![0.0, 1.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(li.eval(-10.0), 5.0);
+        assert_eq!(li.eval(10.0), 7.0);
+    }
+
+    #[test]
+    fn linear_rejects_bad_input() {
+        assert!(LinearInterp::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn bilinear_reproduces_bilinear_functions() {
+        // f(x,y) = 2x + 3y + xy is reproduced exactly by bilinear interp.
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..4).map(|j| j as f64 * 0.5).collect();
+        let f = |x: f64, y: f64| 2.0 * x + 3.0 * y + x * y;
+        let mut values = Vec::new();
+        for &x in &xs {
+            for &y in &ys {
+                values.push(f(x, y));
+            }
+        }
+        let b = Bilinear::new(xs, ys, values).unwrap();
+        for &(x, y) in &[(0.3, 0.2), (1.7, 1.2), (3.99, 1.49), (0.0, 0.0)] {
+            assert!((b.eval(x, y) - f(x, y)).abs() < 1e-12, "at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn bilinear_clamps_at_edges() {
+        let b = Bilinear::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(b.eval(-5.0, -5.0), 1.0);
+        assert_eq!(b.eval(5.0, 5.0), 4.0);
+    }
+
+    #[test]
+    fn bilinear_rejects_wrong_value_count() {
+        assert!(Bilinear::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.0; 3]).is_err());
+    }
+}
+
+/// Monotone piecewise-cubic Hermite interpolant (PCHIP, Fritsch–Carlson).
+///
+/// Unlike a natural cubic spline, PCHIP never overshoots: on intervals
+/// where the data is monotone the interpolant is monotone too, which makes
+/// it the right choice for interpolating reliability curves `P(t)` and
+/// lifetime tables where an overshoot would manufacture non-physical
+/// non-monotonicity.
+///
+/// Out-of-range queries clamp to the endpoint values, like
+/// [`LinearInterp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PchipInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Endpoint derivatives per node (Fritsch–Carlson limited).
+    ds: Vec<f64>,
+}
+
+impl PchipInterp {
+    /// Creates a PCHIP interpolant from matched samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if the axis is too short, not strictly
+    /// increasing, or the lengths differ.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate_axis(&xs, "x")?;
+        if xs.len() != ys.len() {
+            return Err(NumError::Domain {
+                detail: format!("xs has {} points but ys has {}", xs.len(), ys.len()),
+            });
+        }
+        let n = xs.len();
+        // Interval slopes.
+        let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let delta: Vec<f64> = (0..n - 1).map(|i| (ys[i + 1] - ys[i]) / h[i]).collect();
+        // Fritsch–Carlson derivative limiting.
+        let mut ds = vec![0.0; n];
+        if n == 2 {
+            ds[0] = delta[0];
+            ds[1] = delta[0];
+        } else {
+            // Interior nodes: weighted harmonic mean when slopes agree in
+            // sign, zero otherwise (local extremum).
+            for i in 1..n - 1 {
+                if delta[i - 1] * delta[i] > 0.0 {
+                    let w1 = 2.0 * h[i] + h[i - 1];
+                    let w2 = h[i] + 2.0 * h[i - 1];
+                    ds[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                }
+            }
+            // One-sided endpoint formulas with monotonicity clamps.
+            let end = |h0: f64, h1: f64, d0: f64, d1: f64| -> f64 {
+                let d = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+                if d * d0 <= 0.0 {
+                    0.0
+                } else if d0 * d1 < 0.0 && d.abs() > 3.0 * d0.abs() {
+                    3.0 * d0
+                } else {
+                    d
+                }
+            };
+            ds[0] = end(h[0], h[1], delta[0], delta[1]);
+            ds[n - 1] = end(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+        }
+        Ok(PchipInterp { xs, ys, ds })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped to the axis range).
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        let n = self.xs.len();
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let (i, _) = locate(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        // Cubic Hermite basis.
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.ds[i] + h01 * self.ys[i + 1] + h11 * h * self.ds[i + 1]
+    }
+
+    /// The sample axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The sample values.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+#[cfg(test)]
+mod pchip_tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_nodes_exactly() {
+        let p = PchipInterp::new(vec![0.0, 1.0, 2.5, 4.0], vec![1.0, 3.0, 2.0, 5.0]).unwrap();
+        for (x, y) in [(0.0, 1.0), (1.0, 3.0), (2.5, 2.0), (4.0, 5.0)] {
+            assert!((p.eval(x) - y).abs() < 1e-14, "at {x}");
+        }
+    }
+
+    #[test]
+    fn preserves_monotonicity() {
+        // Steep-then-flat data that a natural cubic spline would overshoot.
+        let p = PchipInterp::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.1, 0.9, 1.0, 1.0],
+        )
+        .unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=400 {
+            let x = i as f64 / 100.0;
+            let y = p.eval(x);
+            assert!(y >= prev - 1e-12, "non-monotone at {x}: {y} < {prev}");
+            assert!((-1e-12..=1.0 + 1e-12).contains(&y), "overshoot at {x}: {y}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn flat_data_stays_flat() {
+        let p = PchipInterp::new(vec![0.0, 1.0, 2.0], vec![5.0, 5.0, 5.0]).unwrap();
+        for i in 0..20 {
+            assert!((p.eval(i as f64 * 0.1) - 5.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let p = PchipInterp::new(vec![0.0, 1.0], vec![2.0, 4.0]).unwrap();
+        assert_eq!(p.eval(-1.0), 2.0);
+        assert_eq!(p.eval(9.0), 4.0);
+    }
+
+    #[test]
+    fn two_points_reduce_to_linear() {
+        let p = PchipInterp::new(vec![0.0, 2.0], vec![1.0, 5.0]).unwrap();
+        assert!((p.eval(1.0) - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn local_extrema_get_zero_slope() {
+        // A peak at the middle node: derivative there must be zero so the
+        // interpolant does not overshoot the peak.
+        let p = PchipInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+        let peak = p.eval(1.0);
+        for i in 0..=200 {
+            let y = p.eval(i as f64 / 100.0);
+            assert!(y <= peak + 1e-12, "overshoot above the data maximum");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(PchipInterp::new(vec![0.0], vec![1.0]).is_err());
+        assert!(PchipInterp::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(PchipInterp::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn smooth_data_accuracy_beats_linear() {
+        // On a smooth function PCHIP (cubic) should beat linear interp.
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x * 0.8).sin()).collect();
+        let pchip = PchipInterp::new(xs.clone(), ys.clone()).unwrap();
+        let lin = LinearInterp::new(xs, ys).unwrap();
+        let mut pchip_err = 0.0f64;
+        let mut lin_err = 0.0f64;
+        for i in 0..=160 {
+            let x = i as f64 * 0.025;
+            let truth = (x * 0.8f64).sin();
+            pchip_err = pchip_err.max((pchip.eval(x) - truth).abs());
+            lin_err = lin_err.max((lin.eval(x) - truth).abs());
+        }
+        assert!(
+            pchip_err < lin_err,
+            "pchip {pchip_err:.2e} should beat linear {lin_err:.2e}"
+        );
+    }
+}

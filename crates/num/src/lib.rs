@@ -1,0 +1,108 @@
+//! Numerical foundations for the `statobd` workspace.
+//!
+//! This crate provides the self-contained numerical substrate needed by the
+//! statistical oxide-breakdown reliability analysis:
+//!
+//! * dense linear algebra ([`matrix::DMatrix`], Jacobi symmetric
+//!   eigendecomposition, Cholesky and LU factorizations),
+//! * sparse matrices and a conjugate-gradient solver (used by the thermal
+//!   simulator),
+//! * special functions (`erf`, `ln_gamma`, regularized incomplete gamma),
+//! * probability distributions (normal, gamma/χ², Weibull, exponential) with
+//!   PDFs, CDFs, quantiles and sampling,
+//! * 1-D and 2-D quadrature rules (midpoint, Simpson, Gauss–Legendre),
+//! * interpolation (linear, bilinear, on rectilinear grids),
+//! * histograms and descriptive statistics (R², mutual information,
+//!   Kolmogorov–Smirnov distance).
+//!
+//! Everything is implemented from scratch on `f64`; the only external
+//! dependency is [`rand`] for the base random stream.
+//!
+//! # Example
+//!
+//! ```
+//! use statobd_num::matrix::DMatrix;
+//! use statobd_num::eigen::SymmetricEigen;
+//!
+//! // Eigendecomposition of a small correlation matrix.
+//! let c = DMatrix::from_rows(&[
+//!     &[1.0, 0.5],
+//!     &[0.5, 1.0],
+//! ]);
+//! let eig = SymmetricEigen::new(&c).expect("symmetric");
+//! assert!((eig.eigenvalues()[0] - 1.5).abs() < 1e-12);
+//! assert!((eig.eigenvalues()[1] - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cg;
+pub mod cholesky;
+pub mod dist;
+pub mod eigen;
+pub mod hist;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod quad;
+pub mod quadform;
+pub mod rng;
+pub mod sparse;
+pub mod special;
+pub mod stats;
+
+pub use matrix::DMatrix;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A matrix argument had incompatible or invalid dimensions.
+    Dimension {
+        /// Human-readable description of the dimension mismatch.
+        detail: String,
+    },
+    /// A factorization failed because the matrix is not (numerically)
+    /// positive definite.
+    NotPositiveDefinite,
+    /// A factorization failed because the matrix is singular.
+    Singular,
+    /// The input matrix was expected to be symmetric but is not.
+    NotSymmetric,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual (or off-diagonal norm) at the point of failure.
+        residual: f64,
+    },
+    /// A scalar argument was outside its mathematical domain.
+    Domain {
+        /// Human-readable description of the domain violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for NumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumError::Dimension { detail } => write!(f, "dimension mismatch: {detail}"),
+            NumError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            NumError::Singular => write!(f, "matrix is singular"),
+            NumError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            NumError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::Domain { detail } => write!(f, "domain error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+/// Convenience result alias for fallible numerical routines.
+pub type Result<T> = std::result::Result<T, NumError>;

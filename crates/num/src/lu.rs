@@ -1,0 +1,179 @@
+//! LU factorization with partial pivoting, for general square systems.
+//!
+//! The thermal solver uses conjugate gradients for its large sparse systems;
+//! LU covers the small dense systems (calibration fits, bilinear systems)
+//! and provides determinants for model validation.
+
+use crate::matrix::DMatrix;
+use crate::{NumError, Result};
+
+/// LU factorization `P·A = L·U` with partial pivoting.
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::matrix::DMatrix;
+/// use statobd_num::lu::Lu;
+///
+/// let a = DMatrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve(&[3.0, 4.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// # Ok::<(), statobd_num::NumError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (L has implicit unit diagonal).
+    lu: DMatrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::Dimension`] if `a` is not square,
+    /// * [`NumError::Singular`] if a zero pivot is encountered.
+    pub fn new(a: &DMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumError::Dimension {
+                detail: format!(
+                    "LU requires a square matrix, got {}x{}",
+                    a.nrows(),
+                    a.ncols()
+                ),
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Pivot selection.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 || !pivot_val.is_finite() {
+                return Err(NumError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            // Elimination.
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if `b.len()` does not match.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumError::Dimension {
+                detail: format!("rhs length {} != {}", b.len(), n),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_permuted_system() {
+        let a = DMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 0.0], &[3.0, 1.0, 0.0]]);
+        let x_true = [1.0, 2.0, -1.0];
+        let b = a.mul_vec(&x_true);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(NumError::Singular)));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = DMatrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - (-14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        // Requires a pivot swap; det is -2.
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DMatrix::zeros(3, 2);
+        assert!(matches!(Lu::new(&a), Err(NumError::Dimension { .. })));
+    }
+}

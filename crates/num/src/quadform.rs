@@ -1,0 +1,302 @@
+//! Exact distribution of quadratic forms in standard normal variables by
+//! Imhof's method (Biometrika 1961) — the reference the paper cites for
+//! the BLOD sample-variance distribution before adopting the cheaper
+//! Yuan–Bentler χ² approximation.
+//!
+//! For `Q = Σ_r λ_r·Z_r²` with `Z_r` i.i.d. `N(0,1)` and `λ_r ≥ 0`,
+//!
+//! ```text
+//! P(Q > x) = 1/2 + (1/π) ∫₀^∞ sin θ(u) / (u·ρ(u)) du
+//! θ(u) = ½ Σ_r arctan(λ_r u) − ½ x u
+//! ρ(u) = Π_r (1 + λ_r² u²)^(1/4)
+//! ```
+//!
+//! The integrand decays like `u^{-(1 + m/2)}` (`m` = number of non-zero
+//! eigenvalues), so panel-wise Gauss–Legendre integration with a
+//! convergence cutoff evaluates it to high accuracy.
+
+use crate::quad::{QuadRule, Quadrature};
+use crate::{NumError, Result};
+
+/// Panel width factor: each panel spans `PANEL_SCALE / λ_max` in `u`.
+const PANEL_SCALE: f64 = 2.0;
+
+/// Gauss–Legendre nodes per panel.
+const PANEL_NODES: usize = 24;
+
+/// Maximum number of panels before giving up.
+const MAX_PANELS: usize = 4000;
+
+/// CDF `P(Q ≤ x)` of `Q = Σ λ_r Z_r²` by Imhof numerical inversion.
+///
+/// Eigenvalues that are zero (or negligible relative to the largest) are
+/// ignored; if all eigenvalues vanish the distribution is a point mass at
+/// zero.
+///
+/// # Errors
+///
+/// * [`NumError::Domain`] if any eigenvalue is negative or non-finite
+///   (the BLOD quadratic forms are PSD by construction),
+/// * [`NumError::NoConvergence`] if the oscillatory integral fails to
+///   settle within the panel budget (does not occur for PSD input in
+///   practice).
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::quadform::imhof_cdf;
+///
+/// // One eigenvalue: Q = λ·Z², i.e. λ·χ²(1). P(Q ≤ λ) = P(χ²₁ ≤ 1).
+/// let p = imhof_cdf(&[2.0], 2.0)?;
+/// assert!((p - 0.6826894921370859).abs() < 1e-8);
+/// # Ok::<(), statobd_num::NumError>(())
+/// ```
+pub fn imhof_cdf(eigenvalues: &[f64], x: f64) -> Result<f64> {
+    if eigenvalues.iter().any(|&l| l < 0.0 || !l.is_finite()) {
+        return Err(NumError::Domain {
+            detail: "Imhof inversion here requires non-negative finite eigenvalues".to_string(),
+        });
+    }
+    let lambda_max = eigenvalues.iter().cloned().fold(0.0, f64::max);
+    if lambda_max == 0.0 {
+        // Point mass at zero.
+        return Ok(if x >= 0.0 { 1.0 } else { 0.0 });
+    }
+    let lambdas: Vec<f64> = eigenvalues
+        .iter()
+        .cloned()
+        .filter(|&l| l > 1e-14 * lambda_max)
+        .collect();
+    if x <= 0.0 {
+        return Ok(0.0);
+    }
+
+    let integrand = |u: f64| -> f64 {
+        let mut theta = -0.5 * x * u;
+        let mut ln_rho = 0.0;
+        for &l in &lambdas {
+            theta += 0.5 * (l * u).atan();
+            ln_rho += 0.25 * (1.0 + l * l * u * u).ln();
+        }
+        theta.sin() / (u * ln_rho.exp())
+    };
+
+    // Two-phase integration.
+    //
+    // Phase 1 — head: fine fixed panels over [0, U0]. Ideally U0 is where
+    // every arctan has saturated (λ·u > ~40), but for near-degenerate
+    // eigenvalue sets 1/λ_min can be astronomically large, so U0 is capped
+    // at 120/λ_max. The cap is safe: the tail phase evaluates the *exact*
+    // integrand, and the Euler acceleration only requires the envelope and
+    // residual phase drift to vary smoothly — which unsaturated arctans
+    // do.
+    let lambda_min = lambdas.iter().cloned().fold(f64::INFINITY, f64::min);
+    let head_end = (40.0 / lambda_min).min(120.0 / lambda_max);
+    let head_w = PANEL_SCALE / lambda_max;
+    let head_panels = ((head_end / head_w).ceil() as usize).clamp(1, MAX_PANELS);
+    let head_w = head_end / head_panels as f64;
+    let mut total = 0.0;
+    for k in 0..head_panels {
+        let a = (k as f64 * head_w).max(1e-300);
+        let b = (k as f64 + 1.0) * head_w;
+        // Subdivide so each Gauss panel sees at most ~1 oscillation of
+        // sin(−x·u/2) even when x is large.
+        let period = 4.0 * std::f64::consts::PI / x;
+        let sub = ((head_w / period).ceil() as usize).clamp(1, 64);
+        for si in 0..sub {
+            let sa = a + (b - a) * si as f64 / sub as f64;
+            let sb = a + (b - a) * (si as f64 + 1.0) / sub as f64;
+            let quad = Quadrature::new(QuadRule::GaussLegendre, PANEL_NODES, sa, sb)?;
+            total += quad.integrate(integrand);
+        }
+    }
+
+    // Phase 2 — tail: beyond U0 the integrand is a sine at angular
+    // frequency x/2 times a smooth u^{-(1+m/2)} envelope. Half-period
+    // panels give an alternating series; Euler (repeated-averaging)
+    // acceleration of its partial sums converges geometrically.
+    let half_period = 2.0 * std::f64::consts::PI / x;
+    let mut partials = Vec::with_capacity(64);
+    let mut acc = 0.0;
+    let mut converged = false;
+    for k in 0..MAX_PANELS {
+        let a = head_end + k as f64 * half_period;
+        let b = a + half_period;
+        let quad = Quadrature::new(QuadRule::GaussLegendre, PANEL_NODES, a, b)?;
+        let c = quad.integrate(integrand);
+        acc += c;
+        partials.push(acc);
+        if c.abs() < 1e-12 * (1.0 + total.abs()) || partials.len() >= 48 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(NumError::NoConvergence {
+            iterations: MAX_PANELS,
+            residual: acc,
+        });
+    }
+    // Euler transformation: repeatedly average adjacent partial sums.
+    let mut row = partials;
+    while row.len() > 1 {
+        row = row.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+    }
+    total += row[0];
+
+    let upper_tail = 0.5 + total / std::f64::consts::PI;
+    Ok((1.0 - upper_tail).clamp(0.0, 1.0))
+}
+
+/// Quantile of the quadratic form: solves `P(Q ≤ x) = p` by bisection.
+///
+/// # Errors
+///
+/// * [`NumError::Domain`] unless `0 < p < 1` (and eigenvalues are valid),
+/// * propagates [`imhof_cdf`] failures.
+pub fn imhof_quantile(eigenvalues: &[f64], p: f64) -> Result<f64> {
+    if !(0.0 < p && p < 1.0) {
+        return Err(NumError::Domain {
+            detail: format!("quantile requires 0 < p < 1, got {p}"),
+        });
+    }
+    let mean: f64 = eigenvalues.iter().sum();
+    if mean <= 0.0 {
+        return Ok(0.0);
+    }
+    let mut lo = 0.0;
+    let mut hi = mean;
+    while imhof_cdf(eigenvalues, hi)? < p {
+        hi *= 2.0;
+        if hi > mean * 1e6 {
+            return Err(NumError::NoConvergence {
+                iterations: 0,
+                residual: hi,
+            });
+        }
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if imhof_cdf(eigenvalues, mid)? < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) < 1e-9 * mean {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ChiSquared, ContinuousDistribution, Gamma};
+
+    #[test]
+    fn single_eigenvalue_is_scaled_chi2_one() {
+        let chi = ChiSquared::new(1.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 2.5, 6.0] {
+            let p = imhof_cdf(&[3.0], 3.0 * x).unwrap();
+            assert!(
+                (p - chi.cdf(x)).abs() < 1e-8,
+                "x={x}: imhof {p} vs chi2 {}",
+                chi.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn equal_eigenvalues_match_chi2_k() {
+        // Q = λ(Z₁² + ... + Z_k²) = λ·χ²(k).
+        let k = 5;
+        let lam = 0.7;
+        let chi = ChiSquared::new(k as f64).unwrap();
+        let eigen = vec![lam; k];
+        for &x in &[1.0, 3.0, 5.0, 9.0, 15.0] {
+            let p = imhof_cdf(&eigen, lam * x).unwrap();
+            assert!((p - chi.cdf(x)).abs() < 1e-8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mixed_eigenvalues_match_monte_carlo() {
+        use crate::rng::NormalSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let eigen = [2.0, 1.0, 0.5, 0.25, 0.1];
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ns = NormalSampler::new();
+        let n = 200_000;
+        let x_test = 4.0;
+        let below = (0..n)
+            .filter(|_| {
+                let q: f64 = eigen
+                    .iter()
+                    .map(|&l| {
+                        let z = ns.sample(&mut rng);
+                        l * z * z
+                    })
+                    .sum();
+                q <= x_test
+            })
+            .count();
+        let mc = below as f64 / n as f64;
+        let p = imhof_cdf(&eigen, x_test).unwrap();
+        assert!((p - mc).abs() < 0.005, "imhof {p} vs MC {mc}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let eigen = [1.5, 0.9, 0.3];
+        let mut prev = 0.0;
+        for i in 1..40 {
+            let x = i as f64 * 0.3;
+            let p = imhof_cdf(&eigen, x).unwrap();
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-10, "not monotone at {x}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips() {
+        let eigen = [2.0, 1.0, 0.5];
+        for &p in &[0.05, 0.5, 0.95] {
+            let x = imhof_quantile(&eigen, p).unwrap();
+            let back = imhof_cdf(&eigen, x).unwrap();
+            assert!((back - p).abs() < 1e-7, "p={p}: {back}");
+        }
+    }
+
+    #[test]
+    fn chi2_two_moment_fit_is_close_but_not_exact() {
+        // Quantifies what Yuan–Bentler trades for speed: for a skewed
+        // eigenvalue set the χ² fit deviates from the exact law by a few
+        // percent in CDF, and Imhof resolves that.
+        let eigen = [5.0, 0.2, 0.2, 0.2];
+        let tr: f64 = eigen.iter().sum();
+        let tr2: f64 = eigen.iter().map(|l| l * l).sum();
+        let fit = Gamma::new(tr * tr / tr2 / 2.0, 2.0 * tr2 / tr).unwrap();
+        let mut max_gap = 0.0f64;
+        for i in 1..30 {
+            let x = i as f64 * 0.5;
+            let exact = imhof_cdf(&eigen, x).unwrap();
+            let approx = fit.cdf(x);
+            max_gap = max_gap.max((exact - approx).abs());
+        }
+        assert!(max_gap > 0.005, "fit unexpectedly exact: {max_gap}");
+        assert!(max_gap < 0.10, "fit unexpectedly bad: {max_gap}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(imhof_cdf(&[], 1.0).unwrap(), 1.0);
+        assert_eq!(imhof_cdf(&[0.0, 0.0], -0.5).unwrap(), 0.0);
+        assert_eq!(imhof_cdf(&[1.0], 0.0).unwrap(), 0.0);
+        assert!(imhof_cdf(&[-1.0], 1.0).is_err());
+        assert!(imhof_quantile(&[1.0], 0.0).is_err());
+        assert!(imhof_quantile(&[1.0], 1.0).is_err());
+    }
+}

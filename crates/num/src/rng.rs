@@ -1,0 +1,124 @@
+//! Random-sampling helpers layered on top of [`rand`].
+//!
+//! Only the uniform stream comes from `rand`; the normal and exponential
+//! transforms are implemented here (the workspace's offline dependency set
+//! does not include `rand_distr`).
+
+use rand::Rng;
+
+/// Marsaglia polar-method standard-normal sampler.
+///
+/// The polar method produces two independent N(0,1) variates per acceptance;
+/// the sampler caches the spare one, so it holds mutable state and is passed
+/// explicitly alongside the RNG.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use statobd_num::rng::NormalSampler;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sampler = NormalSampler::new();
+/// let z = sampler.sample(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with no cached variate.
+    pub fn new() -> Self {
+        NormalSampler { spare: None }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Fills `out` with standard-normal variates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// Draws one standard-exponential variate (rate 1) by inversion.
+pub fn sample_exp1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut s = NormalSampler::new();
+        let n = 400_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let mut sum3 = 0.0;
+        for _ in 0..n {
+            let z = s.sample(&mut rng);
+            sum += z;
+            sum2 += z * z;
+            sum3 += z * z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let skew = sum3 / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!(skew.abs() < 0.03, "skew {skew}");
+    }
+
+    #[test]
+    fn normal_tail_fraction() {
+        // P(|Z| > 1.96) ≈ 0.05.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = NormalSampler::new();
+        let n = 200_000;
+        let count = (0..n).filter(|_| s.sample(&mut rng).abs() > 1.96).count();
+        let frac = count as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.005, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn fill_produces_distinct_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = NormalSampler::new();
+        let mut buf = [0.0; 16];
+        s.fill(&mut rng, &mut buf);
+        let distinct: std::collections::HashSet<u64> = buf.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(distinct.len(), buf.len());
+    }
+
+    #[test]
+    fn exp1_mean_is_one() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_exp1(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,418 @@
+//! Descriptive statistics and model-validation metrics.
+//!
+//! Includes the goodness-of-fit measures the paper reports: the R² of the
+//! Gaussian fit to BLOD histograms (Fig. 4), the mutual information between
+//! the BLOD sample mean and variance (Fig. 7), and Kolmogorov–Smirnov
+//! distances used to validate the χ² approximation (Fig. 8).
+
+use crate::hist::Histogram2d;
+use crate::{NumError, Result};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.sample_variance() - 5.0/3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample mean of a slice.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty slice");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance of a slice.
+///
+/// # Panics
+///
+/// Panics if `data.len() < 2`.
+pub fn sample_variance(data: &[f64]) -> f64 {
+    assert!(data.len() >= 2, "sample variance needs at least 2 points");
+    let m = mean(data);
+    data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Sample skewness (Fisher–Pearson, bias-uncorrected).
+///
+/// # Panics
+///
+/// Panics if `data.len() < 2` or the data is constant.
+pub fn skewness(data: &[f64]) -> f64 {
+    assert!(data.len() >= 2, "skewness needs at least 2 points");
+    let m = mean(data);
+    let n = data.len() as f64;
+    let m2 = data.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / n;
+    let m3 = data.iter().map(|&x| (x - m).powi(3)).sum::<f64>() / n;
+    assert!(m2 > 0.0, "skewness undefined for constant data");
+    m3 / m2.powf(1.5)
+}
+
+/// Sample excess kurtosis (bias-uncorrected): 0 for a Gaussian.
+///
+/// # Panics
+///
+/// Panics if `data.len() < 2` or the data is constant.
+pub fn excess_kurtosis(data: &[f64]) -> f64 {
+    assert!(data.len() >= 2, "kurtosis needs at least 2 points");
+    let m = mean(data);
+    let n = data.len() as f64;
+    let m2 = data.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / n;
+    let m4 = data.iter().map(|&x| (x - m).powi(4)).sum::<f64>() / n;
+    assert!(m2 > 0.0, "kurtosis undefined for constant data");
+    m4 / (m2 * m2) - 3.0
+}
+
+/// Linear-interpolated empirical quantile of **sorted** data.
+///
+/// # Errors
+///
+/// Returns [`NumError::Domain`] if `data` is empty or `p ∉ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> Result<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&p) {
+        return Err(NumError::Domain {
+            detail: format!(
+                "quantile needs non-empty data and p in [0,1], got n={}, p={p}",
+                sorted.len()
+            ),
+        });
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let pos = p * (n - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 >= n {
+        Ok(sorted[n - 1])
+    } else {
+        Ok(sorted[i] * (1.0 - frac) + sorted[i + 1] * frac)
+    }
+}
+
+/// Coefficient of determination R² between observations and model values.
+///
+/// This is the metric the paper quotes for the Gaussian fit of the BLOD
+/// histograms (99.8 % / 99.5 % in its Fig. 4).
+///
+/// # Errors
+///
+/// Returns [`NumError::Domain`] if lengths differ, fewer than 2 points are
+/// given, or the observations are constant.
+pub fn r_squared(observed: &[f64], modeled: &[f64]) -> Result<f64> {
+    if observed.len() != modeled.len() || observed.len() < 2 {
+        return Err(NumError::Domain {
+            detail: format!(
+                "r_squared needs equal-length inputs with >= 2 points, got {} and {}",
+                observed.len(),
+                modeled.len()
+            ),
+        });
+    }
+    let m = mean(observed);
+    let ss_tot: f64 = observed.iter().map(|&y| (y - m) * (y - m)).sum();
+    if ss_tot == 0.0 {
+        return Err(NumError::Domain {
+            detail: "r_squared undefined for constant observations".to_string(),
+        });
+    }
+    let ss_res: f64 = observed
+        .iter()
+        .zip(modeled)
+        .map(|(&y, &f)| (y - f) * (y - f))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Mutual information (in nats) of a 2-D histogram's joint distribution.
+///
+/// `I(X;Y) = Σ p(x,y) ln( p(x,y) / (p(x)p(y)) )`, the independence measure
+/// the paper uses to justify `f(u,v) ≈ f(u)·f(v)` (it reports ≈ 0.003).
+pub fn mutual_information(hist: &Histogram2d) -> f64 {
+    let joint = hist.joint_probabilities();
+    let mx = hist.marginal_x();
+    let my = hist.marginal_y();
+    let (xbins, ybins) = hist.shape();
+    let mut mi = 0.0;
+    for i in 0..xbins {
+        for j in 0..ybins {
+            let pxy = joint[i * ybins + j];
+            if pxy > 0.0 {
+                mi += pxy * (pxy / (mx[i] * my[j])).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Two-sample style Kolmogorov–Smirnov distance between an empirical sample
+/// and a reference CDF.
+///
+/// # Errors
+///
+/// Returns [`NumError::Domain`] if `sample` is empty.
+pub fn ks_distance(sample: &mut [f64], cdf: impl Fn(f64) -> f64) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(NumError::Domain {
+            detail: "ks_distance needs a non-empty sample".to_string(),
+        });
+    }
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sample.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sample.iter().enumerate() {
+        let f = cdf(x);
+        let emp_hi = (i as f64 + 1.0) / n;
+        let emp_lo = i as f64 / n;
+        d = d.max((f - emp_lo).abs()).max((emp_hi - f).abs());
+    }
+    Ok(d)
+}
+
+/// Relative error `|estimate − reference| / |reference|`.
+///
+/// # Panics
+///
+/// Panics if `reference == 0`.
+pub fn relative_error(estimate: f64, reference: f64) -> f64 {
+    assert!(
+        reference != 0.0,
+        "relative error undefined for zero reference"
+    );
+    ((estimate - reference) / reference).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::norm_cdf;
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let data = [1.5, 2.5, -3.0, 4.0, 0.0, 7.25];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert!((s.mean() - mean(&data)).abs() < 1e-12);
+        assert!((s.sample_variance() - sample_variance(&data)).abs() < 1e-12);
+        assert_eq!(s.min(), -3.0);
+        assert_eq!(s.max(), 7.25);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).sin() * 3.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0).unwrap(), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5).unwrap(), 3.0);
+        assert_eq!(quantile_sorted(&sorted, 0.25).unwrap(), 2.0);
+        assert!(quantile_sorted(&[], 0.5).is_err());
+        assert!(quantile_sorted(&sorted, 1.5).is_err());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_model() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&obs, &obs).unwrap() - 1.0).abs() < 1e-15);
+        // Predicting the mean gives R² = 0.
+        let mean_model = [2.5; 4];
+        assert!(r_squared(&obs, &mean_model).unwrap().abs() < 1e-15);
+    }
+
+    #[test]
+    fn r_squared_rejects_degenerate() {
+        assert!(r_squared(&[1.0], &[1.0]).is_err());
+        assert!(r_squared(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(r_squared(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn mutual_information_zero_for_independent() {
+        let mut h = Histogram2d::new((0.0, 1.0, 4), (0.0, 1.0, 4)).unwrap();
+        // Product fill: exactly independent.
+        for i in 0..4 {
+            for j in 0..4 {
+                for _ in 0..(i + 1) * (j + 1) {
+                    h.add(0.125 + i as f64 * 0.25, 0.125 + j as f64 * 0.25);
+                }
+            }
+        }
+        assert!(mutual_information(&h) < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_positive_for_dependent() {
+        let mut h = Histogram2d::new((0.0, 1.0, 4), (0.0, 1.0, 4)).unwrap();
+        // Perfectly correlated fill.
+        for i in 0..4 {
+            for _ in 0..25 {
+                h.add(0.125 + i as f64 * 0.25, 0.125 + i as f64 * 0.25);
+            }
+        }
+        // I = H(X) = ln 4 for a uniform perfectly-dependent pair.
+        assert!((mutual_information(&h) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_distance_small_for_matching_cdf() {
+        // Deterministic normal scores: KS should be ~1/n.
+        let n = 1000;
+        let mut sample: Vec<f64> = (1..=n)
+            .map(|i| crate::special::norm_inv_cdf(i as f64 / (n as f64 + 1.0)).unwrap())
+            .collect();
+        let d = ks_distance(&mut sample, norm_cdf).unwrap();
+        assert!(d < 2.0 / n as f64, "KS {d}");
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_of_known_shapes() {
+        // Symmetric data: zero skew.
+        let sym = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&sym).abs() < 1e-12);
+        // Right-skewed data: positive skew.
+        let right = [0.0, 0.0, 0.0, 0.1, 10.0];
+        assert!(skewness(&right) > 1.0);
+        // Uniform-ish data: negative excess kurtosis (platykurtic).
+        let uniform: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(excess_kurtosis(&uniform) < -1.0);
+        // Heavy-tailed data: positive excess kurtosis.
+        let mut heavy = vec![0.0; 98];
+        heavy.push(50.0);
+        heavy.push(-50.0);
+        assert!(excess_kurtosis(&heavy) > 10.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+    }
+}

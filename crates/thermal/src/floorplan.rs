@@ -1,0 +1,295 @@
+//! Floorplans: named rectangular functional blocks on a die.
+
+use crate::{Result, ThermalError};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle (meters), origin at the die's lower-left.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    x: f64,
+    y: f64,
+    w: f64,
+    h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle at `(x, y)` with size `w × h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for negative origins or
+    /// non-positive sizes.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Result<Self> {
+        if x < 0.0 || y < 0.0 || !(w > 0.0) || !(h > 0.0) {
+            return Err(ThermalError::InvalidParameter {
+                detail: format!("invalid rect ({x}, {y}, {w}, {h})"),
+            });
+        }
+        if [x, y, w, h].iter().any(|v| !v.is_finite()) {
+            return Err(ThermalError::InvalidParameter {
+                detail: "rect parameters must be finite".to_string(),
+            });
+        }
+        Ok(Rect { x, y, w, h })
+    }
+
+    /// Left edge.
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Bottom edge.
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// Width.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+
+    /// Height.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// Right edge.
+    pub fn x1(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge.
+    pub fn y1(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Returns `true` if `(px, py)` lies inside (half-open on the far
+    /// edges).
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x1() && py >= self.y && py < self.y1()
+    }
+
+    /// Area of overlap with another rectangle.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let ox = (self.x1().min(other.x1()) - self.x.max(other.x)).max(0.0);
+        let oy = (self.y1().min(other.y1()) - self.y.max(other.y)).max(0.0);
+        ox * oy
+    }
+}
+
+/// A named functional block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    name: String,
+    rect: Rect,
+}
+
+impl Block {
+    /// Creates a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] if the name is empty.
+    pub fn new(name: impl Into<String>, rect: Rect) -> Result<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ThermalError::InvalidParameter {
+                detail: "block name must be non-empty".to_string(),
+            });
+        }
+        Ok(Block { name, rect })
+    }
+
+    /// The block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block geometry.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+}
+
+/// A die with named functional blocks.
+///
+/// Blocks must lie within the die. Overlaps are permitted (hierarchical
+/// floorplans often overlay clock/power regions) but the area accounting
+/// helpers report them so callers can detect unintended overlap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    die_w: f64,
+    die_h: f64,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan for a `die_w × die_h` die (meters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-positive sizes.
+    pub fn new(die_w: f64, die_h: f64) -> Result<Self> {
+        if !(die_w > 0.0) || !(die_h > 0.0) || !die_w.is_finite() || !die_h.is_finite() {
+            return Err(ThermalError::InvalidParameter {
+                detail: format!("die dimensions must be positive, got {die_w} x {die_h}"),
+            });
+        }
+        Ok(Floorplan {
+            die_w,
+            die_h,
+            blocks: Vec::new(),
+        })
+    }
+
+    /// Die width (m).
+    pub fn die_w(&self) -> f64 {
+        self.die_w
+    }
+
+    /// Die height (m).
+    pub fn die_h(&self) -> f64 {
+        self.die_h
+    }
+
+    /// Die area (m²).
+    pub fn die_area(&self) -> f64 {
+        self.die_w * self.die_h
+    }
+
+    /// Adds a block.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidParameter`] if the block extends beyond the
+    ///   die,
+    /// * [`ThermalError::UnknownBlock`] (with the duplicate name) if a
+    ///   block of the same name exists.
+    pub fn add_block(&mut self, block: Block) -> Result<()> {
+        let r = block.rect();
+        if r.x1() > self.die_w * (1.0 + 1e-12) || r.y1() > self.die_h * (1.0 + 1e-12) {
+            return Err(ThermalError::InvalidParameter {
+                detail: format!(
+                    "block '{}' extends beyond the {} x {} die",
+                    block.name(),
+                    self.die_w,
+                    self.die_h
+                ),
+            });
+        }
+        if self.blocks.iter().any(|b| b.name() == block.name()) {
+            return Err(ThermalError::UnknownBlock {
+                name: format!("duplicate block name '{}'", block.name()),
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// The blocks in insertion order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Looks up a block by name.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name() == name)
+    }
+
+    /// Total block area (m²); exceeds the die area if blocks overlap.
+    pub fn total_block_area(&self) -> f64 {
+        self.blocks.iter().map(|b| b.rect().area()).sum()
+    }
+
+    /// Maximum pairwise overlap area between blocks (0 for a clean
+    /// floorplan).
+    pub fn max_overlap(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.blocks.len() {
+            for j in (i + 1)..self.blocks.len() {
+                worst = worst.max(self.blocks[i].rect().overlap_area(self.blocks[j].rect()));
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0).unwrap();
+        assert_eq!(r.x1(), 4.0);
+        assert_eq!(r.y1(), 6.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+        assert!(r.contains(1.0, 2.0));
+        assert!(!r.contains(4.0, 4.0));
+    }
+
+    #[test]
+    fn rect_rejects_bad_params() {
+        assert!(Rect::new(-1.0, 0.0, 1.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn overlap_area_cases() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0).unwrap();
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0).unwrap();
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0).unwrap();
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert_eq!(a.overlap_area(&a), 4.0);
+    }
+
+    #[test]
+    fn floorplan_bounds_and_duplicates() {
+        let mut fp = Floorplan::new(0.01, 0.01).unwrap();
+        fp.add_block(Block::new("a", Rect::new(0.0, 0.0, 0.005, 0.005).unwrap()).unwrap())
+            .unwrap();
+        // Out of bounds.
+        let oob = Block::new("b", Rect::new(0.008, 0.0, 0.005, 0.005).unwrap()).unwrap();
+        assert!(fp.add_block(oob).is_err());
+        // Duplicate name.
+        let dup = Block::new("a", Rect::new(0.005, 0.005, 0.001, 0.001).unwrap()).unwrap();
+        assert!(fp.add_block(dup).is_err());
+        assert_eq!(fp.blocks().len(), 1);
+        assert!(fp.block("a").is_some());
+        assert!(fp.block("missing").is_none());
+    }
+
+    #[test]
+    fn area_accounting() {
+        let mut fp = Floorplan::new(1.0, 1.0).unwrap();
+        fp.add_block(Block::new("a", Rect::new(0.0, 0.0, 0.5, 0.5).unwrap()).unwrap())
+            .unwrap();
+        fp.add_block(Block::new("b", Rect::new(0.25, 0.25, 0.5, 0.5).unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(fp.total_block_area(), 0.5);
+        assert_eq!(fp.max_overlap(), 0.0625);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut fp = Floorplan::new(0.02, 0.02).unwrap();
+        fp.add_block(Block::new("alu", Rect::new(0.0, 0.0, 0.01, 0.01).unwrap()).unwrap())
+            .unwrap();
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: Floorplan = serde_json::from_str(&json).unwrap();
+        assert_eq!(fp, back);
+    }
+}

@@ -1,0 +1,196 @@
+//! Reference floorplans and power profiles.
+//!
+//! Two designs echo the paper's Fig. 1: an Alpha-processor-class
+//! floorplan with 15 functional modules (design C6 of the evaluation) and
+//! a 16-core many-core design. Powers are representative architectural
+//! estimates in the Wattch style; the resulting thermal maps show the
+//! paper's structure — compact hot spots ~30 °C above the inactive
+//! regions.
+
+use crate::floorplan::{Block, Floorplan, Rect};
+use crate::power::{BlockPower, PowerModel};
+use crate::Result;
+
+/// Millimeters to meters.
+const MM: f64 = 1e-3;
+
+/// The 15 functional modules of the Alpha-class floorplan, with geometry
+/// (mm) and (dynamic W, leakage W) assignments.
+const ALPHA_BLOCKS: &[(&str, f64, f64, f64, f64, f64, f64)] = &[
+    // name, x, y, w, h, dynamic_w, leakage_w
+    ("l2_left", 0.0, 0.0, 4.0, 8.0, 2.5, 0.8),
+    ("l2_center", 4.0, 0.0, 8.0, 8.0, 5.0, 1.6),
+    ("l2_right", 12.0, 0.0, 4.0, 8.0, 2.5, 0.8),
+    ("icache", 0.0, 8.0, 4.0, 4.0, 5.0, 0.6),
+    ("dcache", 4.0, 8.0, 4.0, 4.0, 6.0, 0.6),
+    ("ldstq", 8.0, 8.0, 2.0, 4.0, 3.4, 0.3),
+    ("intq", 10.0, 8.0, 2.0, 4.0, 3.8, 0.3),
+    ("intreg", 12.0, 8.0, 2.0, 4.0, 4.7, 0.3),
+    ("intexec", 14.0, 8.0, 2.0, 4.0, 7.6, 0.4),
+    ("bpred", 0.0, 12.0, 2.0, 4.0, 3.0, 0.3),
+    ("tlb", 2.0, 12.0, 2.0, 4.0, 1.7, 0.2),
+    ("fpadd", 4.0, 12.0, 3.0, 4.0, 4.2, 0.3),
+    ("fpmul", 7.0, 12.0, 3.0, 4.0, 4.7, 0.3),
+    ("fpreg", 10.0, 12.0, 2.0, 4.0, 2.1, 0.2),
+    ("intmap", 12.0, 12.0, 4.0, 4.0, 3.4, 0.4),
+];
+
+/// Alpha-processor-class floorplan: a 16 mm × 16 mm die with 15 functional
+/// modules (L2 banks, caches, integer/floating-point clusters) that tiles
+/// the die exactly.
+///
+/// # Errors
+///
+/// Never fails in practice; the signature propagates constructor errors.
+///
+/// # Example
+///
+/// ```
+/// let fp = statobd_thermal::alpha_ev6_floorplan()?;
+/// assert_eq!(fp.blocks().len(), 15);
+/// assert!((fp.total_block_area() - fp.die_area()).abs() < 1e-12);
+/// # Ok::<(), statobd_thermal::ThermalError>(())
+/// ```
+pub fn alpha_ev6_floorplan() -> Result<Floorplan> {
+    let mut fp = Floorplan::new(16.0 * MM, 16.0 * MM)?;
+    for &(name, x, y, w, h, _, _) in ALPHA_BLOCKS {
+        fp.add_block(Block::new(
+            name,
+            Rect::new(x * MM, y * MM, w * MM, h * MM)?,
+        )?)?;
+    }
+    Ok(fp)
+}
+
+/// Power model matching [`alpha_ev6_floorplan`]: ~60 W total with the
+/// integer execution cluster as the dominant hot spot.
+///
+/// # Errors
+///
+/// Never fails in practice; the signature propagates constructor errors.
+pub fn alpha_ev6_power() -> Result<PowerModel> {
+    let mut pm = PowerModel::new();
+    for &(name, _, _, _, _, dyn_w, leak_w) in ALPHA_BLOCKS {
+        pm.set_block_power(name, BlockPower::new(dyn_w, leak_w)?)?;
+    }
+    Ok(pm)
+}
+
+/// A 16-core many-core floorplan: 4 × 4 cores of 3 mm × 3 mm on a
+/// 16 mm × 16 mm die, with the inter-core fabric as a separate "uncore"
+/// block (the remaining area is modeled as unpowered silicon).
+///
+/// Core `k` (0–15) is named `core_k`, laid out row-major from the
+/// lower-left.
+///
+/// # Errors
+///
+/// Never fails in practice; the signature propagates constructor errors.
+pub fn many_core_floorplan() -> Result<Floorplan> {
+    let mut fp = Floorplan::new(16.0 * MM, 16.0 * MM)?;
+    for k in 0..16 {
+        let col = (k % 4) as f64;
+        let row = (k / 4) as f64;
+        let x = (0.5 + col * 4.0) * MM;
+        let y = (0.5 + row * 4.0) * MM;
+        fp.add_block(Block::new(
+            format!("core_{k}"),
+            Rect::new(x, y, 3.0 * MM, 3.0 * MM)?,
+        )?)?;
+    }
+    Ok(fp)
+}
+
+/// Power model for [`many_core_floorplan`] with the given cores active.
+///
+/// Active cores draw `active_w` dynamic watts; the rest idle at 10 % of
+/// that. This reproduces the many-core panel of the paper's Fig. 1, where
+/// a handful of busy cores form isolated hot spots.
+///
+/// # Errors
+///
+/// Returns an error if `active_w` is negative (via [`BlockPower::new`]).
+///
+/// # Example
+///
+/// ```
+/// let pm = statobd_thermal::many_core_power(&[5, 6, 9], 6.0)?;
+/// assert!(pm.block_power("core_5").unwrap().dynamic_w() > 5.0);
+/// assert!(pm.block_power("core_0").unwrap().dynamic_w() < 1.0);
+/// # Ok::<(), statobd_thermal::ThermalError>(())
+/// ```
+pub fn many_core_power(active_cores: &[usize], active_w: f64) -> Result<PowerModel> {
+    let mut pm = PowerModel::new();
+    for k in 0..16usize {
+        let dyn_w = if active_cores.contains(&k) {
+            active_w
+        } else {
+            active_w * 0.1
+        };
+        pm.set_block_power(format!("core_{k}"), BlockPower::new(dyn_w, dyn_w * 0.1)?)?;
+    }
+    Ok(pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{ThermalConfig, ThermalSolver};
+
+    #[test]
+    fn alpha_floorplan_tiles_die_exactly() {
+        let fp = alpha_ev6_floorplan().unwrap();
+        assert_eq!(fp.blocks().len(), 15);
+        assert!((fp.total_block_area() - fp.die_area()).abs() < 1e-12);
+        assert_eq!(fp.max_overlap(), 0.0);
+    }
+
+    #[test]
+    fn alpha_power_totals_are_processor_class() {
+        let pm = alpha_ev6_power().unwrap();
+        let total = pm.total_dynamic_w() + pm.total_leakage_ref_w();
+        assert!((40.0..90.0).contains(&total), "total {total} W");
+    }
+
+    #[test]
+    fn alpha_profile_shows_fig1_structure() {
+        let fp = alpha_ev6_floorplan().unwrap();
+        let pm = alpha_ev6_power().unwrap();
+        let solver = ThermalSolver::new(ThermalConfig::default());
+        let map = solver.solve(&fp, &pm).unwrap();
+        let spread = map.max_k() - map.min_k();
+        assert!(
+            (15.0..50.0).contains(&spread),
+            "Fig.1-style spread expected, got {spread:.1} K"
+        );
+        // Hottest block is the integer execution cluster.
+        let mut hottest = ("", f64::NEG_INFINITY);
+        for b in fp.blocks() {
+            let s = map.block_stats(b.rect());
+            if s.max_k > hottest.1 {
+                hottest = (b.name(), s.max_k);
+            }
+        }
+        assert_eq!(hottest.0, "intexec");
+        // Temperatures are physically plausible (between 45 and 125 °C).
+        assert!(map.min_k() > 318.0 && map.max_k() < 398.0);
+    }
+
+    #[test]
+    fn many_core_hot_spots_are_local() {
+        let fp = many_core_floorplan().unwrap();
+        let pm = many_core_power(&[5, 10], 7.0).unwrap();
+        let solver = ThermalSolver::new(ThermalConfig::default());
+        let map = solver.solve(&fp, &pm).unwrap();
+        let hot = map.block_stats(fp.block("core_5").unwrap().rect());
+        let cold = map.block_stats(fp.block("core_3").unwrap().rect());
+        assert!(hot.max_k > cold.max_k + 5.0);
+    }
+
+    #[test]
+    fn many_core_idle_cores_draw_ten_percent() {
+        let pm = many_core_power(&[0], 10.0).unwrap();
+        assert_eq!(pm.block_power("core_0").unwrap().dynamic_w(), 10.0);
+        assert_eq!(pm.block_power("core_7").unwrap().dynamic_w(), 1.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Transient thermal simulation (HotSpot's transient mode, as a compact
+//! explicit integrator).
+//!
+//! The same grid RC network as the steady-state solver, plus a heat
+//! capacity per cell: `C·dT/dt = P(T) + G_v·T_amb − (L + diag(G_v))·T`.
+//! Integration is explicit Euler with an automatically chosen stable
+//! sub-step (`dt ≤ stability_factor · C / max_row_conductance`), which is
+//! cheap because the thermal RC time constants of a die are far longer
+//! than the stability limit of its lateral network.
+//!
+//! Transient analysis matters to the reliability flow because application
+//! phases with different power maps produce different *worst-case block
+//! temperatures*; the paper handles this by taking the block-level
+//! worst case over the lifetime — this module lets a user derive exactly
+//! that from a power trace.
+
+use crate::floorplan::Floorplan;
+use crate::power::PowerModel;
+use crate::solver::{TemperatureMap, ThermalSolver};
+use crate::{Result, ThermalError};
+
+/// Fraction of the explicit-Euler stability limit to use as the sub-step.
+const STABILITY_FACTOR: f64 = 0.5;
+
+/// A transient simulation result: snapshots at the requested times.
+#[derive(Debug)]
+pub struct TransientResult {
+    /// `(time (s), temperature field)` pairs, in increasing time order.
+    pub snapshots: Vec<(f64, TemperatureMap)>,
+}
+
+impl TransientResult {
+    /// The final temperature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result has no snapshots (the solver always produces
+    /// at least one).
+    pub fn final_map(&self) -> &TemperatureMap {
+        &self.snapshots.last().expect("at least one snapshot").1
+    }
+}
+
+impl ThermalSolver {
+    /// Integrates the transient response from a uniform `t_init_k` start
+    /// under the given power model, recording `n_snapshots` equally spaced
+    /// snapshots over `duration_s`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidParameter`] for a non-positive duration,
+    ///   zero snapshots, or an invalid configuration,
+    /// * [`ThermalError::SolveFailed`] on thermal runaway.
+    pub fn solve_transient(
+        &self,
+        floorplan: &Floorplan,
+        power: &PowerModel,
+        t_init_k: f64,
+        duration_s: f64,
+        n_snapshots: usize,
+    ) -> Result<TransientResult> {
+        let cfg = self.config();
+        cfg.validate()?;
+        if !(duration_s > 0.0) || n_snapshots == 0 || !(t_init_k > 0.0) {
+            return Err(ThermalError::InvalidParameter {
+                detail: format!(
+                    "need duration > 0, snapshots > 0 and t_init > 0, got {duration_s}, {n_snapshots}, {t_init_k}"
+                ),
+            });
+        }
+        let (nx, ny) = (cfg.nx, cfg.ny);
+        let n = nx * ny;
+        let cw = floorplan.die_w() / nx as f64;
+        let ch = floorplan.die_h() / ny as f64;
+        let cell_area = cw * ch;
+
+        // Reuse the steady-state assembly helpers by rebuilding the
+        // conductance structure inline (same constants as `solve`).
+        let sheet = cfg.k_silicon * cfg.die_thickness + cfg.k_spreader * cfg.spreader_thickness;
+        let g_x = sheet * ch / cw;
+        let g_y = sheet * cw / ch;
+        let g_v = cell_area / cfg.r_package;
+        let c_cell = cfg.c_volumetric * cell_area * cfg.die_thickness;
+
+        // Per-cell dynamic power and reference leakage (uniform density
+        // over each block).
+        let (dyn_cell, leak_cell_ref) = rasterize_power(floorplan, power, nx, ny, cw, ch);
+
+        // Stability: dt <= factor * C / (sum of conductances at a cell).
+        let max_row_g = g_v + 2.0 * g_x + 2.0 * g_y;
+        let dt = STABILITY_FACTOR * c_cell / max_row_g;
+        let snap_every = duration_s / n_snapshots as f64;
+
+        let mut temps = vec![t_init_k; n];
+        let mut next = vec![0.0; n];
+        let mut snapshots = Vec::with_capacity(n_snapshots);
+        let mut t_now = 0.0;
+        let mut next_snap = snap_every;
+        while t_now < duration_s - 1e-12 {
+            let step = dt.min(duration_s - t_now).min(next_snap - t_now + 1e-15);
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = iy * nx + ix;
+                    let t_i = temps[i];
+                    let mut flow = g_v * (cfg.ambient_k - t_i);
+                    if ix + 1 < nx {
+                        flow += g_x * (temps[i + 1] - t_i);
+                    }
+                    if ix > 0 {
+                        flow += g_x * (temps[i - 1] - t_i);
+                    }
+                    if iy + 1 < ny {
+                        flow += g_y * (temps[i + nx] - t_i);
+                    }
+                    if iy > 0 {
+                        flow += g_y * (temps[i - nx] - t_i);
+                    }
+                    let leak = leak_cell_ref[i]
+                        * ((t_i - crate::power::LEAKAGE_REF_K) / cfg.leakage_theta_k).exp();
+                    next[i] = t_i + step * (dyn_cell[i] + leak + flow) / c_cell;
+                }
+            }
+            std::mem::swap(&mut temps, &mut next);
+            t_now += step;
+            let hottest = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if !hottest.is_finite() || hottest > cfg.ambient_k + 500.0 {
+                return Err(ThermalError::SolveFailed {
+                    detail: format!("transient thermal runaway at t = {t_now:.3e} s"),
+                });
+            }
+            if t_now >= next_snap - 1e-12 {
+                snapshots.push((
+                    t_now,
+                    TemperatureMap::from_parts(
+                        nx,
+                        ny,
+                        floorplan.die_w(),
+                        floorplan.die_h(),
+                        temps.clone(),
+                    ),
+                ));
+                next_snap += snap_every;
+            }
+        }
+        if snapshots.is_empty() {
+            snapshots.push((
+                t_now,
+                TemperatureMap::from_parts(nx, ny, floorplan.die_w(), floorplan.die_h(), temps),
+            ));
+        }
+        Ok(TransientResult { snapshots })
+    }
+}
+
+/// Rasterizes block powers onto the thermal grid (shared with the
+/// steady-state path's logic).
+fn rasterize_power(
+    floorplan: &Floorplan,
+    power: &PowerModel,
+    nx: usize,
+    ny: usize,
+    cw: f64,
+    ch: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = nx * ny;
+    let mut dyn_cell = vec![0.0; n];
+    let mut leak_cell_ref = vec![0.0; n];
+    for block in floorplan.blocks() {
+        let Some(bp) = power.block_power(block.name()) else {
+            continue;
+        };
+        let r = block.rect();
+        let dyn_density = bp.dynamic_w() / r.area();
+        let leak_density = bp.leakage_ref_w() / r.area();
+        let ix0 = ((r.x() / cw).floor().max(0.0) as usize).min(nx - 1);
+        let ix1 = (((r.x1() / cw).ceil().max(1.0) as usize) - 1).min(nx - 1);
+        let iy0 = ((r.y() / ch).floor().max(0.0) as usize).min(ny - 1);
+        let iy1 = (((r.y1() / ch).ceil().max(1.0) as usize) - 1).min(ny - 1);
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let cx0 = ix as f64 * cw;
+                let cy0 = iy as f64 * ch;
+                let ox = (r.x1().min(cx0 + cw) - r.x().max(cx0)).max(0.0);
+                let oy = (r.y1().min(cy0 + ch) - r.y().max(cy0)).max(0.0);
+                let overlap = ox * oy;
+                if overlap > 0.0 {
+                    dyn_cell[iy * nx + ix] += dyn_density * overlap;
+                    leak_cell_ref[iy * nx + ix] += leak_density * overlap;
+                }
+            }
+        }
+    }
+    (dyn_cell, leak_cell_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::{Block, Rect};
+    use crate::power::BlockPower;
+    use crate::solver::ThermalConfig;
+
+    fn setup(power_w: f64) -> (Floorplan, PowerModel, ThermalSolver) {
+        let mut fp = Floorplan::new(0.008, 0.008).unwrap();
+        fp.add_block(Block::new("b", Rect::new(0.0, 0.0, 0.008, 0.008).unwrap()).unwrap())
+            .unwrap();
+        let mut pm = PowerModel::new();
+        pm.set_block_power("b", BlockPower::new(power_w, 0.0).unwrap())
+            .unwrap();
+        let solver = ThermalSolver::new(ThermalConfig {
+            nx: 8,
+            ny: 8,
+            ..ThermalConfig::default()
+        });
+        (fp, pm, solver)
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let (fp, pm, solver) = setup(10.0);
+        let steady = solver.solve(&fp, &pm).unwrap();
+        // Several vertical time constants: τ = C/G_v ≈ r_pkg·c_v·t_die.
+        let duration = 5.0 * 1.3e-4 * 1.63e6 * 0.5e-3;
+        let transient = solver
+            .solve_transient(&fp, &pm, 318.15, duration, 4)
+            .unwrap();
+        let final_map = transient.final_map();
+        for (t_tr, t_ss) in final_map.temps().iter().zip(steady.temps()) {
+            assert!(
+                (t_tr - t_ss).abs() < 0.05 * (t_ss - 318.15).max(0.1),
+                "transient {t_tr} vs steady {t_ss}"
+            );
+        }
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_from_cold_start() {
+        let (fp, pm, solver) = setup(10.0);
+        let result = solver.solve_transient(&fp, &pm, 318.15, 0.05, 5).unwrap();
+        let mut prev = 318.15;
+        for (_, map) in &result.snapshots {
+            let mean = map.mean_k();
+            assert!(mean >= prev - 1e-9, "mean {mean} dropped below {prev}");
+            prev = mean;
+        }
+        assert_eq!(result.snapshots.len(), 5);
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let (fp, pm, solver) = setup(0.0);
+        let result = solver.solve_transient(&fp, &pm, 318.15, 0.01, 2).unwrap();
+        for &t in result.final_map().temps() {
+            assert!((t - 318.15).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hot_start_cools_toward_steady_state() {
+        let (fp, pm, solver) = setup(5.0);
+        let steady = solver.solve(&fp, &pm).unwrap();
+        let duration = 8.0 * 1.3e-4 * 1.63e6 * 0.5e-3;
+        let result = solver
+            .solve_transient(&fp, &pm, steady.max_k() + 30.0, duration, 3)
+            .unwrap();
+        let final_mean = result.final_map().mean_k();
+        assert!(
+            (final_mean - steady.mean_k()).abs() < 1.0,
+            "cooled to {final_mean} vs steady {}",
+            steady.mean_k()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let (fp, pm, solver) = setup(1.0);
+        assert!(solver.solve_transient(&fp, &pm, 318.15, 0.0, 2).is_err());
+        assert!(solver.solve_transient(&fp, &pm, 318.15, 0.1, 0).is_err());
+        assert!(solver.solve_transient(&fp, &pm, 0.0, 0.1, 2).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Variance budgets: how total oxide-thickness variation splits into
+//! global (inter-die), spatially correlated (intra-die) and independent
+//! components.
+
+use crate::{Result, VariationError};
+use serde::{Deserialize, Serialize};
+
+/// Split of the total thickness variance across spatial scales.
+///
+/// The paper (Table II) uses the ITRS-2008 `3σ/u₀ = 4 %` total with the
+/// Reda–Nassif split of 50 % global, 25 % spatially correlated and 25 %
+/// independent *variance* fractions; [`VarianceBudget::itrs_2008`] builds
+/// exactly that.
+///
+/// # Example
+///
+/// ```
+/// use statobd_variation::VarianceBudget;
+///
+/// let b = VarianceBudget::itrs_2008(2.2)?;
+/// let total = b.sigma_total();
+/// assert!((total - 2.2 * 0.04 / 3.0).abs() < 1e-12);
+/// // Variance fractions recombine to the total.
+/// let recombined = b.sigma_global().powi(2)
+///     + b.sigma_spatial().powi(2)
+///     + b.sigma_independent().powi(2);
+/// assert!((recombined - total * total).abs() < 1e-15);
+/// # Ok::<(), statobd_variation::VariationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VarianceBudget {
+    sigma_total: f64,
+    frac_global: f64,
+    frac_spatial: f64,
+    frac_independent: f64,
+}
+
+impl VarianceBudget {
+    /// Creates a budget from the total sigma and variance fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidParameter`] if `sigma_total <= 0`,
+    /// any fraction is negative, or the fractions do not sum to 1 (within
+    /// `1e-9`).
+    pub fn new(
+        sigma_total: f64,
+        frac_global: f64,
+        frac_spatial: f64,
+        frac_independent: f64,
+    ) -> Result<Self> {
+        if !(sigma_total > 0.0) || !sigma_total.is_finite() {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("sigma_total must be positive, got {sigma_total}"),
+            });
+        }
+        let fracs = [frac_global, frac_spatial, frac_independent];
+        if fracs.iter().any(|&f| f < 0.0 || !f.is_finite()) {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("variance fractions must be non-negative, got {fracs:?}"),
+            });
+        }
+        let sum: f64 = fracs.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("variance fractions must sum to 1, got {sum}"),
+            });
+        }
+        Ok(VarianceBudget {
+            sigma_total,
+            frac_global,
+            frac_spatial,
+            frac_independent,
+        })
+    }
+
+    /// The paper's Table II setup: `3σ_tot/u₀ = 4 %` of the given nominal
+    /// thickness, split 50 % / 25 % / 25 % (global / spatial / independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidParameter`] if `nominal <= 0`.
+    pub fn itrs_2008(nominal: f64) -> Result<Self> {
+        if !(nominal > 0.0) {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("nominal thickness must be positive, got {nominal}"),
+            });
+        }
+        Self::new(nominal * 0.04 / 3.0, 0.50, 0.25, 0.25)
+    }
+
+    /// Total standard deviation `σ_tot`.
+    pub fn sigma_total(&self) -> f64 {
+        self.sigma_total
+    }
+
+    /// Inter-die (global) standard deviation.
+    pub fn sigma_global(&self) -> f64 {
+        self.sigma_total * self.frac_global.sqrt()
+    }
+
+    /// Spatially correlated intra-die standard deviation.
+    pub fn sigma_spatial(&self) -> f64 {
+        self.sigma_total * self.frac_spatial.sqrt()
+    }
+
+    /// Independent (residual) standard deviation, the `λ_r` of eq. (2).
+    pub fn sigma_independent(&self) -> f64 {
+        self.sigma_total * self.frac_independent.sqrt()
+    }
+
+    /// Global variance fraction.
+    pub fn frac_global(&self) -> f64 {
+        self.frac_global
+    }
+
+    /// Spatially correlated variance fraction.
+    pub fn frac_spatial(&self) -> f64 {
+        self.frac_spatial
+    }
+
+    /// Independent variance fraction.
+    pub fn frac_independent(&self) -> f64 {
+        self.frac_independent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itrs_budget_matches_table_ii() {
+        let b = VarianceBudget::itrs_2008(2.2).unwrap();
+        assert!((b.sigma_total() - 0.029333333333333333).abs() < 1e-15);
+        assert_eq!(b.frac_global(), 0.5);
+        assert_eq!(b.frac_spatial(), 0.25);
+        assert_eq!(b.frac_independent(), 0.25);
+    }
+
+    #[test]
+    fn component_variances_sum_to_total() {
+        let b = VarianceBudget::new(0.03, 0.4, 0.35, 0.25).unwrap();
+        let sum =
+            b.sigma_global().powi(2) + b.sigma_spatial().powi(2) + b.sigma_independent().powi(2);
+        assert!((sum - 0.0009).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        assert!(VarianceBudget::new(0.03, 0.5, 0.5, 0.5).is_err());
+        assert!(VarianceBudget::new(0.03, -0.1, 0.6, 0.5).is_err());
+        assert!(VarianceBudget::new(0.0, 0.5, 0.25, 0.25).is_err());
+        assert!(VarianceBudget::new(f64::NAN, 0.5, 0.25, 0.25).is_err());
+        assert!(VarianceBudget::itrs_2008(-1.0).is_err());
+    }
+
+    #[test]
+    fn pure_global_budget_is_allowed() {
+        let b = VarianceBudget::new(0.01, 1.0, 0.0, 0.0).unwrap();
+        assert_eq!(b.sigma_spatial(), 0.0);
+        assert_eq!(b.sigma_independent(), 0.0);
+        assert_eq!(b.sigma_global(), 0.01);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = VarianceBudget::itrs_2008(2.2).unwrap();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: VarianceBudget = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,559 @@
+//! The PCA canonical form of the thickness variation model (paper eq. 2).
+//!
+//! Assembles the grid-level covariance (global + spatially correlated
+//! components), eigendecomposes it, and stores the loadings so the oxide
+//! thickness of a device in grid `g` is
+//!
+//! ```text
+//! x = nominal[g] + Σ_k loadings[g, k] · z_k + σ_ind · ε
+//! ```
+//!
+//! with `z_k`, `ε` independent standard normals.
+
+use crate::{
+    CorrelationKernel, GridSpec, Result, SystematicPattern, VarianceBudget, VariationError,
+};
+use statobd_num::eigen::SymmetricEigen;
+use statobd_num::matrix::DMatrix;
+
+/// Relative eigenvalue floor: components with `λ < EIG_FLOOR · λ_max` are
+/// treated as numerically zero and dropped.
+const EIG_FLOOR: f64 = 1e-12;
+
+/// The canonical-form thickness variation model (paper eq. 2).
+///
+/// Built by [`ThicknessModelBuilder`]. The correlated part (inter-die
+/// global + intra-die spatial) is expressed over independent standard
+/// normal principal components; the residual independent part is a single
+/// sigma (`λ_r`).
+#[derive(Debug, Clone)]
+pub struct ThicknessModel {
+    grid: GridSpec,
+    nominal: Vec<f64>,
+    loadings: DMatrix,
+    sigma_ind: f64,
+    budget: VarianceBudget,
+    kernel: CorrelationKernel,
+}
+
+impl ThicknessModel {
+    /// The correlation grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Number of correlation grids `n`.
+    pub fn n_grids(&self) -> usize {
+        self.grid.n_grids()
+    }
+
+    /// Number of retained principal components.
+    pub fn n_components(&self) -> usize {
+        self.loadings.ncols()
+    }
+
+    /// Per-grid nominal thickness (`λ_{i,0}` of eq. 2: the technology
+    /// nominal plus any systematic pattern offset).
+    pub fn nominal(&self) -> &[f64] {
+        &self.nominal
+    }
+
+    /// The `n_grids × n_components` loadings matrix (`λ_{i,j}` of eq. 2).
+    pub fn loadings(&self) -> &DMatrix {
+        &self.loadings
+    }
+
+    /// Residual independent sigma (`λ_r` of eq. 2).
+    pub fn sigma_ind(&self) -> f64 {
+        self.sigma_ind
+    }
+
+    /// The variance budget the model was built from.
+    pub fn budget(&self) -> &VarianceBudget {
+        &self.budget
+    }
+
+    /// The correlation kernel the model was built from.
+    pub fn kernel(&self) -> &CorrelationKernel {
+        &self.kernel
+    }
+
+    /// Correlated (grid-level) thickness for every grid given principal
+    /// component values `z`: `nominal + loadings · z`.
+    ///
+    /// This is the per-die "base field"; adding `σ_ind·ε` per device
+    /// completes a device sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != n_components()`.
+    pub fn grid_base(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            z.len(),
+            self.n_components(),
+            "principal-component vector length mismatch"
+        );
+        let mut out = self.nominal.clone();
+        for g in 0..self.n_grids() {
+            let row = self.loadings.row(g);
+            let mut acc = 0.0;
+            for (l, zk) in row.iter().zip(z) {
+                acc += l * zk;
+            }
+            out[g] += acc;
+        }
+        out
+    }
+
+    /// Correlated standard deviation of grid `g` (should equal
+    /// `sqrt(σ_g² + σ_spa²)` up to truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= n_grids()`.
+    pub fn grid_sigma(&self, g: usize) -> f64 {
+        assert!(g < self.n_grids(), "grid index out of range");
+        self.loadings
+            .row(g)
+            .iter()
+            .map(|l| l * l)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Covariance between the correlated components of grids `a` and `b`,
+    /// reconstructed from the loadings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn covariance(&self, a: usize, b: usize) -> f64 {
+        assert!(
+            a < self.n_grids() && b < self.n_grids(),
+            "grid index out of range"
+        );
+        let ra = self.loadings.row(a);
+        let rb = self.loadings.row(b);
+        ra.iter().zip(rb).map(|(x, y)| x * y).sum()
+    }
+
+    /// Total per-device thickness standard deviation (correlated +
+    /// independent) for grid `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= n_grids()`.
+    pub fn device_sigma(&self, g: usize) -> f64 {
+        let s = self.grid_sigma(g);
+        (s * s + self.sigma_ind * self.sigma_ind).sqrt()
+    }
+
+    /// Constructs a model directly from a caller-supplied grid covariance
+    /// matrix (e.g. extracted from silicon, or from a quad-tree model).
+    ///
+    /// `covariance` must be the full correlated covariance (global +
+    /// spatial), `n_grids × n_grids`.
+    ///
+    /// # Errors
+    ///
+    /// * [`VariationError::InvalidParameter`] on dimension mismatches,
+    /// * [`VariationError::InvalidCovariance`] if the matrix has a
+    ///   significantly negative eigenvalue,
+    /// * [`VariationError::Numerical`] if the eigendecomposition fails.
+    pub fn from_covariance(
+        grid: GridSpec,
+        nominal: Vec<f64>,
+        covariance: &DMatrix,
+        sigma_ind: f64,
+        budget: VarianceBudget,
+        kernel: CorrelationKernel,
+        energy_fraction: f64,
+    ) -> Result<Self> {
+        let n = grid.n_grids();
+        if covariance.nrows() != n || covariance.ncols() != n {
+            return Err(VariationError::InvalidParameter {
+                detail: format!(
+                    "covariance is {}x{} but the grid has {} cells",
+                    covariance.nrows(),
+                    covariance.ncols(),
+                    n
+                ),
+            });
+        }
+        if nominal.len() != n {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("nominal has {} entries for {} grids", nominal.len(), n),
+            });
+        }
+        if !(sigma_ind >= 0.0) {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("sigma_ind must be non-negative, got {sigma_ind}"),
+            });
+        }
+        if !(0.0 < energy_fraction && energy_fraction <= 1.0) {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("energy_fraction must be in (0, 1], got {energy_fraction}"),
+            });
+        }
+
+        let eig = SymmetricEigen::new(covariance)?;
+        let eigenvalues = eig.eigenvalues();
+        let lambda_max = eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+        if let Some(&min) = eigenvalues.last() {
+            if min < -1e-8 * lambda_max.max(1.0) {
+                return Err(VariationError::InvalidCovariance {
+                    min_eigenvalue: min,
+                });
+            }
+        }
+
+        // Retain components: positive eigenvalues up to the requested
+        // cumulative energy fraction.
+        let total_energy: f64 = eigenvalues.iter().filter(|&&l| l > 0.0).sum();
+        let mut kept = 0;
+        let mut cum = 0.0;
+        for &l in eigenvalues {
+            if l <= EIG_FLOOR * lambda_max
+                || (total_energy > 0.0 && cum >= energy_fraction * total_energy)
+            {
+                break;
+            }
+            cum += l;
+            kept += 1;
+        }
+        // Degenerate case: a zero covariance (pure-independent budget).
+        let loadings = if kept == 0 {
+            DMatrix::zeros(n, 0)
+        } else {
+            let v = eig.eigenvectors();
+            DMatrix::from_fn(n, kept, |g, k| v[(g, k)] * eigenvalues[k].sqrt())
+        };
+
+        Ok(ThicknessModel {
+            grid,
+            nominal,
+            loadings,
+            sigma_ind,
+            budget,
+            kernel,
+        })
+    }
+}
+
+/// Builder for [`ThicknessModel`] (paper Sec. II pipeline: covariance
+/// assembly → PCA → canonical form).
+///
+/// # Example
+///
+/// ```
+/// use statobd_variation::*;
+///
+/// let model = ThicknessModelBuilder::new()
+///     .grid(GridSpec::square_unit(10)?)
+///     .nominal(2.2)
+///     .budget(VarianceBudget::itrs_2008(2.2)?)
+///     .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+///     .systematic(SystematicPattern::None)
+///     .build()?;
+/// // Grid sigma reproduces the correlated budget.
+/// let expected = (model.budget().sigma_global().powi(2)
+///     + model.budget().sigma_spatial().powi(2)).sqrt();
+/// assert!((model.grid_sigma(0) - expected).abs() < 1e-9);
+/// # Ok::<(), VariationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThicknessModelBuilder {
+    grid: Option<GridSpec>,
+    nominal: Option<f64>,
+    budget: Option<VarianceBudget>,
+    kernel: Option<CorrelationKernel>,
+    systematic: SystematicPattern,
+    energy_fraction: f64,
+}
+
+impl Default for ThicknessModelBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThicknessModelBuilder {
+    /// Creates a builder with no defaults for the required fields (grid,
+    /// nominal, budget, kernel).
+    pub fn new() -> Self {
+        ThicknessModelBuilder {
+            grid: None,
+            nominal: None,
+            budget: None,
+            kernel: None,
+            systematic: SystematicPattern::None,
+            energy_fraction: 1.0,
+        }
+    }
+
+    /// Sets the correlation grid (required).
+    pub fn grid(mut self, grid: GridSpec) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Sets the nominal oxide thickness `u₀` (required).
+    pub fn nominal(mut self, u0: f64) -> Self {
+        self.nominal = Some(u0);
+        self
+    }
+
+    /// Sets the variance budget (required).
+    pub fn budget(mut self, budget: VarianceBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the correlation kernel (required).
+    pub fn kernel(mut self, kernel: CorrelationKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Sets a wafer-level systematic pattern (optional; default none).
+    pub fn systematic(mut self, pattern: SystematicPattern) -> Self {
+        self.systematic = pattern;
+        self
+    }
+
+    /// Sets the PCA energy fraction to retain (optional; default 1.0 keeps
+    /// every numerically positive component).
+    pub fn energy_fraction(mut self, fraction: f64) -> Self {
+        self.energy_fraction = fraction;
+        self
+    }
+
+    /// Assembles the covariance, runs PCA and builds the model.
+    ///
+    /// # Errors
+    ///
+    /// * [`VariationError::InvalidParameter`] if a required field is
+    ///   missing or invalid,
+    /// * [`VariationError::InvalidCovariance`] if the kernel produces an
+    ///   indefinite covariance,
+    /// * [`VariationError::Numerical`] on eigendecomposition failure.
+    pub fn build(self) -> Result<ThicknessModel> {
+        let grid = self.grid.ok_or_else(|| VariationError::InvalidParameter {
+            detail: "grid is required".to_string(),
+        })?;
+        let u0 = self
+            .nominal
+            .ok_or_else(|| VariationError::InvalidParameter {
+                detail: "nominal thickness is required".to_string(),
+            })?;
+        if !(u0 > 0.0) || !u0.is_finite() {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("nominal thickness must be positive, got {u0}"),
+            });
+        }
+        let budget = self
+            .budget
+            .ok_or_else(|| VariationError::InvalidParameter {
+                detail: "variance budget is required".to_string(),
+            })?;
+        let kernel = self
+            .kernel
+            .ok_or_else(|| VariationError::InvalidParameter {
+                detail: "correlation kernel is required".to_string(),
+            })?;
+        if !kernel.is_valid() {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("invalid kernel {kernel:?}"),
+            });
+        }
+
+        let n = grid.n_grids();
+        let var_g = budget.sigma_global().powi(2);
+        let var_s = budget.sigma_spatial().powi(2);
+        let dim = grid.max_dimension();
+        let cov = DMatrix::from_fn(n, n, |i, j| {
+            let d = grid.distance(i, j);
+            var_g + var_s * kernel.correlation(d, dim)
+        });
+
+        let nominal: Vec<f64> = (0..n)
+            .map(|g| {
+                let (x, y) = grid.center(g);
+                u0 + self.systematic.offset(x / grid.chip_w(), y / grid.chip_h())
+            })
+            .collect();
+
+        ThicknessModel::from_covariance(
+            grid,
+            nominal,
+            &cov,
+            budget.sigma_independent(),
+            budget,
+            kernel,
+            self.energy_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_model(n: usize, rel: f64) -> ThicknessModel {
+        ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(n).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: rel })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn loadings_reproduce_covariance() {
+        let m = build_model(6, 0.5);
+        let grid = *m.grid();
+        let b = m.budget();
+        let var_g = b.sigma_global().powi(2);
+        let var_s = b.sigma_spatial().powi(2);
+        for &(a, c) in &[(0usize, 0usize), (0, 35), (5, 17), (12, 12)] {
+            let d = grid.distance(a, c);
+            let expected = var_g + var_s * (-d / 0.5).exp();
+            let got = m.covariance(a, c);
+            assert!(
+                (got - expected).abs() < 1e-10,
+                "cov({a},{c}): {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_sigma_matches_budget() {
+        let m = build_model(5, 0.25);
+        let b = m.budget();
+        let expected = (b.sigma_global().powi(2) + b.sigma_spatial().powi(2)).sqrt();
+        for g in 0..m.n_grids() {
+            assert!((m.grid_sigma(g) - expected).abs() < 1e-10);
+        }
+        assert!((m.device_sigma(0) - b.sigma_total()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn grid_base_at_zero_is_nominal() {
+        let m = build_model(4, 0.5);
+        let z = vec![0.0; m.n_components()];
+        assert_eq!(m.grid_base(&z), m.nominal().to_vec());
+    }
+
+    #[test]
+    fn grid_base_shifts_with_first_component() {
+        let m = build_model(4, 0.5);
+        let mut z = vec![0.0; m.n_components()];
+        z[0] = 1.0;
+        let base = m.grid_base(&z);
+        // First PC of a global+spatial covariance is close to the common
+        // mode: all grids move the same direction.
+        let signs: Vec<bool> = base.iter().zip(m.nominal()).map(|(b, n)| b > n).collect();
+        assert!(signs.iter().all(|&s| s) || signs.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn systematic_bowl_shifts_nominal() {
+        let m = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(3).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .systematic(SystematicPattern::Bowl {
+                depth: 0.01,
+                center: (0.5, 0.5),
+            })
+            .build()
+            .unwrap();
+        // Center grid (index 4 of a 3x3) is the bowl minimum.
+        let center = m.nominal()[4];
+        for (g, &n) in m.nominal().iter().enumerate() {
+            if g != 4 {
+                assert!(n >= center, "grid {g}: {n} < center {center}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_truncation_reduces_components() {
+        let full = build_model(8, 0.75);
+        let truncated = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(8).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.75 })
+            .energy_fraction(0.99)
+            .build()
+            .unwrap();
+        assert!(truncated.n_components() < full.n_components());
+        // Truncated model still captures at least 99 % of grid variance.
+        let expected = full.grid_sigma(0);
+        assert!(truncated.grid_sigma(0) > 0.99 * expected);
+    }
+
+    #[test]
+    fn pure_independent_budget_has_no_components() {
+        let m = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(3).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::new(0.03, 0.0, 0.0, 1.0).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build()
+            .unwrap();
+        assert_eq!(m.n_components(), 0);
+        assert_eq!(m.grid_sigma(0), 0.0);
+        assert_eq!(m.sigma_ind(), 0.03);
+        let base = m.grid_base(&[]);
+        assert_eq!(base, m.nominal().to_vec());
+    }
+
+    #[test]
+    fn builder_requires_all_fields() {
+        assert!(ThicknessModelBuilder::new().build().is_err());
+        assert!(ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(2).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        let base = || {
+            ThicknessModelBuilder::new()
+                .grid(GridSpec::square_unit(2).unwrap())
+                .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+                .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        };
+        assert!(base().nominal(-2.2).build().is_err());
+        assert!(base()
+            .nominal(2.2)
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.0 })
+            .build()
+            .is_err());
+        assert!(base().nominal(2.2).energy_fraction(0.0).build().is_err());
+        assert!(base().nominal(2.2).energy_fraction(1.5).build().is_err());
+    }
+
+    #[test]
+    fn from_covariance_checks_dimensions() {
+        let grid = GridSpec::square_unit(2).unwrap();
+        let cov = DMatrix::identity(3); // wrong size
+        let err = ThicknessModel::from_covariance(
+            grid,
+            vec![2.2; 4],
+            &cov,
+            0.01,
+            VarianceBudget::itrs_2008(2.2).unwrap(),
+            CorrelationKernel::Exponential { rel_distance: 0.5 },
+            1.0,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Spatial-correlation kernels.
+//!
+//! The paper derives its covariance matrix "from an exponential decaying
+//! function of the respective distance" with the correlation distance
+//! normalized to the chip dimensions (its `ρ_dist` is swept over
+//! {0.25, 0.5, 0.75} in Table IV). Gaussian and spherical kernels are
+//! provided for robustness studies.
+
+use serde::{Deserialize, Serialize};
+
+/// A stationary isotropic correlation kernel `ρ(d)` with `ρ(0) = 1`.
+///
+/// `rel_distance` is the correlation length *relative to the larger chip
+/// dimension*, matching the paper's normalization.
+///
+/// # Example
+///
+/// ```
+/// use statobd_variation::CorrelationKernel;
+///
+/// let k = CorrelationKernel::Exponential { rel_distance: 0.5 };
+/// assert_eq!(k.correlation(0.0, 1.0), 1.0);
+/// let half = k.correlation(0.5, 1.0); // one correlation length away
+/// assert!((half - (-1.0f64).exp()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorrelationKernel {
+    /// `ρ(d) = exp(−d / (rel_distance · L))` — the paper's choice.
+    Exponential {
+        /// Correlation length relative to the chip dimension `L`.
+        rel_distance: f64,
+    },
+    /// `ρ(d) = exp(−(d / (rel_distance · L))²)` — smoother short-range
+    /// behaviour.
+    Gaussian {
+        /// Correlation length relative to the chip dimension `L`.
+        rel_distance: f64,
+    },
+    /// Spherical kernel: compactly supported,
+    /// `ρ(d) = 1 − 1.5 h + 0.5 h³` for `h = d/(rel_distance·L) ≤ 1`, else 0.
+    Spherical {
+        /// Support radius relative to the chip dimension `L`.
+        rel_distance: f64,
+    },
+}
+
+impl CorrelationKernel {
+    /// The relative correlation length parameter.
+    pub fn rel_distance(&self) -> f64 {
+        match *self {
+            CorrelationKernel::Exponential { rel_distance }
+            | CorrelationKernel::Gaussian { rel_distance }
+            | CorrelationKernel::Spherical { rel_distance } => rel_distance,
+        }
+    }
+
+    /// Returns `true` if the parameterization is valid (positive, finite
+    /// relative distance).
+    pub fn is_valid(&self) -> bool {
+        let r = self.rel_distance();
+        r > 0.0 && r.is_finite()
+    }
+
+    /// Correlation at distance `d` on a chip whose normalizing dimension is
+    /// `chip_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the kernel is invalid; release builds
+    /// produce `NaN`s which the covariance assembly rejects.
+    pub fn correlation(&self, d: f64, chip_dim: f64) -> f64 {
+        debug_assert!(self.is_valid(), "invalid kernel parameter");
+        let len = self.rel_distance() * chip_dim;
+        match *self {
+            CorrelationKernel::Exponential { .. } => (-d / len).exp(),
+            CorrelationKernel::Gaussian { .. } => (-(d / len) * (d / len)).exp(),
+            CorrelationKernel::Spherical { .. } => {
+                let h = d / len;
+                if h >= 1.0 {
+                    0.0
+                } else {
+                    1.0 - 1.5 * h + 0.5 * h * h * h
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_are_one_at_zero() {
+        for k in [
+            CorrelationKernel::Exponential { rel_distance: 0.5 },
+            CorrelationKernel::Gaussian { rel_distance: 0.5 },
+            CorrelationKernel::Spherical { rel_distance: 0.5 },
+        ] {
+            assert_eq!(k.correlation(0.0, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn kernels_decay_monotonically() {
+        for k in [
+            CorrelationKernel::Exponential { rel_distance: 0.4 },
+            CorrelationKernel::Gaussian { rel_distance: 0.4 },
+            CorrelationKernel::Spherical { rel_distance: 0.4 },
+        ] {
+            let mut prev = 1.0;
+            for i in 1..20 {
+                let c = k.correlation(i as f64 * 0.1, 1.0);
+                assert!(c <= prev + 1e-15, "{k:?} not decaying at step {i}");
+                assert!((0.0..=1.0).contains(&c));
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn spherical_has_compact_support() {
+        let k = CorrelationKernel::Spherical { rel_distance: 0.3 };
+        assert_eq!(k.correlation(0.30001, 1.0), 0.0);
+        assert!(k.correlation(0.29, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn chip_dim_scales_the_length() {
+        let k = CorrelationKernel::Exponential { rel_distance: 0.5 };
+        // Distance 1 on a chip of dimension 2 == distance 0.5 on dimension 1.
+        assert!((k.correlation(1.0, 2.0) - k.correlation(0.5, 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(!CorrelationKernel::Exponential { rel_distance: 0.0 }.is_valid());
+        assert!(!CorrelationKernel::Gaussian { rel_distance: -1.0 }.is_valid());
+        assert!(CorrelationKernel::Spherical { rel_distance: 0.7 }.is_valid());
+    }
+}

@@ -1,0 +1,204 @@
+//! Quad-tree spatial-correlation model (Agarwal et al., ASPDAC'03).
+//!
+//! The paper mentions the quad-tree model as the main alternative to the
+//! grid model: the die is recursively quartered into `L` levels; level `ℓ`
+//! has `4^ℓ` cells each carrying an independent random variable, and a
+//! device's correlated variation is the sum of the variables of the cells
+//! containing it, one per level. Two devices are more correlated the more
+//! levels they share.
+//!
+//! [`QuadTreeModel::covariance_on_grid`] evaluates the implied covariance
+//! at the centers of a [`GridSpec`], so the quad-tree plugs into the same
+//! PCA pipeline as the paper's grid model.
+
+use crate::{GridSpec, Result, VariationError};
+use serde::{Deserialize, Serialize};
+use statobd_num::matrix::DMatrix;
+
+/// A quad-tree correlation model with per-level variances.
+///
+/// # Example
+///
+/// ```
+/// use statobd_variation::{QuadTreeModel, GridSpec};
+///
+/// // Three levels sharing the spatial variance equally.
+/// let qt = QuadTreeModel::with_uniform_levels(3, 0.0147_f64.powi(2))?;
+/// let grid = GridSpec::square_unit(4)?;
+/// let cov = qt.covariance_on_grid(&grid);
+/// // Same cell at every level ⇒ full variance on the diagonal.
+/// assert!((cov[(0, 0)] - 0.0147_f64.powi(2)).abs() < 1e-12);
+/// # Ok::<(), statobd_variation::VariationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuadTreeModel {
+    /// Variance assigned to each level, `level_variances[ℓ]` for level `ℓ`
+    /// (level 0 is the whole die: the global component's natural home).
+    level_variances: Vec<f64>,
+}
+
+impl QuadTreeModel {
+    /// Creates a model from explicit per-level variances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidParameter`] if empty or any
+    /// variance is negative/non-finite.
+    pub fn new(level_variances: Vec<f64>) -> Result<Self> {
+        if level_variances.is_empty() {
+            return Err(VariationError::InvalidParameter {
+                detail: "quad-tree model needs at least one level".to_string(),
+            });
+        }
+        if level_variances.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+            return Err(VariationError::InvalidParameter {
+                detail: "level variances must be non-negative and finite".to_string(),
+            });
+        }
+        Ok(QuadTreeModel { level_variances })
+    }
+
+    /// Creates `levels` levels that split `total_variance` equally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidParameter`] if `levels == 0` or the
+    /// variance is negative.
+    pub fn with_uniform_levels(levels: usize, total_variance: f64) -> Result<Self> {
+        if levels == 0 || total_variance < 0.0 {
+            return Err(VariationError::InvalidParameter {
+                detail: format!(
+                    "need levels > 0 and non-negative variance, got {levels}, {total_variance}"
+                ),
+            });
+        }
+        Ok(QuadTreeModel {
+            level_variances: vec![total_variance / levels as f64; levels],
+        })
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.level_variances.len()
+    }
+
+    /// Per-level variances.
+    pub fn level_variances(&self) -> &[f64] {
+        &self.level_variances
+    }
+
+    /// Total correlated variance (sum over levels).
+    pub fn total_variance(&self) -> f64 {
+        self.level_variances.iter().sum()
+    }
+
+    /// Covariance between two points in normalized die coordinates
+    /// `[0,1]²`: the sum of level variances over the levels where both
+    /// points fall in the same quad-tree cell.
+    pub fn covariance_points(&self, a: (f64, f64), b: (f64, f64)) -> f64 {
+        let mut cov = 0.0;
+        for (level, &var) in self.level_variances.iter().enumerate() {
+            let cells = 1usize << level; // 2^level per axis
+            let cell = |p: (f64, f64)| {
+                let cx = ((p.0 * cells as f64).floor() as usize).min(cells - 1);
+                let cy = ((p.1 * cells as f64).floor() as usize).min(cells - 1);
+                (cx, cy)
+            };
+            if cell(a) == cell(b) {
+                cov += var;
+            }
+        }
+        cov
+    }
+
+    /// Evaluates the implied covariance matrix at the centers of `grid`
+    /// (in normalized coordinates), producing input for
+    /// [`crate::ThicknessModel::from_covariance`].
+    pub fn covariance_on_grid(&self, grid: &GridSpec) -> DMatrix {
+        let n = grid.n_grids();
+        let norm = |g: usize| {
+            let (x, y) = grid.center(g);
+            (x / grid.chip_w(), y / grid.chip_h())
+        };
+        DMatrix::from_fn(n, n, |i, j| self.covariance_points(norm(i), norm(j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_point_gets_total_variance() {
+        let qt = QuadTreeModel::with_uniform_levels(4, 1.0).unwrap();
+        assert!((qt.covariance_points((0.3, 0.7), (0.3, 0.7)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distant_points_share_only_level_zero() {
+        let qt = QuadTreeModel::with_uniform_levels(4, 1.0).unwrap();
+        // Opposite corners share only the root cell.
+        let cov = qt.covariance_points((0.01, 0.01), (0.99, 0.99));
+        assert!((cov - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nearby_points_share_more_levels() {
+        let qt = QuadTreeModel::with_uniform_levels(5, 1.0).unwrap();
+        let near = qt.covariance_points((0.10, 0.10), (0.12, 0.12));
+        let far = qt.covariance_points((0.10, 0.10), (0.45, 0.45));
+        assert!(near > far, "near {near} should exceed far {far}");
+    }
+
+    #[test]
+    fn covariance_decreases_with_distance_on_average() {
+        let qt = QuadTreeModel::with_uniform_levels(4, 1.0).unwrap();
+        let grid = GridSpec::square_unit(8).unwrap();
+        let cov = qt.covariance_on_grid(&grid);
+        // Monotone on average: compare adjacent vs far pairs from cell 0.
+        assert!(cov[(0, 1)] >= cov[(0, 63)]);
+        assert!(cov[(0, 0)] >= cov[(0, 1)]);
+    }
+
+    #[test]
+    fn grid_covariance_is_symmetric_psd_compatible() {
+        let qt = QuadTreeModel::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let grid = GridSpec::square_unit(4).unwrap();
+        let cov = qt.covariance_on_grid(&grid);
+        assert!(cov.is_symmetric(1e-12));
+        // PSD: eigendecompose and check non-negative.
+        let eig = statobd_num::eigen::SymmetricEigen::new(&cov).unwrap();
+        for &l in eig.eigenvalues() {
+            assert!(l > -1e-10, "eigenvalue {l}");
+        }
+    }
+
+    #[test]
+    fn pipeline_into_thickness_model() {
+        use crate::{CorrelationKernel, ThicknessModel, VarianceBudget};
+        let budget = VarianceBudget::itrs_2008(2.2).unwrap();
+        let spatial_var = budget.sigma_spatial().powi(2) + budget.sigma_global().powi(2);
+        let qt = QuadTreeModel::with_uniform_levels(3, spatial_var).unwrap();
+        let grid = GridSpec::square_unit(4).unwrap();
+        let cov = qt.covariance_on_grid(&grid);
+        let model = ThicknessModel::from_covariance(
+            grid,
+            vec![2.2; 16],
+            &cov,
+            budget.sigma_independent(),
+            budget,
+            CorrelationKernel::Exponential { rel_distance: 0.5 },
+            1.0,
+        )
+        .unwrap();
+        assert!((model.grid_sigma(0) - spatial_var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(QuadTreeModel::new(vec![]).is_err());
+        assert!(QuadTreeModel::new(vec![0.1, -0.2]).is_err());
+        assert!(QuadTreeModel::with_uniform_levels(0, 1.0).is_err());
+        assert!(QuadTreeModel::with_uniform_levels(2, -1.0).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Wafer-level systematic thickness patterns.
+//!
+//! Recent variation literature (the paper cites Cheng et al., DAC'09)
+//! attributes part of the "spatially correlated" component to a
+//! deterministic wafer-level pattern — typically slanted or bowl-shaped —
+//! characterized by low-order polynomials of position. The paper notes its
+//! model stays compatible by replacing the common inter-die component with
+//! a location-dependent per-grid term; [`SystematicPattern`] implements
+//! that extension.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic location-dependent offset added to the per-grid nominal
+/// thickness.
+///
+/// Coordinates are normalized chip coordinates in `[0, 1]²` (the grid
+/// builder performs the normalization), so pattern magnitudes are in
+/// thickness units directly.
+///
+/// # Example
+///
+/// ```
+/// use statobd_variation::SystematicPattern;
+///
+/// // A bowl 10 pm deep centered on the die.
+/// let bowl = SystematicPattern::Bowl { depth: 0.010, center: (0.5, 0.5) };
+/// assert!((bowl.offset(0.5, 0.5) - (-0.010)).abs() < 1e-15);
+/// assert!(bowl.offset(0.0, 0.0) > bowl.offset(0.5, 0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystematicPattern {
+    /// No systematic pattern (the paper's baseline model).
+    None,
+    /// Linear slant across the die: `offset = gx·(x−0.5) + gy·(y−0.5)`.
+    Slanted {
+        /// Thickness gradient across the full die width.
+        gx: f64,
+        /// Thickness gradient across the full die height.
+        gy: f64,
+    },
+    /// Quadratic bowl: `offset = depth·(r² − 1)` with `r` the normalized
+    /// distance from `center` (so the center sits `depth` below the rim).
+    Bowl {
+        /// Bowl depth in thickness units.
+        depth: f64,
+        /// Bowl center in normalized coordinates.
+        center: (f64, f64),
+    },
+    /// General quadratic `c00 + c10·x + c01·y + c20·x² + c02·y² + c11·x·y`.
+    Quadratic {
+        /// Polynomial coefficients `[c00, c10, c01, c20, c02, c11]`.
+        coefficients: [f64; 6],
+    },
+}
+
+impl Default for SystematicPattern {
+    fn default() -> Self {
+        SystematicPattern::None
+    }
+}
+
+impl SystematicPattern {
+    /// Offset at normalized coordinates `(x, y) ∈ [0,1]²`.
+    pub fn offset(&self, x: f64, y: f64) -> f64 {
+        match *self {
+            SystematicPattern::None => 0.0,
+            SystematicPattern::Slanted { gx, gy } => gx * (x - 0.5) + gy * (y - 0.5),
+            SystematicPattern::Bowl { depth, center } => {
+                let dx = x - center.0;
+                let dy = y - center.1;
+                // Normalize: a corner-to-center distance of ~0.707 maps to
+                // r = 1 when centered; scale so r² ∈ [0, ~1].
+                let r2 = 2.0 * (dx * dx + dy * dy);
+                depth * (r2 - 1.0)
+            }
+            SystematicPattern::Quadratic { coefficients: c } => {
+                c[0] + c[1] * x + c[2] * y + c[3] * x * x + c[4] * y * y + c[5] * x * y
+            }
+        }
+    }
+
+    /// Returns `true` if this is [`SystematicPattern::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, SystematicPattern::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero_everywhere() {
+        let p = SystematicPattern::None;
+        assert_eq!(p.offset(0.0, 0.0), 0.0);
+        assert_eq!(p.offset(0.5, 1.0), 0.0);
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn slant_is_antisymmetric_about_center() {
+        let p = SystematicPattern::Slanted {
+            gx: 0.02,
+            gy: -0.01,
+        };
+        assert_eq!(p.offset(0.5, 0.5), 0.0);
+        assert!((p.offset(1.0, 0.5) + p.offset(0.0, 0.5)).abs() < 1e-15);
+        assert!((p.offset(1.0, 0.5) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bowl_center_is_minimum() {
+        let p = SystematicPattern::Bowl {
+            depth: 0.01,
+            center: (0.5, 0.5),
+        };
+        let center = p.offset(0.5, 0.5);
+        for &(x, y) in &[(0.0, 0.0), (1.0, 0.5), (0.3, 0.8)] {
+            assert!(p.offset(x, y) >= center);
+        }
+        // Corner sits at r² = 1, i.e. offset 0 (the rim).
+        assert!(p.offset(0.0, 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadratic_evaluates_polynomial() {
+        let p = SystematicPattern::Quadratic {
+            coefficients: [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        // 1 + 2·0.5 + 3·1 + 4·0.25 + 5·1 + 6·0.5 = 14
+        assert!((p.offset(0.5, 1.0) - 14.0).abs() < 1e-12);
+    }
+}

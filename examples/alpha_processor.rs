@@ -1,0 +1,111 @@
+//! Full-chip reliability of the Alpha-processor-class design (the paper's
+//! C6): floorplan → architectural power → thermal solve → BLOD
+//! characterization → all five reliability methods.
+//!
+//! Run with: `cargo run --release --example alpha_processor`
+
+use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::core::{
+    params, solve_lifetime, ChipAnalysis, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
+    MonteCarlo, MonteCarloConfig, StFast, StFastConfig, StMc, StMcConfig,
+};
+use statobd::device::ClosedFormTech;
+use statobd::thermal::kelvin_to_celsius;
+use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build C6: the 15-module Alpha-class design with 0.84 M devices.
+    let built = build_design(Benchmark::C6, &DesignConfig::default())?;
+    println!(
+        "C6: {} blocks, {} devices, die {:.0} x {:.0} mm",
+        built.spec.n_blocks(),
+        built.spec.total_devices(),
+        built.floorplan.die_w() * 1e3,
+        built.floorplan.die_h() * 1e3
+    );
+    println!(
+        "thermal profile: {:.1} C .. {:.1} C (spread {:.1} K)\n",
+        kelvin_to_celsius(built.map.min_k()),
+        kelvin_to_celsius(built.map.max_k()),
+        built.map.max_k() - built.map.min_k()
+    );
+
+    // Process model over the design's correlation grid.
+    let model = ThicknessModelBuilder::new()
+        .grid(built.grid)
+        .nominal(params::NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
+        .kernel(CorrelationKernel::Exponential {
+            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
+        })
+        .build()?;
+
+    let tech = ClosedFormTech::nominal_45nm();
+    let analysis = ChipAnalysis::new(built.spec.clone(), model, &tech)?;
+    let bracket = (1e6, 1e12);
+    let p = params::ONE_PER_MILLION;
+    let years = |t: f64| t / 3.156e7;
+
+    // st_fast: the paper's main analytic method.
+    let mut fast = StFast::new(&analysis, StFastConfig::default());
+    let t_fast = solve_lifetime(&mut fast, p, bracket)?;
+    println!("st_fast  1/million lifetime: {:.2} years", years(t_fast));
+
+    // st_MC: numerical joint PDF.
+    let mut smc = StMc::new(&analysis, StMcConfig::default())?;
+    let t_smc = solve_lifetime(&mut smc, p, bracket)?;
+    println!("st_MC    1/million lifetime: {:.2} years", years(t_smc));
+
+    // hybrid: table lookup (built once, queried in microseconds).
+    let mut hybrid = HybridTables::build(&analysis, HybridConfig::default())?;
+    let t_hyb = solve_lifetime(&mut hybrid, p, bracket)?;
+    println!("hybrid   1/million lifetime: {:.2} years", years(t_hyb));
+
+    // guard: the traditional corner.
+    let guard = GuardBand::new(&analysis, GuardBandConfig::default())?;
+    let t_guard = guard.lifetime(p)?;
+    println!("guard    1/million lifetime: {:.2} years", years(t_guard));
+
+    // MC reference (500 chips here; the evaluation binaries use 1000).
+    let mut mc = MonteCarlo::build(
+        &analysis,
+        MonteCarloConfig {
+            n_chips: 500,
+            ..Default::default()
+        },
+    )?;
+    let t_mc = solve_lifetime(&mut mc, p, bracket)?;
+    println!("MC       1/million lifetime: {:.2} years", years(t_mc));
+
+    println!("\nerrors vs MC:");
+    let err = |t: f64| 100.0 * ((t - t_mc) / t_mc).abs();
+    println!("  st_fast {:5.2} %", err(t_fast));
+    println!("  st_MC   {:5.2} %", err(t_smc));
+    println!("  hybrid  {:5.2} %", err(t_hyb));
+    println!(
+        "  guard   {:5.1} %  (the pessimism of the traditional flow)",
+        err(t_guard)
+    );
+
+    // The blocks that limit the design.
+    println!("\nhottest blocks and their failure contribution at the lifetime:");
+    let mut rows: Vec<(String, f64, f64)> = analysis
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(j, b)| {
+            let pj = fast.block_failure_probability(j, t_fast).unwrap_or(0.0);
+            (b.spec().name().to_string(), b.spec().temperature_k(), pj)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+    for (name, t_k, pj) in rows.iter().take(5) {
+        println!(
+            "  {:<10} {:>6.1} C   P_j = {:.2e}",
+            name,
+            kelvin_to_celsius(*t_k),
+            pj
+        );
+    }
+    Ok(())
+}

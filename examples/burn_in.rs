@@ -1,0 +1,78 @@
+//! Burn-in screening analysis: does a burn-in program buy certified
+//! service life for an OBD-limited product?
+//!
+//! Two forces compete. The ensemble mixes over process variation, so the
+//! population's early hazard is enriched in thin-oxide outlier dies that
+//! burn-in screens out; but each die's intrinsic hazard *increases* with
+//! time (Weibull β ≈ 1.76), so burn-in also consumes life. This example
+//! quantifies the trade-off for design C3: with the Table II variation
+//! budget the wear-out term wins — burn-in costs service life at every
+//! duration — which is exactly why OBD qualification relies on
+//! *statistical* lifetime certification (this library) rather than
+//! screening. The voltage-acceleration figures show what a real stress
+//! program would look like if screening were wanted anyway (e.g. against
+//! extrinsic defects outside this model).
+//!
+//! Run with: `cargo run --release --example burn_in`
+
+use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::core::{
+    burn_in_failure_probability, params, solve_lifetime, solve_lifetime_after_burn_in,
+    ChipAnalysis, ReliabilityEngine, StFast, StFastConfig,
+};
+use statobd::device::{ClosedFormTech, ObdTechnology};
+use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let built = build_design(Benchmark::C3, &DesignConfig::default())?;
+    let model = ThicknessModelBuilder::new()
+        .grid(built.grid)
+        .nominal(params::NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
+        .kernel(CorrelationKernel::Exponential {
+            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
+        })
+        .build()?;
+    let tech = ClosedFormTech::nominal_45nm();
+    let analysis = ChipAnalysis::new(built.spec.clone(), model.clone(), &tech)?;
+    let mut engine = StFast::new(&analysis, StFastConfig::default());
+
+    // Context: each burn-in row reports the 1-ppm service life of the
+    // surviving population and the fraction lost during burn-in.
+    let p = params::ONE_PER_MILLION;
+    let fresh = solve_lifetime(&mut engine, p, (1e5, 1e12))?;
+    let years = |t: f64| t / 3.156e7;
+    println!("fresh-population 1-ppm lifetime: {:.2} years", years(fresh));
+    println!();
+    println!(
+        "{:>16} {:>18} {:>22}",
+        "burn-in", "1-ppm service life", "fallout during burn-in"
+    );
+    for frac in [0.001, 0.01, 0.05, 0.2, 1.0] {
+        let t_burn = fresh * frac;
+        let after = solve_lifetime_after_burn_in(&mut engine, p, t_burn, (1e5, 1e12))?;
+        let fallout = engine.failure_probability(t_burn)?;
+        println!(
+            "{:>13.3} yr {:>15.2} yr {:>18.2e} ppm",
+            years(t_burn),
+            years(after),
+            fallout * 1e6
+        );
+    }
+    println!();
+
+    // An *accelerated* burn-in: elevated voltage shortens the required
+    // burn time by the voltage-acceleration factor.
+    let accel = tech.alpha(analysis.blocks()[0].spec().temperature_k(), 1.2)
+        / tech.alpha(analysis.blocks()[0].spec().temperature_k(), 1.4);
+    println!(
+        "voltage acceleration 1.2 V -> 1.4 V: {accel:.0}x (a {:.1}-year equivalent burn-in takes {:.1} hours at stress)",
+        years(fresh * 0.01),
+        fresh * 0.01 / accel / 3600.0
+    );
+
+    // Sanity: the conditional probability formula.
+    let p_cond = burn_in_failure_probability(&mut engine, fresh * 0.01, fresh)?;
+    println!("\nP(fail within the fresh-lifetime window | survived 1% burn-in) = {p_cond:.2e}");
+    Ok(())
+}

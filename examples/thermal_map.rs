@@ -1,0 +1,49 @@
+//! Fig. 1-style temperature maps of the bundled reference designs,
+//! rendered as ASCII heat charts.
+//!
+//! Run with: `cargo run --release --example thermal_map`
+
+use statobd::thermal::{
+    alpha_ev6_floorplan, alpha_ev6_power, kelvin_to_celsius, many_core_floorplan, many_core_power,
+    ThermalConfig, ThermalSolver,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let solver = ThermalSolver::new(ThermalConfig::default());
+
+    println!("Alpha-processor-class design (15 functional modules):\n");
+    let fp = alpha_ev6_floorplan()?;
+    let pm = alpha_ev6_power()?;
+    let map = solver.solve(&fp, &pm)?;
+    println!("{}", map.ascii_render(64));
+    println!(
+        "min {:.1} C / mean {:.1} C / max {:.1} C  ({} leakage iterations)\n",
+        kelvin_to_celsius(map.min_k()),
+        kelvin_to_celsius(map.mean_k()),
+        kelvin_to_celsius(map.max_k()),
+        map.leakage_iterations()
+    );
+
+    println!("Many-core design, 5 of 16 cores active:\n");
+    let fp = many_core_floorplan()?;
+    let pm = many_core_power(&[1, 5, 6, 10, 14], 6.5)?;
+    let map = solver.solve(&fp, &pm)?;
+    println!("{}", map.ascii_render(64));
+    println!(
+        "min {:.1} C / mean {:.1} C / max {:.1} C",
+        kelvin_to_celsius(map.min_k()),
+        kelvin_to_celsius(map.mean_k()),
+        kelvin_to_celsius(map.max_k())
+    );
+
+    println!("\nPer-core worst-case temperatures (the reliability model's input):");
+    for k in 0..16 {
+        let name = format!("core_{k}");
+        let stats = map.block_stats(fp.block(&name).expect("core exists").rect());
+        print!("{:>7.1}", kelvin_to_celsius(stats.max_k));
+        if k % 4 == 3 {
+            println!();
+        }
+    }
+    Ok(())
+}

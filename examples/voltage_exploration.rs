@@ -1,0 +1,113 @@
+//! Voltage/temperature margin exploration with the hybrid lookup engine —
+//! the paper's motivating use-case: "oxide reliability is one of the key
+//! factors that sets constraints on the operating supply voltage", so any
+//! pessimism limits the maximum achievable performance.
+//!
+//! The hybrid tables are built **once**; every (VDD, temperature-profile)
+//! combination is then evaluated by pure table lookup, exactly the
+//! "repeatedly evaluate the same design with different setup and
+//! application profiles" scenario of Sec. IV-E.
+//!
+//! Run with: `cargo run --release --example voltage_exploration`
+
+use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::core::{
+    params, solve_lifetime, ChipAnalysis, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
+};
+use statobd::device::{ClosedFormTech, ObdTechnology};
+use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+
+const TEN_YEARS_S: f64 = 3.156e8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let built = build_design(Benchmark::C3, &DesignConfig::default())?;
+    let model = ThicknessModelBuilder::new()
+        .grid(built.grid)
+        .nominal(params::NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
+        .kernel(CorrelationKernel::Exponential {
+            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
+        })
+        .build()?;
+    let tech = ClosedFormTech::nominal_45nm();
+    let analysis = ChipAnalysis::new(built.spec.clone(), model, &tech)?;
+
+    // Build the lookup tables once (the per-design preprocessing step).
+    let start = std::time::Instant::now();
+    let mut tables = HybridTables::build(&analysis, HybridConfig::default())?;
+    println!(
+        "hybrid tables built in {:.2} s ({} blocks x 100 x 100 entries)\n",
+        start.elapsed().as_secs_f64(),
+        tables.n_blocks()
+    );
+
+    // Sweep VDD: at each voltage, update every block's operating point by
+    // lookup-table reparameterization (no re-integration) and solve the
+    // 1-per-million lifetime.
+    println!(
+        "{:>8} {:>14} {:>12}   guard-band-allowed?",
+        "VDD (V)", "t_1pm (yr)", ">= 10 yr?"
+    );
+    let sweep_start = std::time::Instant::now();
+    let mut max_vdd_stat = 0.0f64;
+    let mut max_vdd_guard = 0.0f64;
+    let mut evaluations = 0usize;
+    for step in 0..=20 {
+        let vdd = 1.10 + 0.01 * step as f64;
+        for (j, block) in analysis.blocks().iter().enumerate() {
+            let t_k = block.spec().temperature_k();
+            tables.set_operating_point(j, tech.alpha(t_k, vdd), tech.b(t_k))?;
+        }
+        let t = solve_lifetime(&mut tables, params::ONE_PER_MILLION, (1e4, 1e13))?;
+        evaluations += 1;
+
+        // Guard-band verdict at the same voltage (closed form).
+        let spec_v = built.spec.clone();
+        let analysis_v = {
+            // Rebind the analysis at this voltage for the guard corner.
+            let mut s = statobd::core::ChipSpec::new();
+            for b in spec_v.blocks() {
+                s.add_block(statobd::core::BlockSpec::new(
+                    b.name(),
+                    b.area(),
+                    b.m_devices(),
+                    b.temperature_k(),
+                    vdd,
+                    b.grid_weights().to_vec(),
+                )?)?;
+            }
+            ChipAnalysis::new(s, analysis.model().clone(), &tech)?
+        };
+        let guard = GuardBand::new(&analysis_v, GuardBandConfig::default())?;
+        let t_guard = guard.lifetime(params::ONE_PER_MILLION)?;
+
+        let stat_ok = t >= TEN_YEARS_S;
+        let guard_ok = t_guard >= TEN_YEARS_S;
+        if stat_ok {
+            max_vdd_stat = max_vdd_stat.max(vdd);
+        }
+        if guard_ok {
+            max_vdd_guard = max_vdd_guard.max(vdd);
+        }
+        println!(
+            "{:>8.2} {:>14.2} {:>12}   {}",
+            vdd,
+            t / 3.156e7,
+            if stat_ok { "yes" } else { "no" },
+            if guard_ok { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\nsweep: {} voltage points in {:.1} ms (hybrid lookups)",
+        evaluations,
+        sweep_start.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "max VDD for a 10-year 1-per-million lifetime: statistical {max_vdd_stat:.2} V vs guard-band {max_vdd_guard:.2} V"
+    );
+    println!(
+        "=> the statistical analysis recovers {:.0} mV of supply-voltage headroom",
+        (max_vdd_stat - max_vdd_guard) * 1e3
+    );
+    Ok(())
+}

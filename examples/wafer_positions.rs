@@ -1,0 +1,94 @@
+//! Wafer-level systematic variation: dies from different wafer positions
+//! carry different deterministic thickness patterns (slanted or
+//! bowl-shaped — the Cheng/Gupta-style extension the paper sketches in
+//! Sec. II), and therefore different OBD reliability.
+//!
+//! This example sweeps a die across a bowl-shaped wafer pattern and shows
+//! how the 1-ppm lifetime varies with wafer position — the kind of
+//! position-dependent binning a product-engineering team would run.
+//!
+//! Run with: `cargo run --release --example wafer_positions`
+
+use statobd::core::{
+    params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, StFast, StFastConfig,
+};
+use statobd::device::ClosedFormTech;
+use statobd::variation::{
+    CorrelationKernel, GridSpec, SystematicPattern, ThicknessModelBuilder, VarianceBudget,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridSpec::square_unit(8)?;
+    let tech = ClosedFormTech::nominal_45nm();
+
+    // A simple one-hot-one-cool chip reused at every wafer position.
+    let spec = {
+        let mut s = ChipSpec::new();
+        s.add_block(BlockSpec::new(
+            "core",
+            40_000.0,
+            40_000,
+            363.15,
+            params::NOMINAL_VDD_V,
+            vec![(0, 0.25), (1, 0.25), (8, 0.25), (9, 0.25)],
+        )?)?;
+        s.add_block(BlockSpec::new(
+            "cache",
+            60_000.0,
+            60_000,
+            341.15,
+            params::NOMINAL_VDD_V,
+            vec![(36, 0.5), (37, 0.5)],
+        )?)?;
+        s
+    };
+
+    // Wafer bowl: dies near the wafer edge grow thinner oxide. The die's
+    // local gradient appears as a slanted pattern whose magnitude depends
+    // on the wafer radius at the die position; the die-mean offset folds
+    // into the nominal.
+    println!("1-ppm lifetime vs wafer position (bowl-shaped wafer pattern):");
+    println!(
+        "{:>14} {:>14} {:>14} {:>12}",
+        "radial pos", "mean offset", "die gradient", "t_1pm (yr)"
+    );
+    let bowl_depth_nm = 0.020; // 20 pm center-to-edge on the wafer
+    let mut lifetimes = Vec::new();
+    for step in 0..=5 {
+        let r = step as f64 / 5.0; // normalized wafer radius
+                                   // Die-mean thickness offset: center of bowl is thinnest here
+                                   // (r = 0 → −depth; r = 1 → 0), and the local gradient across one
+                                   // die grows with radius.
+        let mean_offset = bowl_depth_nm * (r * r - 1.0);
+        let gradient = 2.0 * bowl_depth_nm * r * 0.1; // die is ~10% of wafer
+        let model = ThicknessModelBuilder::new()
+            .grid(grid)
+            .nominal(params::NOMINAL_THICKNESS_NM + mean_offset)
+            .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
+            .kernel(CorrelationKernel::Exponential {
+                rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
+            })
+            .systematic(SystematicPattern::Slanted {
+                gx: gradient,
+                gy: 0.0,
+            })
+            .build()?;
+        let analysis = ChipAnalysis::new(spec.clone(), model, &tech)?;
+        let mut engine = StFast::new(&analysis, StFastConfig::default());
+        let t = solve_lifetime(&mut engine, params::ONE_PER_MILLION, (1e4, 1e13))?;
+        lifetimes.push(t);
+        println!(
+            "{:>13.1}R {:>11.1} pm {:>11.1} pm {:>12.2}",
+            r,
+            mean_offset * 1e3,
+            gradient * 1e3,
+            t / 3.156e7
+        );
+    }
+    let ratio = lifetimes.last().unwrap() / lifetimes.first().unwrap();
+    println!("\nedge dies last {ratio:.2}x longer than center dies under this bowl");
+    println!("(thinner oxide at the bowl minimum = shorter life; a wafer-position-");
+    println!(" aware model avoids either scrapping good edge dies or shipping weak");
+    println!(" center dies against a single wafer-blind spec)");
+    Ok(())
+}

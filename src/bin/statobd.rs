@@ -1,0 +1,345 @@
+//! `statobd` — command-line front end for the statistical OBD reliability
+//! analysis.
+//!
+//! ```text
+//! statobd template <out.json>          write an example chip spec
+//! statobd analyze  <spec.json> [opts]  analyze a chip spec
+//! statobd bench    <C1..C6|MC16>       analyze a bundled benchmark design
+//! statobd thermal  <floorplan.json> <power.json>
+//!                                      solve the steady-state thermal map
+//!
+//! options for analyze/bench:
+//!   --rho <f>        relative correlation distance   (default 0.5)
+//!   --grid <n>       correlation grid side           (default 25)
+//!   --l0 <n>         integration sub-domains         (default 10)
+//!   --target <f>     failure-probability target      (default 1e-6)
+//!   --mc <n>         also run Monte-Carlo with n chips
+//!   --tables <path>  export hybrid lookup tables as JSON
+//! ```
+
+use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::core::{
+    effective_weibull_slope, fit_rate, params, solve_lifetime, ChipAnalysis, ChipSpec, GuardBand,
+    GuardBandConfig, HybridConfig, HybridTables, MonteCarlo, MonteCarloConfig, StFast,
+    StFastConfig,
+};
+use statobd::device::ClosedFormTech;
+use statobd::thermal::{kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver};
+use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+use std::process::ExitCode;
+
+struct Options {
+    rho: f64,
+    grid: usize,
+    l0: usize,
+    target: f64,
+    mc_chips: Option<usize>,
+    tables_out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            rho: params::DEFAULT_CORRELATION_DISTANCE,
+            grid: params::DEFAULT_GRID_SIDE,
+            l0: params::DEFAULT_L0,
+            target: params::ONE_PER_MILLION,
+            mc_chips: None,
+            tables_out: None,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--mc n] [--tables path]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
+    );
+    ExitCode::FAILURE
+}
+
+fn thermal(fp_path: &str, pm_path: &str) -> Result<(), String> {
+    let fp: Floorplan = serde_json::from_str(
+        &std::fs::read_to_string(fp_path).map_err(|e| format!("reading {fp_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {fp_path}: {e}"))?;
+    let pm: PowerModel = serde_json::from_str(
+        &std::fs::read_to_string(pm_path).map_err(|e| format!("reading {pm_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {pm_path}: {e}"))?;
+    let solver = ThermalSolver::new(ThermalConfig::default());
+    let map = solver.solve(&fp, &pm).map_err(|e| e.to_string())?;
+    println!("{}", map.ascii_render(48));
+    println!(
+        "die: min {:.1} C, mean {:.1} C, max {:.1} C",
+        kelvin_to_celsius(map.min_k()),
+        kelvin_to_celsius(map.mean_k()),
+        kelvin_to_celsius(map.max_k())
+    );
+    println!("\n{:<14} {:>9} {:>9} {:>9}", "block", "min C", "mean C", "max C");
+    for b in fp.blocks() {
+        let s = map.block_stats(b.rect());
+        println!(
+            "{:<14} {:>9.1} {:>9.1} {:>9.1}",
+            b.name(),
+            kelvin_to_celsius(s.min_k),
+            kelvin_to_celsius(s.mean_k),
+            kelvin_to_celsius(s.max_k)
+        );
+    }
+    Ok(())
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--rho" => opts.rho = value("--rho")?.parse().map_err(|e| format!("--rho: {e}"))?,
+            "--grid" => {
+                opts.grid = value("--grid")?
+                    .parse()
+                    .map_err(|e| format!("--grid: {e}"))?
+            }
+            "--l0" => opts.l0 = value("--l0")?.parse().map_err(|e| format!("--l0: {e}"))?,
+            "--target" => {
+                opts.target = value("--target")?
+                    .parse()
+                    .map_err(|e| format!("--target: {e}"))?
+            }
+            "--mc" => {
+                opts.mc_chips = Some(value("--mc")?.parse().map_err(|e| format!("--mc: {e}"))?)
+            }
+            "--tables" => opts.tables_out = Some(value("--tables")?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn template(path: &str) -> Result<(), String> {
+    let mut spec = ChipSpec::new();
+    spec.add_block(
+        statobd::core::BlockSpec::new(
+            "core",
+            60_000.0,
+            60_000,
+            368.15,
+            1.2,
+            vec![(0, 0.5), (1, 0.5)],
+        )
+        .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    spec.add_block(
+        statobd::core::BlockSpec::new("cache", 140_000.0, 140_000, 341.15, 1.2, vec![(12, 1.0)])
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    println!("wrote example spec to {path}");
+    println!(
+        "grid indices refer to a {0}x{0} correlation grid (row-major)",
+        25
+    );
+    Ok(())
+}
+
+fn report(spec: ChipSpec, opts: &Options) -> Result<(), String> {
+    let grid = GridSpec::square_unit(opts.grid).map_err(|e| e.to_string())?;
+    let model = ThicknessModelBuilder::new()
+        .grid(grid)
+        .nominal(params::NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM).map_err(|e| e.to_string())?)
+        .kernel(CorrelationKernel::Exponential {
+            rel_distance: opts.rho,
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    analyze_with_model(spec, model, opts)
+}
+
+fn analyze_with_model(
+    spec: ChipSpec,
+    model: statobd::variation::ThicknessModel,
+    opts: &Options,
+) -> Result<(), String> {
+    let tech = ClosedFormTech::nominal_45nm();
+    let analysis = ChipAnalysis::new(spec, model, &tech).map_err(|e| e.to_string())?;
+    println!(
+        "design: {} blocks, {} devices, worst block temperature {:.1} C",
+        analysis.n_blocks(),
+        analysis.spec().total_devices(),
+        analysis.spec().max_temperature_k().unwrap_or(0.0) - 273.15
+    );
+
+    let bracket = (1e4, 1e13);
+    let years = |t: f64| t / 3.156e7;
+
+    let mut fast = StFast::new(
+        &analysis,
+        StFastConfig {
+            l0: opts.l0,
+            ..Default::default()
+        },
+    );
+    let start = std::time::Instant::now();
+    let t_fast = solve_lifetime(&mut fast, opts.target, bracket).map_err(|e| e.to_string())?;
+    println!(
+        "st_fast lifetime @ P={:.1e}: {:.3e} s ({:.2} years)  [{:.1} ms]",
+        opts.target,
+        t_fast,
+        years(t_fast),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let fit = fit_rate(&mut fast, t_fast).map_err(|e| e.to_string())?;
+    let slope = effective_weibull_slope(&mut fast, t_fast).map_err(|e| e.to_string())?;
+    println!(
+        "at that lifetime: FIT rate {fit:.2} failures/1e9 device-hours, effective Weibull slope {slope:.2}"
+    );
+
+    let guard = GuardBand::new(&analysis, GuardBandConfig::default()).map_err(|e| e.to_string())?;
+    let t_guard = guard.lifetime(opts.target).map_err(|e| e.to_string())?;
+    println!(
+        "guard-band corner:            {:.3e} s ({:.2} years)  [{:.0}% pessimistic]",
+        t_guard,
+        years(t_guard),
+        100.0 * (1.0 - t_guard / t_fast)
+    );
+
+    if let Some(chips) = opts.mc_chips {
+        let start = std::time::Instant::now();
+        let mut mc = MonteCarlo::build(
+            &analysis,
+            MonteCarloConfig {
+                n_chips: chips,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let t_mc = solve_lifetime(&mut mc, opts.target, bracket).map_err(|e| e.to_string())?;
+        println!(
+            "Monte-Carlo ({chips} chips):     {:.3e} s ({:.2} years)  [{:.1} s; st_fast error {:.2}%]",
+            t_mc,
+            years(t_mc),
+            start.elapsed().as_secs_f64(),
+            100.0 * ((t_fast - t_mc) / t_mc).abs()
+        );
+    }
+
+    if let Some(path) = &opts.tables_out {
+        let tables =
+            HybridTables::build(&analysis, HybridConfig::default()).map_err(|e| e.to_string())?;
+        std::fs::write(path, tables.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("hybrid lookup tables written to {path}");
+    }
+
+    println!("\nper-block contributions at the st_fast lifetime:");
+    for (j, block) in analysis.blocks().iter().enumerate() {
+        let p = fast
+            .block_failure_probability(j, t_fast)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {:<12} {:>7.1} C  P_j = {:.3e}",
+            block.spec().name(),
+            block.spec().temperature_k() - 273.15,
+            p
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "template" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            template(path)
+        }
+        "analyze" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match parse_options(&args[2..]) {
+                Ok(opts) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))
+                    .and_then(|json| {
+                        serde_json::from_str::<ChipSpec>(&json)
+                            .map_err(|e| format!("parsing {path}: {e}"))
+                    })
+                    .and_then(|spec| report(spec, &opts)),
+                Err(e) => Err(e),
+            }
+        }
+        "thermal" => {
+            let (Some(fp), Some(pm)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            thermal(fp, pm)
+        }
+        "bench" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let bench = match name.as_str() {
+                "C1" => Benchmark::C1,
+                "C2" => Benchmark::C2,
+                "C3" => Benchmark::C3,
+                "C4" => Benchmark::C4,
+                "C5" => Benchmark::C5,
+                "C6" => Benchmark::C6,
+                "MC16" => Benchmark::ManyCore16,
+                other => {
+                    eprintln!("unknown benchmark {other}");
+                    return usage();
+                }
+            };
+            match parse_options(&args[2..]) {
+                Ok(opts) => {
+                    let config = DesignConfig {
+                        correlation_grid_side: opts.grid,
+                        ..DesignConfig::default()
+                    };
+                    build_design(bench, &config)
+                        .map_err(|e| e.to_string())
+                        .and_then(|built| {
+                            let model = ThicknessModelBuilder::new()
+                                .grid(built.grid)
+                                .nominal(params::NOMINAL_THICKNESS_NM)
+                                .budget(
+                                    VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)
+                                        .map_err(|e| e.to_string())?,
+                                )
+                                .kernel(CorrelationKernel::Exponential {
+                                    rel_distance: opts.rho,
+                                })
+                                .build()
+                                .map_err(|e| e.to_string())?;
+                            analyze_with_model(built.spec, model, &opts)
+                        })
+                }
+                Err(e) => Err(e),
+            }
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

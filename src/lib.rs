@@ -1,0 +1,57 @@
+//! # statobd — statistical full-chip gate-oxide breakdown reliability
+//!
+//! Facade crate re-exporting the `statobd` workspace: a Rust implementation
+//! of process-variation and temperature-aware full-chip oxide-breakdown
+//! (OBD) reliability analysis (Zhuo, Chopra, Sylvester, Blaauw — DATE 2010
+//! / IEEE TCAD 2011).
+//!
+//! See the individual crates for details:
+//!
+//! * [`num`] — numerical foundations (linear algebra, special functions,
+//!   distributions, quadrature, statistics),
+//! * [`variation`] — oxide-thickness variation modeling (grid spatial
+//!   correlation, PCA canonical form),
+//! * [`thermal`] — floorplan, power model and steady-state thermal solver,
+//! * [`device`] — device-level Weibull OBD model and degradation simulator,
+//! * [`core`] — the statistical chip-level reliability engines,
+//! * [`circuits`] — the C1–C6 benchmark designs from the paper.
+//!
+//! # Example
+//!
+//! Statistical 1-fault-per-million lifetime of a bundled benchmark design,
+//! with the full substrate pipeline (floorplan → power → thermal → BLOD →
+//! analytic integration) behind one call each:
+//!
+//! ```
+//! use statobd::circuits::{build_design, Benchmark, DesignConfig};
+//! use statobd::core::{params, solve_lifetime, ChipAnalysis, StFast, StFastConfig};
+//! use statobd::device::ClosedFormTech;
+//! use statobd::thermal::ThermalConfig;
+//! use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+//!
+//! // Small configuration so the doctest stays fast.
+//! let config = DesignConfig {
+//!     correlation_grid_side: 6,
+//!     thermal: ThermalConfig { nx: 16, ny: 16, ..ThermalConfig::default() },
+//!     ..DesignConfig::default()
+//! };
+//! let built = build_design(Benchmark::C1, &config)?;
+//! let model = ThicknessModelBuilder::new()
+//!     .grid(built.grid)
+//!     .nominal(params::NOMINAL_THICKNESS_NM)
+//!     .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
+//!     .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+//!     .build()?;
+//! let analysis = ChipAnalysis::new(built.spec, model, &ClosedFormTech::nominal_45nm())?;
+//! let mut engine = StFast::new(&analysis, StFastConfig::default());
+//! let t = solve_lifetime(&mut engine, params::ONE_PER_MILLION, (1e5, 1e12))?;
+//! assert!(t > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use statobd_circuits as circuits;
+pub use statobd_core as core;
+pub use statobd_device as device;
+pub use statobd_num as num;
+pub use statobd_thermal as thermal;
+pub use statobd_variation as variation;

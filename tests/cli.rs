@@ -1,0 +1,137 @@
+//! End-to-end tests of the `statobd` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_statobd")
+}
+
+#[test]
+fn template_then_analyze_round_trip() {
+    let dir = std::env::temp_dir().join("statobd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+
+    let out = Command::new(bin())
+        .args(["template", spec.to_str().unwrap()])
+        .output()
+        .expect("run template");
+    assert!(out.status.success(), "template failed: {out:?}");
+    assert!(spec.exists());
+
+    let out = Command::new(bin())
+        .args([
+            "analyze",
+            spec.to_str().unwrap(),
+            "--grid",
+            "6",
+            "--l0",
+            "6",
+        ])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "analyze failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("st_fast lifetime"),
+        "missing lifetime: {stdout}"
+    );
+    assert!(
+        stdout.contains("guard-band corner"),
+        "missing guard: {stdout}"
+    );
+    assert!(stdout.contains("per-block contributions"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_missing_file() {
+    let out = Command::new(bin())
+        .args(["analyze", "/nonexistent/spec.json"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn usage_on_no_arguments() {
+    let out = Command::new(bin()).output().expect("run bare");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn unknown_option_is_reported() {
+    let out = Command::new(bin())
+        .args(["bench", "C1", "--bogus", "1"])
+        .output()
+        .expect("run bench");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option"), "{stderr}");
+}
+
+#[test]
+fn tables_export_writes_valid_json() {
+    let dir = std::env::temp_dir().join("statobd_cli_tables");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+    let tables = dir.join("tables.json");
+    Command::new(bin())
+        .args(["template", spec.to_str().unwrap()])
+        .output()
+        .expect("template");
+    let out = Command::new(bin())
+        .args([
+            "analyze",
+            spec.to_str().unwrap(),
+            "--grid",
+            "6",
+            "--tables",
+            tables.to_str().unwrap(),
+        ])
+        .output()
+        .expect("analyze with tables");
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&tables).unwrap();
+    // Must load back as hybrid tables.
+    let restored = statobd::core::HybridTables::from_json(&json);
+    assert!(restored.is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn thermal_subcommand_reports_block_temperatures() {
+    use statobd::thermal::{Block, BlockPower, Floorplan, PowerModel, Rect};
+    let dir = std::env::temp_dir().join("statobd_cli_thermal");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut fp = Floorplan::new(0.01, 0.01).unwrap();
+    fp.add_block(Block::new("hot", Rect::new(0.0, 0.0, 0.004, 0.004).unwrap()).unwrap())
+        .unwrap();
+    let mut pm = PowerModel::new();
+    pm.set_block_power("hot", BlockPower::new(6.0, 0.5).unwrap())
+        .unwrap();
+    let fp_path = dir.join("fp.json");
+    let pm_path = dir.join("pm.json");
+    std::fs::write(&fp_path, serde_json::to_string(&fp).unwrap()).unwrap();
+    std::fs::write(&pm_path, serde_json::to_string(&pm).unwrap()).unwrap();
+
+    let out = Command::new(bin())
+        .args([
+            "thermal",
+            fp_path.to_str().unwrap(),
+            pm_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run thermal");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("die: min"), "{stdout}");
+    assert!(stdout.contains("hot"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

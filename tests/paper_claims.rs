@@ -1,0 +1,190 @@
+//! Integration tests asserting the paper's headline qualitative claims on
+//! reduced-size workloads (these run in debug mode under
+//! `cargo test --workspace`, so sizes are kept moderate; the full-size
+//! reproductions live in the `statobd-bench` binaries).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statobd::core::{params, BlockSpec, BlodMoments, ChipSpec};
+use statobd::device::{DegradationSimulator, PercolationConfig};
+use statobd::num::dist::{ContinuousDistribution, Normal};
+use statobd::num::hist::{Histogram1d, Histogram2d};
+use statobd::num::rng::NormalSampler;
+use statobd::num::stats::{ks_distance, mean, mutual_information, r_squared, sample_variance};
+use statobd::variation::{
+    CorrelationKernel, FieldSampler, GridSpec, ThicknessModel, ThicknessModelBuilder,
+    VarianceBudget,
+};
+
+fn model(side: usize) -> ThicknessModel {
+    ThicknessModelBuilder::new()
+        .grid(GridSpec::square_unit(side).unwrap())
+        .nominal(params::NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM).unwrap())
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn fig4_blod_histogram_is_gaussian() {
+    // Paper Fig. 4: BLOD histograms fit a Gaussian with R² > 99 %.
+    let m = model(10);
+    let mut sampler = FieldSampler::new(&m);
+    let mut rng = StdRng::seed_from_u64(4);
+    let die = sampler.sample_die(&mut rng);
+    for n_devices in [5_000usize, 20_000] {
+        let xs = sampler.sample_devices(&mut rng, &die, 55, n_devices);
+        let hist = Histogram1d::from_data(&xs, 30).unwrap();
+        let fit = Normal::new(mean(&xs), sample_variance(&xs).sqrt()).unwrap();
+        let density = hist.density();
+        let modeled: Vec<f64> = (0..hist.bins())
+            .map(|i| fit.pdf(hist.bin_center(i)))
+            .collect();
+        let r2 = r_squared(&density, &modeled).unwrap();
+        assert!(r2 > 0.97, "R² = {r2:.4} for {n_devices} devices");
+    }
+}
+
+#[test]
+fn fig7_u_v_dependence_is_weak() {
+    // Paper Fig. 6/7: the joint PDF of (u, v) is close to the product of
+    // marginals — small mutual information, small normalized error.
+    let m = model(10);
+    let weights: Vec<(usize, f64)> = (0..10).map(|i| (30 + i, 0.1)).collect();
+    let block = BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, weights).unwrap();
+    let moments = BlodMoments::characterize(&m, &block);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut normal = NormalSampler::new();
+    let mut z = vec![0.0; m.n_components()];
+    let n = 60_000;
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            normal.fill(&mut rng, &mut z);
+            moments.uv_given_z(&z)
+        })
+        .collect();
+    let (ulo, uhi) = pairs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(u, _)| {
+            (lo.min(u), hi.max(u))
+        });
+    let (vlo, vhi) = pairs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, v)| {
+            (lo.min(v), hi.max(v))
+        });
+    let mut hist = Histogram2d::new(
+        (ulo, uhi + 1e-9 * (uhi - ulo).abs(), 20),
+        (vlo, vhi + 1e-9 * (vhi - vlo).abs(), 20),
+    )
+    .unwrap();
+    for &(u, v) in &pairs {
+        hist.add(u, v);
+    }
+    let mi = mutual_information(&hist);
+    // With 20x20 bins and 60k samples the estimator bias alone is
+    // ~bins²/(2n) ≈ 0.003; the paper quotes 0.003 for the signal. Assert
+    // the combined value stays small.
+    assert!(mi < 0.02, "mutual information {mi:.4}");
+
+    // Normalized error between joint and product of marginals.
+    let joint = hist.joint_probabilities();
+    let mu = hist.marginal_x();
+    let mv = hist.marginal_y();
+    let peak = joint.iter().cloned().fold(0.0, f64::max);
+    let mut max_err = 0.0f64;
+    for i in 0..20 {
+        for j in 0..20 {
+            max_err = max_err.max((joint[i * 20 + j] - mu[i] * mv[j]).abs() / peak);
+        }
+    }
+    assert!(max_err < 0.12, "max normalized error {max_err:.3}");
+}
+
+#[test]
+fn fig8_chi2_approximation_tracks_quadratic_form() {
+    // Paper Fig. 8: the χ² two-moment fit tracks the CDF of the quadratic
+    // normal form.
+    let m = model(10);
+    let weights: Vec<(usize, f64)> = (0..20).map(|i| (i * 5, 0.05)).collect();
+    let block = BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, weights).unwrap();
+    let moments = BlodMoments::characterize(&m, &block);
+    let vd = moments.v_dist();
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut normal = NormalSampler::new();
+    let mut z = vec![0.0; m.n_components()];
+    let mut samples: Vec<f64> = (0..20_000)
+        .map(|_| {
+            normal.fill(&mut rng, &mut z);
+            moments.uv_given_z(&z).1
+        })
+        .collect();
+    let ks = ks_distance(&mut samples, |v| vd.cdf(v)).unwrap();
+    assert!(ks < 0.08, "KS distance {ks:.4}");
+}
+
+#[test]
+fn fig3_degradation_shows_sbd_then_hbd() {
+    // Paper Fig. 3: leakage rises monotonically, jumps 10-20x at SBD,
+    // reaches HBD later.
+    let sim = DegradationSimulator::new(PercolationConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..5 {
+        let trace = sim.simulate(&mut rng, 1.0, 12).unwrap();
+        assert!(trace.t_sbd_s < trace.t_hbd_s);
+        for w in trace.leakage_a.windows(2) {
+            assert!(w[1] >= w[0] - 1e-18);
+        }
+    }
+}
+
+#[test]
+fn blod_dimensionality_reduction_matches_definitions() {
+    // The core projection claim: millions of per-device random variables
+    // reduce to two numbers per block whose distributions match sampling.
+    let m = model(8);
+    let block = BlockSpec::new(
+        "b",
+        5_000.0,
+        5_000,
+        350.0,
+        1.2,
+        vec![(0, 0.5), (9, 0.3), (18, 0.2)],
+    )
+    .unwrap();
+    let moments = BlodMoments::characterize(&m, &block);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut sampler = FieldSampler::new(&m);
+    let mut u_err_worst = 0.0f64;
+    for _ in 0..20 {
+        let die = sampler.sample_die(&mut rng);
+        // Devices drawn per grid with the block weights: sample mean must
+        // approach u(z) as m grows.
+        let mut acc = 0.0;
+        let mut count = 0;
+        for &(g, w) in block.grid_weights() {
+            let n = (w * 6000.0) as usize;
+            let xs = sampler.sample_devices(&mut rng, &die, g, n);
+            acc += xs.iter().sum::<f64>();
+            count += n;
+        }
+        let sample_mean = acc / count as f64;
+        let (u, _v) = moments.uv_given_z(&die.z);
+        u_err_worst = u_err_worst.max((sample_mean - u).abs());
+    }
+    // Sampling noise of the mean is σ_ind/√m ≈ 2e-4.
+    assert!(u_err_worst < 1.5e-3, "worst u error {u_err_worst:.2e}");
+}
+
+#[test]
+fn chip_spec_serialization_round_trips() {
+    let mut spec = ChipSpec::new();
+    spec.add_block(BlockSpec::new("core", 1000.0, 1000, 360.0, 1.2, vec![(0, 1.0)]).unwrap())
+        .unwrap();
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+    let back: ChipSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+}
