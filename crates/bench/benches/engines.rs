@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the reliability engines — the runtime side of
-//! the paper's Table III, measured rigorously: per-evaluation cost of each
-//! engine, lifetime-solve cost, and the one-time construction costs.
+//! Benchmarks of the reliability engines — the runtime side of the
+//! paper's Table III: per-evaluation cost of each engine, lifetime-solve
+//! cost, and the one-time construction costs. Plain `fn main` harness
+//! (`harness = false`) built on [`statobd_bench::timing`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use statobd_bench::timing::Group;
 use statobd_bench::{analyze, thickness_model_for};
 use statobd_circuits::{build_design, Benchmark, DesignConfig};
 use statobd_core::{
@@ -11,18 +12,11 @@ use statobd_core::{
     StMcConfig,
 };
 use statobd_device::ClosedFormTech;
-use statobd_variation::ThicknessModel;
 use std::hint::black_box;
-
-struct Setup {
-    analysis: ChipAnalysis,
-    #[allow(dead_code)]
-    model: ThicknessModel,
-}
 
 /// C1 on a 10×10 correlation grid: small enough to keep the bench loop
 /// tight, large enough to exercise every code path.
-fn setup() -> Setup {
+fn setup() -> ChipAnalysis {
     let built = build_design(
         Benchmark::C1,
         &DesignConfig {
@@ -33,107 +27,94 @@ fn setup() -> Setup {
     .expect("design");
     let model = thickness_model_for(&built, 0.5);
     let tech = ClosedFormTech::nominal_45nm();
-    let analysis = analyze(&built, &model, &tech).expect("characterization");
-    Setup { analysis, model }
+    analyze(&built, &model, &tech).expect("characterization")
 }
 
-fn bench_engine_evaluations(c: &mut Criterion) {
-    let s = setup();
+fn bench_engine_evaluations(analysis: &ChipAnalysis) {
     let t = 2e8;
+    let group = Group::new("failure_probability");
 
-    let mut group = c.benchmark_group("failure_probability");
-    let mut fast = StFast::new(&s.analysis, StFastConfig::default());
+    let mut fast = StFast::new(analysis, StFastConfig::default());
     // Warm the quadrature cache outside the timed loop.
     let _ = fast.failure_probability(t).unwrap();
-    group.bench_function("st_fast", |b| {
-        b.iter(|| black_box(fast.failure_probability(black_box(t)).unwrap()))
+    group.bench("st_fast", || {
+        black_box(fast.failure_probability(black_box(t)).unwrap())
     });
 
-    let mut closed = StClosed::new(&s.analysis);
-    group.bench_function("st_closed", |b| {
-        b.iter(|| black_box(closed.failure_probability(black_box(t)).unwrap()))
+    let mut closed = StClosed::new(analysis);
+    group.bench("st_closed", || {
+        black_box(closed.failure_probability(black_box(t)).unwrap())
     });
 
-    let mut hybrid = HybridTables::build(&s.analysis, HybridConfig::default()).expect("tables");
-    group.bench_function("hybrid_lookup", |b| {
-        b.iter(|| black_box(hybrid.failure_probability(black_box(t)).unwrap()))
+    let mut hybrid = HybridTables::build(analysis, HybridConfig::default()).expect("tables");
+    group.bench("hybrid_lookup", || {
+        black_box(hybrid.failure_probability(black_box(t)).unwrap())
     });
 
-    let mut guard = GuardBand::new(&s.analysis, GuardBandConfig::default()).expect("guard");
-    group.bench_function("guard", |b| {
-        b.iter(|| black_box(guard.failure_probability(black_box(t)).unwrap()))
+    let mut guard = GuardBand::new(analysis, GuardBandConfig::default()).expect("guard");
+    group.bench("guard", || {
+        black_box(guard.failure_probability(black_box(t)).unwrap())
     });
 
     let mut st_mc = StMc::new(
-        &s.analysis,
+        analysis,
         StMcConfig {
             n_samples: 2000,
             ..Default::default()
         },
     )
     .expect("st_MC");
-    group.bench_function("st_mc_eval", |b| {
-        b.iter(|| black_box(st_mc.failure_probability(black_box(t)).unwrap()))
+    group.bench("st_mc_eval", || {
+        black_box(st_mc.failure_probability(black_box(t)).unwrap())
     });
-    group.finish();
 }
 
-fn bench_engine_construction(c: &mut Criterion) {
-    let s = setup();
-    let mut group = c.benchmark_group("engine_construction");
-    group.sample_size(10);
+fn bench_engine_construction(analysis: &ChipAnalysis) {
+    let group = Group::new("engine_construction");
 
-    group.bench_function("blod_characterize_all_blocks", |b| {
-        b.iter(|| {
-            black_box(
-                ChipAnalysis::new(
-                    s.analysis.spec().clone(),
-                    s.analysis.model().clone(),
-                    &ClosedFormTech::nominal_45nm(),
-                )
-                .unwrap(),
+    group.bench("blod_characterize_all_blocks", || {
+        black_box(
+            ChipAnalysis::new(
+                analysis.spec().clone(),
+                analysis.model().clone(),
+                &ClosedFormTech::nominal_45nm(),
             )
-        })
+            .unwrap(),
+        )
     });
 
-    group.bench_function("hybrid_build_40x20", |b| {
-        b.iter(|| {
-            black_box(
-                HybridTables::build(
-                    &s.analysis,
-                    HybridConfig {
-                        n_gamma: 40,
-                        n_b: 20,
-                        ..Default::default()
-                    },
-                )
-                .unwrap(),
+    group.bench("hybrid_build_40x20", || {
+        black_box(
+            HybridTables::build(
+                analysis,
+                HybridConfig {
+                    n_gamma: 40,
+                    n_b: 20,
+                    ..Default::default()
+                },
             )
-        })
+            .unwrap(),
+        )
     });
 
-    group.bench_function("st_mc_build_2000", |b| {
-        b.iter(|| {
-            black_box(
-                StMc::new(
-                    &s.analysis,
-                    StMcConfig {
-                        n_samples: 2000,
-                        ..Default::default()
-                    },
-                )
-                .unwrap(),
+    group.bench("st_mc_build_2000", || {
+        black_box(
+            StMc::new(
+                analysis,
+                StMcConfig {
+                    n_samples: 2000,
+                    ..Default::default()
+                },
             )
-        })
+            .unwrap(),
+        )
     });
-    group.finish();
 }
 
-fn bench_monte_carlo_scaling(c: &mut Criterion) {
+fn bench_monte_carlo_scaling() {
     // MC cost grows with device count — the scaling that makes the
     // statistical method necessary (Table III's right half).
-    let mut group = c.benchmark_group("mc_build_by_devices");
-    group.sample_size(10);
+    let group = Group::new("mc_build_by_devices");
     for bench_id in [Benchmark::C1, Benchmark::C3] {
         let built = build_design(
             bench_id,
@@ -146,48 +127,38 @@ fn bench_monte_carlo_scaling(c: &mut Criterion) {
         let model = thickness_model_for(&built, 0.5);
         let tech = ClosedFormTech::nominal_45nm();
         let analysis = analyze(&built, &model, &tech).expect("characterization");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(built.spec.total_devices()),
-            &analysis,
-            |b, analysis| {
-                b.iter(|| {
-                    black_box(
-                        MonteCarlo::build(
-                            analysis,
-                            MonteCarloConfig {
-                                n_chips: 20,
-                                ..Default::default()
-                            },
-                        )
-                        .unwrap(),
-                    )
-                })
-            },
-        );
+        group.bench(&format!("{}_devices", built.spec.total_devices()), || {
+            black_box(
+                MonteCarlo::build(
+                    &analysis,
+                    MonteCarloConfig {
+                        n_chips: 20,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        });
     }
-    group.finish();
 }
 
-fn bench_lifetime_solve(c: &mut Criterion) {
-    let s = setup();
-    let mut group = c.benchmark_group("lifetime_solve");
-    let mut fast = StFast::new(&s.analysis, StFastConfig::default());
+fn bench_lifetime_solve(analysis: &ChipAnalysis) {
+    let group = Group::new("lifetime_solve");
+    let mut fast = StFast::new(analysis, StFastConfig::default());
     let _ = fast.failure_probability(1e8).unwrap();
-    group.bench_function("st_fast_1ppm", |b| {
-        b.iter(|| black_box(solve_lifetime(&mut fast, 1e-6, (1e6, 1e12)).unwrap()))
+    group.bench("st_fast_1ppm", || {
+        black_box(solve_lifetime(&mut fast, 1e-6, (1e6, 1e12)).unwrap())
     });
-    let mut hybrid = HybridTables::build(&s.analysis, HybridConfig::default()).expect("tables");
-    group.bench_function("hybrid_1ppm", |b| {
-        b.iter(|| black_box(solve_lifetime(&mut hybrid, 1e-6, (1e6, 1e12)).unwrap()))
+    let mut hybrid = HybridTables::build(analysis, HybridConfig::default()).expect("tables");
+    group.bench("hybrid_1ppm", || {
+        black_box(solve_lifetime(&mut hybrid, 1e-6, (1e6, 1e12)).unwrap())
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_engine_evaluations,
-    bench_engine_construction,
-    bench_monte_carlo_scaling,
-    bench_lifetime_solve
-);
-criterion_main!(benches);
+fn main() {
+    let analysis = setup();
+    bench_engine_evaluations(&analysis);
+    bench_engine_construction(&analysis);
+    bench_monte_carlo_scaling();
+    bench_lifetime_solve(&analysis);
+}

@@ -3,13 +3,12 @@
 //! baseline, a 10–20× soft-breakdown jump, and a monotone wear-out ramp to
 //! hard breakdown.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd_device::{DegradationSimulator, PercolationConfig};
+use statobd_num::rng::Xoshiro256pp;
 
 fn main() {
     let sim = DegradationSimulator::new(PercolationConfig::default()).expect("valid config");
-    let mut rng = StdRng::seed_from_u64(2010);
+    let mut rng = Xoshiro256pp::seed_from_u64(2010);
     let trace = sim.simulate(&mut rng, 1.0, 10).expect("simulation");
 
     println!("== Fig. 3: gate leakage vs stress time (percolation simulator) ==");

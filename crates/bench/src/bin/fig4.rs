@@ -3,10 +3,9 @@
 //! curve, with R² ≈ 99.8 % (5 K devices) and 99.5 % (20 K devices) in the
 //! paper.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd_num::dist::{ContinuousDistribution, Normal};
 use statobd_num::hist::Histogram1d;
+use statobd_num::rng::Xoshiro256pp;
 use statobd_num::stats::{mean, r_squared, sample_variance};
 use statobd_variation::{
     CorrelationKernel, FieldSampler, GridSpec, ThicknessModelBuilder, VarianceBudget,
@@ -21,7 +20,7 @@ fn blod_histogram(n_devices: usize, seed: u64) -> (f64, Vec<(f64, f64, f64)>) {
         .build()
         .expect("model");
     let mut sampler = FieldSampler::new(&model);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let die = sampler.sample_die(&mut rng);
     // One block sitting in a single grid (grid 312 = center): its devices
     // share the correlated base and differ by the independent residual.

@@ -4,11 +4,10 @@
 //! block — the evidence behind the independence approximation of
 //! Sec. IV-C.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd_core::{BlockSpec, BlodMoments};
 use statobd_num::hist::Histogram2d;
 use statobd_num::rng::NormalSampler;
+use statobd_num::rng::Xoshiro256pp;
 use statobd_num::stats::mutual_information;
 use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
 
@@ -33,7 +32,7 @@ fn main() {
 
     // Sample (u, v) pairs.
     let n_samples = 200_000;
-    let mut rng = StdRng::seed_from_u64(67);
+    let mut rng = Xoshiro256pp::seed_from_u64(67);
     let mut normal = NormalSampler::new();
     let mut z = vec![0.0; model.n_components()];
     let mut pairs = Vec::with_capacity(n_samples);

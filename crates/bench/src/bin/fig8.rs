@@ -2,10 +2,9 @@
 //! form in normal variables) against its Yuan–Bentler χ² approximation
 //! (eqs. 29–30).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd_core::{BlockSpec, BlodMoments};
 use statobd_num::rng::NormalSampler;
+use statobd_num::rng::Xoshiro256pp;
 use statobd_num::stats::ks_distance;
 use statobd_variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
 
@@ -41,7 +40,7 @@ fn main() {
 
     // Monte-Carlo CDF of the exact quadratic form.
     let n_samples = 100_000;
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = Xoshiro256pp::seed_from_u64(8);
     let mut normal = NormalSampler::new();
     let mut z = vec![0.0; model.n_components()];
     let mut samples: Vec<f64> = (0..n_samples)

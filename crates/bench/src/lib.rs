@@ -7,12 +7,14 @@
 
 use statobd_circuits::BuiltDesign;
 use statobd_core::{
-    solve_lifetime, ChipAnalysis, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
-    MonteCarlo, MonteCarloConfig, Result as CoreResult, StFast, StFastConfig, StMc, StMcConfig,
+    build_engine, solve_lifetime, ChipAnalysis, EngineSpec, GuardBand, GuardBandConfig,
+    HybridConfig, HybridTables, MonteCarloConfig, Result as CoreResult, StMcConfig,
 };
 use statobd_device::ObdTechnology;
 use statobd_variation::{CorrelationKernel, ThicknessModel, ThicknessModelBuilder, VarianceBudget};
 use std::time::Instant;
+
+pub mod timing;
 
 /// Default lifetime search bracket (seconds).
 pub const BRACKET: (f64, f64) = (1e6, 1e12);
@@ -68,26 +70,26 @@ fn timed(method: &str, f: impl FnOnce() -> CoreResult<(f64, f64)>) -> CoreResult
     })
 }
 
-/// Runs the `st_fast` method (engine construction + both solves).
-pub fn run_st_fast(analysis: &ChipAnalysis) -> CoreResult<MethodResult> {
-    timed("st_fast", || {
-        let mut e = StFast::new(analysis, StFastConfig::default());
+/// Runs any engine selected by an [`EngineSpec`] through the unified
+/// factory: construction plus both per-million lifetime solves, timed.
+pub fn run_engine(analysis: &ChipAnalysis, spec: &EngineSpec) -> CoreResult<MethodResult> {
+    timed(spec.kind().name(), || {
+        let mut e = build_engine(analysis, spec)?;
         Ok((
-            solve_lifetime(&mut e, statobd_core::params::ONE_PER_MILLION, BRACKET)?,
-            solve_lifetime(&mut e, statobd_core::params::TEN_PER_MILLION, BRACKET)?,
+            solve_lifetime(e.as_mut(), statobd_core::params::ONE_PER_MILLION, BRACKET)?,
+            solve_lifetime(e.as_mut(), statobd_core::params::TEN_PER_MILLION, BRACKET)?,
         ))
     })
 }
 
+/// Runs the `st_fast` method (engine construction + both solves).
+pub fn run_st_fast(analysis: &ChipAnalysis) -> CoreResult<MethodResult> {
+    run_engine(analysis, &EngineSpec::default())
+}
+
 /// Runs the `st_MC` method.
 pub fn run_st_mc(analysis: &ChipAnalysis, config: StMcConfig) -> CoreResult<MethodResult> {
-    timed("st_MC", || {
-        let mut e = StMc::new(analysis, config)?;
-        Ok((
-            solve_lifetime(&mut e, statobd_core::params::ONE_PER_MILLION, BRACKET)?,
-            solve_lifetime(&mut e, statobd_core::params::TEN_PER_MILLION, BRACKET)?,
-        ))
-    })
+    run_engine(analysis, &EngineSpec::StMc(config))
 }
 
 /// Builds the hybrid tables (the one-time step) and then runs the
@@ -118,13 +120,7 @@ pub fn run_guard(analysis: &ChipAnalysis) -> CoreResult<MethodResult> {
 
 /// Runs the Monte-Carlo reference.
 pub fn run_mc(analysis: &ChipAnalysis, config: MonteCarloConfig) -> CoreResult<MethodResult> {
-    timed("MC", || {
-        let mut e = MonteCarlo::build(analysis, config)?;
-        Ok((
-            solve_lifetime(&mut e, statobd_core::params::ONE_PER_MILLION, BRACKET)?,
-            solve_lifetime(&mut e, statobd_core::params::TEN_PER_MILLION, BRACKET)?,
-        ))
-    })
+    run_engine(analysis, &EngineSpec::MonteCarlo(config))
 }
 
 /// Characterizes a built design against a technology and thickness model.

@@ -1,0 +1,88 @@
+//! Minimal std-only timing harness for the `[[bench]]` targets.
+//!
+//! The benchmarks are plain `fn main` binaries (`harness = false`): each
+//! measurement warms the closure up, calibrates an iteration count that
+//! keeps the timed region around a third of a second, then reports the
+//! mean and best per-iteration wall time. The output is meant for eyeball
+//! comparison of the paper's runtime claims, not statistical rigor.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall time for one timed measurement window.
+const TARGET_WINDOW_S: f64 = 0.3;
+/// Iteration-count bounds for a measurement window.
+const MAX_ITERS: u64 = 100_000;
+
+/// A named group of measurements, mirroring criterion's `benchmark_group`.
+#[derive(Debug)]
+pub struct Group {
+    name: &'static str,
+}
+
+impl Group {
+    /// Starts a new group, printing its header.
+    pub fn new(name: &'static str) -> Self {
+        println!("\n== {name} ==");
+        Group { name }
+    }
+
+    /// Times `f` and prints one result row.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up and calibration in one: the first call both populates
+        // caches and estimates the single-iteration cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((TARGET_WINDOW_S / once) as u64).clamp(1, MAX_ITERS);
+
+        let mut best = f64::INFINITY;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let it = Instant::now();
+            black_box(f());
+            best = best.min(it.elapsed().as_secs_f64());
+        }
+        let mean = start.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "{}/{name:<32} {iters:>7} iters  mean {}  best {}",
+            self.name,
+            fmt_duration(mean),
+            fmt_duration(best)
+        );
+    }
+}
+
+/// Formats a per-iteration duration with an adaptive unit.
+pub fn fmt_duration(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:8.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.3} s ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units() {
+        assert!(fmt_duration(5e-9).contains("ns"));
+        assert!(fmt_duration(5e-6).contains("µs"));
+        assert!(fmt_duration(5e-3).contains("ms"));
+        assert!(fmt_duration(5.0).trim_end().ends_with('s'));
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let group = Group::new("test");
+        let mut calls = 0u64;
+        group.bench("noop", || calls += 1);
+        assert!(calls >= 2); // warm-up + at least one timed iteration
+    }
+}

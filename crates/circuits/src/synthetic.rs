@@ -7,8 +7,8 @@
 //! the compact-hot-spot structure of the paper's Fig. 1.
 
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use statobd_num::rng::Rng;
+use statobd_num::rng::Xoshiro256pp;
 use statobd_thermal::{Block, BlockPower, Floorplan, PowerModel, Rect};
 
 /// Die edge for the synthetic designs (m).
@@ -29,7 +29,7 @@ pub fn synthetic_floorplan(n_blocks: usize, seed: u64) -> Result<(Floorplan, Pow
             detail: "need at least one block".to_string(),
         });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut fp = Floorplan::new(DIE_EDGE, DIE_EDGE)?;
     let mut pm = PowerModel::new();
 

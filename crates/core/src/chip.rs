@@ -9,12 +9,12 @@
 
 use crate::blod::BlodMoments;
 use crate::{CoreError, Result};
-use serde::{Deserialize, Serialize};
 use statobd_device::ObdTechnology;
+use statobd_num::impl_json_struct;
 use statobd_variation::ThicknessModel;
 
 /// One temperature-uniform functional block (the paper's "block").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockSpec {
     name: String,
     /// Total normalized gate area `A_j` (minimum-device-area units).
@@ -29,6 +29,15 @@ pub struct BlockSpec {
     /// (and area) in each correlation grid. Weights must sum to 1.
     grid_weights: Vec<(usize, f64)>,
 }
+
+impl_json_struct!(BlockSpec {
+    name,
+    area,
+    m_devices,
+    temperature_k,
+    voltage_v,
+    grid_weights
+});
 
 impl BlockSpec {
     /// Creates a block specification.
@@ -136,10 +145,12 @@ impl BlockSpec {
 }
 
 /// A chip specification: the set of temperature-uniform blocks.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChipSpec {
     blocks: Vec<BlockSpec>,
 }
+
+impl_json_struct!(ChipSpec { blocks });
 
 impl ChipSpec {
     /// Creates an empty specification.
@@ -412,12 +423,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_spec() {
+    fn json_round_trip_spec() {
         let mut spec = ChipSpec::new();
         spec.add_block(block("a", 350.0, vec![(0, 0.25), (1, 0.75)]))
             .unwrap();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: ChipSpec = serde_json::from_str(&json).unwrap();
+        let json = statobd_num::json::to_string(&spec);
+        let back: ChipSpec = statobd_num::json::from_str(&json).unwrap();
         assert_eq!(spec, back);
     }
 }

@@ -11,22 +11,24 @@
 //!
 //! Tables store `ln P_j` (failure probabilities span many decades, and the
 //! logarithm is nearly linear in `γ`, which is exactly what bilinear
-//! interpolation wants). Tables serialize with `serde` so they can be
-//! shipped into a runtime reliability monitor.
+//! interpolation wants). Tables serialize to JSON
+//! ([`statobd_num::json`]) so they can be shipped into a runtime
+//! reliability monitor.
 
 use crate::chip::ChipAnalysis;
 use crate::engines::st_fast::{BlockQuadrature, StFastConfig};
 use crate::engines::ReliabilityEngine;
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 use statobd_num::interp::Bilinear;
+use statobd_num::parallel;
 
 /// Floor applied before taking logs of probabilities.
 const LN_P_FLOOR: f64 = -700.0;
 
 /// Configuration of the hybrid table construction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HybridConfig {
     /// Range of `γ = ln(t/α)` covered by the tables.
     pub gamma_range: (f64, f64),
@@ -39,6 +41,14 @@ pub struct HybridConfig {
     /// Quadrature settings used to fill the table entries.
     pub quadrature_l0: usize,
 }
+
+impl_json_struct!(HybridConfig {
+    gamma_range,
+    b_range,
+    n_gamma,
+    n_b,
+    quadrature_l0
+});
 
 impl Default for HybridConfig {
     fn default() -> Self {
@@ -55,7 +65,7 @@ impl Default for HybridConfig {
 }
 
 /// One block's lookup table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct BlockTable {
     /// Bilinear interpolant of `ln P_j` over `(γ, b)`.
     ln_p: BilinearData,
@@ -65,13 +75,21 @@ struct BlockTable {
     b_per_nm: f64,
 }
 
+impl_json_struct!(BlockTable {
+    ln_p,
+    alpha_s,
+    b_per_nm
+});
+
 /// Serializable backing for [`Bilinear`] (axes + row-major values).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct BilinearData {
     xs: Vec<f64>,
     ys: Vec<f64>,
     values: Vec<f64>,
 }
+
+impl_json_struct!(BilinearData { xs, ys, values });
 
 impl BilinearData {
     fn to_interp(&self) -> Result<Bilinear> {
@@ -117,20 +135,28 @@ impl HybridTables {
 
         let mut tables = Vec::with_capacity(analysis.n_blocks());
         let mut interps = Vec::with_capacity(analysis.n_blocks());
+        let threads = parallel::resolve_threads(None);
         for block in analysis.blocks() {
             let quadrature = BlockQuadrature::new(block.moments(), &quad)?;
-            let mut values = Vec::with_capacity(gammas.len() * bs.len());
-            for &gamma in &gammas {
-                for &b in &bs {
-                    let gb = gamma * b;
-                    let coeff = GCoefficients {
-                        s1: gb,
-                        s2: 0.5 * gb * gb,
-                    };
-                    let p = quadrature.integrate(block.spec().area(), coeff);
-                    values.push(p.max(f64::MIN_POSITIVE).ln().max(LN_P_FLOOR));
-                }
-            }
+            // Fill the (γ, b) grid one γ-row per work item; rows are
+            // gathered in index order, so the table is identical at any
+            // thread count.
+            let area = block.spec().area();
+            let rows = parallel::run_indexed(gammas.len(), threads, |gi| {
+                let gamma = gammas[gi];
+                bs.iter()
+                    .map(|&b| {
+                        let gb = gamma * b;
+                        let coeff = GCoefficients {
+                            s1: gb,
+                            s2: 0.5 * gb * gb,
+                        };
+                        let p = quadrature.integrate(area, coeff);
+                        p.max(f64::MIN_POSITIVE).ln().max(LN_P_FLOOR)
+                    })
+                    .collect::<Vec<f64>>()
+            });
+            let values: Vec<f64> = rows.into_iter().flatten().collect();
             let data = BilinearData {
                 xs: gammas.clone(),
                 ys: bs.clone(),
@@ -210,13 +236,10 @@ impl HybridTables {
     /// Returns [`CoreError::InvalidParameter`] on serialization failure
     /// (does not occur for well-formed tables).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(&SerializedTables {
+        Ok(statobd_num::json::to_string(&SerializedTables {
             tables: self.tables.clone(),
             config: self.config,
-        })
-        .map_err(|e| CoreError::InvalidParameter {
-            detail: format!("serialization failed: {e}"),
-        })
+        }))
     }
 
     /// Restores tables from [`HybridTables::to_json`] output.
@@ -226,7 +249,7 @@ impl HybridTables {
     /// Returns [`CoreError::InvalidParameter`] for malformed input.
     pub fn from_json(json: &str) -> Result<Self> {
         let s: SerializedTables =
-            serde_json::from_str(json).map_err(|e| CoreError::InvalidParameter {
+            statobd_num::json::from_str(json).map_err(|e| CoreError::InvalidParameter {
                 detail: format!("deserialization failed: {e}"),
             })?;
         let interps = s
@@ -242,11 +265,13 @@ impl HybridTables {
     }
 }
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct SerializedTables {
     tables: Vec<BlockTable>,
     config: HybridConfig,
 }
+
+impl_json_struct!(SerializedTables { tables, config });
 
 impl ReliabilityEngine for HybridTables {
     fn name(&self) -> &str {
@@ -363,7 +388,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_results() {
+    fn json_round_trip_preserves_results() {
         let a = analysis();
         let mut hybrid = HybridTables::build(&a, HybridConfig::default()).unwrap();
         let json = hybrid.to_json().unwrap();

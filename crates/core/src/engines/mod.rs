@@ -1,5 +1,6 @@
 //! The reliability engines: different evaluators of the ensemble chip
-//! failure probability `P(t) = 1 − R_c(t)`.
+//! failure probability `P(t) = 1 − R_c(t)`, plus the unified
+//! [`build_engine`] construction entry point.
 
 pub mod guard;
 pub mod hybrid;
@@ -8,7 +9,14 @@ pub mod st_closed;
 pub mod st_fast;
 pub mod st_mc;
 
+use crate::chip::ChipAnalysis;
 use crate::Result;
+use guard::{GuardBand, GuardBandConfig};
+use hybrid::{HybridConfig, HybridTables};
+use monte_carlo::{MonteCarlo, MonteCarloConfig};
+use st_closed::StClosed;
+use st_fast::{StFast, StFastConfig};
+use st_mc::{StMc, StMcConfig};
 
 /// A chip-level reliability evaluator.
 ///
@@ -30,4 +38,194 @@ pub trait ReliabilityEngine {
     ///
     /// Engine-specific numerical failures.
     fn failure_probability(&mut self, t_s: f64) -> Result<f64>;
+}
+
+/// The available reliability engines, by the paper's Table III
+/// abbreviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// [`StFast`] — the paper's main marginal-product method.
+    StFast,
+    /// [`StMc`] — numerical joint-PDF variant.
+    StMc,
+    /// [`StClosed`] — fully closed-form first-order evaluation.
+    StClosed,
+    /// [`HybridTables`] — precomputed `(γ, b)` look-up tables.
+    Hybrid,
+    /// [`GuardBand`] — traditional worst-case corner.
+    GuardBand,
+    /// [`MonteCarlo`] — per-device reference simulation.
+    MonteCarlo,
+}
+
+impl EngineKind {
+    /// All engine kinds, in the paper's Table III order.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::StFast,
+        EngineKind::StMc,
+        EngineKind::StClosed,
+        EngineKind::Hybrid,
+        EngineKind::GuardBand,
+        EngineKind::MonteCarlo,
+    ];
+
+    /// The paper's abbreviation (matches [`ReliabilityEngine::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::StFast => "st_fast",
+            EngineKind::StMc => "st_MC",
+            EngineKind::StClosed => "st_closed",
+            EngineKind::Hybrid => "hybrid",
+            EngineKind::GuardBand => "guard",
+            EngineKind::MonteCarlo => "MC",
+        }
+    }
+
+    /// Parses a paper abbreviation (as printed by [`EngineKind::name`],
+    /// case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// The default configuration for this kind.
+    pub fn default_spec(self) -> EngineSpec {
+        match self {
+            EngineKind::StFast => EngineSpec::StFast(StFastConfig::default()),
+            EngineKind::StMc => EngineSpec::StMc(StMcConfig::default()),
+            EngineKind::StClosed => EngineSpec::StClosed,
+            EngineKind::Hybrid => EngineSpec::Hybrid(HybridConfig::default()),
+            EngineKind::GuardBand => EngineSpec::GuardBand(GuardBandConfig::default()),
+            EngineKind::MonteCarlo => EngineSpec::MonteCarlo(MonteCarloConfig::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An engine selection together with its configuration — the input to
+/// [`build_engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineSpec {
+    /// Build an [`StFast`] engine.
+    StFast(StFastConfig),
+    /// Build an [`StMc`] engine.
+    StMc(StMcConfig),
+    /// Build an [`StClosed`] engine (no configuration).
+    StClosed,
+    /// Build a [`HybridTables`] engine.
+    Hybrid(HybridConfig),
+    /// Build a [`GuardBand`] engine.
+    GuardBand(GuardBandConfig),
+    /// Build a [`MonteCarlo`] engine.
+    MonteCarlo(MonteCarloConfig),
+}
+
+impl EngineSpec {
+    /// The kind this spec builds.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            EngineSpec::StFast(_) => EngineKind::StFast,
+            EngineSpec::StMc(_) => EngineKind::StMc,
+            EngineSpec::StClosed => EngineKind::StClosed,
+            EngineSpec::Hybrid(_) => EngineKind::Hybrid,
+            EngineSpec::GuardBand(_) => EngineKind::GuardBand,
+            EngineSpec::MonteCarlo(_) => EngineKind::MonteCarlo,
+        }
+    }
+
+    /// Overrides the worker-thread count on the kinds that fan out
+    /// (`st_fast`, `st_MC`, `MC`); a no-op for the rest.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        match &mut self {
+            EngineSpec::StFast(c) => c.threads = threads,
+            EngineSpec::StMc(c) => c.threads = threads,
+            EngineSpec::MonteCarlo(c) => c.threads = threads,
+            EngineSpec::StClosed | EngineSpec::Hybrid(_) | EngineSpec::GuardBand(_) => {}
+        }
+        self
+    }
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        EngineKind::StFast.default_spec()
+    }
+}
+
+impl From<EngineKind> for EngineSpec {
+    fn from(kind: EngineKind) -> Self {
+        kind.default_spec()
+    }
+}
+
+/// Builds any reliability engine over a characterized chip — the single
+/// construction entry point used by the CLI, the benchmarks, and the
+/// examples.
+///
+/// The returned engine borrows `analysis` (engines that keep a reference
+/// tie their lifetime to it; self-contained engines like
+/// [`HybridTables`] simply outlive the borrow).
+///
+/// # Errors
+///
+/// Propagates the underlying constructor's validation errors
+/// ([`crate::CoreError::InvalidParameter`] for degenerate configurations,
+/// numerical failures from table/sample construction).
+///
+/// # Example
+///
+/// ```no_run
+/// use statobd_core::{build_engine, ChipAnalysis, EngineKind};
+/// # fn demo(analysis: &ChipAnalysis) -> statobd_core::Result<()> {
+/// let mut engine = build_engine(analysis, &EngineKind::StFast.default_spec())?;
+/// let p = engine.failure_probability(1e9)?;
+/// # let _ = p; Ok(())
+/// # }
+/// ```
+pub fn build_engine<'a>(
+    analysis: &'a ChipAnalysis,
+    spec: &EngineSpec,
+) -> Result<Box<dyn ReliabilityEngine + 'a>> {
+    Ok(match spec {
+        EngineSpec::StFast(config) => Box::new(StFast::new(analysis, *config)),
+        EngineSpec::StMc(config) => Box::new(StMc::new(analysis, *config)?),
+        EngineSpec::StClosed => Box::new(StClosed::new(analysis)),
+        EngineSpec::Hybrid(config) => Box::new(HybridTables::build(analysis, *config)?),
+        EngineSpec::GuardBand(config) => Box::new(GuardBand::new(analysis, *config)?),
+        EngineSpec::MonteCarlo(config) => Box::new(MonteCarlo::build(analysis, *config)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+            assert_eq!(EngineKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert_eq!(kind.default_spec().kind(), kind);
+        }
+        assert_eq!(EngineKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn with_threads_applies_to_fanout_engines() {
+        let spec = EngineSpec::StFast(StFastConfig::default()).with_threads(Some(3));
+        assert!(matches!(spec, EngineSpec::StFast(c) if c.threads == Some(3)));
+        let spec = EngineSpec::MonteCarlo(MonteCarloConfig::default()).with_threads(Some(2));
+        assert!(matches!(spec, EngineSpec::MonteCarlo(c) if c.threads == Some(2)));
+        // No-op on engines without a fan-out.
+        assert_eq!(
+            EngineSpec::StClosed.with_threads(Some(4)),
+            EngineSpec::StClosed
+        );
+    }
 }

@@ -12,15 +12,16 @@
 //! is evaluated exactly (up to binning at ~10⁻⁴ nm resolution) at any `t`
 //! without re-simulation, and the ensemble failure probability is the
 //! average over chips. Chip sampling is embarrassingly parallel and fans
-//! out across threads with `crossbeam`.
+//! out across scoped threads ([`statobd_num::parallel`]); every chip draws
+//! from its own counter-based RNG stream, so results are bit-identical at
+//! any thread count.
 
 use crate::blod::uv_from_grid_base;
 use crate::chip::ChipAnalysis;
 use crate::engines::ReliabilityEngine;
 use crate::{CoreError, Result};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use statobd_num::rng::NormalSampler;
+use statobd_num::parallel;
+use statobd_num::rng::{NormalSampler, Xoshiro256pp};
 
 /// Configuration of the Monte-Carlo reference engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,39 +142,34 @@ impl<'a> MonteCarlo<'a> {
         let mut counts = vec![0u32; config.n_chips * stride_chip];
         let mut uv = vec![(0.0, 0.0); config.n_chips * n_blocks];
 
-        let threads = config
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-            .max(1);
-        let chunk_chips = config.n_chips.div_ceil(threads);
+        let threads = parallel::resolve_threads(config.threads);
+        // Chunk size is fixed (not derived from the thread count) so the
+        // work decomposition — and with per-chip RNG streams, the result —
+        // is identical no matter how many workers run.
+        let chunk_chips = 16;
 
         let start = std::time::Instant::now();
-        crossbeam::thread::scope(|scope| {
+        {
             let allocations = &allocations;
-            for (chunk_idx, (count_chunk, uv_chunk)) in counts
-                .chunks_mut(chunk_chips * stride_chip)
-                .zip(uv.chunks_mut(chunk_chips * n_blocks))
-                .enumerate()
-            {
-                let first_chip = chunk_idx * chunk_chips;
-                scope.spawn(move |_| {
+            parallel::for_each_chunk_pair_mut(
+                &mut counts,
+                stride_chip,
+                &mut uv,
+                n_blocks,
+                chunk_chips,
+                threads,
+                |chunk_idx, count_chunk, uv_chunk| {
                     let n_pc = model.n_components();
                     let mut z = vec![0.0; n_pc];
+                    let first_chip = chunk_idx * chunk_chips;
                     let chips_here = count_chunk.len() / stride_chip;
                     for local in 0..chips_here {
                         let chip = first_chip + local;
-                        // Per-chip deterministic stream (SplitMix-style mix);
-                        // a fresh sampler per chip keeps results independent
-                        // of the thread partitioning.
+                        // Per-chip deterministic stream; a fresh sampler per
+                        // chip keeps results independent of the thread
+                        // partitioning.
                         let mut normal = NormalSampler::new();
-                        let chip_seed = config
-                            .seed
-                            .wrapping_add((chip as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                        let mut rng = StdRng::seed_from_u64(chip_seed);
+                        let mut rng = Xoshiro256pp::stream(config.seed, chip as u64);
                         normal.fill(&mut rng, &mut z);
                         let base = model.grid_base(&z);
                         let chip_counts =
@@ -196,10 +192,9 @@ impl<'a> MonteCarlo<'a> {
                                 uv_from_grid_base(block.spec().grid_weights(), &base, sigma_ind);
                         }
                     }
-                });
-            }
-        })
-        .expect("worker thread panicked");
+                },
+            );
+        }
         let build_seconds = start.elapsed().as_secs_f64();
 
         Ok(MonteCarlo {
@@ -305,7 +300,11 @@ impl<'a> MonteCarlo<'a> {
     /// # Panics
     ///
     /// Panics if `chip_idx` is out of range.
-    pub fn sample_failure_time<R: rand::Rng + ?Sized>(&self, chip_idx: usize, rng: &mut R) -> f64 {
+    pub fn sample_failure_time<R: statobd_num::rng::Rng + ?Sized>(
+        &self,
+        chip_idx: usize,
+        rng: &mut R,
+    ) -> f64 {
         assert!(chip_idx < self.config.n_chips, "chip index out of range");
         let e = statobd_num::rng::sample_exp1(rng);
         // Bracket in log-time.
@@ -554,8 +553,6 @@ mod tests {
 
     #[test]
     fn sampled_failure_times_match_the_reliability_curve() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         let a = analysis(5_000);
         let mut mc = MonteCarlo::build(
             &a,
@@ -567,7 +564,7 @@ mod tests {
         .unwrap();
         // Median of sampled failure times across chips should match the
         // t where P(t) = 0.5.
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let mut times: Vec<f64> = (0..60)
             .flat_map(|chip| {
                 (0..20)

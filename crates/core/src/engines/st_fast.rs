@@ -40,6 +40,9 @@ pub struct StFastConfig {
     pub u_width_sigmas: f64,
     /// Evaluation method for the sample-variance distribution.
     pub v_method: VarianceMethod,
+    /// Worker threads for the per-block quadrature construction
+    /// (`None` = all cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for StFastConfig {
@@ -48,6 +51,7 @@ impl Default for StFastConfig {
             l0: crate::params::DEFAULT_L0,
             u_width_sigmas: 6.0,
             v_method: VarianceMethod::ChiSquare,
+            threads: None,
         }
     }
 }
@@ -153,11 +157,18 @@ impl<'a> StFast<'a> {
 
     fn quadratures(&self) -> Result<&[BlockQuadrature]> {
         let built = self.quadratures.get_or_init(|| {
-            self.analysis
-                .blocks()
-                .iter()
-                .map(|b| BlockQuadrature::new(b.moments(), &self.config))
-                .collect()
+            // Node construction (gamma quantile inversion, Imhof) is the
+            // expensive step; fan it out one block per work item. Results
+            // are gathered in block order, so the engine is deterministic
+            // at any thread count.
+            let threads = statobd_num::parallel::resolve_threads(self.config.threads);
+            let blocks = self.analysis.blocks();
+            let config = self.config;
+            statobd_num::parallel::run_indexed(blocks.len(), threads, move |j| {
+                BlockQuadrature::new(blocks[j].moments(), &config)
+            })
+            .into_iter()
+            .collect()
         });
         match built {
             Ok(v) => Ok(v.as_slice()),

@@ -13,10 +13,9 @@ use crate::chip::ChipAnalysis;
 use crate::engines::ReliabilityEngine;
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd_num::hist::Histogram2d;
-use statobd_num::rng::NormalSampler;
+use statobd_num::parallel;
+use statobd_num::rng::{NormalSampler, Xoshiro256pp};
 
 /// Configuration of the [`StMc`] engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,36 +83,26 @@ impl<'a> StMc<'a> {
         // thread a disjoint mutable slice.
         let n_blocks = analysis.n_blocks();
         let mut flat = vec![(0.0, 0.0); config.n_samples * n_blocks];
-        let threads = config
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-            .max(1);
-        let chunk_samples = config.n_samples.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, chunk) in flat.chunks_mut(chunk_samples * n_blocks).enumerate() {
+        let threads = parallel::resolve_threads(config.threads);
+        let chunk_samples = 256;
+        parallel::for_each_chunk_mut(
+            &mut flat,
+            chunk_samples * n_blocks,
+            threads,
+            move |chunk_idx, chunk: &mut [(f64, f64)]| {
                 let first = chunk_idx * chunk_samples;
-                scope.spawn(move |_| {
-                    let mut z = vec![0.0; n_pc];
-                    for local in 0..chunk.len() / n_blocks {
-                        let sample = first + local;
-                        let sample_seed = config
-                            .seed
-                            .wrapping_add((sample as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                        let mut rng = StdRng::seed_from_u64(sample_seed);
-                        let mut normal = NormalSampler::new();
-                        normal.fill(&mut rng, &mut z);
-                        for (j, block) in analysis.blocks().iter().enumerate() {
-                            chunk[local * n_blocks + j] = block.moments().uv_given_z(&z);
-                        }
+                let mut z = vec![0.0; n_pc];
+                for local in 0..chunk.len() / n_blocks {
+                    let sample = first + local;
+                    let mut rng = Xoshiro256pp::stream(config.seed, sample as u64);
+                    let mut normal = NormalSampler::new();
+                    normal.fill(&mut rng, &mut z);
+                    for (j, block) in analysis.blocks().iter().enumerate() {
+                        chunk[local * n_blocks + j] = block.moments().uv_given_z(&z);
                     }
-                });
-            }
-        })
-        .expect("worker thread panicked");
+                }
+            },
+        );
         // Transpose to the per-block layout the queries use.
         let mut uv: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(config.n_samples); n_blocks];
         for sample in 0..config.n_samples {

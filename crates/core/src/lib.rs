@@ -34,6 +34,9 @@
 //!    * [`GuardBand`] — the traditional minimum-thickness worst-temperature
 //!      corner (eqs. 33–34),
 //!    * [`MonteCarlo`] — the reference per-device Monte-Carlo simulation.
+//!
+//!    Every engine is built through the unified [`build_engine`] factory
+//!    from an [`EngineKind`] selection / [`EngineSpec`] configuration.
 //! 4. [`solve_lifetime`] inverts `P(t)` for n-faults-per-million targets
 //!    (eq. 32).
 //!
@@ -60,8 +63,8 @@
 //!     vec![(12, 1.0)])?)?;
 //!
 //! let analysis = ChipAnalysis::new(spec, model, &ClosedFormTech::nominal_45nm())?;
-//! let mut engine = StFast::new(&analysis, StFastConfig::default());
-//! let t = solve_lifetime(&mut engine, 1e-6, (1e6, 1e12))?;
+//! let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
+//! let t = solve_lifetime(engine.as_mut(), 1e-6, (1e6, 1e12))?;
 //! assert!(t > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -84,7 +87,7 @@ pub use engines::monte_carlo::{MonteCarlo, MonteCarloConfig};
 pub use engines::st_closed::StClosed;
 pub use engines::st_fast::{StFast, StFastConfig, VarianceMethod};
 pub use engines::st_mc::{StMc, StMcConfig};
-pub use engines::ReliabilityEngine;
+pub use engines::{build_engine, EngineKind, EngineSpec, ReliabilityEngine};
 pub use gfun::{conditional_block_failure, g_function, GCoefficients};
 pub use lifetime::{
     burn_in_failure_probability, effective_weibull_slope, failure_rate_curve, fit_rate,

@@ -376,7 +376,10 @@ mod tests {
     #[test]
     fn fit_rate_matches_weibull_hazard() {
         // Weibull hazard: h(t) = (β/τ)(t/τ)^{β−1}.
-        let mut e = Weib { tau: 1e9, beta: 1.76 };
+        let mut e = Weib {
+            tau: 1e9,
+            beta: 1.76,
+        };
         let t = 2e8;
         let fit = fit_rate(&mut e, t).unwrap();
         let hazard = (1.76 / 1e9) * (t / 1e9_f64).powf(0.76);
@@ -390,13 +393,13 @@ mod tests {
 
     #[test]
     fn effective_slope_recovers_weibull_beta() {
-        let mut e = Weib { tau: 3e9, beta: 1.76 };
+        let mut e = Weib {
+            tau: 3e9,
+            beta: 1.76,
+        };
         for &t in &[1e7, 1e8, 1e9] {
             let slope = effective_weibull_slope(&mut e, t).unwrap();
-            assert!(
-                (slope - 1.76).abs() < 1e-6,
-                "slope {slope} at t={t:e}"
-            );
+            assert!((slope - 1.76).abs() < 1e-6, "slope {slope} at t={t:e}");
         }
         assert!(effective_weibull_slope(&mut e, -1.0).is_err());
     }

@@ -13,12 +13,11 @@
 //! drift, a 10–20× SBD jump, and a continuous ramp to HBD.
 
 use crate::{DeviceError, Result};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use statobd_num::rng::sample_exp1;
+use statobd_num::impl_json_struct;
+use statobd_num::rng::{sample_exp1, Rng};
 
 /// Configuration of the percolation degradation simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PercolationConfig {
     /// Number of percolation columns under the gate.
     pub columns: usize,
@@ -39,6 +38,18 @@ pub struct PercolationConfig {
     /// HBD is declared when leakage exceeds this multiple of the baseline.
     pub hbd_threshold_factor: f64,
 }
+
+impl_json_struct!(PercolationConfig {
+    columns,
+    cells_per_column,
+    trap_rate_per_s,
+    baseline_leakage_a,
+    per_trap_leakage_a,
+    sbd_jump_factor,
+    wearout_tau_s,
+    wearout_exponent,
+    hbd_threshold_factor,
+});
 
 impl Default for PercolationConfig {
     fn default() -> Self {
@@ -99,7 +110,7 @@ impl PercolationConfig {
 }
 
 /// A simulated gate-leakage trace with its breakdown events.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeakageTrace {
     /// Sample times (s), strictly increasing.
     pub times_s: Vec<f64>,
@@ -112,6 +123,14 @@ pub struct LeakageTrace {
     /// Traps generated up to SBD.
     pub traps_at_sbd: usize,
 }
+
+impl_json_struct!(LeakageTrace {
+    times_s,
+    leakage_a,
+    t_sbd_s,
+    t_hbd_s,
+    traps_at_sbd,
+});
 
 /// The percolation degradation simulator.
 #[derive(Debug, Clone)]
@@ -146,11 +165,10 @@ impl DegradationSimulator {
     /// # Example
     ///
     /// ```
-    /// use rand::SeedableRng;
     /// use statobd_device::{DegradationSimulator, PercolationConfig};
     ///
     /// let sim = DegradationSimulator::new(PercolationConfig::default())?;
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// let mut rng = statobd_num::rng::Xoshiro256pp::seed_from_u64(3);
     /// let trace = sim.simulate(&mut rng, 1.0, 20)?;
     /// assert!(trace.t_sbd_s < trace.t_hbd_s);
     /// # Ok::<(), statobd_device::DeviceError>(())
@@ -178,7 +196,7 @@ impl DegradationSimulator {
         let t_sbd;
         loop {
             t += sample_exp1(rng) / cfg.trap_rate_per_s;
-            let col = rng.gen_range(0..cfg.columns);
+            let col = rng.gen_index(cfg.columns);
             counts[col] += 1;
             traps += 1;
             trap_times.push(t);
@@ -256,7 +274,7 @@ impl DegradationSimulator {
                 let mut t = 0.0;
                 loop {
                     t += sample_exp1(rng) / cfg.trap_rate_per_s;
-                    let col = rng.gen_range(0..cfg.columns);
+                    let col = rng.gen_index(cfg.columns);
                     counts[col] += 1;
                     if counts[col] as usize >= cfg.cells_per_column {
                         return t;
@@ -284,13 +302,12 @@ impl DegradationSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use statobd_num::rng::Xoshiro256pp;
 
     #[test]
     fn trace_shows_sbd_then_hbd() {
         let sim = DegradationSimulator::new(PercolationConfig::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let trace = sim.simulate(&mut rng, 1.0, 16).unwrap();
         assert!(trace.t_sbd_s > 0.0);
         assert!(trace.t_hbd_s > trace.t_sbd_s);
@@ -301,7 +318,7 @@ mod tests {
     #[test]
     fn leakage_is_monotone_nondecreasing() {
         let sim = DegradationSimulator::new(PercolationConfig::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let trace = sim.simulate(&mut rng, 1.0, 24).unwrap();
         for w in trace.leakage_a.windows(2) {
             assert!(w[1] >= w[0] - 1e-18, "leakage decreased: {w:?}");
@@ -312,7 +329,7 @@ mod tests {
     fn sbd_jump_is_ten_to_twenty_fold() {
         let cfg = PercolationConfig::default();
         let sim = DegradationSimulator::new(cfg).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let trace = sim.simulate(&mut rng, 1.0, 48).unwrap();
         // Leakage just before vs just after SBD.
         let before = trace
@@ -338,7 +355,7 @@ mod tests {
     fn hbd_reaches_threshold() {
         let cfg = PercolationConfig::default();
         let sim = DegradationSimulator::new(cfg).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let trace = sim.simulate(&mut rng, 1.0, 24).unwrap();
         let max_leak = trace.leakage_a.iter().cloned().fold(0.0, f64::max);
         assert!(max_leak >= cfg.baseline_leakage_a * cfg.hbd_threshold_factor * 0.9);
@@ -349,7 +366,7 @@ mod tests {
         // More cells per column (higher critical defect density) → steeper
         // Weibull slope; this is the qualitative trend of the percolation
         // model the paper's eq. (4) abstracts.
-        let mut rng = StdRng::seed_from_u64(100);
+        let mut rng = Xoshiro256pp::seed_from_u64(100);
         let shallow = DegradationSimulator::new(PercolationConfig {
             cells_per_column: 2,
             ..PercolationConfig::default()
@@ -392,7 +409,7 @@ mod tests {
     #[test]
     fn simulate_rejects_bad_sampling() {
         let sim = DegradationSimulator::new(PercolationConfig::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         assert!(sim.simulate(&mut rng, 0.0, 10).is_err());
         assert!(sim.simulate(&mut rng, 1.0, 0).is_err());
     }

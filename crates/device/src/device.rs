@@ -1,9 +1,9 @@
 //! The per-device Weibull OBD distribution (paper eqs. 4, 6, 9).
 
 use crate::{DeviceError, Result};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use statobd_num::rng::sample_exp1;
+use statobd_num::impl_json_struct;
+use statobd_num::json::{FromJson, Json, JsonError, ToJson};
+use statobd_num::rng::{sample_exp1, Rng};
 
 /// The failure criterion for OBD analysis.
 ///
@@ -12,12 +12,34 @@ use statobd_num::rng::sample_exp1;
 /// dominates CPU life-test fallout (cache failures) — while noting circuits
 /// can sometimes survive to hard breakdown. The enum documents the choice
 /// and lets the degradation simulator report both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureCriterion {
     /// First soft breakdown (the paper's criterion for chip analysis).
     SoftBreakdown,
     /// Hard breakdown (thermal runaway of the percolation path).
     HardBreakdown,
+}
+
+impl ToJson for FailureCriterion {
+    fn to_json(&self) -> Json {
+        Json::String(
+            match self {
+                FailureCriterion::SoftBreakdown => "SoftBreakdown",
+                FailureCriterion::HardBreakdown => "HardBreakdown",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for FailureCriterion {
+    fn from_json(v: &Json) -> statobd_num::json::Result<Self> {
+        match v.as_str() {
+            Some("SoftBreakdown") => Ok(FailureCriterion::SoftBreakdown),
+            Some("HardBreakdown") => Ok(FailureCriterion::HardBreakdown),
+            _ => Err(JsonError::new(format!("unknown FailureCriterion {v}"))),
+        }
+    }
 }
 
 /// OBD statistics of one device: `F(t) = 1 − exp(−a·(t/α)^(b·x))`.
@@ -33,13 +55,20 @@ pub enum FailureCriterion {
 /// assert!((d.weibull_slope() - 1.43).abs() < 1e-12);
 /// # Ok::<(), statobd_device::DeviceError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceObd {
     area: f64,
     thickness_nm: f64,
     alpha_s: f64,
     b_per_nm: f64,
 }
+
+impl_json_struct!(DeviceObd {
+    area,
+    thickness_nm,
+    alpha_s,
+    b_per_nm,
+});
 
 impl DeviceObd {
     /// Creates a device model.
@@ -146,8 +175,7 @@ impl DeviceObd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use statobd_num::rng::Xoshiro256pp;
 
     fn device() -> DeviceObd {
         DeviceObd::new(1.0, 2.2, 1.0e16, 0.65).unwrap()
@@ -219,7 +247,7 @@ mod tests {
     #[test]
     fn sampled_failure_times_match_cdf() {
         let d = device();
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
         let n = 100_000;
         let t_median = d.quantile(0.5).unwrap();
         let below = (0..n)
@@ -238,10 +266,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let d = device();
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DeviceObd = serde_json::from_str(&json).unwrap();
+        let json = statobd_num::json::to_string(&d);
+        let back: DeviceObd = statobd_num::json::from_str(&json).unwrap();
         assert_eq!(d, back);
     }
 }

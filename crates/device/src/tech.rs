@@ -13,7 +13,7 @@
 //!   decreasing slightly with temperature.
 
 use crate::{DeviceError, Result, BOLTZMANN_EV};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 use statobd_num::interp::LinearInterp;
 
 /// Temperature/voltage-dependent OBD technology parameters.
@@ -48,7 +48,7 @@ pub trait ObdTechnology: std::fmt::Debug {
 /// // Higher voltage → shorter life.
 /// assert!(tech.alpha(353.15, 1.3) < tech.alpha(353.15, 1.2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClosedFormTech {
     alpha_ref_s: f64,
     t_ref_k: f64,
@@ -58,6 +58,16 @@ pub struct ClosedFormTech {
     b_ref: f64,
     b_temp_coeff: f64,
 }
+
+impl_json_struct!(ClosedFormTech {
+    alpha_ref_s,
+    t_ref_k,
+    v_ref,
+    ea_ev,
+    voltage_exp,
+    b_ref,
+    b_temp_coeff,
+});
 
 impl ClosedFormTech {
     /// Creates a closed-form technology model.

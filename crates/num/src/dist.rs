@@ -3,9 +3,9 @@
 //! produced by the Yuan–Bentler approximation), Weibull and exponential.
 
 use crate::rng::NormalSampler;
+use crate::rng::Rng;
 use crate::special::{gamma_p, gamma_p_inv, ln_gamma, norm_cdf, norm_inv_cdf, norm_pdf};
 use crate::{NumError, Result};
-use rand::Rng;
 
 /// A univariate continuous distribution.
 ///
@@ -440,8 +440,7 @@ impl ContinuousDistribution for Exponential {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
@@ -521,7 +520,7 @@ mod tests {
 
     #[test]
     fn sampling_moments_converge() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let mut ns = NormalSampler::new();
         let g = Gamma::new(2.0, 3.0).unwrap();
         let n = 200_000;
@@ -535,7 +534,7 @@ mod tests {
 
     #[test]
     fn gamma_sample_small_shape() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut ns = NormalSampler::new();
         let g = Gamma::new(0.3, 1.0).unwrap();
         let n = 100_000;

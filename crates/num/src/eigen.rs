@@ -59,6 +59,10 @@ impl SymmetricEigen {
         Self::decompose(a, Self::DEFAULT_TOL)
     }
 
+    /// Matrices at least this large use the parallel round-robin rotation
+    /// ordering; below it the thread fan-out costs more than it saves.
+    pub const PARALLEL_MIN_DIM: usize = 64;
+
     fn decompose(a: &DMatrix, tol: f64) -> Result<Self> {
         let n = a.nrows();
         let mut m = a.clone();
@@ -74,29 +78,11 @@ impl SymmetricEigen {
         let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
         let threshold = tol * norm;
 
-        let mut sweeps = 0;
-        loop {
-            let off = off_diagonal_norm(&m);
-            if off <= threshold {
-                break;
-            }
-            if sweeps >= Self::MAX_SWEEPS {
-                return Err(NumError::NoConvergence {
-                    iterations: sweeps,
-                    residual: off,
-                });
-            }
-            sweeps += 1;
-            for p in 0..n {
-                for q in (p + 1)..n {
-                    let apq = m[(p, q)];
-                    if apq.abs() <= threshold / (n as f64) {
-                        continue;
-                    }
-                    let (c, s) = jacobi_rotation(m[(p, p)], m[(q, q)], apq);
-                    apply_rotation(&mut m, &mut v, p, q, c, s);
-                }
-            }
+        let threads = crate::parallel::resolve_threads(None);
+        if n >= Self::PARALLEL_MIN_DIM && threads > 1 {
+            Self::sweep_round_robin(&mut m, &mut v, threshold, threads)?;
+        } else {
+            Self::sweep_cyclic(&mut m, &mut v, threshold)?;
         }
 
         // Extract and sort (descending by eigenvalue).
@@ -114,6 +100,107 @@ impl SymmetricEigen {
             eigenvalues,
             eigenvectors,
         })
+    }
+
+    /// The classic sequential cyclic-by-row ordering.
+    fn sweep_cyclic(m: &mut DMatrix, v: &mut DMatrix, threshold: f64) -> Result<()> {
+        let n = m.nrows();
+        let mut sweeps = 0;
+        loop {
+            let off = off_diagonal_norm(m);
+            if off <= threshold {
+                return Ok(());
+            }
+            if sweeps >= Self::MAX_SWEEPS {
+                return Err(NumError::NoConvergence {
+                    iterations: sweeps,
+                    residual: off,
+                });
+            }
+            sweeps += 1;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= threshold / (n as f64) {
+                        continue;
+                    }
+                    let (c, s) = jacobi_rotation(m[(p, p)], m[(q, q)], apq);
+                    apply_rotation(m, v, p, q, c, s);
+                }
+            }
+        }
+    }
+
+    /// Parallel rotation ordering: a round-robin tournament schedule makes
+    /// each round a set of ⌊n/2⌋ *disjoint* pivot pairs. Disjoint
+    /// rotations commute, so the round's combined rotation `J` applies in
+    /// two parallel passes — columns (`M·J`), then, via the transpose of
+    /// the symmetric intermediate, rows (`Jᵀ·M·J`) — with every pass a
+    /// data-parallel per-row update. Rounds, pair order, and chunk
+    /// boundaries are all fixed, so the decomposition is identical at any
+    /// thread count.
+    fn sweep_round_robin(
+        m: &mut DMatrix,
+        v: &mut DMatrix,
+        threshold: f64,
+        threads: usize,
+    ) -> Result<()> {
+        let n = m.nrows();
+        // Pad to even; the extra slot is a bye the pairing skips.
+        let n_slots = n + n % 2;
+        let mut sweeps = 0;
+        loop {
+            let off = off_diagonal_norm(m);
+            if off <= threshold {
+                return Ok(());
+            }
+            if sweeps >= Self::MAX_SWEEPS {
+                return Err(NumError::NoConvergence {
+                    iterations: sweeps,
+                    residual: off,
+                });
+            }
+            sweeps += 1;
+            let mut slots: Vec<usize> = (0..n_slots).collect();
+            for _round in 0..n_slots - 1 {
+                // Pivot angles come from the round-start matrix; the
+                // entries they read are untouched by the round's other
+                // (disjoint) rotations, so this matches applying the
+                // round sequentially.
+                let mut rots: Vec<(usize, usize, f64, f64)> = Vec::with_capacity(n_slots / 2);
+                for i in 0..n_slots / 2 {
+                    let (mut p, mut q) = (slots[i], slots[n_slots - 1 - i]);
+                    if p > q {
+                        std::mem::swap(&mut p, &mut q);
+                    }
+                    if q >= n {
+                        continue;
+                    }
+                    let apq = m[(p, q)];
+                    if apq.abs() <= threshold / (n as f64) {
+                        continue;
+                    }
+                    let (c, s) = jacobi_rotation(m[(p, p)], m[(q, q)], apq);
+                    rots.push((p, q, c, s));
+                }
+                if !rots.is_empty() {
+                    apply_round_columns(m, &rots, threads);
+                    *m = m.transpose();
+                    apply_round_columns(m, &rots, threads);
+                    apply_round_columns(v, &rots, threads);
+                }
+                slots[1..].rotate_right(1);
+            }
+            // The transpose trick assumes bit-symmetry; restore it so
+            // rounding asymmetry cannot accumulate across sweeps.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+                    m[(i, j)] = avg;
+                    m[(j, i)] = avg;
+                }
+            }
+        }
     }
 
     /// Eigenvalues in descending order.
@@ -137,6 +224,26 @@ impl SymmetricEigen {
                 .sum()
         })
     }
+}
+
+/// Applies a round of disjoint column rotations (`M ← M·J`) with the rows
+/// fanned out over threads (each row is touched only in columns `p`, `q`
+/// of its own rotations, so rows are independent work items).
+fn apply_round_columns(m: &mut DMatrix, rots: &[(usize, usize, f64, f64)], threads: usize) {
+    let ncols = m.ncols();
+    // 8 rows per chunk balances scheduling overhead against tail idling;
+    // the boundaries depend only on the matrix size.
+    let chunk_len = 8 * ncols;
+    crate::parallel::for_each_chunk_mut(m.as_mut_slice(), chunk_len, threads, |_, chunk| {
+        for row in chunk.chunks_mut(ncols) {
+            for &(p, q, c, s) in rots {
+                let rp = row[p];
+                let rq = row[q];
+                row[p] = c * rp - s * rq;
+                row[q] = s * rp + c * rq;
+            }
+        }
+    });
 }
 
 /// Frobenius norm of the strictly-off-diagonal part.
@@ -259,6 +366,42 @@ mod tests {
         let e = SymmetricEigen::new(&a).unwrap();
         let sum: f64 = e.eigenvalues().iter().sum();
         assert_close(sum, a.trace(), 1e-9);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_invariants() {
+        // Large enough to take the round-robin path (when >1 core is
+        // available); the sequential path must satisfy the same checks.
+        let side = 9;
+        let n = side * side;
+        assert!(n >= SymmetricEigen::PARALLEL_MIN_DIM);
+        let coord = |k: usize| ((k % side) as f64, (k / side) as f64);
+        let a = DMatrix::from_fn(n, n, |i, j| {
+            let (xi, yi) = coord(i);
+            let (xj, yj) = coord(j);
+            (-(((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()) / 3.0).exp()
+        });
+        let e = SymmetricEigen::new(&a).unwrap();
+        // Reconstruction, orthonormality, trace, and PSD-ness.
+        let r = e.reconstruct();
+        for i in 0..n {
+            for j in 0..n {
+                assert_close(r[(i, j)], a[(i, j)], 1e-8);
+            }
+        }
+        let v = e.eigenvectors();
+        let vtv = v.transpose().mul(v).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert_close(vtv[(i, j)], expected, 1e-9);
+            }
+        }
+        let sum: f64 = e.eigenvalues().iter().sum();
+        assert_close(sum, a.trace(), 1e-8);
+        for &l in e.eigenvalues() {
+            assert!(l > -1e-8, "eigenvalue {l} should be non-negative");
+        }
     }
 
     #[test]

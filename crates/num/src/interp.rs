@@ -350,11 +350,8 @@ mod pchip_tests {
     #[test]
     fn preserves_monotonicity() {
         // Steep-then-flat data that a natural cubic spline would overshoot.
-        let p = PchipInterp::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 0.1, 0.9, 1.0, 1.0],
-        )
-        .unwrap();
+        let p =
+            PchipInterp::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 0.1, 0.9, 1.0, 1.0]).unwrap();
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=400 {
             let x = i as f64 / 100.0;

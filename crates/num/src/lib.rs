@@ -13,10 +13,16 @@
 //! * 1-D and 2-D quadrature rules (midpoint, Simpson, Gauss–Legendre),
 //! * interpolation (linear, bilinear, on rectilinear grids),
 //! * histograms and descriptive statistics (R², mutual information,
-//!   Kolmogorov–Smirnov distance).
+//!   Kolmogorov–Smirnov distance),
+//! * a deterministic pseudo-random stream ([`rng::Xoshiro256pp`]) and
+//!   normal/exponential samplers,
+//! * a JSON value model with parser and serializers ([`json`]),
+//! * chunked scoped-thread parallelism with deterministic reduction order
+//!   ([`parallel`]).
 //!
-//! Everything is implemented from scratch on `f64`; the only external
-//! dependency is [`rand`] for the base random stream.
+//! Everything is implemented from scratch on `f64` with **no external
+//! dependencies** — the whole workspace builds offline against an empty
+//! cargo registry.
 //!
 //! # Example
 //!
@@ -43,8 +49,10 @@ pub mod dist;
 pub mod eigen;
 pub mod hist;
 pub mod interp;
+pub mod json;
 pub mod lu;
 pub mod matrix;
+pub mod parallel;
 pub mod quad;
 pub mod quadform;
 pub mod rng;

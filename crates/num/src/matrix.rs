@@ -111,6 +111,11 @@ impl DMatrix {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Borrows row `i` as a slice.
     ///
     /// # Panics

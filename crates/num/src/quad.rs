@@ -59,7 +59,7 @@ impl Quadrature {
         // an odd node count >= 3.
         let n = if n < 3 {
             3
-        } else if n % 2 == 0 {
+        } else if n.is_multiple_of(2) {
             n + 1
         } else {
             n
@@ -84,7 +84,7 @@ impl Quadrature {
         // approach; accurate to ~1e-15 for n up to several hundred.
         let mut nodes = vec![0.0; n];
         let mut weights = vec![0.0; n];
-        let m = (n + 1) / 2;
+        let m = n.div_ceil(2);
         for i in 0..m {
             // Initial guess (Chebyshev-like).
             let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();

@@ -222,11 +222,9 @@ mod tests {
 
     #[test]
     fn mixed_eigenvalues_match_monte_carlo() {
-        use crate::rng::NormalSampler;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::rng::{NormalSampler, Xoshiro256pp};
         let eigen = [2.0, 1.0, 0.5, 0.25, 0.1];
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
         let mut ns = NormalSampler::new();
         let n = 200_000;
         let x_test = 4.0;

@@ -1,10 +1,129 @@
-//! Random-sampling helpers layered on top of [`rand`].
+//! Self-contained pseudo-random sampling: a uniform generator trait, the
+//! xoshiro256++ generator behind it, and the normal/exponential transforms
+//! the engines draw from.
 //!
-//! Only the uniform stream comes from `rand`; the normal and exponential
-//! transforms are implemented here (the workspace's offline dependency set
-//! does not include `rand_distr`).
+//! The workspace builds hermetically with no external crates, so the base
+//! uniform stream lives here instead of `rand`. [`Xoshiro256pp`] is seeded
+//! through SplitMix64, which makes `seed_from_u64` a proper hash: nearby
+//! integer seeds produce statistically independent streams. Engines that
+//! fan work out across threads derive one generator per work item with
+//! [`Xoshiro256pp::stream`], so results are bit-identical at any thread
+//! count.
 
-use rand::Rng;
+use std::ops::Range;
+
+/// Golden-ratio increment used to derive per-item stream seeds.
+const STREAM_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A source of uniformly distributed `u64`s plus derived convenience draws.
+///
+/// Only [`Rng::next_u64`] is required; the ranged draws are provided. The
+/// trait is deliberately small — every sampler in the workspace funnels
+/// through these three methods.
+pub trait Rng {
+    /// Returns the next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[lo, hi)` (up to rounding at the ends).
+    ///
+    /// The mantissa carries the generator's top 53 bits, so draws have full
+    /// `f64` resolution on the unit interval.
+    fn gen_range(&mut self, range: Range<f64>) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+
+    /// Returns a uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index requires a non-empty range");
+        // Widening multiply maps the 64-bit draw onto [0, n) with bias
+        // below 2⁻⁵³ for any n the workspace uses.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The xoshiro256++ generator (Blackman & Vigna), seeded via SplitMix64.
+///
+/// Fast, 256-bit state, passes BigCrush; the reference generator for the
+/// whole workspace.
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::rng::{Rng, Xoshiro256pp};
+///
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let u = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded through SplitMix64, so any two distinct seeds —
+    /// including consecutive integers — yield unrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = split_mix64(&mut sm);
+        }
+        // All-zero state is a fixed point of xoshiro; SplitMix64 cannot
+        // produce four zero outputs in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = STREAM_GAMMA;
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// Creates the generator for work item `index` of the stream family
+    /// rooted at `seed`.
+    ///
+    /// Deriving one generator per chip/sample/device this way decouples the
+    /// random stream from thread scheduling: results are identical whether
+    /// the items run serially or across any number of threads.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        Self::seed_from_u64(seed.wrapping_add(index.wrapping_mul(STREAM_GAMMA)))
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(STREAM_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Marsaglia polar-method standard-normal sampler.
 ///
@@ -15,10 +134,9 @@ use rand::Rng;
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// use statobd_num::rng::NormalSampler;
+/// use statobd_num::rng::{NormalSampler, Xoshiro256pp};
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
 /// let mut sampler = NormalSampler::new();
 /// let z = sampler.sample(&mut rng);
 /// assert!(z.is_finite());
@@ -68,12 +186,73 @@ pub fn sample_exp1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = Xoshiro256pp::seed_from_u64(123);
+        let mut b = Xoshiro256pp::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let agree = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(agree, 0);
+    }
+
+    #[test]
+    fn streams_are_distinct_and_reproducible() {
+        let mut s0 = Xoshiro256pp::stream(42, 0);
+        let mut s1 = Xoshiro256pp::stream(42, 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+        let mut again = Xoshiro256pp::stream(42, 1);
+        let mut s1b = Xoshiro256pp::stream(42, 1);
+        assert_eq!(again.next_u64(), s1b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_covers_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < -1.9 && hi > 2.9);
+    }
+
+    #[test]
+    fn gen_range_mean_is_midpoint() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_index_is_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.gen_index(5)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
 
     #[test]
     fn normal_moments() {
-        let mut rng = StdRng::seed_from_u64(123);
+        let mut rng = Xoshiro256pp::seed_from_u64(123);
         let mut s = NormalSampler::new();
         let n = 400_000;
         let mut sum = 0.0;
@@ -96,7 +275,7 @@ mod tests {
     #[test]
     fn normal_tail_fraction() {
         // P(|Z| > 1.96) ≈ 0.05.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let mut s = NormalSampler::new();
         let n = 200_000;
         let count = (0..n).filter(|_| s.sample(&mut rng).abs() > 1.96).count();
@@ -106,7 +285,7 @@ mod tests {
 
     #[test]
     fn fill_produces_distinct_values() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut s = NormalSampler::new();
         let mut buf = [0.0; 16];
         s.fill(&mut rng, &mut buf);
@@ -116,7 +295,7 @@ mod tests {
 
     #[test]
     fn exp1_mean_is_one() {
-        let mut rng = StdRng::seed_from_u64(321);
+        let mut rng = Xoshiro256pp::seed_from_u64(321);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| sample_exp1(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");

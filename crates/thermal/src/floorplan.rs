@@ -1,16 +1,18 @@
 //! Floorplans: named rectangular functional blocks on a die.
 
 use crate::{Result, ThermalError};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 
 /// An axis-aligned rectangle (meters), origin at the die's lower-left.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     x: f64,
     y: f64,
     w: f64,
     h: f64,
 }
+
+impl_json_struct!(Rect { x, y, w, h });
 
 impl Rect {
     /// Creates a rectangle at `(x, y)` with size `w × h`.
@@ -88,11 +90,13 @@ impl Rect {
 }
 
 /// A named functional block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     name: String,
     rect: Rect,
 }
+
+impl_json_struct!(Block { name, rect });
 
 impl Block {
     /// Creates a block.
@@ -126,12 +130,18 @@ impl Block {
 /// Blocks must lie within the die. Overlaps are permitted (hierarchical
 /// floorplans often overlay clock/power regions) but the area accounting
 /// helpers report them so callers can detect unintended overlap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     die_w: f64,
     die_h: f64,
     blocks: Vec<Block>,
 }
+
+impl_json_struct!(Floorplan {
+    die_w,
+    die_h,
+    blocks,
+});
 
 impl Floorplan {
     /// Creates an empty floorplan for a `die_w × die_h` die (meters).
@@ -284,12 +294,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut fp = Floorplan::new(0.02, 0.02).unwrap();
         fp.add_block(Block::new("alu", Rect::new(0.0, 0.0, 0.01, 0.01).unwrap()).unwrap())
             .unwrap();
-        let json = serde_json::to_string(&fp).unwrap();
-        let back: Floorplan = serde_json::from_str(&json).unwrap();
+        let json = statobd_num::json::to_string(&fp);
+        let back: Floorplan = statobd_num::json::from_str(&json).unwrap();
         assert_eq!(fp, back);
     }
 }

@@ -6,18 +6,23 @@
 //! temperature during the leakage–temperature fixed-point iteration.
 
 use crate::{Result, ThermalError};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 use std::collections::BTreeMap;
 
 /// Reference temperature (K) at which block leakage powers are specified.
 pub const LEAKAGE_REF_K: f64 = 358.15; // 85 °C
 
 /// Per-block power assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockPower {
     dynamic_w: f64,
     leakage_ref_w: f64,
 }
+
+impl_json_struct!(BlockPower {
+    dynamic_w,
+    leakage_ref_w,
+});
 
 impl BlockPower {
     /// Creates a block power: dynamic watts plus leakage watts at the
@@ -71,10 +76,12 @@ impl BlockPower {
 ///
 /// Blocks without an assignment are treated as zero power (inactive
 /// regions — exactly the "cool areas" of the paper's Fig. 1).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerModel {
     blocks: BTreeMap<String, BlockPower>,
 }
+
+impl_json_struct!(PowerModel { blocks });
 
 impl PowerModel {
     /// Creates an empty power model.

@@ -17,12 +17,12 @@
 use crate::floorplan::{Floorplan, Rect};
 use crate::power::PowerModel;
 use crate::{Result, ThermalError};
-use serde::{Deserialize, Serialize};
 use statobd_num::cg::{solve_cg, CgOptions};
+use statobd_num::impl_json_struct;
 use statobd_num::sparse::CooMatrix;
 
 /// Physical and numerical configuration of the thermal solve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalConfig {
     /// Thermal grid resolution along x.
     pub nx: usize,
@@ -55,6 +55,21 @@ pub struct ThermalConfig {
     /// transient solver.
     pub c_volumetric: f64,
 }
+
+impl_json_struct!(ThermalConfig {
+    nx,
+    ny,
+    k_silicon,
+    die_thickness,
+    k_spreader,
+    spreader_thickness,
+    r_package,
+    ambient_k,
+    leakage_theta_k,
+    max_leakage_iters,
+    leakage_tol_k,
+    c_volumetric,
+});
 
 impl Default for ThermalConfig {
     fn default() -> Self {
@@ -376,14 +391,29 @@ impl ThermalSolver {
             max_iter: 50_000,
             jacobi_precondition: true,
         };
+        let threads = statobd_num::parallel::resolve_threads(None);
         let mut iterations = 0;
         for iter in 0..cfg.max_leakage_iters {
             iterations = iter + 1;
+            // Temperature-dependent leakage makes the per-cell source
+            // assembly the sweep's hot loop (an exp per cell per
+            // iteration); fan it out over fixed-size chunks so the field
+            // is identical at any thread count.
             let mut rhs = vec![0.0; n];
-            for i in 0..n {
-                let leak = leak_cell_ref[i]
-                    * ((temps[i] - crate::power::LEAKAGE_REF_K) / cfg.leakage_theta_k).exp();
-                rhs[i] = dyn_cell[i] + leak + g_v * cfg.ambient_k;
+            {
+                let temps = &temps;
+                let dyn_cell = &dyn_cell;
+                let leak_cell_ref = &leak_cell_ref;
+                statobd_num::parallel::for_each_chunk_mut(&mut rhs, 1024, threads, |ci, chunk| {
+                    let base = ci * 1024;
+                    for (k, r) in chunk.iter_mut().enumerate() {
+                        let i = base + k;
+                        let leak = leak_cell_ref[i]
+                            * ((temps[i] - crate::power::LEAKAGE_REF_K) / cfg.leakage_theta_k)
+                                .exp();
+                        *r = dyn_cell[i] + leak + g_v * cfg.ambient_k;
+                    }
+                });
             }
             let sol = solve_cg(&a, &rhs, &cg_opts).map_err(|e| ThermalError::SolveFailed {
                 detail: format!("CG failed: {e}"),

@@ -3,7 +3,7 @@
 //! components.
 
 use crate::{Result, VariationError};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 
 /// Split of the total thickness variance across spatial scales.
 ///
@@ -27,13 +27,20 @@ use serde::{Deserialize, Serialize};
 /// assert!((recombined - total * total).abs() < 1e-15);
 /// # Ok::<(), statobd_variation::VariationError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VarianceBudget {
     sigma_total: f64,
     frac_global: f64,
     frac_spatial: f64,
     frac_independent: f64,
 }
+
+impl_json_struct!(VarianceBudget {
+    sigma_total,
+    frac_global,
+    frac_spatial,
+    frac_independent,
+});
 
 impl VarianceBudget {
     /// Creates a budget from the total sigma and variance fractions.
@@ -164,10 +171,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let b = VarianceBudget::itrs_2008(2.2).unwrap();
-        let json = serde_json::to_string(&b).unwrap();
-        let back: VarianceBudget = serde_json::from_str(&json).unwrap();
+        let json = statobd_num::json::to_string(&b);
+        let back: VarianceBudget = statobd_num::json::from_str(&json).unwrap();
         assert_eq!(b, back);
     }
 }

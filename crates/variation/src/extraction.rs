@@ -167,8 +167,7 @@ mod tests {
         CorrelationKernel, FieldSampler, GridSpec, ThicknessModel, ThicknessModelBuilder,
         VarianceBudget,
     };
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use statobd_num::rng::Xoshiro256pp;
 
     fn reference_model() -> ThicknessModel {
         ThicknessModelBuilder::new()
@@ -186,7 +185,7 @@ mod tests {
         // covariance entries — the full extraction loop.
         let model = reference_model();
         let mut sampler = FieldSampler::new(&model);
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
         let samples: Vec<Vec<f64>> = (0..20_000)
             .map(|_| sampler.sample_die(&mut rng).base)
             .collect();
@@ -210,7 +209,7 @@ mod tests {
     fn extracted_covariance_feeds_the_model_builder() {
         let model = reference_model();
         let mut sampler = FieldSampler::new(&model);
-        let mut rng = StdRng::seed_from_u64(78);
+        let mut rng = Xoshiro256pp::seed_from_u64(78);
         let samples: Vec<Vec<f64>> = (0..10_000)
             .map(|_| sampler.sample_die(&mut rng).base)
             .collect();
@@ -237,7 +236,7 @@ mod tests {
     fn noise_subtraction_corrects_the_diagonal() {
         let model = reference_model();
         let mut sampler = FieldSampler::new(&model);
-        let mut rng = StdRng::seed_from_u64(79);
+        let mut rng = Xoshiro256pp::seed_from_u64(79);
         let noise_sd = 0.01;
         let mut normal = statobd_num::rng::NormalSampler::new();
         let samples: Vec<Vec<f64>> = (0..20_000)

@@ -3,7 +3,7 @@
 //! the spatially correlated component of thickness variation.
 
 use crate::{Result, VariationError};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 
 /// Rectangular grid partition of a chip.
 ///
@@ -11,13 +11,20 @@ use serde::{Deserialize, Serialize};
 /// `iy * nx + ix`, with `x` across the chip width and `y` across the
 /// height. Distances between grids are measured center-to-center, which is
 /// how the paper's exponential-decay covariance is evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridSpec {
     chip_w: f64,
     chip_h: f64,
     nx: usize,
     ny: usize,
 }
+
+impl_json_struct!(GridSpec {
+    chip_w,
+    chip_h,
+    nx,
+    ny,
+});
 
 impl GridSpec {
     /// Creates a grid over a `chip_w × chip_h` die.
@@ -222,10 +229,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let g = GridSpec::new(1.5, 2.5, 10, 20).unwrap();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: GridSpec = serde_json::from_str(&json).unwrap();
+        let json = statobd_num::json::to_string(&g);
+        let back: GridSpec = statobd_num::json::from_str(&json).unwrap();
         assert_eq!(g, back);
     }
 }

@@ -6,7 +6,7 @@
 //! {0.25, 0.5, 0.75} in Table IV). Gaussian and spherical kernels are
 //! provided for robustness studies.
 
-use serde::{Deserialize, Serialize};
+use statobd_num::json::{FromJson, Json, JsonError, ToJson};
 
 /// A stationary isotropic correlation kernel `ρ(d)` with `ρ(0) = 1`.
 ///
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let half = k.correlation(0.5, 1.0); // one correlation length away
 /// assert!((half - (-1.0f64).exp()).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CorrelationKernel {
     /// `ρ(d) = exp(−d / (rel_distance · L))` — the paper's choice.
     Exponential {
@@ -42,6 +42,47 @@ pub enum CorrelationKernel {
         /// Support radius relative to the chip dimension `L`.
         rel_distance: f64,
     },
+}
+
+impl ToJson for CorrelationKernel {
+    fn to_json(&self) -> Json {
+        let (name, rel_distance) = match *self {
+            CorrelationKernel::Exponential { rel_distance } => ("Exponential", rel_distance),
+            CorrelationKernel::Gaussian { rel_distance } => ("Gaussian", rel_distance),
+            CorrelationKernel::Spherical { rel_distance } => ("Spherical", rel_distance),
+        };
+        Json::Object(vec![(
+            name.to_string(),
+            Json::Object(vec![(
+                "rel_distance".to_string(),
+                Json::Number(rel_distance),
+            )]),
+        )])
+    }
+}
+
+impl FromJson for CorrelationKernel {
+    fn from_json(v: &Json) -> statobd_num::json::Result<Self> {
+        let [(name, body)] = v
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected a CorrelationKernel object"))?
+        else {
+            return Err(JsonError::new(
+                "expected a single-variant CorrelationKernel object",
+            ));
+        };
+        let rel_distance = f64::from_json(body.get("rel_distance").ok_or_else(|| {
+            JsonError::new("CorrelationKernel variant is missing 'rel_distance'")
+        })?)?;
+        match name.as_str() {
+            "Exponential" => Ok(CorrelationKernel::Exponential { rel_distance }),
+            "Gaussian" => Ok(CorrelationKernel::Gaussian { rel_distance }),
+            "Spherical" => Ok(CorrelationKernel::Spherical { rel_distance }),
+            other => Err(JsonError::new(format!(
+                "unknown CorrelationKernel variant '{other}'"
+            ))),
+        }
+    }
 }
 
 impl CorrelationKernel {

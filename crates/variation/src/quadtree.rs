@@ -12,7 +12,7 @@
 //! PCA pipeline as the paper's grid model.
 
 use crate::{GridSpec, Result, VariationError};
-use serde::{Deserialize, Serialize};
+use statobd_num::impl_json_struct;
 use statobd_num::matrix::DMatrix;
 
 /// A quad-tree correlation model with per-level variances.
@@ -30,12 +30,14 @@ use statobd_num::matrix::DMatrix;
 /// assert!((cov[(0, 0)] - 0.0147_f64.powi(2)).abs() < 1e-12);
 /// # Ok::<(), statobd_variation::VariationError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuadTreeModel {
     /// Variance assigned to each level, `level_variances[ℓ]` for level `ℓ`
     /// (level 0 is the whole die: the global component's natural home).
     level_variances: Vec<f64>,
 }
+
+impl_json_struct!(QuadTreeModel { level_variances });
 
 impl QuadTreeModel {
     /// Creates a model from explicit per-level variances.

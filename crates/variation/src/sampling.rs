@@ -6,8 +6,7 @@
 //! BLOD histogram experiments (paper Fig. 4) are built on this.
 
 use crate::ThicknessModel;
-use rand::Rng;
-use statobd_num::rng::NormalSampler;
+use statobd_num::rng::{NormalSampler, Rng};
 
 /// One sampled die: the principal-component draw and the resulting
 /// correlated base thickness per grid.
@@ -24,7 +23,6 @@ pub struct GridBaseSample {
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use statobd_variation::*;
 ///
 /// let model = ThicknessModelBuilder::new()
@@ -34,7 +32,7 @@ pub struct GridBaseSample {
 ///     .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
 ///     .build()?;
 /// let mut sampler = FieldSampler::new(&model);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = statobd_num::rng::Xoshiro256pp::seed_from_u64(7);
 /// let die = sampler.sample_die(&mut rng);
 /// assert_eq!(die.base.len(), 16);
 /// # Ok::<(), VariationError>(())
@@ -105,8 +103,7 @@ impl<'a> FieldSampler<'a> {
 mod tests {
     use super::*;
     use crate::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use statobd_num::rng::Xoshiro256pp;
     use statobd_num::stats::OnlineStats;
 
     fn model() -> ThicknessModel {
@@ -123,7 +120,7 @@ mod tests {
     fn die_base_statistics_match_model() {
         let m = model();
         let mut sampler = FieldSampler::new(&m);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let mut stats = OnlineStats::new();
         for _ in 0..20_000 {
             let die = sampler.sample_die(&mut rng);
@@ -143,7 +140,7 @@ mod tests {
     fn device_samples_add_independent_variance() {
         let m = model();
         let mut sampler = FieldSampler::new(&m);
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
         let die = sampler.sample_die(&mut rng);
         let devices = sampler.sample_devices(&mut rng, &die, 3, 50_000);
         let mut stats = OnlineStats::new();
@@ -165,7 +162,7 @@ mod tests {
     fn neighboring_grids_are_correlated_across_dies() {
         let m = model();
         let mut sampler = FieldSampler::new(&m);
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
         let n = 20_000;
         let (mut sa, mut sb, mut sab) = (0.0, 0.0, 0.0);
         let (mut saa, mut sbb) = (0.0, 0.0);
@@ -195,7 +192,7 @@ mod tests {
     fn sampled_z_length_matches_components() {
         let m = model();
         let mut sampler = FieldSampler::new(&m);
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
         let die = sampler.sample_die(&mut rng);
         assert_eq!(die.z.len(), m.n_components());
         assert_eq!(die.base.len(), m.n_grids());
@@ -206,10 +203,9 @@ mod tests {
 mod cholesky_cross_validation {
     use super::*;
     use crate::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use statobd_num::cholesky::Cholesky;
     use statobd_num::matrix::DMatrix;
+    use statobd_num::rng::Xoshiro256pp;
 
     /// The PCA canonical form and direct Cholesky coloring of the same
     /// covariance must produce statistically identical grid fields — an
@@ -228,7 +224,7 @@ mod cholesky_cross_validation {
         let cov = DMatrix::from_fn(n, n, |i, j| model.covariance(i, j));
         let chol = Cholesky::new(&cov).unwrap();
 
-        let mut rng = StdRng::seed_from_u64(2024);
+        let mut rng = Xoshiro256pp::seed_from_u64(2024);
         let mut normal = statobd_num::rng::NormalSampler::new();
         let mut sampler = FieldSampler::new(&model);
         let samples = 30_000;

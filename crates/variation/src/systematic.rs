@@ -8,7 +8,7 @@
 //! a location-dependent per-grid term; [`SystematicPattern`] implements
 //! that extension.
 
-use serde::{Deserialize, Serialize};
+use statobd_num::json::{FromJson, Json, JsonError, ToJson};
 
 /// Deterministic location-dependent offset added to the per-grid nominal
 /// thickness.
@@ -27,9 +27,10 @@ use serde::{Deserialize, Serialize};
 /// assert!((bowl.offset(0.5, 0.5) - (-0.010)).abs() < 1e-15);
 /// assert!(bowl.offset(0.0, 0.0) > bowl.offset(0.5, 0.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SystematicPattern {
     /// No systematic pattern (the paper's baseline model).
+    #[default]
     None,
     /// Linear slant across the die: `offset = gx·(x−0.5) + gy·(y−0.5)`.
     Slanted {
@@ -53,9 +54,69 @@ pub enum SystematicPattern {
     },
 }
 
-impl Default for SystematicPattern {
-    fn default() -> Self {
-        SystematicPattern::None
+impl ToJson for SystematicPattern {
+    fn to_json(&self) -> Json {
+        let variant = |name: &str, fields: Vec<(String, Json)>| {
+            Json::Object(vec![(name.to_string(), Json::Object(fields))])
+        };
+        match *self {
+            SystematicPattern::None => Json::String("None".to_string()),
+            SystematicPattern::Slanted { gx, gy } => variant(
+                "Slanted",
+                vec![
+                    ("gx".to_string(), Json::Number(gx)),
+                    ("gy".to_string(), Json::Number(gy)),
+                ],
+            ),
+            SystematicPattern::Bowl { depth, center } => variant(
+                "Bowl",
+                vec![
+                    ("depth".to_string(), Json::Number(depth)),
+                    ("center".to_string(), center.to_json()),
+                ],
+            ),
+            SystematicPattern::Quadratic { coefficients } => variant(
+                "Quadratic",
+                vec![("coefficients".to_string(), coefficients.to_json())],
+            ),
+        }
+    }
+}
+
+impl FromJson for SystematicPattern {
+    fn from_json(v: &Json) -> statobd_num::json::Result<Self> {
+        if let Some("None") = v.as_str() {
+            return Ok(SystematicPattern::None);
+        }
+        let [(name, body)] = v
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected a SystematicPattern object or \"None\""))?
+        else {
+            return Err(JsonError::new(
+                "expected a single-variant SystematicPattern object",
+            ));
+        };
+        let field = |key: &str| {
+            body.get(key).ok_or_else(|| {
+                JsonError::new(format!("SystematicPattern::{name} is missing '{key}'"))
+            })
+        };
+        match name.as_str() {
+            "Slanted" => Ok(SystematicPattern::Slanted {
+                gx: f64::from_json(field("gx")?)?,
+                gy: f64::from_json(field("gy")?)?,
+            }),
+            "Bowl" => Ok(SystematicPattern::Bowl {
+                depth: f64::from_json(field("depth")?)?,
+                center: FromJson::from_json(field("center")?)?,
+            }),
+            "Quadratic" => Ok(SystematicPattern::Quadratic {
+                coefficients: FromJson::from_json(field("coefficients")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown SystematicPattern variant '{other}'"
+            ))),
+        }
     }
 }
 

@@ -6,8 +6,8 @@
 
 use statobd::circuits::{build_design, Benchmark, DesignConfig};
 use statobd::core::{
-    params, solve_lifetime, ChipAnalysis, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
-    MonteCarlo, MonteCarloConfig, StFast, StFastConfig, StMc, StMcConfig,
+    build_engine, params, solve_lifetime, ChipAnalysis, EngineKind, EngineSpec, MonteCarloConfig,
+    StFast, StFastConfig,
 };
 use statobd::device::ClosedFormTech;
 use statobd::thermal::kelvin_to_celsius;
@@ -46,48 +46,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = params::ONE_PER_MILLION;
     let years = |t: f64| t / 3.156e7;
 
-    // st_fast: the paper's main analytic method.
-    let mut fast = StFast::new(&analysis, StFastConfig::default());
-    let t_fast = solve_lifetime(&mut fast, p, bracket)?;
-    println!("st_fast  1/million lifetime: {:.2} years", years(t_fast));
+    // Solve every method through the unified engine factory. The MC
+    // reference gets a reduced chip count here (500; the evaluation
+    // binaries use 1000).
+    let mut results: Vec<(EngineKind, f64)> = Vec::new();
+    for kind in EngineKind::ALL {
+        let spec = match kind {
+            EngineKind::MonteCarlo => EngineSpec::MonteCarlo(MonteCarloConfig {
+                n_chips: 500,
+                ..Default::default()
+            }),
+            _ => kind.default_spec(),
+        };
+        let mut engine = build_engine(&analysis, &spec)?;
+        let t = solve_lifetime(engine.as_mut(), p, bracket)?;
+        println!(
+            "{:<9} 1/million lifetime: {:.2} years",
+            kind.name(),
+            years(t)
+        );
+        results.push((kind, t));
+    }
 
-    // st_MC: numerical joint PDF.
-    let mut smc = StMc::new(&analysis, StMcConfig::default())?;
-    let t_smc = solve_lifetime(&mut smc, p, bracket)?;
-    println!("st_MC    1/million lifetime: {:.2} years", years(t_smc));
-
-    // hybrid: table lookup (built once, queried in microseconds).
-    let mut hybrid = HybridTables::build(&analysis, HybridConfig::default())?;
-    let t_hyb = solve_lifetime(&mut hybrid, p, bracket)?;
-    println!("hybrid   1/million lifetime: {:.2} years", years(t_hyb));
-
-    // guard: the traditional corner.
-    let guard = GuardBand::new(&analysis, GuardBandConfig::default())?;
-    let t_guard = guard.lifetime(p)?;
-    println!("guard    1/million lifetime: {:.2} years", years(t_guard));
-
-    // MC reference (500 chips here; the evaluation binaries use 1000).
-    let mut mc = MonteCarlo::build(
-        &analysis,
-        MonteCarloConfig {
-            n_chips: 500,
-            ..Default::default()
-        },
-    )?;
-    let t_mc = solve_lifetime(&mut mc, p, bracket)?;
-    println!("MC       1/million lifetime: {:.2} years", years(t_mc));
+    let lifetime_of = |k: EngineKind| {
+        results
+            .iter()
+            .find(|(kind, _)| *kind == k)
+            .expect("all engines solved")
+            .1
+    };
+    let t_fast = lifetime_of(EngineKind::StFast);
+    let t_mc = lifetime_of(EngineKind::MonteCarlo);
 
     println!("\nerrors vs MC:");
     let err = |t: f64| 100.0 * ((t - t_mc) / t_mc).abs();
     println!("  st_fast {:5.2} %", err(t_fast));
-    println!("  st_MC   {:5.2} %", err(t_smc));
-    println!("  hybrid  {:5.2} %", err(t_hyb));
+    println!("  st_MC   {:5.2} %", err(lifetime_of(EngineKind::StMc)));
+    println!("  hybrid  {:5.2} %", err(lifetime_of(EngineKind::Hybrid)));
     println!(
         "  guard   {:5.1} %  (the pessimism of the traditional flow)",
-        err(t_guard)
+        err(lifetime_of(EngineKind::GuardBand))
     );
 
-    // The blocks that limit the design.
+    // The blocks that limit the design (per-block breakdown needs the
+    // concrete st_fast engine — it is not part of the engine trait).
+    let fast = StFast::new(&analysis, StFastConfig::default());
     println!("\nhottest blocks and their failure contribution at the lifetime:");
     let mut rows: Vec<(String, f64, f64)> = analysis
         .blocks()

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example application_phases`
 
 use statobd::core::{
-    params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, StFast, StFastConfig,
+    build_engine, params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, EngineKind,
 };
 use statobd::device::ClosedFormTech;
 use statobd::thermal::{
@@ -151,13 +151,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let a1 = ChipAnalysis::new(per_block_spec, model.clone(), &tech)?;
     let a2 = ChipAnalysis::new(global_spec, model, &tech)?;
+    let spec = EngineKind::StFast.default_spec();
     let t1 = solve_lifetime(
-        &mut StFast::new(&a1, StFastConfig::default()),
+        build_engine(&a1, &spec)?.as_mut(),
         params::ONE_PER_MILLION,
         (1e5, 1e12),
     )?;
     let t2 = solve_lifetime(
-        &mut StFast::new(&a2, StFastConfig::default()),
+        build_engine(&a2, &spec)?.as_mut(),
         params::ONE_PER_MILLION,
         (1e5, 1e12),
     )?;

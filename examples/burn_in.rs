@@ -17,8 +17,8 @@
 
 use statobd::circuits::{build_design, Benchmark, DesignConfig};
 use statobd::core::{
-    burn_in_failure_probability, params, solve_lifetime, solve_lifetime_after_burn_in,
-    ChipAnalysis, ReliabilityEngine, StFast, StFastConfig,
+    build_engine, burn_in_failure_probability, params, solve_lifetime,
+    solve_lifetime_after_burn_in, ChipAnalysis, EngineKind,
 };
 use statobd::device::{ClosedFormTech, ObdTechnology};
 use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
@@ -35,12 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let tech = ClosedFormTech::nominal_45nm();
     let analysis = ChipAnalysis::new(built.spec.clone(), model.clone(), &tech)?;
-    let mut engine = StFast::new(&analysis, StFastConfig::default());
+    let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
 
     // Context: each burn-in row reports the 1-ppm service life of the
     // surviving population and the fraction lost during burn-in.
     let p = params::ONE_PER_MILLION;
-    let fresh = solve_lifetime(&mut engine, p, (1e5, 1e12))?;
+    let fresh = solve_lifetime(engine.as_mut(), p, (1e5, 1e12))?;
     let years = |t: f64| t / 3.156e7;
     println!("fresh-population 1-ppm lifetime: {:.2} years", years(fresh));
     println!();
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for frac in [0.001, 0.01, 0.05, 0.2, 1.0] {
         let t_burn = fresh * frac;
-        let after = solve_lifetime_after_burn_in(&mut engine, p, t_burn, (1e5, 1e12))?;
+        let after = solve_lifetime_after_burn_in(engine.as_mut(), p, t_burn, (1e5, 1e12))?;
         let fallout = engine.failure_probability(t_burn)?;
         println!(
             "{:>13.3} yr {:>15.2} yr {:>18.2e} ppm",
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Sanity: the conditional probability formula.
-    let p_cond = burn_in_failure_probability(&mut engine, fresh * 0.01, fresh)?;
+    let p_cond = burn_in_failure_probability(engine.as_mut(), fresh * 0.01, fresh)?;
     println!("\nP(fail within the fresh-lifetime window | survived 1% burn-in) = {p_cond:.2e}");
     Ok(())
 }

@@ -8,15 +8,14 @@
 //!
 //! Run with: `cargo run --release --example degradation_trace`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd::device::{
     ClosedFormTech, DegradationSimulator, DeviceObd, ObdTechnology, PercolationConfig,
 };
+use statobd_num::rng::Xoshiro256pp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = DegradationSimulator::new(PercolationConfig::default())?;
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
 
     println!("three stressed devices (percolation simulator):\n");
     for i in 0..3 {

@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use statobd::core::{
-    params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, GuardBand, GuardBandConfig, StFast,
-    StFastConfig,
+    build_engine, params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, EngineKind, GuardBand,
+    GuardBandConfig, StFast, StFastConfig,
 };
 use statobd::device::ClosedFormTech;
 use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    1-fault-per-million lifetime with the paper's st_fast engine.
     let tech = ClosedFormTech::nominal_45nm();
     let analysis = ChipAnalysis::new(spec, model, &tech)?;
-    let mut engine = StFast::new(&analysis, StFastConfig::default());
-    let t_stat = solve_lifetime(&mut engine, params::ONE_PER_MILLION, (1e6, 1e12))?;
+    let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
+    let t_stat = solve_lifetime(engine.as_mut(), params::ONE_PER_MILLION, (1e6, 1e12))?;
 
     // 4. The traditional guard-band corner for comparison.
     let guard = GuardBand::new(&analysis, GuardBandConfig::default())?;
@@ -74,10 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Per-block contributions at the statistical lifetime: which block
-    //    limits the chip?
+    //    limits the chip? (Needs the concrete st_fast engine — the
+    //    per-block breakdown is not part of the engine trait.)
+    let breakdown = StFast::new(&analysis, StFastConfig::default());
     println!("\nper-block failure probability at the chip lifetime:");
     for (j, block) in analysis.blocks().iter().enumerate() {
-        let p = engine.block_failure_probability(j, t_stat)?;
+        let p = breakdown.block_failure_probability(j, t_stat)?;
         println!(
             "  {:<6} ({:>6.1} C): {:.2e}",
             block.spec().name(),

@@ -126,14 +126,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p_final: f64 = (0..n_blocks)
         .map(|j| tables.block_failure_probability(j, xi[j]))
         .sum();
-    println!("\nend of service: accumulated failure probability {p_final:.3e} (budget {BUDGET:.0e})");
+    println!(
+        "\nend of service: accumulated failure probability {p_final:.3e} (budget {BUDGET:.0e})"
+    );
     println!(
         "manager overhead: {} table queries at {:.1} µs each — cheap enough for a runtime monitor",
         query_count,
         per_query * 1e6
     );
     if p_final <= BUDGET {
-        println!("verdict: budget met{}", if throttled { " (after throttling turbo)" } else { "" });
+        println!(
+            "verdict: budget met{}",
+            if throttled {
+                " (after throttling turbo)"
+            } else {
+                ""
+            }
+        );
     } else {
         println!("verdict: budget exceeded");
     }

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example wafer_positions`
 
 use statobd::core::{
-    params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, StFast, StFastConfig,
+    build_engine, params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, EngineKind,
 };
 use statobd::device::ClosedFormTech;
 use statobd::variation::{
@@ -74,8 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .build()?;
         let analysis = ChipAnalysis::new(spec.clone(), model, &tech)?;
-        let mut engine = StFast::new(&analysis, StFastConfig::default());
-        let t = solve_lifetime(&mut engine, params::ONE_PER_MILLION, (1e4, 1e13))?;
+        let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
+        let t = solve_lifetime(engine.as_mut(), params::ONE_PER_MILLION, (1e4, 1e13))?;
         lifetimes.push(t);
         println!(
             "{:>13.1}R {:>11.1} pm {:>11.1} pm {:>12.2}",

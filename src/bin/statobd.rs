@@ -13,15 +13,19 @@
 //!   --grid <n>       correlation grid side           (default 25)
 //!   --l0 <n>         integration sub-domains         (default 10)
 //!   --target <f>     failure-probability target      (default 1e-6)
+//!   --engine <name>  primary engine: st_fast, st_MC, st_closed, hybrid
+//!                    (default st_fast)
+//!   --threads <n>    worker threads for parallel engines (default: the
+//!                    STATOBD_THREADS environment variable, then all cores)
 //!   --mc <n>         also run Monte-Carlo with n chips
 //!   --tables <path>  export hybrid lookup tables as JSON
 //! ```
 
 use statobd::circuits::{build_design, Benchmark, DesignConfig};
 use statobd::core::{
-    effective_weibull_slope, fit_rate, params, solve_lifetime, ChipAnalysis, ChipSpec, GuardBand,
-    GuardBandConfig, HybridConfig, HybridTables, MonteCarlo, MonteCarloConfig, StFast,
-    StFastConfig,
+    build_engine, effective_weibull_slope, fit_rate, params, solve_lifetime, ChipAnalysis,
+    ChipSpec, EngineKind, EngineSpec, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
+    MonteCarloConfig, StFast, StFastConfig,
 };
 use statobd::device::ClosedFormTech;
 use statobd::thermal::{kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver};
@@ -33,6 +37,8 @@ struct Options {
     grid: usize,
     l0: usize,
     target: f64,
+    engine: EngineKind,
+    threads: Option<usize>,
     mc_chips: Option<usize>,
     tables_out: Option<String>,
 }
@@ -44,25 +50,41 @@ impl Default for Options {
             grid: params::DEFAULT_GRID_SIDE,
             l0: params::DEFAULT_L0,
             target: params::ONE_PER_MILLION,
+            engine: EngineKind::StFast,
+            threads: None,
             mc_chips: None,
             tables_out: None,
         }
     }
 }
 
+impl Options {
+    /// The primary engine's construction spec.
+    fn engine_spec(&self) -> EngineSpec {
+        let spec = match self.engine {
+            EngineKind::StFast => EngineSpec::StFast(StFastConfig {
+                l0: self.l0,
+                ..Default::default()
+            }),
+            kind => kind.default_spec(),
+        };
+        spec.with_threads(self.threads)
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--mc n] [--tables path]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--tables path]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
     );
     ExitCode::FAILURE
 }
 
 fn thermal(fp_path: &str, pm_path: &str) -> Result<(), String> {
-    let fp: Floorplan = serde_json::from_str(
+    let fp: Floorplan = statobd::num::json::from_str(
         &std::fs::read_to_string(fp_path).map_err(|e| format!("reading {fp_path}: {e}"))?,
     )
     .map_err(|e| format!("parsing {fp_path}: {e}"))?;
-    let pm: PowerModel = serde_json::from_str(
+    let pm: PowerModel = statobd::num::json::from_str(
         &std::fs::read_to_string(pm_path).map_err(|e| format!("reading {pm_path}: {e}"))?,
     )
     .map_err(|e| format!("parsing {pm_path}: {e}"))?;
@@ -75,7 +97,10 @@ fn thermal(fp_path: &str, pm_path: &str) -> Result<(), String> {
         kelvin_to_celsius(map.mean_k()),
         kelvin_to_celsius(map.max_k())
     );
-    println!("\n{:<14} {:>9} {:>9} {:>9}", "block", "min C", "mean C", "max C");
+    println!(
+        "\n{:<14} {:>9} {:>9} {:>9}",
+        "block", "min C", "mean C", "max C"
+    );
     for b in fp.blocks() {
         let s = map.block_stats(b.rect());
         println!(
@@ -114,6 +139,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--mc" => {
                 opts.mc_chips = Some(value("--mc")?.parse().map_err(|e| format!("--mc: {e}"))?)
             }
+            "--engine" => {
+                let name = value("--engine")?;
+                opts.engine = EngineKind::parse(&name)
+                    .ok_or_else(|| format!("--engine: unknown engine '{name}'"))?;
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             "--tables" => opts.tables_out = Some(value("--tables")?),
             other => return Err(format!("unknown option {other}")),
         }
@@ -140,7 +177,7 @@ fn template(path: &str) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
     )
     .map_err(|e| e.to_string())?;
-    let json = serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?;
+    let json = statobd::num::json::to_string_pretty(&spec);
     std::fs::write(path, json).map_err(|e| e.to_string())?;
     println!("wrote example spec to {path}");
     println!(
@@ -181,25 +218,22 @@ fn analyze_with_model(
     let bracket = (1e4, 1e13);
     let years = |t: f64| t / 3.156e7;
 
-    let mut fast = StFast::new(
-        &analysis,
-        StFastConfig {
-            l0: opts.l0,
-            ..Default::default()
-        },
-    );
+    let spec = opts.engine_spec();
+    let mut primary = build_engine(&analysis, &spec).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
-    let t_fast = solve_lifetime(&mut fast, opts.target, bracket).map_err(|e| e.to_string())?;
+    let t_fast =
+        solve_lifetime(primary.as_mut(), opts.target, bracket).map_err(|e| e.to_string())?;
     println!(
-        "st_fast lifetime @ P={:.1e}: {:.3e} s ({:.2} years)  [{:.1} ms]",
+        "{} lifetime @ P={:.1e}: {:.3e} s ({:.2} years)  [{:.1} ms]",
+        spec.kind(),
         opts.target,
         t_fast,
         years(t_fast),
         start.elapsed().as_secs_f64() * 1e3
     );
 
-    let fit = fit_rate(&mut fast, t_fast).map_err(|e| e.to_string())?;
-    let slope = effective_weibull_slope(&mut fast, t_fast).map_err(|e| e.to_string())?;
+    let fit = fit_rate(primary.as_mut(), t_fast).map_err(|e| e.to_string())?;
+    let slope = effective_weibull_slope(primary.as_mut(), t_fast).map_err(|e| e.to_string())?;
     println!(
         "at that lifetime: FIT rate {fit:.2} failures/1e9 device-hours, effective Weibull slope {slope:.2}"
     );
@@ -215,20 +249,19 @@ fn analyze_with_model(
 
     if let Some(chips) = opts.mc_chips {
         let start = std::time::Instant::now();
-        let mut mc = MonteCarlo::build(
-            &analysis,
-            MonteCarloConfig {
-                n_chips: chips,
-                ..Default::default()
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        let t_mc = solve_lifetime(&mut mc, opts.target, bracket).map_err(|e| e.to_string())?;
+        let mc_spec = EngineSpec::MonteCarlo(MonteCarloConfig {
+            n_chips: chips,
+            threads: opts.threads,
+            ..Default::default()
+        });
+        let mut mc = build_engine(&analysis, &mc_spec).map_err(|e| e.to_string())?;
+        let t_mc = solve_lifetime(mc.as_mut(), opts.target, bracket).map_err(|e| e.to_string())?;
         println!(
-            "Monte-Carlo ({chips} chips):     {:.3e} s ({:.2} years)  [{:.1} s; st_fast error {:.2}%]",
+            "Monte-Carlo ({chips} chips):     {:.3e} s ({:.2} years)  [{:.1} s; {} error {:.2}%]",
             t_mc,
             years(t_mc),
             start.elapsed().as_secs_f64(),
+            spec.kind(),
             100.0 * ((t_fast - t_mc) / t_mc).abs()
         );
     }
@@ -241,9 +274,17 @@ fn analyze_with_model(
         println!("hybrid lookup tables written to {path}");
     }
 
-    println!("\nper-block contributions at the st_fast lifetime:");
+    println!("\nper-block contributions at the {} lifetime:", spec.kind());
+    let breakdown = StFast::new(
+        &analysis,
+        StFastConfig {
+            l0: opts.l0,
+            threads: opts.threads,
+            ..Default::default()
+        },
+    );
     for (j, block) in analysis.blocks().iter().enumerate() {
-        let p = fast
+        let p = breakdown
             .block_failure_probability(j, t_fast)
             .map_err(|e| e.to_string())?;
         println!(
@@ -276,7 +317,7 @@ fn main() -> ExitCode {
                 Ok(opts) => std::fs::read_to_string(path)
                     .map_err(|e| format!("reading {path}: {e}"))
                     .and_then(|json| {
-                        serde_json::from_str::<ChipSpec>(&json)
+                        statobd::num::json::from_str::<ChipSpec>(&json)
                             .map_err(|e| format!("parsing {path}: {e}"))
                     })
                     .and_then(|spec| report(spec, &opts)),

@@ -13,8 +13,16 @@
 //!   correlation, PCA canonical form),
 //! * [`thermal`] — floorplan, power model and steady-state thermal solver,
 //! * [`device`] — device-level Weibull OBD model and degradation simulator,
-//! * [`core`] — the statistical chip-level reliability engines,
+//! * [`core`] — the statistical chip-level reliability engines, all built
+//!   through the unified [`core::build_engine`] factory,
 //! * [`circuits`] — the C1–C6 benchmark designs from the paper.
+//!
+//! The workspace is **hermetic**: it builds offline with the standard
+//! library only (no external crates), including its RNG
+//! ([`num::rng`]), JSON ([`num::json`]) and scoped-thread parallelism
+//! ([`num::parallel`]). Parallel engines take an explicit thread count
+//! (CLI `--threads`), honor the `STATOBD_THREADS` environment variable,
+//! and return bit-identical results at any thread count.
 //!
 //! # Example
 //!
@@ -24,7 +32,7 @@
 //!
 //! ```
 //! use statobd::circuits::{build_design, Benchmark, DesignConfig};
-//! use statobd::core::{params, solve_lifetime, ChipAnalysis, StFast, StFastConfig};
+//! use statobd::core::{build_engine, params, solve_lifetime, ChipAnalysis, EngineKind};
 //! use statobd::device::ClosedFormTech;
 //! use statobd::thermal::ThermalConfig;
 //! use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
@@ -43,8 +51,8 @@
 //!     .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
 //!     .build()?;
 //! let analysis = ChipAnalysis::new(built.spec, model, &ClosedFormTech::nominal_45nm())?;
-//! let mut engine = StFast::new(&analysis, StFastConfig::default());
-//! let t = solve_lifetime(&mut engine, params::ONE_PER_MILLION, (1e5, 1e12))?;
+//! let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
+//! let t = solve_lifetime(engine.as_mut(), params::ONE_PER_MILLION, (1e5, 1e12))?;
 //! assert!(t > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -118,8 +118,8 @@ fn thermal_subcommand_reports_block_temperatures() {
         .unwrap();
     let fp_path = dir.join("fp.json");
     let pm_path = dir.join("pm.json");
-    std::fs::write(&fp_path, serde_json::to_string(&fp).unwrap()).unwrap();
-    std::fs::write(&pm_path, serde_json::to_string(&pm).unwrap()).unwrap();
+    std::fs::write(&fp_path, statobd::num::json::to_string(&fp)).unwrap();
+    std::fs::write(&pm_path, statobd::num::json::to_string(&pm)).unwrap();
 
     let out = Command::new(bin())
         .args([

@@ -1,0 +1,104 @@
+//! Cross-engine consistency: the analytic engines and the Monte-Carlo
+//! reference must agree on a small design, and the parallel Monte-Carlo
+//! fan-out must be bit-identical at any thread count.
+
+use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::core::{
+    build_engine, solve_lifetime, ChipAnalysis, EngineKind, EngineSpec, MonteCarloConfig,
+};
+use statobd::device::ClosedFormTech;
+use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+
+fn c1_analysis() -> ChipAnalysis {
+    let built = build_design(
+        Benchmark::C1,
+        &DesignConfig {
+            correlation_grid_side: 8,
+            ..DesignConfig::default()
+        },
+    )
+    .expect("design");
+    let model = ThicknessModelBuilder::new()
+        .grid(built.grid)
+        .nominal(statobd::core::params::NOMINAL_THICKNESS_NM)
+        .budget(
+            VarianceBudget::itrs_2008(statobd::core::params::NOMINAL_THICKNESS_NM).expect("budget"),
+        )
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .build()
+        .expect("model");
+    ChipAnalysis::new(built.spec.clone(), model, &ClosedFormTech::nominal_45nm())
+        .expect("characterization")
+}
+
+/// The paper's analytic engines and the per-device Monte-Carlo reference
+/// must produce lifetimes within tolerance of each other on C1.
+#[test]
+fn st_fast_st_closed_and_monte_carlo_agree_on_c1() {
+    let analysis = c1_analysis();
+    let bracket = (1e5, 1e13);
+    let target = 1e-4;
+
+    let solve = |spec: &EngineSpec| {
+        let mut engine = build_engine(&analysis, spec).expect("engine");
+        solve_lifetime(engine.as_mut(), target, bracket).expect("lifetime")
+    };
+
+    let t_fast = solve(&EngineKind::StFast.default_spec());
+    let t_closed = solve(&EngineKind::StClosed.default_spec());
+    let t_mc = solve(&EngineSpec::MonteCarlo(MonteCarloConfig {
+        n_chips: 2000,
+        ..Default::default()
+    }));
+
+    // The two analytic evaluations of the same model agree tightly.
+    let closed_err = ((t_closed - t_fast) / t_fast).abs();
+    assert!(
+        closed_err < 0.05,
+        "st_closed vs st_fast: {t_closed:e} vs {t_fast:e} ({:.1} %)",
+        100.0 * closed_err
+    );
+
+    // The Monte-Carlo reference carries sampling noise in the thickness
+    // draws; the paper reports single-digit-percent errors for st_fast.
+    let mc_err = ((t_fast - t_mc) / t_mc).abs();
+    assert!(
+        mc_err < 0.15,
+        "st_fast vs MC: {t_fast:e} vs {t_mc:e} ({:.1} %)",
+        100.0 * mc_err
+    );
+}
+
+/// The scoped-thread Monte-Carlo fan-out uses per-chip counter-based RNG
+/// streams and fixed chunk boundaries, so the result must be bit-identical
+/// no matter how many worker threads run it.
+#[test]
+fn monte_carlo_is_bit_identical_across_thread_counts() {
+    let analysis = c1_analysis();
+    let times: Vec<f64> = (0..8).map(|i| 10f64.powf(6.0 + i as f64 * 0.7)).collect();
+
+    let curve = |threads: usize| -> Vec<f64> {
+        let spec = EngineSpec::MonteCarlo(MonteCarloConfig {
+            n_chips: 400,
+            threads: Some(threads),
+            ..Default::default()
+        });
+        let mut engine = build_engine(&analysis, &spec).expect("engine");
+        times
+            .iter()
+            .map(|&t| engine.failure_probability(t).expect("P(t)"))
+            .collect()
+    };
+
+    let serial = curve(1);
+    assert!(serial.iter().any(|&p| p > 0.0), "degenerate P(t) curve");
+    for threads in [2, 8] {
+        let parallel = curve(threads);
+        for (i, (&a, &b)) in serial.iter().zip(&parallel).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "P(t[{i}]) differs at {threads} threads: {a:e} vs {b:e}"
+            );
+        }
+    }
+}

@@ -3,8 +3,6 @@
 //! `cargo test --workspace`, so sizes are kept moderate; the full-size
 //! reproductions live in the `statobd-bench` binaries).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use statobd::core::{params, BlockSpec, BlodMoments, ChipSpec};
 use statobd::device::{DegradationSimulator, PercolationConfig};
 use statobd::num::dist::{ContinuousDistribution, Normal};
@@ -15,6 +13,7 @@ use statobd::variation::{
     CorrelationKernel, FieldSampler, GridSpec, ThicknessModel, ThicknessModelBuilder,
     VarianceBudget,
 };
+use statobd_num::rng::Xoshiro256pp;
 
 fn model(side: usize) -> ThicknessModel {
     ThicknessModelBuilder::new()
@@ -31,7 +30,7 @@ fn fig4_blod_histogram_is_gaussian() {
     // Paper Fig. 4: BLOD histograms fit a Gaussian with R² > 99 %.
     let m = model(10);
     let mut sampler = FieldSampler::new(&m);
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
     let die = sampler.sample_die(&mut rng);
     for n_devices in [5_000usize, 20_000] {
         let xs = sampler.sample_devices(&mut rng, &die, 55, n_devices);
@@ -55,7 +54,7 @@ fn fig7_u_v_dependence_is_weak() {
     let block = BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, weights).unwrap();
     let moments = BlodMoments::characterize(&m, &block);
 
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
     let mut normal = NormalSampler::new();
     let mut z = vec![0.0; m.n_components()];
     let n = 60_000;
@@ -113,7 +112,7 @@ fn fig8_chi2_approximation_tracks_quadratic_form() {
     let moments = BlodMoments::characterize(&m, &block);
     let vd = moments.v_dist();
 
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = Xoshiro256pp::seed_from_u64(8);
     let mut normal = NormalSampler::new();
     let mut z = vec![0.0; m.n_components()];
     let mut samples: Vec<f64> = (0..20_000)
@@ -131,7 +130,7 @@ fn fig3_degradation_shows_sbd_then_hbd() {
     // Paper Fig. 3: leakage rises monotonically, jumps 10-20x at SBD,
     // reaches HBD later.
     let sim = DegradationSimulator::new(PercolationConfig::default()).unwrap();
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
     for _ in 0..5 {
         let trace = sim.simulate(&mut rng, 1.0, 12).unwrap();
         assert!(trace.t_sbd_s < trace.t_hbd_s);
@@ -156,7 +155,7 @@ fn blod_dimensionality_reduction_matches_definitions() {
     )
     .unwrap();
     let moments = BlodMoments::characterize(&m, &block);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
     let mut sampler = FieldSampler::new(&m);
     let mut u_err_worst = 0.0f64;
     for _ in 0..20 {
@@ -184,7 +183,7 @@ fn chip_spec_serialization_round_trips() {
     let mut spec = ChipSpec::new();
     spec.add_block(BlockSpec::new("core", 1000.0, 1000, 360.0, 1.2, vec![(0, 1.0)]).unwrap())
         .unwrap();
-    let json = serde_json::to_string_pretty(&spec).unwrap();
-    let back: ChipSpec = serde_json::from_str(&json).unwrap();
+    let json = statobd::num::json::to_string_pretty(&spec);
+    let back: ChipSpec = statobd::num::json::from_str(&json).unwrap();
     assert_eq!(spec, back);
 }

@@ -7,7 +7,7 @@ use statobd::core::{
     MonteCarlo, MonteCarloConfig, ReliabilityEngine, StClosed, StFast, StFastConfig, StMc,
     StMcConfig,
 };
-use statobd::device::{ClosedFormTech, ObdTechnology, TableTech};
+use statobd::device::{ClosedFormTech, TableTech};
 use statobd::thermal::ThermalConfig;
 use statobd::variation::{
     CorrelationKernel, ThicknessModel, ThicknessModelBuilder, VarianceBudget,

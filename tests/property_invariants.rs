@@ -1,44 +1,45 @@
-//! Property-based integration tests (proptest): invariants that must hold
-//! for *any* valid configuration, not just the benchmark designs.
+//! Property-based integration tests: invariants that must hold for *any*
+//! valid configuration, not just the benchmark designs. Each property is
+//! checked over many deterministic pseudo-random cases (seeded, so
+//! failures reproduce exactly).
 
-use proptest::prelude::*;
 use statobd::core::{
     BlockSpec, BlodMoments, ChipAnalysis, ChipSpec, GuardBand, GuardBandConfig, ReliabilityEngine,
     StFast, StFastConfig,
 };
 use statobd::device::{ClosedFormTech, ObdTechnology};
 use statobd::num::dist::ContinuousDistribution;
+use statobd::num::rng::{Rng, Xoshiro256pp};
 use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
 
-fn arb_kernel() -> impl Strategy<Value = CorrelationKernel> {
-    (0.1f64..1.5).prop_flat_map(|d| {
-        prop_oneof![
-            Just(CorrelationKernel::Exponential { rel_distance: d }),
-            Just(CorrelationKernel::Gaussian { rel_distance: d }),
-            Just(CorrelationKernel::Spherical { rel_distance: d }),
-        ]
-    })
+const CASES: usize = 24;
+
+fn kernel<R: Rng + ?Sized>(rng: &mut R) -> CorrelationKernel {
+    let rel_distance = rng.gen_range(0.1..1.5);
+    match rng.gen_index(3) {
+        0 => CorrelationKernel::Exponential { rel_distance },
+        1 => CorrelationKernel::Gaussian { rel_distance },
+        _ => CorrelationKernel::Spherical { rel_distance },
+    }
 }
 
-fn arb_budget() -> impl Strategy<Value = VarianceBudget> {
+fn budget<R: Rng + ?Sized>(rng: &mut R) -> VarianceBudget {
     // Random variance split that sums to 1.
-    (0.05f64..0.9, 0.05f64..0.9).prop_map(|(a, b)| {
-        let total = 1.0 + a + b;
-        VarianceBudget::new(0.03, 1.0 / total, a / total, b / total).expect("valid split")
-    })
+    let a = rng.gen_range(0.05..0.9);
+    let b = rng.gen_range(0.05..0.9);
+    let total = 1.0 + a + b;
+    VarianceBudget::new(0.03, 1.0 / total, a / total, b / total).expect("valid split")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any kernel/budget combination yields a valid PSD model whose
-    /// per-grid sigma reproduces the correlated budget.
-    #[test]
-    fn thickness_model_reproduces_budget(
-        kernel in arb_kernel(),
-        budget in arb_budget(),
-        side in 2usize..7,
-    ) {
+/// Any kernel/budget combination yields a valid PSD model whose per-grid
+/// sigma reproduces the correlated budget.
+#[test]
+fn thickness_model_reproduces_budget() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB01);
+    for _ in 0..CASES {
+        let kernel = kernel(&mut rng);
+        let budget = budget(&mut rng);
+        let side = 2 + rng.gen_index(5);
         let model = ThicknessModelBuilder::new()
             .grid(GridSpec::square_unit(side).unwrap())
             .nominal(2.2)
@@ -46,30 +47,31 @@ proptest! {
             .kernel(kernel)
             .build()
             .unwrap();
-        let expected =
-            (budget.sigma_global().powi(2) + budget.sigma_spatial().powi(2)).sqrt();
+        let expected = (budget.sigma_global().powi(2) + budget.sigma_spatial().powi(2)).sqrt();
         for g in 0..model.n_grids() {
             let got = model.grid_sigma(g);
-            prop_assert!(
+            assert!(
                 (got - expected).abs() < 1e-8 + 1e-6 * expected,
-                "grid {}: {} vs {}", g, got, expected
+                "grid {g}: {got} vs {expected}"
             );
         }
         // Covariance symmetry and bounds.
         let c01 = model.covariance(0, model.n_grids() - 1);
         let c10 = model.covariance(model.n_grids() - 1, 0);
-        prop_assert!((c01 - c10).abs() < 1e-12);
-        prop_assert!(c01 <= expected * expected + 1e-12);
+        assert!((c01 - c10).abs() < 1e-12);
+        assert!(c01 <= expected * expected + 1e-12);
     }
+}
 
-    /// The χ² fit always matches the first two moments of the quadratic
-    /// form exactly (that is its definition).
-    #[test]
-    fn chi2_fit_matches_moments(
-        side in 3usize..7,
-        rel in 0.2f64..1.0,
-        w0 in 0.05f64..0.95,
-    ) {
+/// The χ² fit always matches the first two moments of the quadratic form
+/// exactly (that is its definition).
+#[test]
+fn chi2_fit_matches_moments() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB02);
+    for _ in 0..CASES {
+        let side = 3 + rng.gen_index(4);
+        let rel = rng.gen_range(0.2..1.0);
+        let w0 = rng.gen_range(0.05..0.95);
         let model = ThicknessModelBuilder::new()
             .grid(GridSpec::square_unit(side).unwrap())
             .nominal(2.2)
@@ -79,24 +81,31 @@ proptest! {
             .unwrap();
         let n = model.n_grids();
         let block = BlockSpec::new(
-            "b", 1000.0, 1000, 350.0, 1.2,
+            "b",
+            1000.0,
+            1000,
+            350.0,
+            1.2,
             vec![(0, w0), (n - 1, 1.0 - w0)],
-        ).unwrap();
+        )
+        .unwrap();
         let m = BlodMoments::characterize(&model, &block);
         let v = m.v_dist();
-        prop_assert!((v.mean() - (m.v_floor() + m.q_trace())).abs() < 1e-12);
-        prop_assert!((v.variance() - 2.0 * m.q_trace_sq()).abs() < 1e-15);
+        assert!((v.mean() - (m.v_floor() + m.q_trace())).abs() < 1e-12);
+        assert!((v.variance() - 2.0 * m.q_trace_sq()).abs() < 1e-15);
     }
+}
 
-    /// For any two-block chip, P(t) is monotone in t, bounded in [0,1],
-    /// and the guard-band lifetime never exceeds the statistical one.
-    #[test]
-    fn failure_probability_invariants(
-        t_hot in 350.0f64..390.0,
-        dt in 0.0f64..30.0,
-        m1 in 2_000u64..20_000,
-        m2 in 2_000u64..20_000,
-    ) {
+/// For any two-block chip, P(t) is monotone in t, bounded in [0,1], and
+/// the guard-band lifetime never exceeds the statistical one.
+#[test]
+fn failure_probability_invariants() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB03);
+    for _ in 0..CASES {
+        let t_hot = rng.gen_range(350.0..390.0);
+        let dt = rng.gen_range(0.0..30.0);
+        let m1 = 2_000 + rng.gen_index(18_000) as u64;
+        let m2 = 2_000 + rng.gen_index(18_000) as u64;
         let model = ThicknessModelBuilder::new()
             .grid(GridSpec::square_unit(4).unwrap())
             .nominal(2.2)
@@ -105,12 +114,20 @@ proptest! {
             .build()
             .unwrap();
         let mut spec = ChipSpec::new();
-        spec.add_block(BlockSpec::new(
-            "hot", m1 as f64, m1, t_hot, 1.2, vec![(0, 1.0)],
-        ).unwrap()).unwrap();
-        spec.add_block(BlockSpec::new(
-            "cool", m2 as f64, m2, t_hot - dt, 1.2, vec![(15, 0.5), (14, 0.5)],
-        ).unwrap()).unwrap();
+        spec.add_block(BlockSpec::new("hot", m1 as f64, m1, t_hot, 1.2, vec![(0, 1.0)]).unwrap())
+            .unwrap();
+        spec.add_block(
+            BlockSpec::new(
+                "cool",
+                m2 as f64,
+                m2,
+                t_hot - dt,
+                1.2,
+                vec![(15, 0.5), (14, 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
         let tech = ClosedFormTech::nominal_45nm();
         let analysis = ChipAnalysis::new(spec, model, &tech).unwrap();
         let mut engine = StFast::new(&analysis, StFastConfig::default());
@@ -119,8 +136,8 @@ proptest! {
         for i in 0..10 {
             let t = 10f64.powf(5.0 + i as f64 * 0.8);
             let p = engine.failure_probability(t).unwrap();
-            prop_assert!((0.0..=1.0).contains(&p));
-            prop_assert!(p >= prev - 1e-15);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-15);
             prev = p;
         }
 
@@ -129,35 +146,38 @@ proptest! {
         for &target in &[1e-6, 1e-5, 1e-4] {
             let t_guard = guard.lifetime(target).unwrap();
             let p_stat_at_guard = engine.failure_probability(t_guard).unwrap();
-            prop_assert!(
+            assert!(
                 p_stat_at_guard <= target * 1.05,
                 "guard lifetime not conservative: P({t_guard:e}) = {p_stat_at_guard:e} > {target:e}"
             );
         }
     }
+}
 
-    /// Technology monotonicity: hotter or higher-voltage operating points
-    /// never increase the characteristic life.
-    #[test]
-    fn technology_acceleration_is_monotone(
-        t1 in 300.0f64..420.0,
-        dt in 0.1f64..40.0,
-        v1 in 0.9f64..1.4,
-        dv in 0.01f64..0.2,
-    ) {
+/// Technology monotonicity: hotter or higher-voltage operating points
+/// never increase the characteristic life.
+#[test]
+fn technology_acceleration_is_monotone() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB04);
+    for _ in 0..CASES {
+        let t1 = rng.gen_range(300.0..420.0);
+        let dt = rng.gen_range(0.1..40.0);
+        let v1 = rng.gen_range(0.9..1.4);
+        let dv = rng.gen_range(0.01..0.2);
         let tech = ClosedFormTech::nominal_45nm();
-        prop_assert!(tech.alpha(t1 + dt, v1) < tech.alpha(t1, v1));
-        prop_assert!(tech.alpha(t1, v1 + dv) < tech.alpha(t1, v1));
-        prop_assert!(tech.b(t1) > 0.0);
+        assert!(tech.alpha(t1 + dt, v1) < tech.alpha(t1, v1));
+        assert!(tech.alpha(t1, v1 + dv) < tech.alpha(t1, v1));
+        assert!(tech.b(t1) > 0.0);
     }
+}
 
-    /// The BLOD u-distribution quantiles honour the Gaussian they claim
-    /// to be.
-    #[test]
-    fn blod_u_distribution_quantiles(
-        w in 0.1f64..0.9,
-        p in 0.01f64..0.99,
-    ) {
+/// The BLOD u-distribution quantiles honour the Gaussian they claim to be.
+#[test]
+fn blod_u_distribution_quantiles() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB05);
+    for _ in 0..CASES {
+        let w = rng.gen_range(0.1..0.9);
+        let p = rng.gen_range(0.01..0.99);
         let model = ThicknessModelBuilder::new()
             .grid(GridSpec::square_unit(3).unwrap())
             .nominal(2.2)
@@ -165,18 +185,17 @@ proptest! {
             .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
             .build()
             .unwrap();
-        let block = BlockSpec::new(
-            "b", 1000.0, 1000, 350.0, 1.2, vec![(0, w), (8, 1.0 - w)],
-        ).unwrap();
+        let block =
+            BlockSpec::new("b", 1000.0, 1000, 350.0, 1.2, vec![(0, w), (8, 1.0 - w)]).unwrap();
         let m = BlodMoments::characterize(&model, &block);
         if let statobd::core::VarianceDist::ShiftedGamma { .. } = m.v_dist() {
             let q = m.v_dist().quantile(p).unwrap();
-            prop_assert!((m.v_dist().cdf(q) - p).abs() < 1e-7);
+            assert!((m.v_dist().cdf(q) - p).abs() < 1e-7);
         }
         match m.u_dist() {
             statobd::core::MeanDist::Gaussian(n) => {
                 let q = n.quantile(p).unwrap();
-                prop_assert!((n.cdf(q) - p).abs() < 1e-10);
+                assert!((n.cdf(q) - p).abs() < 1e-10);
             }
             statobd::core::MeanDist::Deterministic(_) => {}
         }
