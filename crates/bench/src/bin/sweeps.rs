@@ -1,0 +1,266 @@
+//! Sweep benchmark: scalar-loop vs batched time-sweep evaluation for
+//! every reliability engine, emitting machine-readable
+//! `BENCH_sweeps.json` so the repo accumulates a perf trajectory.
+//!
+//! For each design × engine × sweep length the runner times `n` scalar
+//! `failure_probability` calls against one batched
+//! `failure_probabilities` call over the same log-spaced times, verifies
+//! the two are **bit-identical**, and records build time, both eval
+//! times, the speedup and the batched throughput.
+//!
+//! ```text
+//! cargo run --release -p statobd-bench --bin sweeps -- \
+//!     [--quick] [--out BENCH_sweeps.json] [--designs C1,C3] \
+//!     [--sweeps 20,200] [--threads 1] [--mc-chips 1000]
+//! ```
+//!
+//! Defaults measure the algorithmic win at `--threads 1`; pass
+//! `--threads 0` to use every core. Output schema (one JSON object):
+//!
+//! ```text
+//! { "threads": 1, "rows": [ { "design": "C1", "engine": "MC",
+//!   "sweep_len": 200, "build_s": ..., "scalar_eval_s": ...,
+//!   "batched_eval_s": ..., "speedup": ..., "batched_evals_per_s": ...,
+//!   "bit_identical": true }, ... ] }
+//! ```
+
+use statobd_bench::{analyze, thickness_model_for, BRACKET};
+use statobd_circuits::{build_design, Benchmark, DesignConfig};
+use statobd_core::{build_engine, EngineKind, EngineSpec, MonteCarloConfig};
+use statobd_device::ClosedFormTech;
+use statobd_num::impl_json_struct;
+use std::time::Instant;
+
+/// One measurement: a (design, engine, sweep length) cell.
+#[derive(Debug, Clone)]
+struct SweepRow {
+    design: String,
+    engine: String,
+    devices: u64,
+    sweep_len: usize,
+    /// Engine construction seconds (tables, chip samples, node sets).
+    build_s: f64,
+    /// Wall seconds for `sweep_len` scalar `failure_probability` calls.
+    scalar_eval_s: f64,
+    /// Wall seconds for one batched `failure_probabilities` call.
+    batched_eval_s: f64,
+    /// `scalar_eval_s / batched_eval_s`.
+    speedup: f64,
+    /// Time points per second through the batched path.
+    batched_evals_per_s: f64,
+    /// Whether every batched probability matched the scalar loop bit for
+    /// bit (the run aborts with a non-zero exit if any row is false).
+    bit_identical: bool,
+}
+
+impl_json_struct!(SweepRow {
+    design,
+    engine,
+    devices,
+    sweep_len,
+    build_s,
+    scalar_eval_s,
+    batched_eval_s,
+    speedup,
+    batched_evals_per_s,
+    bit_identical
+});
+
+/// The whole report (`BENCH_sweeps.json`).
+#[derive(Debug, Clone)]
+struct SweepReport {
+    /// Worker threads every engine was pinned to (0 = all cores).
+    threads: usize,
+    rows: Vec<SweepRow>,
+}
+
+impl_json_struct!(SweepReport { threads, rows });
+
+struct Options {
+    out: String,
+    designs: Vec<Benchmark>,
+    sweeps: Vec<usize>,
+    threads: usize,
+    mc_chips: usize,
+}
+
+fn parse_benchmark(name: &str) -> Benchmark {
+    match name.to_ascii_uppercase().as_str() {
+        "C1" => Benchmark::C1,
+        "C2" => Benchmark::C2,
+        "C3" => Benchmark::C3,
+        "C4" => Benchmark::C4,
+        "C5" => Benchmark::C5,
+        "C6" => Benchmark::C6,
+        "MC16" => Benchmark::ManyCore16,
+        other => {
+            eprintln!("unknown design {other:?} (expected C1..C6 or MC16)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        out: "BENCH_sweeps.json".to_string(),
+        designs: vec![Benchmark::C1, Benchmark::C3],
+        sweeps: vec![20, 200],
+        threads: 1,
+        mc_chips: 1000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => {
+                opts.designs = vec![Benchmark::C1];
+                opts.sweeps = vec![8, 40];
+                opts.mc_chips = 200;
+            }
+            "--out" => opts.out = value("--out"),
+            "--designs" => {
+                opts.designs = value("--designs").split(',').map(parse_benchmark).collect();
+            }
+            "--sweeps" => {
+                opts.sweeps = value("--sweeps")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad sweep length {s:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    std::process::exit(2);
+                });
+            }
+            "--mc-chips" => {
+                opts.mc_chips = value("--mc-chips").parse().unwrap_or_else(|_| {
+                    eprintln!("bad chip count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Log-spaced times over the default lifetime bracket.
+fn sweep_times(n: usize) -> Vec<f64> {
+    let (t_lo, t_hi) = BRACKET;
+    let ratio = (t_hi / t_lo).ln();
+    (0..n)
+        .map(|i| t_lo * (ratio * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+fn main() {
+    let opts = parse_options();
+    let threads = (opts.threads > 0).then_some(opts.threads);
+    let tech = ClosedFormTech::nominal_45nm();
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+
+    for &benchmark in &opts.designs {
+        let built = build_design(benchmark, &DesignConfig::default()).expect("design builds");
+        let model = thickness_model_for(&built, 0.5);
+        let analysis = analyze(&built, &model, &tech).expect("analysis succeeds");
+        println!(
+            "{}: {} blocks, {} devices",
+            benchmark.name(),
+            built.spec.n_blocks(),
+            built.spec.total_devices()
+        );
+
+        for kind in EngineKind::ALL {
+            let spec = match kind.default_spec() {
+                EngineSpec::MonteCarlo(c) => EngineSpec::MonteCarlo(MonteCarloConfig {
+                    n_chips: opts.mc_chips,
+                    ..c
+                }),
+                other => other,
+            }
+            .with_threads(threads);
+            let build_start = Instant::now();
+            let mut engine = build_engine(&analysis, &spec).expect("engine builds");
+            let build_s = build_start.elapsed().as_secs_f64();
+
+            for &n in &opts.sweeps {
+                let ts = sweep_times(n.max(2));
+
+                let scalar_start = Instant::now();
+                let scalar: Vec<f64> = ts
+                    .iter()
+                    .map(|&t| engine.failure_probability(t).expect("scalar eval"))
+                    .collect();
+                let scalar_eval_s = scalar_start.elapsed().as_secs_f64();
+
+                let batched_start = Instant::now();
+                let batched = engine.failure_probabilities(&ts).expect("batched eval");
+                let batched_eval_s = batched_start.elapsed().as_secs_f64();
+
+                let bit_identical = scalar.len() == batched.len()
+                    && scalar
+                        .iter()
+                        .zip(&batched)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                all_identical &= bit_identical;
+
+                let speedup = scalar_eval_s / batched_eval_s.max(1e-12);
+                let row = SweepRow {
+                    design: benchmark.name().to_string(),
+                    engine: kind.name().to_string(),
+                    devices: built.spec.total_devices(),
+                    sweep_len: ts.len(),
+                    build_s,
+                    scalar_eval_s,
+                    batched_eval_s,
+                    speedup,
+                    batched_evals_per_s: ts.len() as f64 / batched_eval_s.max(1e-12),
+                    bit_identical,
+                };
+                println!(
+                    "  {:<9} n={:<4} build {:>9.4}s  scalar {:>9.4}s  batched {:>9.4}s  \
+                     {:>6.1}x  {}",
+                    row.engine,
+                    row.sweep_len,
+                    row.build_s,
+                    row.scalar_eval_s,
+                    row.batched_eval_s,
+                    row.speedup,
+                    if bit_identical {
+                        "bit-identical"
+                    } else {
+                        "MISMATCH"
+                    }
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let report = SweepReport {
+        threads: opts.threads,
+        rows,
+    };
+    std::fs::write(&opts.out, statobd_num::json::to_string_pretty(&report))
+        .expect("report written");
+    println!("wrote {}", opts.out);
+    if !all_identical {
+        eprintln!("ERROR: batched results diverged from the scalar loop");
+        std::process::exit(1);
+    }
+}

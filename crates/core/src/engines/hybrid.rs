@@ -40,6 +40,9 @@ pub struct HybridConfig {
     pub n_b: usize,
     /// Quadrature settings used to fill the table entries.
     pub quadrature_l0: usize,
+    /// Worker threads for the table build and large batched sweeps
+    /// (`None` = all available cores).
+    pub threads: Option<usize>,
 }
 
 impl_json_struct!(HybridConfig {
@@ -47,7 +50,8 @@ impl_json_struct!(HybridConfig {
     b_range,
     n_gamma,
     n_b,
-    quadrature_l0
+    quadrature_l0,
+    threads
 });
 
 impl Default for HybridConfig {
@@ -60,6 +64,7 @@ impl Default for HybridConfig {
             n_gamma: 100,
             n_b: 100,
             quadrature_l0: crate::params::DEFAULT_L0,
+            threads: None,
         }
     }
 }
@@ -135,7 +140,7 @@ impl HybridTables {
 
         let mut tables = Vec::with_capacity(analysis.n_blocks());
         let mut interps = Vec::with_capacity(analysis.n_blocks());
-        let threads = parallel::resolve_threads(None);
+        let threads = parallel::resolve_threads(config.threads);
         for block in analysis.blocks() {
             let quadrature = BlockQuadrature::new(block.moments(), &quad)?;
             // Fill the (γ, b) grid one γ-row per work item; rows are
@@ -284,6 +289,45 @@ impl ReliabilityEngine for HybridTables {
             total += self.block_failure_probability(j, t_s);
         }
         Ok(total.min(1.0))
+    }
+
+    /// Batched table interpolation: the per-block `(γ, b)` lookups are
+    /// hoisted out of the time loop, and long sweeps fan out over threads
+    /// one time point per work item (each point's block sum is independent,
+    /// so the result is bit-identical to the scalar loop at any thread
+    /// count).
+    fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+        // One (interpolant, α, b) triple per block, resolved once.
+        let blocks: Vec<(&Bilinear, f64, f64)> = self
+            .tables
+            .iter()
+            .zip(self.interps.iter())
+            .map(|(table, interp)| (interp, table.alpha_s, table.b_per_nm))
+            .collect();
+        let eval_one = |&t_s: &f64| -> f64 {
+            let mut total = 0.0;
+            for &(interp, alpha_s, b_per_nm) in &blocks {
+                let gamma = (t_s / alpha_s).ln();
+                let ln_p = interp.eval(gamma, b_per_nm);
+                total += ln_p.exp().min(1.0);
+            }
+            total.min(1.0)
+        };
+        // Lookups are cheap; only fan out when the sweep is long enough to
+        // amortize the thread spawn.
+        if ts.len() < 256 {
+            return Ok(ts.iter().map(eval_one).collect());
+        }
+        let threads = parallel::resolve_threads(self.config.threads);
+        Ok(parallel::run_indexed(ts.len(), threads, |i| {
+            eval_one(&ts[i])
+        }))
+    }
+
+    fn sweep_batch_hint(&self) -> usize {
+        // Lookups are cheap but the trait-object round trip is not free;
+        // a modest batch keeps solve drivers from calling one-at-a-time.
+        8
     }
 }
 

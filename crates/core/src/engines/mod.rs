@@ -38,6 +38,62 @@ pub trait ReliabilityEngine {
     ///
     /// Engine-specific numerical failures.
     fn failure_probability(&mut self, t_s: f64) -> Result<f64>;
+
+    /// The ensemble failure probabilities at every time in `ts` (seconds),
+    /// in order — the batched form of
+    /// [`failure_probability`](ReliabilityEngine::failure_probability).
+    ///
+    /// Time sweeps dominate everything downstream of the engines (lifetime
+    /// bisection, failure-rate curves, the Table III benchmarks), and most
+    /// engines carry per-evaluation state that is invariant across `t`
+    /// (Monte-Carlo chip histograms and bin-weight tables, quadrature node
+    /// sets, lookup tables). Every engine in this crate overrides this
+    /// method with an implementation that amortizes that state over the
+    /// whole sweep and fans the work out across threads; results are
+    /// **bit-identical** to the scalar loop at any thread count.
+    ///
+    /// The default implementation is the plain scalar loop, so foreign
+    /// `ReliabilityEngine` impls keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific numerical failures, as for the scalar method.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use statobd_core::{ReliabilityEngine, Result};
+    ///
+    /// // A toy engine: P(t) = 1 − exp(−t/1e9).
+    /// #[derive(Debug)]
+    /// struct Toy;
+    /// impl ReliabilityEngine for Toy {
+    ///     fn name(&self) -> &str { "toy" }
+    ///     fn failure_probability(&mut self, t: f64) -> Result<f64> {
+    ///         Ok(-(-t / 1e9_f64).exp_m1())
+    ///     }
+    /// }
+    /// let ps = Toy.failure_probabilities(&[1e8, 1e9])?;
+    /// assert_eq!(ps.len(), 2);
+    /// assert!(ps[0] < ps[1]);
+    /// # Ok::<(), statobd_core::CoreError>(())
+    /// ```
+    fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+        ts.iter().map(|&t| self.failure_probability(t)).collect()
+    }
+
+    /// How many time points per
+    /// [`failure_probabilities`](ReliabilityEngine::failure_probabilities)
+    /// call this engine can absorb at little extra cost — the batch width
+    /// iterative drivers like [`crate::solve_lifetime`] should aim for.
+    ///
+    /// Engines with a large per-call fixed cost (the Monte-Carlo engine
+    /// sweeps every chip histogram once per call) or an internal thread
+    /// fan-out report a hint above 1; the default of 1 keeps scalar-loop
+    /// engines on classic bisection, which minimizes total evaluations.
+    fn sweep_batch_hint(&self) -> usize {
+        1
+    }
 }
 
 /// The available reliability engines, by the paper's Table III
@@ -140,13 +196,14 @@ impl EngineSpec {
     }
 
     /// Overrides the worker-thread count on the kinds that fan out
-    /// (`st_fast`, `st_MC`, `MC`); a no-op for the rest.
+    /// (`st_fast`, `st_MC`, `MC`, `hybrid`); a no-op for the rest.
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         match &mut self {
             EngineSpec::StFast(c) => c.threads = threads,
             EngineSpec::StMc(c) => c.threads = threads,
             EngineSpec::MonteCarlo(c) => c.threads = threads,
-            EngineSpec::StClosed | EngineSpec::Hybrid(_) | EngineSpec::GuardBand(_) => {}
+            EngineSpec::Hybrid(c) => c.threads = threads,
+            EngineSpec::StClosed | EngineSpec::GuardBand(_) => {}
         }
         self
     }
@@ -222,6 +279,9 @@ mod tests {
         assert!(matches!(spec, EngineSpec::StFast(c) if c.threads == Some(3)));
         let spec = EngineSpec::MonteCarlo(MonteCarloConfig::default()).with_threads(Some(2));
         assert!(matches!(spec, EngineSpec::MonteCarlo(c) if c.threads == Some(2)));
+        // The hybrid table build fans out too (one γ-row per work item).
+        let spec = EngineSpec::Hybrid(HybridConfig::default()).with_threads(Some(5));
+        assert!(matches!(spec, EngineSpec::Hybrid(c) if c.threads == Some(5)));
         // No-op on engines without a fan-out.
         assert_eq!(
             EngineSpec::StClosed.with_threads(Some(4)),

@@ -59,6 +59,17 @@ struct BlockAllocation {
     bin_w: f64,
 }
 
+/// Reusable scratch buffers shared by every evaluation entry point, so
+/// repeated sweep/solve calls allocate nothing once warm.
+#[derive(Debug, Default)]
+struct McWorkspace {
+    /// Bin-weight table; `[block][bin]` for scalar fills, `[block][bin][t]`
+    /// for batched fills.
+    weights: Vec<f64>,
+    /// Per-chip failure probabilities, laid out `[chip][t]`.
+    per_chip: Vec<f64>,
+}
+
 /// The Monte-Carlo reference engine (`MC` in Table III).
 #[derive(Debug)]
 pub struct MonteCarlo<'a> {
@@ -71,6 +82,8 @@ pub struct MonteCarlo<'a> {
     uv: Vec<(f64, f64)>,
     /// Wall-clock seconds spent sampling chips.
     build_seconds: f64,
+    /// Cached evaluation scratch (weight tables, per-chip probabilities).
+    ws: std::cell::RefCell<McWorkspace>,
 }
 
 impl<'a> MonteCarlo<'a> {
@@ -204,6 +217,7 @@ impl<'a> MonteCarlo<'a> {
             counts,
             uv,
             build_seconds,
+            ws: std::cell::RefCell::new(McWorkspace::default()),
         })
     }
 
@@ -232,7 +246,9 @@ impl<'a> MonteCarlo<'a> {
     /// Per-chip cumulative hazards `H_chip(t) = Σ_j (A_j/m_j) Σ_i
     /// (t/α_j)^{b_j x_i}` for every sampled chip.
     pub fn per_chip_hazard(&self, t_s: f64) -> Vec<f64> {
-        let weights = self.bin_weights(t_s);
+        let mut ws = self.ws.borrow_mut();
+        self.fill_bin_weights(std::slice::from_ref(&t_s), &mut ws.weights);
+        let weights = &ws.weights;
         let n_blocks = self.analysis.n_blocks();
         let bins = self.config.bins;
         let stride_chip = n_blocks * bins;
@@ -309,7 +325,9 @@ impl<'a> MonteCarlo<'a> {
         let e = statobd_num::rng::sample_exp1(rng);
         // Bracket in log-time.
         let hazard_at = |t: f64| -> f64 {
-            let weights = self.bin_weights(t);
+            let mut ws = self.ws.borrow_mut();
+            self.fill_bin_weights(std::slice::from_ref(&t), &mut ws.weights);
+            let weights = &ws.weights;
             let n_blocks = self.analysis.n_blocks();
             let bins = self.config.bins;
             let stride_chip = n_blocks * bins;
@@ -348,10 +366,19 @@ impl<'a> MonteCarlo<'a> {
         (0.5 * (ln_lo + ln_hi)).exp()
     }
 
-    /// Per-block per-bin hazard weights `(A_j/m_j)·exp(γ_j·b_j·x_bin)`.
-    fn bin_weights(&self, t_s: f64) -> Vec<f64> {
+    /// Fills `out` with the per-block per-bin hazard weights
+    /// `(A_j/m_j)·exp(γ_j(t)·b_j·x_bin)` for every requested time, laid out
+    /// `[block][bin][t]` (so for a single time this is the classic
+    /// `[block][bin]` table).
+    ///
+    /// The bin axis is uniform, so each `(block, t)` row is a geometric
+    /// progression filled by [`statobd_num::special::scaled_exp_grid`] —
+    /// one `exp` per resync window instead of one per bin.
+    fn fill_bin_weights(&self, ts: &[f64], out: &mut Vec<f64>) {
         let bins = self.config.bins;
-        let mut weights = vec![0.0; self.analysis.n_blocks() * bins];
+        let n_t = ts.len();
+        out.clear();
+        out.resize(self.analysis.n_blocks() * bins * n_t, 0.0);
         for (j, (block, alloc)) in self
             .analysis
             .blocks()
@@ -359,15 +386,22 @@ impl<'a> MonteCarlo<'a> {
             .zip(self.allocations.iter())
             .enumerate()
         {
-            let gamma = (t_s / block.alpha_s()).ln();
-            let gb = gamma * block.b_per_nm();
             let area_per_device = block.spec().area() / block.spec().m_devices() as f64;
-            for k in 0..bins {
-                let x = alloc.x_lo + (k as f64 + 0.5) * alloc.bin_w;
-                weights[j * bins + k] = area_per_device * (gb * x).exp();
+            let x0 = alloc.x_lo + 0.5 * alloc.bin_w;
+            for (ti, &t_s) in ts.iter().enumerate() {
+                let gamma = (t_s / block.alpha_s()).ln();
+                let gb = gamma * block.b_per_nm();
+                statobd_num::special::scaled_exp_grid(
+                    area_per_device,
+                    gb,
+                    x0,
+                    alloc.bin_w,
+                    bins,
+                    &mut out[j * bins * n_t + ti..],
+                    n_t,
+                );
             }
         }
-        weights
     }
 }
 
@@ -377,8 +411,98 @@ impl ReliabilityEngine for MonteCarlo<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let per_chip = self.per_chip_failure(t_s);
-        Ok(per_chip.iter().sum::<f64>() / per_chip.len() as f64)
+        // Route through the batched kernel so the scalar and batched paths
+        // share one implementation (and are trivially bit-identical).
+        Ok(self.failure_probabilities(std::slice::from_ref(&t_s))?[0])
+    }
+
+    /// One parallel pass over the chip histograms evaluating every
+    /// requested time per chip visit: the weight table holds all
+    /// `(block, bin, t)` entries up front, and the innermost loop runs
+    /// over `t` with unit stride, so the 200-point sweeps behind
+    /// [`crate::failure_rate_curve`] traverse the (large) count array once
+    /// instead of 200 times.
+    fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+        if ts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_t = ts.len();
+        let n_blocks = self.analysis.n_blocks();
+        let bins = self.config.bins;
+        let stride_chip = n_blocks * bins;
+        let n_chips = self.config.n_chips;
+        let threads = parallel::resolve_threads(self.config.threads);
+
+        let mut ws = self.ws.borrow_mut();
+        self.fill_bin_weights(ts, &mut ws.weights);
+        let McWorkspace { weights, per_chip } = &mut *ws;
+        let weights: &[f64] = weights;
+        per_chip.clear();
+        per_chip.resize(n_chips * n_t, 0.0);
+
+        // Fixed chunking (as in `build`) and disjoint per-chip output rows
+        // keep the result independent of the worker count; capture the
+        // individual fields, not `&self` (the workspace `RefCell` makes the
+        // engine `!Sync`).
+        let counts = &self.counts;
+        let chunk_chips = 16;
+        parallel::for_each_chunk_mut(
+            per_chip.as_mut_slice(),
+            chunk_chips * n_t,
+            threads,
+            |chunk_idx, out_chunk| {
+                let first_chip = chunk_idx * chunk_chips;
+                let chips_here = out_chunk.len() / n_t;
+                let mut acc = vec![0.0; n_t];
+                let mut hazards = vec![0.0; n_t];
+                for local in 0..chips_here {
+                    let chip = first_chip + local;
+                    let chip_counts = &counts[chip * stride_chip..(chip + 1) * stride_chip];
+                    hazards.iter_mut().for_each(|h| *h = 0.0);
+                    for j in 0..n_blocks {
+                        let w = &weights[j * bins * n_t..(j + 1) * bins * n_t];
+                        let c = &chip_counts[j * bins..(j + 1) * bins];
+                        acc.iter_mut().for_each(|a| *a = 0.0);
+                        for (k, ck) in c.iter().enumerate() {
+                            if *ck != 0 {
+                                let cf = *ck as f64;
+                                let w_row = &w[k * n_t..(k + 1) * n_t];
+                                for (a, wk) in acc.iter_mut().zip(w_row) {
+                                    *a += wk * cf;
+                                }
+                            }
+                        }
+                        for (h, a) in hazards.iter_mut().zip(&acc) {
+                            *h += a;
+                        }
+                    }
+                    let out = &mut out_chunk[local * n_t..(local + 1) * n_t];
+                    for (o, h) in out.iter_mut().zip(&hazards) {
+                        *o = -(-h).exp_m1();
+                    }
+                }
+            },
+        );
+
+        // Ensemble mean, reduced serially in chip order — the same
+        // summation order as the scalar path at any thread count.
+        let mut totals = vec![0.0; n_t];
+        for chip in 0..n_chips {
+            let row = &per_chip[chip * n_t..(chip + 1) * n_t];
+            for (tot, p) in totals.iter_mut().zip(row) {
+                *tot += p;
+            }
+        }
+        for tot in totals.iter_mut() {
+            *tot /= n_chips as f64;
+        }
+        Ok(totals)
+    }
+
+    fn sweep_batch_hint(&self) -> usize {
+        // Each call pays a full traversal of the count histograms; batching
+        // a handful of times per visit is nearly free.
+        16
     }
 }
 

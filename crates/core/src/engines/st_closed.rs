@@ -74,6 +74,50 @@ impl ReliabilityEngine for StClosed<'_> {
         }
         Ok(total.min(1.0))
     }
+
+    /// Hoists the per-block BLOD moments out of the time loop; the
+    /// closed-form kernel is a handful of `exp`s, so a serial sweep is
+    /// already orders of magnitude cheaper than a quadrature engine (and
+    /// the rare fallback shares `StFast`'s cached node sets).
+    fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+        // (α, b, area, u₀, σ_u², v-dist) per block, resolved once.
+        let blocks: Vec<_> = self
+            .analysis
+            .blocks()
+            .iter()
+            .map(|block| {
+                let m = block.moments();
+                (
+                    block.alpha_s(),
+                    block.b_per_nm(),
+                    block.spec().area(),
+                    m.u_nominal(),
+                    m.u_sigma(),
+                    m.v_dist(),
+                )
+            })
+            .collect();
+        let mut out = Vec::with_capacity(ts.len());
+        for (ti, &t_s) in ts.iter().enumerate() {
+            let mut total = 0.0;
+            for (j, (alpha_s, b_per_nm, area, u0, u_sigma, v_dist)) in blocks.iter().enumerate() {
+                let coeff = GCoefficients::at(t_s, *alpha_s, *b_per_nm);
+                let mean_term =
+                    (coeff.s1 * u0 + 0.5 * coeff.s1 * coeff.s1 * u_sigma * u_sigma).exp();
+                let closed = v_dist
+                    .mgf(coeff.s2)
+                    .ok()
+                    .map(|v_term| area * mean_term * v_term)
+                    .filter(|&p| p < 0.01);
+                total += match closed {
+                    Some(p) => p,
+                    None => self.fallback.block_failure_probability(j, ts[ti])?,
+                };
+            }
+            out.push(total.min(1.0));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

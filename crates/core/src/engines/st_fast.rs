@@ -202,6 +202,46 @@ impl ReliabilityEngine for StFast<'_> {
         }
         Ok(total.min(1.0))
     }
+
+    /// Reuses the time-independent quadrature node sets and fans the
+    /// `(block × t)` kernel evaluations out over threads as a flat work
+    /// list. Each `(block, t)` integral is independent, and the per-time
+    /// block sums run in block order, so the result is bit-identical to
+    /// the scalar loop at any thread count.
+    fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+        let quads = self.quadratures()?;
+        let blocks = self.analysis.blocks();
+        let n_blocks = blocks.len();
+        let n_t = ts.len();
+        let eval_one = |idx: usize| -> f64 {
+            let (j, ti) = (idx / n_t, idx % n_t);
+            let block = &blocks[j];
+            let coeff = GCoefficients::at(ts[ti], block.alpha_s(), block.b_per_nm());
+            quads[j].integrate(block.spec().area(), coeff)
+        };
+        let n_items = n_blocks * n_t;
+        let per_block_t: Vec<f64> = if n_items < 8 {
+            (0..n_items).map(eval_one).collect()
+        } else {
+            let threads = statobd_num::parallel::resolve_threads(self.config.threads);
+            statobd_num::parallel::run_indexed(n_items, threads, eval_one)
+        };
+        Ok((0..n_t)
+            .map(|ti| {
+                let mut total = 0.0;
+                for j in 0..n_blocks {
+                    total += per_block_t[j * n_t + ti];
+                }
+                total.min(1.0)
+            })
+            .collect())
+    }
+
+    fn sweep_batch_hint(&self) -> usize {
+        // The batched path fans (block × t) items across threads; offering
+        // one point per worker keeps the fan-out busy.
+        statobd_num::parallel::resolve_threads(self.config.threads)
+    }
 }
 
 #[cfg(test)]

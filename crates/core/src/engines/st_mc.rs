@@ -57,6 +57,8 @@ pub struct StMc<'a> {
     /// The raw per-block `(u, v)` samples, kept for joint-across-blocks
     /// queries (multi-breakdown analysis).
     samples: Vec<Vec<(f64, f64)>>,
+    /// Worker threads for batched sweeps (from the build configuration).
+    threads: Option<usize>,
 }
 
 impl<'a> StMc<'a> {
@@ -141,6 +143,7 @@ impl<'a> StMc<'a> {
             analysis,
             joints,
             samples: uv,
+            threads: config.threads,
         })
     }
 
@@ -202,19 +205,7 @@ impl<'a> StMc<'a> {
         let area = block.spec().area();
         let hist = &self.joints[block_idx].hist;
         let probs = hist.joint_probabilities();
-        let (xb, yb) = hist.shape();
-        let mut p = 0.0;
-        for i in 0..xb {
-            for j in 0..yb {
-                let mass = probs[i * yb + j];
-                if mass == 0.0 {
-                    continue;
-                }
-                let (u, v) = hist.bin_center(i, j);
-                p += mass * (-(-area * coeff.g(u, v)).exp_m1());
-            }
-        }
-        p.clamp(0.0, 1.0)
+        block_probability_from_masses(hist, &probs, area, coeff)
     }
 
     /// The joint histogram of block `block_idx` (used by the Fig. 6/7
@@ -228,6 +219,30 @@ impl<'a> StMc<'a> {
     }
 }
 
+/// The integral sum over precomputed joint-bin masses — the shared kernel
+/// of the scalar and batched evaluation paths (same bin order, same
+/// zero-mass skips, so the two are bit-identical).
+fn block_probability_from_masses(
+    hist: &Histogram2d,
+    probs: &[f64],
+    area: f64,
+    coeff: GCoefficients,
+) -> f64 {
+    let (xb, yb) = hist.shape();
+    let mut p = 0.0;
+    for i in 0..xb {
+        for j in 0..yb {
+            let mass = probs[i * yb + j];
+            if mass == 0.0 {
+                continue;
+            }
+            let (u, v) = hist.bin_center(i, j);
+            p += mass * (-(-area * coeff.g(u, v)).exp_m1());
+        }
+    }
+    p.clamp(0.0, 1.0)
+}
+
 impl ReliabilityEngine for StMc<'_> {
     fn name(&self) -> &str {
         "st_MC"
@@ -239,6 +254,59 @@ impl ReliabilityEngine for StMc<'_> {
             total += self.block_failure_probability(j, t_s);
         }
         Ok(total.min(1.0))
+    }
+
+    /// Computes each block's joint-bin masses once for the whole sweep
+    /// (instead of once per `(block, t)` evaluation) and fans the
+    /// `(block × t)` integral sums out over threads as a flat work list;
+    /// per-time block sums run in block order, so the result is
+    /// bit-identical to the scalar loop at any thread count.
+    fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+        let n_t = ts.len();
+        let n_blocks = self.analysis.n_blocks();
+        // Hoisted time-independent per-block data: (histogram, bin masses,
+        // area, α, b).
+        let block_data: Vec<(&Histogram2d, Vec<f64>, f64, f64, f64)> = self
+            .analysis
+            .blocks()
+            .iter()
+            .zip(self.joints.iter())
+            .map(|(block, joint)| {
+                (
+                    &joint.hist,
+                    joint.hist.joint_probabilities(),
+                    block.spec().area(),
+                    block.alpha_s(),
+                    block.b_per_nm(),
+                )
+            })
+            .collect();
+        let eval_one = |idx: usize| -> f64 {
+            let (j, ti) = (idx / n_t, idx % n_t);
+            let (hist, probs, area, alpha_s, b_per_nm) = &block_data[j];
+            let coeff = GCoefficients::at(ts[ti], *alpha_s, *b_per_nm);
+            block_probability_from_masses(hist, probs, *area, coeff)
+        };
+        let n_items = n_blocks * n_t;
+        let per_block_t: Vec<f64> = if n_items < 8 {
+            (0..n_items).map(eval_one).collect()
+        } else {
+            let threads = parallel::resolve_threads(self.threads);
+            parallel::run_indexed(n_items, threads, eval_one)
+        };
+        Ok((0..n_t)
+            .map(|ti| {
+                let mut total = 0.0;
+                for j in 0..n_blocks {
+                    total += per_block_t[j * n_t + ti];
+                }
+                total.min(1.0)
+            })
+            .collect())
+    }
+
+    fn sweep_batch_hint(&self) -> usize {
+        statobd_num::parallel::resolve_threads(self.threads)
     }
 }
 

@@ -4,12 +4,17 @@
 use crate::engines::ReliabilityEngine;
 use crate::{CoreError, Result};
 
-/// Solves `P(t) = p_target` for `t` by bracket expansion plus bisection on
-/// `ln t`.
+/// Solves `P(t) = p_target` for `t` by bracket expansion plus a
+/// multi-section search on `ln t`.
 ///
 /// `bracket = (t_lo, t_hi)` is the initial search interval (seconds); it
-/// is expanded geometrically (up to 60 doublings each way) if the root
-/// lies outside.
+/// is expanded geometrically (up to 60 ×4 steps each way) if the root
+/// lies outside. All probes go through
+/// [`ReliabilityEngine::failure_probabilities`] in batches sized by the
+/// engine's [`ReliabilityEngine::sweep_batch_hint`], so engines with a
+/// large per-call fixed cost (Monte-Carlo histogram sweeps) or an internal
+/// thread fan-out answer several probes per round trip; for hint-1 engines
+/// this degenerates to classic bisection.
 ///
 /// # Errors
 ///
@@ -54,50 +59,91 @@ pub fn solve_lifetime<E: ReliabilityEngine + ?Sized>(
         });
     }
 
-    // Expand until the bracket straddles the target.
-    let mut p_lo = engine.failure_probability(t_lo)?;
-    let mut expansions = 0;
-    while p_lo > p_target {
-        t_lo /= 4.0;
-        p_lo = engine.failure_probability(t_lo)?;
-        expansions += 1;
-        if expansions > 60 {
+    // All probes go through the batched API; the engine's hint says how
+    // many points per call it can absorb at little extra cost (1 = plain
+    // bisection, which minimizes total evaluations for scalar engines).
+    let k = engine.sweep_batch_hint().clamp(1, 32);
+
+    // Expand until the bracket straddles the target, probing a geometric
+    // ladder of up-to-`k` candidates per call (÷4 rungs downward, ×4
+    // upward — the same ×4 steps and 60-expansion cap as the scalar
+    // search). Every failing rung is itself a valid bound, so the
+    // opposite side tightens for free.
+    let mut probes_left = 61usize; // the original bound + 60 expansions
+    let mut t = t_lo;
+    loop {
+        let rungs: Vec<f64> = (0..k.min(probes_left))
+            .map(|i| t / 4f64.powi(i as i32))
+            .collect();
+        let ps = engine.failure_probabilities(&rungs)?;
+        if let Some(i) = ps.iter().position(|&p| p <= p_target) {
+            t_lo = rungs[i];
+            if i > 0 {
+                t_hi = t_hi.min(rungs[i - 1]);
+            }
+            break;
+        }
+        probes_left -= rungs.len();
+        if probes_left == 0 {
             return Err(CoreError::SolveFailed {
                 detail: format!(
-                    "failure probability still {p_lo:.3e} > target {p_target:.3e} at t={t_lo:.3e}"
+                    "failure probability still {:.3e} > target {p_target:.3e} at t={:.3e}",
+                    ps[ps.len() - 1],
+                    rungs[rungs.len() - 1]
                 ),
             });
         }
+        t_hi = t_hi.min(rungs[rungs.len() - 1]);
+        t = rungs[rungs.len() - 1] / 4.0;
     }
-    let mut p_hi = engine.failure_probability(t_hi)?;
-    expansions = 0;
-    while p_hi < p_target {
-        t_hi *= 4.0;
-        p_hi = engine.failure_probability(t_hi)?;
-        expansions += 1;
-        if expansions > 60 {
+    let mut probes_left = 61usize;
+    let mut t = t_hi;
+    loop {
+        let rungs: Vec<f64> = (0..k.min(probes_left))
+            .map(|i| t * 4f64.powi(i as i32))
+            .collect();
+        let ps = engine.failure_probabilities(&rungs)?;
+        if let Some(i) = ps.iter().position(|&p| p >= p_target) {
+            t_hi = rungs[i];
+            if i > 0 {
+                t_lo = t_lo.max(rungs[i - 1]);
+            }
+            break;
+        }
+        probes_left -= rungs.len();
+        if probes_left == 0 {
             return Err(CoreError::SolveFailed {
                 detail: format!(
-                    "failure probability only {p_hi:.3e} < target {p_target:.3e} at t={t_hi:.3e}"
+                    "failure probability only {:.3e} < target {p_target:.3e} at t={:.3e}",
+                    ps[ps.len() - 1],
+                    rungs[rungs.len() - 1]
                 ),
             });
         }
+        t_lo = t_lo.max(rungs[rungs.len() - 1]);
+        t = rungs[rungs.len() - 1] * 4.0;
     }
 
-    // Bisection on ln t.
+    // Multi-section search on ln t: `k` equispaced interior points per
+    // call shrink the bracket by (k+1)× per round (k = 1 is classic
+    // bisection).
     let mut ln_lo = t_lo.ln();
     let mut ln_hi = t_hi.ln();
     for _ in 0..200 {
-        let ln_mid = 0.5 * (ln_lo + ln_hi);
-        let p_mid = engine.failure_probability(ln_mid.exp())?;
-        if p_mid < p_target {
-            ln_lo = ln_mid;
-        } else {
-            ln_hi = ln_mid;
-        }
         if ln_hi - ln_lo < 1e-10 {
             break;
         }
+        let step = (ln_hi - ln_lo) / (k as f64 + 1.0);
+        let mids: Vec<f64> = (1..=k).map(|i| (ln_lo + step * i as f64).exp()).collect();
+        let ps = engine.failure_probabilities(&mids)?;
+        let idx = ps.iter().position(|&p| p >= p_target).unwrap_or(k);
+        let new_hi = if idx == k {
+            ln_hi
+        } else {
+            ln_lo + step * (idx + 1) as f64
+        };
+        ln_lo += step * idx as f64;
+        ln_hi = new_hi;
     }
     Ok((0.5 * (ln_lo + ln_hi)).exp())
 }
@@ -121,12 +167,13 @@ pub fn failure_rate_curve<E: ReliabilityEngine + ?Sized>(
         });
     }
     let ratio = (t_hi / t_lo).ln();
-    (0..n)
-        .map(|i| {
-            let t = t_lo * (ratio * i as f64 / (n - 1) as f64).exp();
-            Ok((t, engine.failure_probability(t)?))
-        })
-        .collect()
+    let ts: Vec<f64> = (0..n)
+        .map(|i| t_lo * (ratio * i as f64 / (n - 1) as f64).exp())
+        .collect();
+    // One batched call: engines amortize their per-sweep state (weight
+    // tables, node sets) over the whole curve.
+    let ps = engine.failure_probabilities(&ts)?;
+    Ok(ts.into_iter().zip(ps).collect())
 }
 
 /// Post-burn-in failure probability: the probability a chip that survived
@@ -157,8 +204,8 @@ pub fn burn_in_failure_probability<E: ReliabilityEngine + ?Sized>(
             detail: format!("durations must be positive, got ({t_burn_s}, {t_service_s})"),
         });
     }
-    let p_burn = engine.failure_probability(t_burn_s)?;
-    let p_total = engine.failure_probability(t_burn_s + t_service_s)?;
+    let ps = engine.failure_probabilities(&[t_burn_s, t_burn_s + t_service_s])?;
+    let (p_burn, p_total) = (ps[0], ps[1]);
     Ok(((p_total - p_burn) / (1.0 - p_burn)).clamp(0.0, 1.0))
 }
 
@@ -194,6 +241,18 @@ pub fn solve_lifetime_after_burn_in<E: ReliabilityEngine + ?Sized>(
             let p_total = self.inner.failure_probability(self.t_burn + t_s)?;
             Ok(((p_total - self.p_burn) / (1.0 - self.p_burn)).clamp(0.0, 1.0))
         }
+        fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
+            let shifted: Vec<f64> = ts.iter().map(|&t| self.t_burn + t).collect();
+            Ok(self
+                .inner
+                .failure_probabilities(&shifted)?
+                .into_iter()
+                .map(|p_total| ((p_total - self.p_burn) / (1.0 - self.p_burn)).clamp(0.0, 1.0))
+                .collect())
+        }
+        fn sweep_batch_hint(&self) -> usize {
+            self.inner.sweep_batch_hint()
+        }
     }
     let p_burn = engine.failure_probability(t_burn_s)?;
     let mut wrapped = BurnIn {
@@ -223,9 +282,8 @@ pub fn fit_rate<E: ReliabilityEngine + ?Sized>(engine: &mut E, t_s: f64) -> Resu
         });
     }
     let h = 0.01;
-    let p_lo = engine.failure_probability(t_s * (1.0 - h))?;
-    let p_hi = engine.failure_probability(t_s * (1.0 + h))?;
-    let p_mid = engine.failure_probability(t_s)?;
+    let ps = engine.failure_probabilities(&[t_s * (1.0 - h), t_s * (1.0 + h), t_s])?;
+    let (p_lo, p_hi, p_mid) = (ps[0], ps[1], ps[2]);
     let dp_dt = (p_hi - p_lo) / (2.0 * h * t_s);
     let hazard_per_s = dp_dt / (1.0 - p_mid).max(f64::MIN_POSITIVE);
     Ok(hazard_per_s * 3600.0 * 1e9)
@@ -257,8 +315,8 @@ pub fn effective_weibull_slope<E: ReliabilityEngine + ?Sized>(
         });
     }
     let ratio = 1.05;
-    let p_lo = engine.failure_probability(t_s / ratio)?;
-    let p_hi = engine.failure_probability(t_s * ratio)?;
+    let ps = engine.failure_probabilities(&[t_s / ratio, t_s * ratio])?;
+    let (p_lo, p_hi) = (ps[0], ps[1]);
     if !(p_lo > 0.0) || !(p_hi > 0.0) || p_hi >= 1.0 {
         return Err(CoreError::SolveFailed {
             detail: format!("failure probability out of range near t = {t_s:e}"),

@@ -262,6 +262,68 @@ pub fn gamma_p_inv(a: f64, p: f64) -> Result<f64> {
     Ok(x)
 }
 
+/// How often [`scaled_exp_grid`] re-anchors the geometric recurrence with
+/// an exact `exp` evaluation.
+const EXP_GRID_RESYNC: usize = 32;
+
+/// Fills `out[k·stride]` for `k in 0..n` with
+/// `scale · exp(rate · (x0 + k·step))` using the geometric recurrence
+/// `w[k+1] = w[k] · exp(rate·step)` — one `exp` per [`EXP_GRID_RESYNC`]
+/// grid points instead of one per point.
+///
+/// The recurrence is re-anchored against multiplicative drift every
+/// [`EXP_GRID_RESYNC`] points, bounding the relative error at
+/// `≈ EXP_GRID_RESYNC · ε ≈ 7e-15` — far below the discretization error
+/// of any histogram the grid weights.
+///
+/// The `stride` parameter lets callers fill interleaved layouts (e.g.
+/// `[bin][time]` weight tables) without a transpose; the same
+/// `(scale, rate, x0, step)` always yields bit-identical values at every
+/// `k` regardless of `stride`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or `out` is too short for `n` strided writes.
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::special::scaled_exp_grid;
+/// let mut w = vec![0.0; 4];
+/// scaled_exp_grid(2.0, 0.5, 1.0, 0.25, 4, &mut w, 1);
+/// assert!((w[0] - 2.0 * (0.5f64).exp()).abs() < 1e-14);
+/// assert!((w[3] - 2.0 * (0.5f64 * 1.75).exp()).abs() < 1e-14);
+/// ```
+pub fn scaled_exp_grid(
+    scale: f64,
+    rate: f64,
+    x0: f64,
+    step: f64,
+    n: usize,
+    out: &mut [f64],
+    stride: usize,
+) {
+    assert!(stride > 0, "stride must be positive");
+    if n == 0 {
+        return;
+    }
+    assert!(
+        out.len() > (n - 1) * stride,
+        "output too short: {} slots for {n} strided writes",
+        out.len()
+    );
+    let ratio = (rate * step).exp();
+    let mut w = 0.0;
+    for k in 0..n {
+        if k % EXP_GRID_RESYNC == 0 {
+            w = scale * (rate * (x0 + k as f64 * step)).exp();
+        } else {
+            w *= ratio;
+        }
+        out[k * stride] = w;
+    }
+}
+
 /// Standard normal cumulative distribution function `Φ(x)`.
 pub fn norm_cdf(x: f64) -> f64 {
     0.5 * erfc(-x / std::f64::consts::SQRT_2)
@@ -345,6 +407,51 @@ mod tests {
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn scaled_exp_grid_matches_direct_exp() {
+        // 400 points spanning many decades of weight: the recurrence must
+        // stay within ~resync·ε of the direct evaluation everywhere.
+        let (scale, rate, x0, step, n) = (3.7e-4, -5.1, 2.05, 7.3e-4, 400);
+        let mut w = vec![0.0; n];
+        scaled_exp_grid(scale, rate, x0, step, n, &mut w, 1);
+        for (k, &got) in w.iter().enumerate() {
+            let exact = scale * (rate * (x0 + k as f64 * step)).exp();
+            assert!(
+                ((got - exact) / exact).abs() < 1e-13,
+                "k={k}: {got:e} vs {exact:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_exp_grid_stride_is_bit_identical_to_dense() {
+        let (scale, rate, x0, step, n) = (1.25, 0.83, -1.0, 0.01, 100);
+        let mut dense = vec![0.0; n];
+        scaled_exp_grid(scale, rate, x0, step, n, &mut dense, 1);
+        let stride = 7;
+        let mut strided = vec![f64::NAN; (n - 1) * stride + 1];
+        scaled_exp_grid(scale, rate, x0, step, n, &mut strided, stride);
+        for k in 0..n {
+            assert_eq!(dense[k].to_bits(), strided[k * stride].to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn scaled_exp_grid_handles_empty_and_single() {
+        let mut none: Vec<f64> = vec![];
+        scaled_exp_grid(1.0, 1.0, 0.0, 1.0, 0, &mut none, 3);
+        let mut one = vec![0.0];
+        scaled_exp_grid(2.0, 0.0, 5.0, 1.0, 1, &mut one, 1);
+        assert_eq!(one[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output too short")]
+    fn scaled_exp_grid_rejects_short_output() {
+        let mut w = vec![0.0; 3];
+        scaled_exp_grid(1.0, 1.0, 0.0, 1.0, 4, &mut w, 1);
     }
 
     #[test]

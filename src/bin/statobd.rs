@@ -18,14 +18,16 @@
 //!   --threads <n>    worker threads for parallel engines (default: the
 //!                    STATOBD_THREADS environment variable, then all cores)
 //!   --mc <n>         also run Monte-Carlo with n chips
+//!   --curve <n>      print an n-point P(t) failure-rate curve around the
+//!                    solved lifetime (one batched engine sweep)
 //!   --tables <path>  export hybrid lookup tables as JSON
 //! ```
 
 use statobd::circuits::{build_design, Benchmark, DesignConfig};
 use statobd::core::{
-    build_engine, effective_weibull_slope, fit_rate, params, solve_lifetime, ChipAnalysis,
-    ChipSpec, EngineKind, EngineSpec, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
-    MonteCarloConfig, StFast, StFastConfig,
+    build_engine, effective_weibull_slope, failure_rate_curve, fit_rate, params, solve_lifetime,
+    ChipAnalysis, ChipSpec, EngineKind, EngineSpec, GuardBand, GuardBandConfig, HybridConfig,
+    HybridTables, MonteCarloConfig, StFast, StFastConfig,
 };
 use statobd::device::ClosedFormTech;
 use statobd::thermal::{kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver};
@@ -40,6 +42,7 @@ struct Options {
     engine: EngineKind,
     threads: Option<usize>,
     mc_chips: Option<usize>,
+    curve_points: Option<usize>,
     tables_out: Option<String>,
 }
 
@@ -53,6 +56,7 @@ impl Default for Options {
             engine: EngineKind::StFast,
             threads: None,
             mc_chips: None,
+            curve_points: None,
             tables_out: None,
         }
     }
@@ -74,7 +78,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--tables path]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
     );
     ExitCode::FAILURE
 }
@@ -138,6 +142,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--mc" => {
                 opts.mc_chips = Some(value("--mc")?.parse().map_err(|e| format!("--mc: {e}"))?)
+            }
+            "--curve" => {
+                opts.curve_points = Some(
+                    value("--curve")?
+                        .parse()
+                        .map_err(|e| format!("--curve: {e}"))?,
+                )
             }
             "--engine" => {
                 let name = value("--engine")?;
@@ -264,6 +275,23 @@ fn analyze_with_model(
             spec.kind(),
             100.0 * ((t_fast - t_mc) / t_mc).abs()
         );
+    }
+
+    if let Some(n) = opts.curve_points {
+        let n = n.max(2);
+        // Two decades either side of the solved lifetime covers the whole
+        // interesting region of the S-curve; one batched sweep.
+        let start = std::time::Instant::now();
+        let curve = failure_rate_curve(primary.as_mut(), t_fast * 1e-2, t_fast * 1e2, n)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "\nP(t) curve, {n} points around the lifetime  [{:.1} ms]:",
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        println!("  {:>12}  {:>10}  {:>12}", "t (s)", "t (yr)", "P(t)");
+        for (t, p) in &curve {
+            println!("  {t:>12.4e}  {:>10.3}  {p:>12.4e}", years(*t));
+        }
     }
 
     if let Some(path) = &opts.tables_out {

@@ -1,0 +1,105 @@
+//! Batched-vs-scalar equivalence: for every engine kind,
+//! `failure_probabilities(ts)` must be **bit-identical** to the scalar
+//! `failure_probability` loop — at any worker-thread count. This is the
+//! contract that lets `solve_lifetime`, `failure_rate_curve` and the
+//! benchmarks route everything through the batched API without changing a
+//! single reported number.
+
+use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::core::{build_engine, ChipAnalysis, EngineKind, EngineSpec, MonteCarloConfig};
+use statobd::device::ClosedFormTech;
+use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+
+fn c1_analysis() -> ChipAnalysis {
+    let built = build_design(
+        Benchmark::C1,
+        &DesignConfig {
+            correlation_grid_side: 8,
+            ..DesignConfig::default()
+        },
+    )
+    .expect("design");
+    let model = ThicknessModelBuilder::new()
+        .grid(built.grid)
+        .nominal(statobd::core::params::NOMINAL_THICKNESS_NM)
+        .budget(
+            VarianceBudget::itrs_2008(statobd::core::params::NOMINAL_THICKNESS_NM).expect("budget"),
+        )
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .build()
+        .expect("model");
+    ChipAnalysis::new(built.spec.clone(), model, &ClosedFormTech::nominal_45nm())
+        .expect("characterization")
+}
+
+/// A small Monte-Carlo configuration keeps the six-engine × three-thread
+/// sweep fast while still exercising the chunked parallel evaluation.
+fn spec_for(kind: EngineKind, threads: usize) -> EngineSpec {
+    let spec = match kind {
+        EngineKind::MonteCarlo => EngineSpec::MonteCarlo(MonteCarloConfig {
+            n_chips: 300,
+            ..Default::default()
+        }),
+        other => other.default_spec(),
+    };
+    spec.with_threads(Some(threads))
+}
+
+#[test]
+fn batched_matches_scalar_loop_for_every_engine_at_any_thread_count() {
+    let analysis = c1_analysis();
+    // Log-spaced sweep wide enough to hit P ~ 0 and P ~ 1 regions, with an
+    // awkward length (not a multiple of any internal chunking).
+    let ts: Vec<f64> = (0..37).map(|i| 10f64.powf(5.0 + i as f64 * 0.2)).collect();
+
+    for kind in EngineKind::ALL {
+        // Scalar reference at one thread.
+        let mut reference = build_engine(&analysis, &spec_for(kind, 1)).expect("engine");
+        let scalar: Vec<f64> = ts
+            .iter()
+            .map(|&t| reference.failure_probability(t).expect("scalar P(t)"))
+            .collect();
+        assert!(
+            scalar.iter().any(|&p| p > 0.0),
+            "{kind}: degenerate scalar curve"
+        );
+
+        for threads in [1usize, 2, 8] {
+            let mut engine = build_engine(&analysis, &spec_for(kind, threads)).expect("engine");
+            let batched = engine.failure_probabilities(&ts).expect("batched P(t)");
+            assert_eq!(batched.len(), ts.len(), "{kind}: wrong batch length");
+            for (i, (&a, &b)) in scalar.iter().zip(&batched).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{kind}: P(t[{i}]) differs at {threads} threads: scalar {a:e} vs batched {b:e}"
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate sweeps must behave: empty input, a single point, and
+/// repeated identical points.
+#[test]
+fn batched_handles_degenerate_sweeps() {
+    let analysis = c1_analysis();
+    for kind in EngineKind::ALL {
+        let mut engine = build_engine(&analysis, &spec_for(kind, 2)).expect("engine");
+        assert!(
+            engine.failure_probabilities(&[]).expect("empty").is_empty(),
+            "{kind}: empty sweep"
+        );
+        let single = engine.failure_probabilities(&[1e9]).expect("single");
+        let scalar = engine.failure_probability(1e9).expect("scalar");
+        assert_eq!(single.len(), 1);
+        assert!(
+            single[0].to_bits() == scalar.to_bits(),
+            "{kind}: single-point batch differs from scalar"
+        );
+        let repeated = engine.failure_probabilities(&[1e9; 5]).expect("repeated");
+        assert!(
+            repeated.iter().all(|p| p.to_bits() == scalar.to_bits()),
+            "{kind}: repeated points differ"
+        );
+    }
+}
