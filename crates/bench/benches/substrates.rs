@@ -4,7 +4,7 @@
 //! (`harness = false`) built on [`statobd_bench::timing`].
 
 use statobd_bench::timing::Group;
-use statobd_num::eigen::SymmetricEigen;
+use statobd_num::eigen::{SpectralOptions, SpectralSolver, SymmetricEigen};
 use statobd_num::matrix::DMatrix;
 use statobd_num::special::{gamma_p, norm_inv_cdf};
 use statobd_thermal::{alpha_ev6_floorplan, alpha_ev6_power, ThermalConfig, ThermalSolver};
@@ -28,14 +28,25 @@ fn bench_pca_model_build() {
     }
 }
 
-fn bench_jacobi_eigen() {
-    let group = Group::new("jacobi_eigen");
-    for n in [32usize, 64, 128] {
+fn bench_spectral_eigen() {
+    let group = Group::new("spectral_eigen");
+    for n in [64usize, 256, 1024] {
         let a = DMatrix::from_fn(n, n, |i, j| {
             (-((i as f64 - j as f64).abs()) / (n as f64 / 4.0)).exp()
         });
-        group.bench(&format!("{n}x{n}"), || {
-            black_box(SymmetricEigen::new(&a).unwrap())
+        // Full-spectrum backends.
+        for solver in [SpectralSolver::Jacobi, SpectralSolver::TridiagonalQl] {
+            let opts = SpectralOptions::full().with_solver(solver).with_threads(1);
+            group.bench(&format!("{}_{n}x{n}", solver.name()), || {
+                black_box(SymmetricEigen::with_options(&a, &opts).unwrap())
+            });
+        }
+        // Top-k path at the default model-construction energy target.
+        let opts = SpectralOptions::energy(0.95)
+            .with_solver(SpectralSolver::Lanczos)
+            .with_threads(1);
+        group.bench(&format!("lanczos_0.95_{n}x{n}"), || {
+            black_box(SymmetricEigen::with_options(&a, &opts).unwrap())
         });
     }
 }
@@ -68,7 +79,7 @@ fn bench_special_functions() {
 
 fn main() {
     bench_pca_model_build();
-    bench_jacobi_eigen();
+    bench_spectral_eigen();
     bench_thermal_solve();
     bench_special_functions();
 }

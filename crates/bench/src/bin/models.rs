@@ -1,0 +1,286 @@
+//! Model-construction benchmark: times `ThicknessModelBuilder` across the
+//! spectral backends (Jacobi reference, Householder+QL full spectrum,
+//! Lanczos top-k) and emits machine-readable `BENCH_models.json` so the
+//! repo accumulates a perf trajectory for the spectral pipeline.
+//!
+//! For each correlation-grid size the runner builds the Table II model
+//! with every requested solver at the full spectrum and at the default
+//! energy target, records the covariance/eigen/truncation wall-time
+//! breakdown from [`statobd_variation::ModelBuildStats`], and verifies
+//! that every solver retained the same component count and produces the
+//! same model covariance.
+//!
+//! ```text
+//! cargo run --release -p statobd-bench --bin models -- \
+//!     [--quick] [--out BENCH_models.json] [--grids 8,16,32] \
+//!     [--threads 1] [--solvers jacobi,tridiagonal_ql,lanczos] \
+//!     [--energy 0.95]
+//! ```
+//!
+//! Defaults measure the algorithmic win at `--threads 1`. Output schema
+//! (one JSON object):
+//!
+//! ```text
+//! { "threads": 1, "energy": 0.95, "rows": [ { "grid_side": 32,
+//!   "n_grids": 1024, "solver": "lanczos", "energy_fraction": 0.95,
+//!   "n_components": ..., "covariance_s": ..., "eigen_s": ...,
+//!   "truncation_s": ..., "total_s": ..., "speedup_vs_jacobi": ...,
+//!   "consistent": true }, ... ] }
+//! ```
+
+use statobd_core::params::NOMINAL_THICKNESS_NM;
+use statobd_num::eigen::{SpectralOptions, SpectralSolver};
+use statobd_num::impl_json_struct;
+use statobd_variation::{
+    CorrelationKernel, GridSpec, ThicknessModel, ThicknessModelBuilder, VarianceBudget,
+};
+
+/// Default energy target for the top-k rows. The exponential kernel has a
+/// flat spectral tail (0.99 of the energy already needs over half the
+/// components), so 0.95 is the regime where truncation genuinely pays.
+const DEFAULT_ENERGY: f64 = 0.95;
+
+/// One measurement: a (grid, solver, energy target) cell.
+#[derive(Debug, Clone)]
+struct ModelRow {
+    grid_side: usize,
+    n_grids: usize,
+    solver: String,
+    energy_fraction: f64,
+    n_components: usize,
+    /// Covariance assembly seconds.
+    covariance_s: f64,
+    /// Eigendecomposition seconds (the dominant cost at scale).
+    eigen_s: f64,
+    /// Loading truncation/scaling seconds.
+    truncation_s: f64,
+    /// Whole model construction.
+    total_s: f64,
+    /// Jacobi total at the same energy target divided by this total
+    /// (0 when no Jacobi baseline ran).
+    speedup_vs_jacobi: f64,
+    /// Whether the model matches the Jacobi-built one (component count and
+    /// probed covariance entries; the run aborts non-zero if any is false).
+    consistent: bool,
+}
+
+impl_json_struct!(ModelRow {
+    grid_side,
+    n_grids,
+    solver,
+    energy_fraction,
+    n_components,
+    covariance_s,
+    eigen_s,
+    truncation_s,
+    total_s,
+    speedup_vs_jacobi,
+    consistent
+});
+
+/// The whole report (`BENCH_models.json`).
+#[derive(Debug, Clone)]
+struct ModelReport {
+    /// Worker threads every decomposition was pinned to (0 = all cores).
+    threads: usize,
+    /// Energy target used for the top-k rows.
+    energy: f64,
+    rows: Vec<ModelRow>,
+}
+
+impl_json_struct!(ModelReport {
+    threads,
+    energy,
+    rows
+});
+
+struct Options {
+    out: String,
+    grids: Vec<usize>,
+    threads: usize,
+    solvers: Vec<SpectralSolver>,
+    energy: f64,
+}
+
+fn parse_solver(name: &str) -> SpectralSolver {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "jacobi" => SpectralSolver::Jacobi,
+        "tridiagonal_ql" | "ql" => SpectralSolver::TridiagonalQl,
+        "lanczos" => SpectralSolver::Lanczos,
+        other => {
+            eprintln!("unknown solver {other:?} (expected jacobi, tridiagonal_ql or lanczos)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        out: "BENCH_models.json".to_string(),
+        grids: vec![8, 16, 32],
+        threads: 1,
+        solvers: vec![
+            SpectralSolver::Jacobi,
+            SpectralSolver::TridiagonalQl,
+            SpectralSolver::Lanczos,
+        ],
+        energy: DEFAULT_ENERGY,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => opts.grids = vec![8, 16],
+            "--out" => opts.out = value("--out"),
+            "--grids" => {
+                opts.grids = value("--grids")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad grid side {s:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    std::process::exit(2);
+                });
+            }
+            "--solvers" => {
+                opts.solvers = value("--solvers").split(',').map(parse_solver).collect();
+            }
+            "--energy" => {
+                opts.energy = value("--energy").parse().unwrap_or_else(|_| {
+                    eprintln!("bad energy fraction");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn build_with(
+    side: usize,
+    spectral: SpectralOptions,
+) -> (ThicknessModel, statobd_variation::ModelBuildStats) {
+    ThicknessModelBuilder::new()
+        .grid(GridSpec::square_unit(side).expect("grid"))
+        .nominal(NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(NOMINAL_THICKNESS_NM).expect("budget"))
+        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+        .spectral(spectral)
+        .build_with_stats()
+        .expect("model builds")
+}
+
+/// Component count plus probed covariance entries must match the Jacobi
+/// reference (the spectral backend must not change the model).
+fn models_agree(model: &ThicknessModel, reference: &ThicknessModel) -> bool {
+    let n = reference.n_grids();
+    if model.n_grids() != n || model.n_components() != reference.n_components() {
+        return false;
+    }
+    let scale = reference.covariance(0, 0).abs().max(1e-300);
+    [(0, 0), (0, n - 1), (n / 3, n / 2), (n - 1, n - 1)]
+        .iter()
+        .all(|&(a, b)| (model.covariance(a, b) - reference.covariance(a, b)).abs() < 1e-6 * scale)
+}
+
+fn main() {
+    let opts = parse_options();
+    let mut rows = Vec::new();
+    let mut all_consistent = true;
+
+    for &side in &opts.grids {
+        let n = side * side;
+        println!("grid {side}x{side} ({n} grids):");
+        // Lanczos computes only the retained components, so a full-spectrum
+        // request would just fall through to the dense path — skip that
+        // redundant cell.
+        let energies = if opts.energy < 1.0 {
+            vec![1.0, opts.energy]
+        } else {
+            vec![1.0]
+        };
+        for &energy in &energies {
+            let mut reference: Option<ThicknessModel> = None;
+            for &solver in &opts.solvers {
+                if solver == SpectralSolver::Lanczos && energy >= 1.0 {
+                    continue;
+                }
+                let spectral = SpectralOptions::energy(energy)
+                    .with_solver(solver)
+                    .with_threads(opts.threads);
+                let (model, stats) = build_with(side, spectral);
+                let consistent = reference
+                    .as_ref()
+                    .map(|r| models_agree(&model, r))
+                    .unwrap_or(true);
+                all_consistent &= consistent;
+                if solver == SpectralSolver::Jacobi {
+                    reference = Some(model);
+                }
+                let baseline = rows
+                    .iter()
+                    .find(|r: &&ModelRow| {
+                        r.grid_side == side && r.solver == "jacobi" && r.energy_fraction == energy
+                    })
+                    .map(|r| r.total_s);
+                let total_s = stats.total_s();
+                let row = ModelRow {
+                    grid_side: side,
+                    n_grids: n,
+                    solver: solver.name().to_string(),
+                    energy_fraction: energy,
+                    n_components: stats.n_components,
+                    covariance_s: stats.covariance_s,
+                    eigen_s: stats.eigen_s,
+                    truncation_s: stats.truncation_s,
+                    total_s,
+                    speedup_vs_jacobi: baseline.map(|b| b / total_s.max(1e-12)).unwrap_or(0.0),
+                    consistent,
+                };
+                println!(
+                    "  {:<14} energy {:<6} k={:<4} cov {:>8.4}s  eigen {:>9.4}s  \
+                     trunc {:>8.4}s  total {:>9.4}s  {:>7.1}x  {}",
+                    row.solver,
+                    row.energy_fraction,
+                    row.n_components,
+                    row.covariance_s,
+                    row.eigen_s,
+                    row.truncation_s,
+                    row.total_s,
+                    row.speedup_vs_jacobi,
+                    if consistent { "ok" } else { "MISMATCH" }
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let report = ModelReport {
+        threads: opts.threads,
+        energy: opts.energy,
+        rows,
+    };
+    std::fs::write(&opts.out, statobd_num::json::to_string_pretty(&report))
+        .expect("report written");
+    println!("wrote {}", opts.out);
+    if !all_consistent {
+        eprintln!("ERROR: a solver produced a model diverging from the Jacobi reference");
+        std::process::exit(1);
+    }
+}

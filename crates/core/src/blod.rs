@@ -26,7 +26,7 @@
 use crate::chip::BlockSpec;
 use crate::Result;
 use statobd_num::dist::{ContinuousDistribution, Gamma, Normal};
-use statobd_num::eigen::SymmetricEigen;
+use statobd_num::eigen::{SpectralOptions, SymmetricEigen};
 use statobd_num::matrix::DMatrix;
 use statobd_variation::ThicknessModel;
 
@@ -223,13 +223,16 @@ impl BlodMoments {
         // zᵀQz = Σ_r (a_rᵀz)². Retained until PROJECTION_ENERGY of tr(Q).
         let mut v_projections = Vec::new();
         if q_trace > 1e-30 {
-            let eig = SymmetricEigen::new(&gram).expect("gram matrix is symmetric");
-            let mut captured = 0.0;
+            // The truncated solve computes only the retained components:
+            // on large blocks the Gram decomposition drops from O(m³) to
+            // O(k·m²).
+            let eig =
+                SymmetricEigen::with_options(&gram, &SpectralOptions::energy(PROJECTION_ENERGY))
+                    .expect("gram matrix is symmetric");
             for (r, &mu) in eig.eigenvalues().iter().enumerate() {
-                if mu <= 0.0 || captured >= PROJECTION_ENERGY * q_trace {
+                if mu <= 0.0 {
                     break;
                 }
-                captured += mu;
                 let y: Vec<f64> = eig.eigenvectors().column(r);
                 // a_r = Fᵀ y_r.
                 let mut a = vec![0.0; n_pc];

@@ -136,6 +136,7 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution
     Err(NumError::NoConvergence {
         iterations: opts.max_iter,
         residual: r_norm / b_norm,
+        dimension: n,
     })
 }
 

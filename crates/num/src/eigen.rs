@@ -1,14 +1,181 @@
-//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//! Symmetric eigendecomposition with a tiered solver backend.
 //!
-//! The spatial-correlation matrices used by the variation model are dense,
-//! symmetric and at most a few hundred rows (one per correlation grid), which
-//! is squarely in the regime where Jacobi is simple, numerically excellent
-//! (it computes small eigenvalues to high relative accuracy — important
-//! because principal components with tiny variance are truncated) and fast
-//! enough.
+//! The spatial-correlation matrices used by the variation model are dense
+//! and symmetric, with sizes ranging from a few dozen rows (coarse grids,
+//! BLOD Gram matrices) to a few thousand (fine grids). No single algorithm
+//! is right across that range, so [`SymmetricEigen`] dispatches between
+//! three backends through [`SpectralOptions`]:
+//!
+//! * **Jacobi** (cyclic / round-robin rotations, in this module) — simple
+//!   and numerically excellent (small eigenvalues to high *relative*
+//!   accuracy), but `O(n³)` per sweep with a large constant. The default
+//!   for small matrices.
+//! * **Tridiagonal QL** ([`crate::tridiag`]) — Householder reduction +
+//!   implicit-shift QL. The full-spectrum workhorse from
+//!   [`SymmetricEigen::JACOBI_MAX_DIM`] upward: same `O(n³)` class but a
+//!   several-fold smaller constant and no sweep-count growth.
+//! * **Lanczos** ([`crate::lanczos`]) — blocked Krylov top-k with full
+//!   reorthogonalization. Used when the caller asks for a truncated
+//!   spectrum (`energy_fraction < 1`) on a large matrix: only the retained
+//!   components are ever computed.
+//!
+//! All three sort eigenvalues descending and agree to solver tolerance, so
+//! consumers can switch freely; the truncation rule is shared
+//! ([`crate::lanczos::filter_full_spectrum`]) so a partial solve retains
+//! exactly the components a full solve + truncate would.
 
+use crate::lanczos::{self, LanczosOptions, StopRule};
 use crate::matrix::DMatrix;
+use crate::tridiag::symmetric_eigen_ql;
 use crate::{NumError, Result};
+
+/// Which algorithm backs a spectral decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpectralSolver {
+    /// Choose automatically from the matrix size and requested truncation:
+    /// Jacobi below [`SymmetricEigen::JACOBI_MAX_DIM`], Lanczos for
+    /// truncated spectra of large matrices, tridiagonal QL otherwise.
+    Auto,
+    /// Cyclic (sequential) or round-robin (parallel) Jacobi rotations.
+    Jacobi,
+    /// Householder tridiagonalization + implicit-shift QL.
+    TridiagonalQl,
+    /// Blocked Lanczos with full reorthogonalization (top-k only).
+    Lanczos,
+}
+
+impl SpectralSolver {
+    /// Stable lower-case name for logs, stats and benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpectralSolver::Auto => "auto",
+            SpectralSolver::Jacobi => "jacobi",
+            SpectralSolver::TridiagonalQl => "tridiagonal_ql",
+            SpectralSolver::Lanczos => "lanczos",
+        }
+    }
+}
+
+/// How much of the spectrum to compute, with which backend, to what
+/// accuracy.
+///
+/// The default ([`SpectralOptions::full`]) reproduces the historical
+/// behaviour of [`SymmetricEigen::new`]: the complete spectrum, solver
+/// chosen by size. [`SpectralOptions::energy`] requests a truncated
+/// decomposition that stops once the retained eigenvalues capture the
+/// given fraction of `trace(A)` — on large matrices this takes the
+/// Lanczos path and never computes the discarded components.
+///
+/// # Example
+///
+/// ```
+/// use statobd_num::matrix::DMatrix;
+/// use statobd_num::eigen::{SpectralOptions, SymmetricEigen};
+///
+/// let a = DMatrix::from_fn(40, 40, |i, j| {
+///     (-((i as f64 - j as f64).abs()) / 4.0).exp()
+/// });
+/// let e = SymmetricEigen::with_options(&a, &SpectralOptions::energy(0.95))?;
+/// assert!(e.n_components() < 40);
+/// let kept: f64 = e.eigenvalues().iter().sum();
+/// assert!(kept >= 0.95 * a.trace());
+/// # Ok::<(), statobd_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralOptions {
+    /// Backend selection ([`SpectralSolver::Auto`] picks by size/truncation).
+    pub solver: SpectralSolver,
+    /// Retain leading eigenpairs until they capture this fraction of
+    /// `trace(A)`; `1.0` keeps the complete spectrum.
+    pub energy_fraction: f64,
+    /// Hard cap on retained components (`None` = no cap).
+    pub max_components: Option<usize>,
+    /// Convergence tolerance, relative to the spectral scale: Jacobi
+    /// off-diagonal norm, or Lanczos Ritz-pair residual.
+    pub tol: f64,
+    /// Worker threads for the parallel kernels (`None` = respect the
+    /// `STATOBD_THREADS` environment override, defaulting to the available
+    /// cores). Results are bit-identical at any thread count.
+    pub threads: Option<usize>,
+}
+
+impl Default for SpectralOptions {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl SpectralOptions {
+    /// Full spectrum, automatic solver — the [`SymmetricEigen::new`]
+    /// behaviour.
+    pub fn full() -> Self {
+        SpectralOptions {
+            solver: SpectralSolver::Auto,
+            energy_fraction: 1.0,
+            max_components: None,
+            tol: SymmetricEigen::DEFAULT_TOL,
+            threads: None,
+        }
+    }
+
+    /// Truncated spectrum capturing `fraction` of the trace energy.
+    pub fn energy(fraction: f64) -> Self {
+        SpectralOptions {
+            energy_fraction: fraction,
+            ..Self::full()
+        }
+    }
+
+    /// Forces a specific solver backend.
+    pub fn with_solver(mut self, solver: SpectralSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the convergence tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Pins the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Caps the number of retained components.
+    pub fn with_max_components(mut self, cap: usize) -> Self {
+        self.max_components = Some(cap);
+        self
+    }
+
+    /// Whether these options request less than the complete spectrum of an
+    /// `n × n` matrix.
+    pub fn wants_partial(&self, n: usize) -> bool {
+        self.energy_fraction < 1.0 || self.max_components.is_some_and(|c| c < n)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.energy_fraction > 0.0 && self.energy_fraction <= 1.0) {
+            return Err(NumError::Domain {
+                detail: format!(
+                    "energy fraction must be in (0, 1], got {}",
+                    self.energy_fraction
+                ),
+            });
+        }
+        if !(self.tol > 0.0 && self.tol.is_finite()) {
+            return Err(NumError::Domain {
+                detail: format!(
+                    "spectral tolerance must be positive and finite, got {}",
+                    self.tol
+                ),
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Result of a symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
 ///
@@ -31,8 +198,13 @@ use crate::{NumError, Result};
 #[derive(Debug, Clone)]
 pub struct SymmetricEigen {
     eigenvalues: Vec<f64>,
-    /// Column `k` is the eigenvector for `eigenvalues[k]`.
+    /// Column `k` is the eigenvector for `eigenvalues[k]`; `n × k` with
+    /// `k ≤ n` for truncated decompositions.
     eigenvectors: DMatrix,
+    /// Rows of the decomposed matrix.
+    dimension: usize,
+    /// Backend that actually ran (never [`SpectralSolver::Auto`]).
+    solver: SpectralSolver,
 }
 
 impl SymmetricEigen {
@@ -43,27 +215,107 @@ impl SymmetricEigen {
     /// Maximum number of Jacobi sweeps before reporting non-convergence.
     pub const MAX_SWEEPS: usize = 64;
 
-    /// Computes the eigendecomposition of a symmetric matrix.
+    /// Below this dimension the auto dispatch keeps cyclic Jacobi (its
+    /// high relative accuracy on tiny spectra is worth the constant); at
+    /// or above it the full spectrum goes to tridiagonal QL.
+    pub const JACOBI_MAX_DIM: usize = 64;
+
+    /// Truncated spectra of matrices at least this large take the Lanczos
+    /// top-k path; smaller ones solve fully and truncate.
+    pub const LANCZOS_MIN_DIM: usize = 128;
+
+    /// Computes the **full** eigendecomposition of a symmetric matrix,
+    /// choosing the solver by size (Jacobi below
+    /// [`Self::JACOBI_MAX_DIM`], tridiagonal QL at or above it).
     ///
     /// # Errors
     ///
     /// * [`NumError::NotSymmetric`] if `a` is not symmetric to `1e-8`
     ///   relative tolerance,
-    /// * [`NumError::NoConvergence`] if the Jacobi sweeps do not converge
-    ///   (does not occur for finite symmetric input in practice).
+    /// * [`NumError::NoConvergence`] if the backend iteration fails (does
+    ///   not occur for finite symmetric input in practice); the error
+    ///   carries the matrix size, the iteration count and the remaining
+    ///   residual.
     pub fn new(a: &DMatrix) -> Result<Self> {
+        Self::with_options(a, &SpectralOptions::full())
+    }
+
+    /// Computes a (possibly truncated) eigendecomposition with explicit
+    /// solver, energy-target and threading control.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::NotSymmetric`] if `a` is not symmetric to `1e-8`
+    ///   relative tolerance,
+    /// * [`NumError::Domain`] if the options are out of range,
+    /// * [`NumError::NoConvergence`] if the backend iteration fails, with
+    ///   the matrix size, iteration count and residual attached.
+    pub fn with_options(a: &DMatrix, opts: &SpectralOptions) -> Result<Self> {
+        opts.validate()?;
         let scale = a.frobenius_norm().max(1.0);
         if !a.is_symmetric(1e-8 * scale) {
             return Err(NumError::NotSymmetric);
         }
-        Self::decompose(a, Self::DEFAULT_TOL)
+        let n = a.nrows();
+        let threads = crate::parallel::resolve_threads(opts.threads);
+        let wants_partial = opts.wants_partial(n);
+        let solver = match opts.solver {
+            SpectralSolver::Auto => {
+                if n < Self::JACOBI_MAX_DIM {
+                    SpectralSolver::Jacobi
+                } else if wants_partial && n >= Self::LANCZOS_MIN_DIM {
+                    SpectralSolver::Lanczos
+                } else {
+                    SpectralSolver::TridiagonalQl
+                }
+            }
+            s => s,
+        };
+
+        let cap = opts.max_components.unwrap_or(n).min(n);
+        let rule = StopRule::EnergyFraction(opts.energy_fraction);
+        let truncate = |vals: Vec<f64>, vecs: DMatrix| -> (Vec<f64>, DMatrix) {
+            if wants_partial {
+                lanczos::filter_full_spectrum(&vals, &vecs, rule, cap)
+            } else {
+                (vals, vecs)
+            }
+        };
+
+        let (eigenvalues, eigenvectors) = match solver {
+            SpectralSolver::Jacobi => {
+                let full = Self::decompose(a, opts.tol, threads)?;
+                truncate(full.eigenvalues, full.eigenvectors)
+            }
+            SpectralSolver::TridiagonalQl => {
+                let (vals, vecs) = symmetric_eigen_ql(a)?;
+                truncate(vals, vecs)
+            }
+            SpectralSolver::Lanczos => {
+                let lopts = LanczosOptions {
+                    rule,
+                    tol: opts.tol,
+                    max_components: opts.max_components,
+                    threads,
+                    ..LanczosOptions::default()
+                };
+                lanczos::top_eigenpairs(a, &lopts)?
+            }
+            SpectralSolver::Auto => unreachable!("Auto resolved above"),
+        };
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+            dimension: n,
+            solver,
+        })
     }
 
     /// Matrices at least this large use the parallel round-robin rotation
     /// ordering; below it the thread fan-out costs more than it saves.
     pub const PARALLEL_MIN_DIM: usize = 64;
 
-    fn decompose(a: &DMatrix, tol: f64) -> Result<Self> {
+    fn decompose(a: &DMatrix, tol: f64, threads: usize) -> Result<Self> {
         let n = a.nrows();
         let mut m = a.clone();
         // Symmetrize exactly so rounding asymmetry cannot accumulate.
@@ -78,7 +330,6 @@ impl SymmetricEigen {
         let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
         let threshold = tol * norm;
 
-        let threads = crate::parallel::resolve_threads(None);
         if n >= Self::PARALLEL_MIN_DIM && threads > 1 {
             Self::sweep_round_robin(&mut m, &mut v, threshold, threads)?;
         } else {
@@ -99,6 +350,8 @@ impl SymmetricEigen {
         Ok(SymmetricEigen {
             eigenvalues,
             eigenvectors,
+            dimension: n,
+            solver: SpectralSolver::Jacobi,
         })
     }
 
@@ -115,6 +368,7 @@ impl SymmetricEigen {
                 return Err(NumError::NoConvergence {
                     iterations: sweeps,
                     residual: off,
+                    dimension: n,
                 });
             }
             sweeps += 1;
@@ -158,6 +412,7 @@ impl SymmetricEigen {
                 return Err(NumError::NoConvergence {
                     iterations: sweeps,
                     residual: off,
+                    dimension: n,
                 });
             }
             sweeps += 1;
@@ -203,21 +458,54 @@ impl SymmetricEigen {
         }
     }
 
-    /// Eigenvalues in descending order.
+    /// Eigenvalues in descending order (the leading `k ≤ n` for truncated
+    /// decompositions).
     pub fn eigenvalues(&self) -> &[f64] {
         &self.eigenvalues
     }
 
-    /// Orthonormal eigenvector matrix; column `k` pairs with eigenvalue `k`.
+    /// Orthonormal eigenvector matrix (`n × k`); column `k` pairs with
+    /// eigenvalue `k`.
     pub fn eigenvectors(&self) -> &DMatrix {
         &self.eigenvectors
     }
 
+    /// Rows of the matrix that was decomposed.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of retained eigenpairs (`== dimension()` for a full
+    /// decomposition).
+    pub fn n_components(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Whether the complete spectrum was retained.
+    pub fn is_full(&self) -> bool {
+        self.n_components() == self.dimension
+    }
+
+    /// The backend that produced this decomposition (never
+    /// [`SpectralSolver::Auto`]).
+    pub fn solver(&self) -> SpectralSolver {
+        self.solver
+    }
+
+    /// Sum of the retained eigenvalues — for a full decomposition this is
+    /// `trace(A)`; for a truncated one, the captured energy.
+    pub fn retained_energy(&self) -> f64 {
+        self.eigenvalues.iter().sum()
+    }
+
     /// Reconstructs `V · diag(λ) · Vᵀ` (used by tests and sanity checks).
+    /// For a truncated decomposition this is the best rank-`k`
+    /// approximation of the original matrix, not the matrix itself.
     pub fn reconstruct(&self) -> DMatrix {
-        let n = self.eigenvalues.len();
+        let n = self.dimension;
+        let k = self.eigenvalues.len();
         DMatrix::from_fn(n, n, |i, j| {
-            (0..n)
+            (0..k)
                 .map(|k| {
                     self.eigenvalues[k] * self.eigenvectors[(i, k)] * self.eigenvectors[(j, k)]
                 })
@@ -381,7 +669,10 @@ mod tests {
             let (xj, yj) = coord(j);
             (-(((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()) / 3.0).exp()
         });
-        let e = SymmetricEigen::new(&a).unwrap();
+        // Force Jacobi: at this size the auto dispatch would pick QL.
+        let opts = SpectralOptions::full().with_solver(SpectralSolver::Jacobi);
+        let e = SymmetricEigen::with_options(&a, &opts).unwrap();
+        assert_eq!(e.solver(), SpectralSolver::Jacobi);
         // Reconstruction, orthonormality, trace, and PSD-ness.
         let r = e.reconstruct();
         for i in 0..n {
@@ -402,6 +693,105 @@ mod tests {
         for &l in e.eigenvalues() {
             assert!(l > -1e-8, "eigenvalue {l} should be non-negative");
         }
+    }
+
+    fn grid_kernel(side: usize, corr: f64) -> DMatrix {
+        let n = side * side;
+        let coord = |k: usize| ((k % side) as f64, (k / side) as f64);
+        DMatrix::from_fn(n, n, |i, j| {
+            let (xi, yi) = coord(i);
+            let (xj, yj) = coord(j);
+            (-(((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()) / corr).exp()
+        })
+    }
+
+    #[test]
+    fn auto_dispatch_picks_by_size_and_truncation() {
+        let small = grid_kernel(4, 2.0); // n = 16
+        let e = SymmetricEigen::new(&small).unwrap();
+        assert_eq!(e.solver(), SpectralSolver::Jacobi);
+        assert!(e.is_full());
+
+        let large = grid_kernel(9, 2.0); // n = 81 ≥ JACOBI_MAX_DIM
+        let e = SymmetricEigen::new(&large).unwrap();
+        assert_eq!(e.solver(), SpectralSolver::TridiagonalQl);
+        assert!(e.is_full());
+        assert_eq!(e.dimension(), 81);
+
+        let huge = grid_kernel(12, 2.0); // n = 144 ≥ LANCZOS_MIN_DIM
+        let e = SymmetricEigen::with_options(&huge, &SpectralOptions::energy(0.95)).unwrap();
+        assert_eq!(e.solver(), SpectralSolver::Lanczos);
+        assert!(!e.is_full());
+        assert!(e.retained_energy() >= 0.95 * huge.trace());
+    }
+
+    #[test]
+    fn solvers_agree_on_the_same_matrix() {
+        let a = grid_kernel(9, 3.0); // n = 81, degenerate pairs included
+        let jac = SymmetricEigen::with_options(
+            &a,
+            &SpectralOptions::full().with_solver(SpectralSolver::Jacobi),
+        )
+        .unwrap();
+        let ql = SymmetricEigen::with_options(
+            &a,
+            &SpectralOptions::full().with_solver(SpectralSolver::TridiagonalQl),
+        )
+        .unwrap();
+        let scale = jac.eigenvalues()[0];
+        for (j, q) in jac.eigenvalues().iter().zip(ql.eigenvalues()) {
+            assert_close(*j, *q, 1e-10 * scale);
+        }
+        // Eigenvectors may differ by sign / degenerate-subspace rotation;
+        // compare the reconstructions instead.
+        let rj = jac.reconstruct();
+        let rq = ql.reconstruct();
+        for (x, y) in rj.as_slice().iter().zip(rq.as_slice()) {
+            assert_close(*x, *y, 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn truncated_decomposition_matches_leading_full_spectrum() {
+        let a = grid_kernel(8, 2.0); // n = 64
+        let full = SymmetricEigen::new(&a).unwrap();
+        for solver in [
+            SpectralSolver::Jacobi,
+            SpectralSolver::TridiagonalQl,
+            SpectralSolver::Lanczos,
+        ] {
+            let part =
+                SymmetricEigen::with_options(&a, &SpectralOptions::energy(0.9).with_solver(solver))
+                    .unwrap();
+            assert!(part.n_components() < 64, "{}", solver.name());
+            assert!(part.retained_energy() >= 0.9 * a.trace());
+            for (p, f) in part.eigenvalues().iter().zip(full.eigenvalues()) {
+                assert_close(*p, *f, 1e-9 * full.eigenvalues()[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn max_components_cap_is_respected() {
+        let a = grid_kernel(6, 2.0);
+        let e = SymmetricEigen::with_options(&a, &SpectralOptions::full().with_max_components(5))
+            .unwrap();
+        assert_eq!(e.n_components(), 5);
+        assert_eq!(e.eigenvectors().ncols(), 5);
+        assert_eq!(e.eigenvectors().nrows(), 36);
+    }
+
+    #[test]
+    fn rejects_invalid_options() {
+        let a = DMatrix::identity(4);
+        assert!(matches!(
+            SymmetricEigen::with_options(&a, &SpectralOptions::energy(0.0)),
+            Err(NumError::Domain { .. })
+        ));
+        assert!(matches!(
+            SymmetricEigen::with_options(&a, &SpectralOptions::full().with_tol(-1.0)),
+            Err(NumError::Domain { .. })
+        ));
     }
 
     #[test]

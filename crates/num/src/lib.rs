@@ -3,8 +3,10 @@
 //! This crate provides the self-contained numerical substrate needed by the
 //! statistical oxide-breakdown reliability analysis:
 //!
-//! * dense linear algebra ([`matrix::DMatrix`], Jacobi symmetric
-//!   eigendecomposition, Cholesky and LU factorizations),
+//! * dense linear algebra ([`matrix::DMatrix`], tiered symmetric
+//!   eigendecomposition — Jacobi, Householder tridiagonalization +
+//!   implicit-shift QL, blocked Lanczos top-k — plus Cholesky and LU
+//!   factorizations),
 //! * sparse matrices and a conjugate-gradient solver (used by the thermal
 //!   simulator),
 //! * special functions (`erf`, `ln_gamma`, regularized incomplete gamma),
@@ -50,6 +52,7 @@ pub mod eigen;
 pub mod hist;
 pub mod interp;
 pub mod json;
+pub mod lanczos;
 pub mod lu;
 pub mod matrix;
 pub mod parallel;
@@ -59,6 +62,7 @@ pub mod rng;
 pub mod sparse;
 pub mod special;
 pub mod stats;
+pub mod tridiag;
 
 pub use matrix::DMatrix;
 
@@ -79,10 +83,13 @@ pub enum NumError {
     NotSymmetric,
     /// An iterative method failed to converge within its iteration budget.
     NoConvergence {
-        /// Number of iterations performed before giving up.
+        /// Number of iterations (or sweeps) performed before giving up.
         iterations: usize,
-        /// Residual (or off-diagonal norm) at the point of failure.
+        /// Residual (or remaining off-diagonal norm) at the point of failure.
         residual: f64,
+        /// Problem size the iteration ran on (matrix dimension, eigenvalue
+        /// count, …) — context for diagnosing which decomposition failed.
+        dimension: usize,
     },
     /// A scalar argument was outside its mathematical domain.
     Domain {
@@ -101,9 +108,11 @@ impl std::fmt::Display for NumError {
             NumError::NoConvergence {
                 iterations,
                 residual,
+                dimension,
             } => write!(
                 f,
-                "iteration failed to converge after {iterations} iterations (residual {residual:.3e})"
+                "iteration failed to converge after {iterations} iterations \
+                 on a size-{dimension} problem (residual {residual:.3e})"
             ),
             NumError::Domain { detail } => write!(f, "domain error: {detail}"),
         }

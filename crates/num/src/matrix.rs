@@ -170,6 +170,99 @@ impl DMatrix {
         y
     }
 
+    /// Matrix–vector product `A·x` written into a caller-provided buffer
+    /// (no allocation — the hot path of the iterative eigensolvers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "output length must equal nrows");
+        for (out, row) in y.iter_mut().zip(self.data.chunks_exact(self.ncols)) {
+            *out = dot(row, x);
+        }
+    }
+
+    /// Rows below this size × cols product run the serial matvec even when
+    /// more threads are available — the fan-out costs more than it saves.
+    const PARALLEL_MATVEC_MIN_FLOPS: usize = 64 * 1024;
+
+    /// Matrix–vector product `A·x` with the rows fanned out over `threads`
+    /// workers.
+    ///
+    /// Each output element is an independent dot product evaluated in index
+    /// order, so the result is **bit-identical at any thread count**. Small
+    /// products fall back to the serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec_parallel(&self, x: &[f64], threads: usize) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        if threads <= 1 || self.nrows * self.ncols < Self::PARALLEL_MATVEC_MIN_FLOPS {
+            self.mul_vec_into(x, &mut y);
+            return y;
+        }
+        // 16 rows per chunk: enough work per item to amortize scheduling,
+        // fixed boundaries so the output never depends on the schedule.
+        let rows_per_chunk = 16;
+        crate::parallel::for_each_chunk_mut(&mut y, rows_per_chunk, threads, |ci, chunk| {
+            let base = ci * rows_per_chunk;
+            for (r, out) in chunk.iter_mut().enumerate() {
+                *out = dot(self.row(base + r), x);
+            }
+        });
+        y
+    }
+
+    /// Matrix–matrix product `A·B` with the rows of the output fanned out
+    /// over `threads` workers (the blocked eigensolver mat-vec kernel).
+    ///
+    /// Row `i` of the output depends only on row `i` of `A`, so the result
+    /// is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if `self.ncols() != other.nrows()`.
+    pub fn mul_parallel(&self, other: &DMatrix, threads: usize) -> Result<DMatrix> {
+        if self.ncols != other.nrows {
+            return Err(NumError::Dimension {
+                detail: format!(
+                    "cannot multiply {}x{} by {}x{}",
+                    self.nrows, self.ncols, other.nrows, other.ncols
+                ),
+            });
+        }
+        let work = self.nrows * self.ncols * other.ncols;
+        if threads <= 1 || work < Self::PARALLEL_MATVEC_MIN_FLOPS {
+            return self.mul(other);
+        }
+        let mut out = DMatrix::zeros(self.nrows, other.ncols);
+        let rows_per_chunk = 8;
+        let out_cols = other.ncols;
+        crate::parallel::for_each_chunk_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * out_cols,
+            threads,
+            |ci, chunk| {
+                for (r, orow) in chunk.chunks_mut(out_cols).enumerate() {
+                    let i = ci * rows_per_chunk + r;
+                    for (k, &aik) in self.row(i).iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        for (o, b) in orow.iter_mut().zip(other.row(k)) {
+                            *o += aik * b;
+                        }
+                    }
+                }
+            },
+        );
+        Ok(out)
+    }
+
     /// Matrix–matrix product `A·B`.
     ///
     /// # Errors
@@ -401,6 +494,36 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[1.0, -1.0], &mut y);
         assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = DMatrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64 * 0.37 - 2.0);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 1.5).collect();
+        let mut y = vec![0.0; 7];
+        a.mul_vec_into(&x, &mut y);
+        assert_eq!(y, a.mul_vec(&x));
+    }
+
+    #[test]
+    fn parallel_products_are_bit_identical_to_serial() {
+        // Large enough to take the parallel path when threads > 1.
+        let n = 300;
+        let a = DMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 9.7 - 5.0);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13) % 29) as f64 - 14.0).collect();
+        let b = DMatrix::from_fn(n, 4, |i, j| ((i * 7 + j * 3) % 23) as f64 - 11.0);
+        let serial_vec = a.mul_vec(&x);
+        let serial_mat = a.mul(&b).unwrap();
+        for threads in [1, 2, 8] {
+            let pv = a.mul_vec_parallel(&x, threads);
+            for (s, p) in serial_vec.iter().zip(&pv) {
+                assert_eq!(s.to_bits(), p.to_bits(), "matvec, threads={threads}");
+            }
+            let pm = a.mul_parallel(&b, threads).unwrap();
+            for (s, p) in serial_mat.as_slice().iter().zip(pm.as_slice()) {
+                assert_eq!(s.to_bits(), p.to_bits(), "matmul, threads={threads}");
+            }
+        }
     }
 
     #[test]

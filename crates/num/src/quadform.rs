@@ -135,6 +135,7 @@ pub fn imhof_cdf(eigenvalues: &[f64], x: f64) -> Result<f64> {
         return Err(NumError::NoConvergence {
             iterations: MAX_PANELS,
             residual: acc,
+            dimension: eigenvalues.len(),
         });
     }
     // Euler transformation: repeatedly average adjacent partial sums.
@@ -172,6 +173,7 @@ pub fn imhof_quantile(eigenvalues: &[f64], p: f64) -> Result<f64> {
             return Err(NumError::NoConvergence {
                 iterations: 0,
                 residual: hi,
+                dimension: eigenvalues.len(),
             });
         }
     }

@@ -1,0 +1,186 @@
+//! Cross-solver spectral consistency: the Householder+QL and Lanczos
+//! backends must reproduce the Jacobi reference on random SPD matrices
+//! with a known, well-separated spectrum (seeded, so failures reproduce
+//! exactly).
+
+use statobd_num::eigen::{SpectralOptions, SpectralSolver, SymmetricEigen};
+use statobd_num::matrix::DMatrix;
+use statobd_num::rng::{Rng, Xoshiro256pp};
+
+/// Random SPD matrix with the well-separated spectrum `((n−i)/n)²`,
+/// `i = 0..n`: a diagonal conjugated by random Givens rotations (which
+/// preserve the spectrum exactly).
+fn random_spd<R: Rng + ?Sized>(rng: &mut R, n: usize) -> DMatrix {
+    let mut a = DMatrix::zeros(n, n);
+    for i in 0..n {
+        let l = (n - i) as f64 / n as f64;
+        a[(i, i)] = l * l;
+    }
+    for _ in 0..4 * n {
+        let i = rng.gen_index(n);
+        let mut j = rng.gen_index(n);
+        if i == j {
+            j = (j + 1) % n;
+        }
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let (s, c) = theta.sin_cos();
+        for k in 0..n {
+            let (ai, aj) = (a[(i, k)], a[(j, k)]);
+            a[(i, k)] = c * ai - s * aj;
+            a[(j, k)] = s * ai + c * aj;
+        }
+        for k in 0..n {
+            let (ai, aj) = (a[(k, i)], a[(k, j)]);
+            a[(k, i)] = c * ai - s * aj;
+            a[(k, j)] = s * ai + c * aj;
+        }
+    }
+    // Rotation arithmetic drifts at ~ε; restore exact symmetry.
+    for i in 0..n {
+        for j in 0..i {
+            let m = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = m;
+            a[(j, i)] = m;
+        }
+    }
+    a
+}
+
+fn solve(a: &DMatrix, opts: &SpectralOptions) -> SymmetricEigen {
+    SymmetricEigen::with_options(a, opts).expect("decomposition")
+}
+
+/// Asserts column `k` of `v` matches column `k` of `reference` entrywise
+/// after sign alignment (eigenvectors are unique only up to sign).
+fn assert_column_matches(v: &DMatrix, reference: &DMatrix, k: usize, tol: f64) {
+    let n = reference.nrows();
+    // Align signs on the reference column's largest-magnitude entry.
+    let pivot = (0..n)
+        .max_by(|&a, &b| {
+            reference[(a, k)]
+                .abs()
+                .partial_cmp(&reference[(b, k)].abs())
+                .unwrap()
+        })
+        .unwrap();
+    let sign = if v[(pivot, k)] * reference[(pivot, k)] < 0.0 {
+        -1.0
+    } else {
+        1.0
+    };
+    for i in 0..n {
+        let d = (sign * v[(i, k)] - reference[(i, k)]).abs();
+        assert!(
+            d < tol,
+            "eigenvector {k} entry {i}: {} vs {} (|Δ| = {d:.3e})",
+            v[(i, k)],
+            reference[(i, k)]
+        );
+    }
+}
+
+/// Cases per size: the Jacobi reference is O(n³) per sweep, so the large
+/// size runs once.
+fn cases_for(n: usize) -> usize {
+    match n {
+        8 => 4,
+        64 => 2,
+        _ => 1,
+    }
+}
+
+#[test]
+fn ql_matches_jacobi_on_random_spd() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51EC);
+    for &n in &[8usize, 64, 256] {
+        for _ in 0..cases_for(n) {
+            let a = random_spd(&mut rng, n);
+            let jac = solve(
+                &a,
+                &SpectralOptions::full().with_solver(SpectralSolver::Jacobi),
+            );
+            let ql = solve(
+                &a,
+                &SpectralOptions::full().with_solver(SpectralSolver::TridiagonalQl),
+            );
+            assert_eq!(ql.n_components(), n);
+            for (k, (l_ql, l_jac)) in ql.eigenvalues().iter().zip(jac.eigenvalues()).enumerate() {
+                // The planted spectrum is ((n−k)/n)²; both solvers must
+                // agree with it and with each other.
+                let planted = ((n - k) as f64 / n as f64).powi(2);
+                assert!(
+                    (l_ql - l_jac).abs() < 1e-10,
+                    "λ[{k}] n={n}: QL {l_ql} vs Jacobi {l_jac}"
+                );
+                assert!((l_ql - planted).abs() < 1e-10, "λ[{k}] n={n} vs planted");
+            }
+            for k in 0..n {
+                assert_column_matches(ql.eigenvectors(), jac.eigenvectors(), k, 1e-8);
+            }
+            // Full-spectrum round trip.
+            let recon = ql.reconstruct();
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (recon[(i, j)] - a[(i, j)]).abs() < 1e-9,
+                        "reconstruct n={n} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lanczos_matches_jacobi_top_components() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1A2C);
+    let energy = 0.9;
+    for &n in &[8usize, 64, 256] {
+        for _ in 0..cases_for(n) {
+            let a = random_spd(&mut rng, n);
+            let jac = solve(
+                &a,
+                &SpectralOptions::full().with_solver(SpectralSolver::Jacobi),
+            );
+            let lan = solve(
+                &a,
+                &SpectralOptions::energy(energy)
+                    .with_solver(SpectralSolver::Lanczos)
+                    .with_tol(1e-13),
+            );
+            let k = lan.n_components();
+            assert!(
+                k > 0 && k < n,
+                "partial solve must truncate (k = {k}, n = {n})"
+            );
+            // The retained energy must meet the target.
+            let trace: f64 = jac.eigenvalues().iter().sum();
+            let kept: f64 = lan.eigenvalues().iter().sum();
+            assert!(kept >= energy * trace * (1.0 - 1e-12));
+            for (i, (l_lan, l_jac)) in lan.eigenvalues().iter().zip(jac.eigenvalues()).enumerate() {
+                assert!(
+                    (l_lan - l_jac).abs() < 1e-10,
+                    "λ[{i}] n={n}: Lanczos {l_lan} vs Jacobi {l_jac}"
+                );
+            }
+            for i in 0..k {
+                assert_column_matches(lan.eigenvectors(), jac.eigenvectors(), i, 1e-8);
+            }
+            // Rank-k round trip: the reconstruction error is exactly the
+            // dropped spectral mass, ‖A − VΛVᵀ‖_F² = Σ_{i≥k} λᵢ².
+            let recon = lan.reconstruct();
+            let mut err2 = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    let d = recon[(i, j)] - a[(i, j)];
+                    err2 += d * d;
+                }
+            }
+            let dropped2: f64 = jac.eigenvalues()[k..].iter().map(|l| l * l).sum();
+            assert!(
+                (err2 - dropped2).abs() < 1e-9 * (1.0 + dropped2),
+                "rank-{k} round trip n={n}: ‖Δ‖² {err2:.6e} vs dropped {dropped2:.6e}"
+            );
+        }
+    }
+}

@@ -13,12 +13,41 @@
 use crate::{
     CorrelationKernel, GridSpec, Result, SystematicPattern, VarianceBudget, VariationError,
 };
-use statobd_num::eigen::SymmetricEigen;
+use statobd_num::eigen::{SpectralOptions, SpectralSolver, SymmetricEigen};
 use statobd_num::matrix::DMatrix;
+use std::time::Instant;
 
 /// Relative eigenvalue floor: components with `λ < EIG_FLOOR · λ_max` are
 /// treated as numerically zero and dropped.
 const EIG_FLOOR: f64 = 1e-12;
+
+/// Wall-clock breakdown of one model construction (see
+/// [`ThicknessModelBuilder::build_with_stats`]): covariance assembly,
+/// eigendecomposition, and loading truncation/scaling, plus what the
+/// spectral stage produced. The timings are measured, so they vary
+/// run-to-run; the structural fields are deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelBuildStats {
+    /// Correlation-grid count `n` (the covariance is `n × n`).
+    pub n_grids: usize,
+    /// Principal components retained by the truncation.
+    pub n_components: usize,
+    /// Eigensolver backend that actually ran.
+    pub solver: SpectralSolver,
+    /// Seconds spent assembling the grid covariance matrix.
+    pub covariance_s: f64,
+    /// Seconds spent in the (possibly truncated) eigendecomposition.
+    pub eigen_s: f64,
+    /// Seconds spent selecting components and scaling the loadings.
+    pub truncation_s: f64,
+}
+
+impl ModelBuildStats {
+    /// Total build time across the three stages.
+    pub fn total_s(&self) -> f64 {
+        self.covariance_s + self.eigen_s + self.truncation_s
+    }
+}
 
 /// The canonical-form thickness variation model (paper eq. 2).
 ///
@@ -152,7 +181,9 @@ impl ThicknessModel {
     /// matrix (e.g. extracted from silicon, or from a quad-tree model).
     ///
     /// `covariance` must be the full correlated covariance (global +
-    /// spatial), `n_grids × n_grids`.
+    /// spatial), `n_grids × n_grids`. The eigensolver is chosen
+    /// automatically; use [`ThicknessModel::from_covariance_with`] to pin
+    /// it.
     ///
     /// # Errors
     ///
@@ -169,6 +200,60 @@ impl ThicknessModel {
         kernel: CorrelationKernel,
         energy_fraction: f64,
     ) -> Result<Self> {
+        Self::from_covariance_with(
+            grid,
+            nominal,
+            covariance,
+            sigma_ind,
+            budget,
+            kernel,
+            &SpectralOptions::energy(energy_fraction),
+        )
+    }
+
+    /// As [`ThicknessModel::from_covariance`], but with full control over
+    /// the spectral stage: solver backend, energy target, component cap,
+    /// tolerance and threading (see [`SpectralOptions`]).
+    ///
+    /// With `energy_fraction < 1` on a large grid the decomposition takes
+    /// the Lanczos top-k path and only the retained components are ever
+    /// computed — the dominant cost of model construction drops from
+    /// `O(n³)` to `O(k·n²)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ThicknessModel::from_covariance`]. Note that a truncated
+    /// (partial-spectrum) solve cannot observe the smallest eigenvalue, so
+    /// indefiniteness beyond what the trace reveals goes undetected —
+    /// repair measured covariances first (see
+    /// [`crate::extraction::nearest_psd`]).
+    pub fn from_covariance_with(
+        grid: GridSpec,
+        nominal: Vec<f64>,
+        covariance: &DMatrix,
+        sigma_ind: f64,
+        budget: VarianceBudget,
+        kernel: CorrelationKernel,
+        spectral: &SpectralOptions,
+    ) -> Result<Self> {
+        Self::decompose_covariance(
+            grid, nominal, covariance, sigma_ind, budget, kernel, spectral,
+        )
+        .map(|(model, _, _)| model)
+    }
+
+    /// Shared core: eigendecompose, validate, truncate, scale loadings.
+    /// Returns the model plus the solver used and the `(eigen, truncation)`
+    /// stage timings for [`ThicknessModelBuilder::build_with_stats`].
+    fn decompose_covariance(
+        grid: GridSpec,
+        nominal: Vec<f64>,
+        covariance: &DMatrix,
+        sigma_ind: f64,
+        budget: VarianceBudget,
+        kernel: CorrelationKernel,
+        spectral: &SpectralOptions,
+    ) -> Result<(Self, SpectralSolver, (f64, f64))> {
         let n = grid.n_grids();
         if covariance.nrows() != n || covariance.ncols() != n {
             return Err(VariationError::InvalidParameter {
@@ -190,26 +275,44 @@ impl ThicknessModel {
                 detail: format!("sigma_ind must be non-negative, got {sigma_ind}"),
             });
         }
+        let energy_fraction = spectral.energy_fraction;
         if !(0.0 < energy_fraction && energy_fraction <= 1.0) {
             return Err(VariationError::InvalidParameter {
                 detail: format!("energy_fraction must be in (0, 1], got {energy_fraction}"),
             });
         }
 
-        let eig = SymmetricEigen::new(covariance)?;
+        let eigen_start = Instant::now();
+        let eig = SymmetricEigen::with_options(covariance, spectral)?;
+        let eigen_s = eigen_start.elapsed().as_secs_f64();
+
+        let truncation_start = Instant::now();
         let eigenvalues = eig.eigenvalues();
         let lambda_max = eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
-        if let Some(&min) = eigenvalues.last() {
-            if min < -1e-8 * lambda_max.max(1.0) {
-                return Err(VariationError::InvalidCovariance {
-                    min_eigenvalue: min,
-                });
+        if eig.is_full() {
+            if let Some(&min) = eigenvalues.last() {
+                if min < -1e-8 * lambda_max.max(1.0) {
+                    return Err(VariationError::InvalidCovariance {
+                        min_eigenvalue: min,
+                    });
+                }
             }
+        } else if covariance.trace() < -1e-8 * lambda_max.max(1.0) {
+            // The partial spectrum cannot see the smallest eigenvalue; a
+            // negative trace is the one indefiniteness signal still
+            // available.
+            return Err(VariationError::InvalidCovariance {
+                min_eigenvalue: covariance.trace(),
+            });
         }
 
         // Retain components: positive eigenvalues up to the requested
-        // cumulative energy fraction.
-        let total_energy: f64 = eigenvalues.iter().filter(|&&l| l > 0.0).sum();
+        // cumulative energy fraction. The total energy is the trace — for
+        // a PSD covariance that equals the positive-eigenvalue sum, and
+        // using the trace keeps the selection identical whether the
+        // spectrum arrived complete (Jacobi/QL) or already truncated at
+        // the same target (Lanczos).
+        let total_energy = covariance.trace();
         let mut kept = 0;
         let mut cum = 0.0;
         for &l in eigenvalues {
@@ -221,6 +324,10 @@ impl ThicknessModel {
             cum += l;
             kept += 1;
         }
+        // Symmetric grids have exactly repeated eigenvalues; never cut
+        // inside such a cluster or the retained subspace (and hence the
+        // model covariance) would depend on the solver backend.
+        kept = statobd_num::lanczos::extend_over_cluster(eigenvalues, kept, eigenvalues.len());
         // Degenerate case: a zero covariance (pure-independent budget).
         let loadings = if kept == 0 {
             DMatrix::zeros(n, 0)
@@ -228,15 +335,17 @@ impl ThicknessModel {
             let v = eig.eigenvectors();
             DMatrix::from_fn(n, kept, |g, k| v[(g, k)] * eigenvalues[k].sqrt())
         };
+        let truncation_s = truncation_start.elapsed().as_secs_f64();
 
-        Ok(ThicknessModel {
+        let model = ThicknessModel {
             grid,
             nominal,
             loadings,
             sigma_ind,
             budget,
             kernel,
-        })
+        };
+        Ok((model, eig.solver(), (eigen_s, truncation_s)))
     }
 }
 
@@ -268,7 +377,7 @@ pub struct ThicknessModelBuilder {
     budget: Option<VarianceBudget>,
     kernel: Option<CorrelationKernel>,
     systematic: SystematicPattern,
-    energy_fraction: f64,
+    spectral: SpectralOptions,
 }
 
 impl Default for ThicknessModelBuilder {
@@ -287,7 +396,7 @@ impl ThicknessModelBuilder {
             budget: None,
             kernel: None,
             systematic: SystematicPattern::None,
-            energy_fraction: 1.0,
+            spectral: SpectralOptions::full(),
         }
     }
 
@@ -322,9 +431,18 @@ impl ThicknessModelBuilder {
     }
 
     /// Sets the PCA energy fraction to retain (optional; default 1.0 keeps
-    /// every numerically positive component).
+    /// every numerically positive component). Fractions below 1 on a large
+    /// grid route the decomposition onto the Lanczos top-k path.
     pub fn energy_fraction(mut self, fraction: f64) -> Self {
-        self.energy_fraction = fraction;
+        self.spectral.energy_fraction = fraction;
+        self
+    }
+
+    /// Sets the full spectral configuration — solver backend, energy
+    /// target, component cap, tolerance, threading (optional; default
+    /// full spectrum with automatic solver).
+    pub fn spectral(mut self, spectral: SpectralOptions) -> Self {
+        self.spectral = spectral;
         self
     }
 
@@ -338,6 +456,18 @@ impl ThicknessModelBuilder {
     ///   indefinite covariance,
     /// * [`VariationError::Numerical`] on eigendecomposition failure.
     pub fn build(self) -> Result<ThicknessModel> {
+        self.build_with_stats().map(|(model, _)| model)
+    }
+
+    /// As [`ThicknessModelBuilder::build`], additionally returning a
+    /// wall-clock breakdown of the three construction stages (covariance
+    /// assembly, eigendecomposition, truncation) — the numbers behind the
+    /// `statobd bench --timings` report and the `models` benchmark.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ThicknessModelBuilder::build`].
+    pub fn build_with_stats(self) -> Result<(ThicknessModel, ModelBuildStats)> {
         let grid = self.grid.ok_or_else(|| VariationError::InvalidParameter {
             detail: "grid is required".to_string(),
         })?;
@@ -371,10 +501,12 @@ impl ThicknessModelBuilder {
         let var_g = budget.sigma_global().powi(2);
         let var_s = budget.sigma_spatial().powi(2);
         let dim = grid.max_dimension();
+        let covariance_start = Instant::now();
         let cov = DMatrix::from_fn(n, n, |i, j| {
             let d = grid.distance(i, j);
             var_g + var_s * kernel.correlation(d, dim)
         });
+        let covariance_s = covariance_start.elapsed().as_secs_f64();
 
         let nominal: Vec<f64> = (0..n)
             .map(|g| {
@@ -383,15 +515,24 @@ impl ThicknessModelBuilder {
             })
             .collect();
 
-        ThicknessModel::from_covariance(
+        let (model, solver, (eigen_s, truncation_s)) = ThicknessModel::decompose_covariance(
             grid,
             nominal,
             &cov,
             budget.sigma_independent(),
             budget,
             kernel,
-            self.energy_fraction,
-        )
+            &self.spectral,
+        )?;
+        let stats = ModelBuildStats {
+            n_grids: n,
+            n_components: model.n_components(),
+            solver,
+            covariance_s,
+            eigen_s,
+            truncation_s,
+        };
+        Ok((model, stats))
     }
 }
 
@@ -539,6 +680,56 @@ mod tests {
             .is_err());
         assert!(base().nominal(2.2).energy_fraction(0.0).build().is_err());
         assert!(base().nominal(2.2).energy_fraction(1.5).build().is_err());
+    }
+
+    #[test]
+    fn build_with_stats_reports_the_breakdown() {
+        let (model, stats) = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(8).unwrap())
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build_with_stats()
+            .unwrap();
+        assert_eq!(stats.n_grids, 64);
+        assert_eq!(stats.n_components, model.n_components());
+        // n = 64 ≥ JACOBI_MAX_DIM, full spectrum → tridiagonal QL.
+        assert_eq!(stats.solver, SpectralSolver::TridiagonalQl);
+        assert!(stats.covariance_s >= 0.0);
+        assert!(stats.eigen_s >= 0.0);
+        assert!(stats.truncation_s >= 0.0);
+        assert!(stats.total_s() >= stats.eigen_s);
+    }
+
+    #[test]
+    fn solver_choice_does_not_change_the_model() {
+        let build = |spectral: SpectralOptions| {
+            ThicknessModelBuilder::new()
+                .grid(GridSpec::square_unit(8).unwrap())
+                .nominal(2.2)
+                .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+                .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+                .spectral(spectral)
+                .build()
+                .unwrap()
+        };
+        // The exponential kernel has a flat spectral tail: on the 8x8 grid
+        // 0.95 of the energy sits in the leading ~30 components, while
+        // 0.9999 would need essentially all 64.
+        let energy = 0.95;
+        let jac = build(SpectralOptions::energy(energy).with_solver(SpectralSolver::Jacobi));
+        let ql = build(SpectralOptions::energy(energy).with_solver(SpectralSolver::TridiagonalQl));
+        let lan = build(SpectralOptions::energy(energy).with_solver(SpectralSolver::Lanczos));
+        assert_eq!(jac.n_components(), ql.n_components());
+        assert_eq!(jac.n_components(), lan.n_components());
+        assert!(jac.n_components() < 64, "energy target should truncate");
+        // The loadings differ by sign / degenerate rotation, but the
+        // covariance they span is the same model.
+        let scale = jac.covariance(0, 0);
+        for &(a, b) in &[(0usize, 0usize), (0, 63), (9, 40), (21, 21)] {
+            assert!((jac.covariance(a, b) - ql.covariance(a, b)).abs() < 1e-10 * scale);
+            assert!((jac.covariance(a, b) - lan.covariance(a, b)).abs() < 1e-8 * scale);
+        }
     }
 
     #[test]

@@ -16,10 +16,24 @@
 //!
 //! producing a covariance directly usable by
 //! [`crate::ThicknessModel::from_covariance`].
+//!
+//! The projection itself is tiered like the rest of the spectral pipeline:
+//! small matrices clip the full spectrum, large ones extract only the
+//! negative eigenpairs (Lanczos on `−A`) and add the rank-`m` repair
+//! `A + Σ (−λᵢ)·vᵢvᵢᵀ` — the identical Frobenius-nearest projection
+//! without ever resolving the (large, already valid) positive spectrum.
 
 use crate::{Result, VariationError};
-use statobd_num::eigen::SymmetricEigen;
+use statobd_num::eigen::{SpectralOptions, SpectralSolver, SymmetricEigen};
+use statobd_num::lanczos::negative_eigenpairs;
 use statobd_num::matrix::DMatrix;
+use statobd_num::parallel::resolve_threads;
+
+/// Relative floor for the partial repair: negative eigenvalues with
+/// magnitude below `REPAIR_FLOOR · ‖A‖_F` are round-off, not structure,
+/// and are left in place (the model builder tolerates them, as does the
+/// full clipping path's `-1e-8` covariance check).
+const REPAIR_FLOOR: f64 = 1e-12;
 
 /// Result of a covariance extraction.
 #[derive(Debug, Clone)]
@@ -137,11 +151,79 @@ pub fn extract_covariance(samples: &[Vec<f64>], noise_variance: f64) -> Result<E
 /// semidefinite matrix by clipping negative eigenvalues, returning the
 /// projection and the most negative raw eigenvalue.
 ///
+/// The solver is chosen by size: large matrices take the partial
+/// negative-spectrum repair (see [`nearest_psd_with`]), small ones clip
+/// the full spectrum.
+///
 /// # Errors
 ///
 /// Propagates eigendecomposition failures for non-symmetric input.
 pub fn nearest_psd(m: &DMatrix) -> Result<(DMatrix, f64)> {
-    let eig = SymmetricEigen::new(m)?;
+    nearest_psd_with(m, &SpectralOptions::full())
+}
+
+/// As [`nearest_psd`], with explicit control over the spectral stage.
+///
+/// With the Lanczos backend (forced, or chosen by the auto dispatch for
+/// `n ≥` [`SymmetricEigen::LANCZOS_MIN_DIM`]) only the eigenpairs with
+/// `λ < −1e-12·‖A‖_F` (the repair floor) are extracted and repaired in
+/// place:
+/// `A ← A + Σ (−λᵢ)·vᵢvᵢᵀ`. For a near-PSD measured covariance that is a
+/// handful of pairs instead of a full `O(n³)` decomposition. On the
+/// partial path the reported "most negative eigenvalue" is `0.0` when no
+/// eigenvalue lies below the floor.
+///
+/// # Errors
+///
+/// Propagates eigendecomposition failures for non-symmetric input.
+pub fn nearest_psd_with(m: &DMatrix, spectral: &SpectralOptions) -> Result<(DMatrix, f64)> {
+    let n = m.nrows();
+    let solver = match spectral.solver {
+        SpectralSolver::Auto => {
+            if n >= SymmetricEigen::LANCZOS_MIN_DIM {
+                // Negative-spectrum extraction is a top-k problem on −A,
+                // so size alone decides — no energy fraction involved.
+                SpectralSolver::Lanczos
+            } else if n < SymmetricEigen::JACOBI_MAX_DIM {
+                SpectralSolver::Jacobi
+            } else {
+                SpectralSolver::TridiagonalQl
+            }
+        }
+        s => s,
+    };
+
+    if solver == SpectralSolver::Lanczos {
+        let threads = resolve_threads(spectral.threads);
+        let threshold = REPAIR_FLOOR * m.frobenius_norm();
+        let (neg_vals, neg_vecs) = negative_eigenpairs(m, threshold, threads)?;
+        let min_raw = neg_vals.first().copied().unwrap_or(0.0);
+        if neg_vals.is_empty() {
+            return Ok((m.clone(), min_raw));
+        }
+        let mut out = m.clone();
+        for (k, &l) in neg_vals.iter().enumerate() {
+            let v = neg_vecs.column(k);
+            let c = -l; // positive: lift the negative direction to zero
+            for (i, &vi) in v.iter().enumerate() {
+                let row = out.row_mut(i);
+                for (entry, &vj) in row.iter_mut().zip(&v) {
+                    *entry += c * vi * vj;
+                }
+            }
+        }
+        return Ok((out, min_raw));
+    }
+
+    // Full-spectrum clip; the projection needs every eigenpair, so any
+    // truncation in `spectral` is overridden here.
+    let full = SpectralOptions {
+        energy_fraction: 1.0,
+        max_components: None,
+        solver,
+        ..*spectral
+    };
+    let eig = SymmetricEigen::with_options(m, &full)?;
     let min_raw = eig
         .eigenvalues()
         .iter()
@@ -150,7 +232,6 @@ pub fn nearest_psd(m: &DMatrix) -> Result<(DMatrix, f64)> {
     if min_raw >= 0.0 {
         return Ok((m.clone(), min_raw));
     }
-    let n = m.nrows();
     let v = eig.eigenvectors();
     let clipped = DMatrix::from_fn(n, n, |i, j| {
         (0..n)
@@ -271,6 +352,80 @@ mod tests {
         let (same, min2) = nearest_psd(&ok).unwrap();
         assert!(min2 > 0.0);
         assert_eq!(same, ok);
+    }
+
+    #[test]
+    fn psd_repair_paths_agree_on_near_psd_measured_covariance() {
+        // The measured-covariance failure mode: a valid model covariance
+        // whose noise floor was over-subtracted, pushing the smallest few
+        // eigenvalues slightly negative. Both projection paths — full
+        // clip (QL) and partial negative-spectrum repair (Lanczos) — must
+        // return the same Frobenius-nearest PSD matrix.
+        let model = ThicknessModelBuilder::new()
+            .grid(GridSpec::square_unit(12).unwrap()) // n = 144 ≥ Lanczos floor
+            .nominal(2.2)
+            .budget(VarianceBudget::itrs_2008(2.2).unwrap())
+            .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
+            .build()
+            .unwrap();
+        let n = model.n_grids();
+        let cov = DMatrix::from_fn(n, n, |i, j| model.covariance(i, j));
+        let spectrum = SymmetricEigen::new(&cov).unwrap();
+        // Subtract the third-smallest eigenvalue from the diagonal: the
+        // two smallest go slightly negative, everything else stays PSD.
+        let over_subtraction = spectrum.eigenvalues()[n - 3] * (1.0 + 1e-9);
+        let near_psd = DMatrix::from_fn(n, n, |i, j| {
+            cov[(i, j)] - if i == j { over_subtraction } else { 0.0 }
+        });
+        let expected_min = spectrum.eigenvalues()[n - 1] - over_subtraction;
+
+        let (full_clip, full_min) = nearest_psd_with(
+            &near_psd,
+            &SpectralOptions::full().with_solver(SpectralSolver::TridiagonalQl),
+        )
+        .unwrap();
+        let (partial, partial_min) = nearest_psd_with(
+            &near_psd,
+            &SpectralOptions::full().with_solver(SpectralSolver::Lanczos),
+        )
+        .unwrap();
+        // `nearest_psd` auto-dispatch takes the partial path at this size.
+        let (auto, _) = nearest_psd(&near_psd).unwrap();
+
+        let lambda_max = spectrum.eigenvalues()[0];
+        assert!((full_min - expected_min).abs() < 1e-10 * lambda_max);
+        assert!((partial_min - expected_min).abs() < 1e-8 * lambda_max);
+        assert!(full_min < 0.0 && partial_min < 0.0);
+
+        // Both projections are PSD.
+        for m in [&full_clip, &partial] {
+            let eig = SymmetricEigen::new(m).unwrap();
+            assert!(*eig.eigenvalues().last().unwrap() > -1e-10 * lambda_max);
+        }
+        // Frobenius-closest: the projection distance equals the clipped
+        // negative mass, √(Σ λ_neg²).
+        let clipped_mass: f64 = spectrum
+            .eigenvalues()
+            .iter()
+            .map(|&l| l - over_subtraction)
+            .filter(|&l| l < 0.0)
+            .map(|l| l * l)
+            .sum::<f64>()
+            .sqrt();
+        for m in [&full_clip, &partial] {
+            let mut diff = 0.0;
+            for (x, y) in m.as_slice().iter().zip(near_psd.as_slice()) {
+                diff += (x - y) * (x - y);
+            }
+            assert!((diff.sqrt() - clipped_mass).abs() < 1e-8 * lambda_max);
+        }
+        // The two paths (and the auto dispatch) agree entrywise.
+        for (x, y) in full_clip.as_slice().iter().zip(partial.as_slice()) {
+            assert!((x - y).abs() < 1e-8 * lambda_max, "{x} vs {y}");
+        }
+        for (x, y) in auto.as_slice().iter().zip(partial.as_slice()) {
+            assert!((x - y).abs() < 1e-12 * lambda_max);
+        }
     }
 
     #[test]

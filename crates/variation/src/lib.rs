@@ -52,8 +52,8 @@ mod sampling;
 mod systematic;
 
 pub use budget::VarianceBudget;
-pub use canonical::{ThicknessModel, ThicknessModelBuilder};
-pub use extraction::{extract_covariance, nearest_psd, ExtractedModel};
+pub use canonical::{ModelBuildStats, ThicknessModel, ThicknessModelBuilder};
+pub use extraction::{extract_covariance, nearest_psd, nearest_psd_with, ExtractedModel};
 pub use grid::GridSpec;
 pub use kernel::CorrelationKernel;
 pub use quadtree::QuadTreeModel;

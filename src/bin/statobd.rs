@@ -18,6 +18,9 @@
 //!   --threads <n>    worker threads for parallel engines (default: the
 //!                    STATOBD_THREADS environment variable, then all cores)
 //!   --mc <n>         also run Monte-Carlo with n chips
+//!   --timings        print the model-construction timing breakdown
+//!                    (covariance assembly / eigendecomposition /
+//!                    truncation) and which spectral solver ran
 //!   --curve <n>      print an n-point P(t) failure-rate curve around the
 //!                    solved lifetime (one batched engine sweep)
 //!   --tables <path>  export hybrid lookup tables as JSON
@@ -44,6 +47,7 @@ struct Options {
     mc_chips: Option<usize>,
     curve_points: Option<usize>,
     tables_out: Option<String>,
+    timings: bool,
 }
 
 impl Default for Options {
@@ -58,6 +62,7 @@ impl Default for Options {
             mc_chips: None,
             curve_points: None,
             tables_out: None,
+            timings: false,
         }
     }
 }
@@ -78,7 +83,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
     );
     ExitCode::FAILURE
 }
@@ -163,6 +168,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--tables" => opts.tables_out = Some(value("--tables")?),
+            "--timings" => opts.timings = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -198,17 +204,43 @@ fn template(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn report(spec: ChipSpec, opts: &Options) -> Result<(), String> {
-    let grid = GridSpec::square_unit(opts.grid).map_err(|e| e.to_string())?;
-    let model = ThicknessModelBuilder::new()
+/// Builds the thickness model over `grid`; with `--timings` the
+/// construction goes through [`ThicknessModelBuilder::build_with_stats`]
+/// and the covariance/eigen/truncation wall-time breakdown is printed.
+fn build_thickness_model(
+    grid: GridSpec,
+    opts: &Options,
+) -> Result<statobd::variation::ThicknessModel, String> {
+    let builder = ThicknessModelBuilder::new()
         .grid(grid)
         .nominal(params::NOMINAL_THICKNESS_NM)
         .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM).map_err(|e| e.to_string())?)
         .kernel(CorrelationKernel::Exponential {
             rel_distance: opts.rho,
-        })
-        .build()
-        .map_err(|e| e.to_string())?;
+        });
+    if !opts.timings {
+        return builder.build().map_err(|e| e.to_string());
+    }
+    let (model, stats) = builder.build_with_stats().map_err(|e| e.to_string())?;
+    println!(
+        "model construction: {} grids -> {} components [{}]",
+        stats.n_grids,
+        stats.n_components,
+        stats.solver.name()
+    );
+    println!(
+        "  covariance {:.4} s  eigen {:.4} s  truncation {:.4} s  total {:.4} s",
+        stats.covariance_s,
+        stats.eigen_s,
+        stats.truncation_s,
+        stats.total_s()
+    );
+    Ok(model)
+}
+
+fn report(spec: ChipSpec, opts: &Options) -> Result<(), String> {
+    let grid = GridSpec::square_unit(opts.grid).map_err(|e| e.to_string())?;
+    let model = build_thickness_model(grid, opts)?;
     analyze_with_model(spec, model, opts)
 }
 
@@ -384,18 +416,7 @@ fn main() -> ExitCode {
                     build_design(bench, &config)
                         .map_err(|e| e.to_string())
                         .and_then(|built| {
-                            let model = ThicknessModelBuilder::new()
-                                .grid(built.grid)
-                                .nominal(params::NOMINAL_THICKNESS_NM)
-                                .budget(
-                                    VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)
-                                        .map_err(|e| e.to_string())?,
-                                )
-                                .kernel(CorrelationKernel::Exponential {
-                                    rel_distance: opts.rho,
-                                })
-                                .build()
-                                .map_err(|e| e.to_string())?;
+                            let model = build_thickness_model(built.grid, &opts)?;
                             analyze_with_model(built.spec, model, &opts)
                         })
                 }
