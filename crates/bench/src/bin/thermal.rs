@@ -1,0 +1,361 @@
+//! Thermal linear-algebra benchmark: times the steady-state solve, the
+//! leakage fixed point (warm vs cold start) and the transient stepper
+//! across the linear-solver tiers (plain CG, Jacobi-PCG, IC(0)-PCG,
+//! MGCG) on the Alpha EV6 reference profile, and emits machine-readable
+//! `BENCH_thermal.json` so the repo accumulates a perf trajectory for the
+//! thermal fast path.
+//!
+//! ```text
+//! cargo run --release -p statobd-bench --bin thermal -- \
+//!     [--quick] [--out BENCH_thermal.json] [--grids 64,128,256,512] \
+//!     [--threads 1]
+//! ```
+//!
+//! Row kinds:
+//!
+//! * `steady` — one linear solve (leakage folded into fixed dynamic
+//!   power), every solver at every grid: the MGCG-vs-Jacobi speedup
+//!   headline.
+//! * `leakage_warm` / `leakage_cold` — the full leakage–temperature fixed
+//!   point with warm starting on and off; the CG-iteration totals show
+//!   what warm starting buys. Plain CG and Jacobi-PCG are skipped above
+//!   128² where a cold leakage loop costs minutes.
+//! * `transient` — a 3·τ_v backward-Euler run with the auto-dispatched
+//!   solver: one operator + preconditioner build amortized over all steps.
+//!
+//! Every solved temperature field is checked against the grid's first
+//! steady map (block mean and max within 1e-6 K); the run exits non-zero
+//! on mismatch. Defaults measure the algorithmic win at `--threads 1`.
+
+use statobd_num::impl_json_struct;
+use statobd_thermal::{
+    alpha_ev6_floorplan, alpha_ev6_power, BlockPower, Floorplan, PowerModel, TemperatureMap,
+    ThermalConfig, ThermalSolver, ThermalSolverKind,
+};
+
+/// Consistency tolerance (K) on block mean/max temperatures.
+const AGREE_TOL_K: f64 = 1e-6;
+
+/// Cold leakage loops with non-scalable solvers are minutes-slow past
+/// this grid side; those cells are skipped (and logged).
+const SLOW_SOLVER_LEAKAGE_LIMIT: usize = 128;
+
+/// One measurement: a (grid, kind, solver) cell.
+#[derive(Debug, Clone)]
+struct ThermalRow {
+    grid_side: usize,
+    n_cells: usize,
+    /// `steady`, `leakage_warm`, `leakage_cold` or `transient`.
+    kind: String,
+    /// Resolved solver name (`auto` never appears).
+    solver: String,
+    /// Conductance assembly + power rasterization seconds.
+    assembly_s: f64,
+    /// Preconditioner build seconds.
+    precond_s: f64,
+    /// Accumulated CG seconds.
+    solve_s: f64,
+    total_s: f64,
+    /// Leakage fixed-point iterations (backward-Euler steps for
+    /// `transient` rows).
+    outer_iters: usize,
+    /// CG iterations summed over the whole run.
+    total_cg_iters: usize,
+    /// Relative residual of the final CG solve (0 for transient rows).
+    final_residual: f64,
+    /// Jacobi-PCG total at the same (grid, kind) divided by this total
+    /// (0 when no Jacobi baseline ran).
+    speedup_vs_jacobi: f64,
+    /// Whether block temperatures match the grid's reference map (the run
+    /// aborts non-zero if any is false).
+    consistent: bool,
+}
+
+impl_json_struct!(ThermalRow {
+    grid_side,
+    n_cells,
+    kind,
+    solver,
+    assembly_s,
+    precond_s,
+    solve_s,
+    total_s,
+    outer_iters,
+    total_cg_iters,
+    final_residual,
+    speedup_vs_jacobi,
+    consistent
+});
+
+/// The whole report (`BENCH_thermal.json`).
+#[derive(Debug, Clone)]
+struct ThermalReport {
+    /// Worker threads the solves were pinned to.
+    threads: usize,
+    rows: Vec<ThermalRow>,
+}
+
+impl_json_struct!(ThermalReport { threads, rows });
+
+struct Options {
+    out: String,
+    grids: Vec<usize>,
+    threads: usize,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        out: "BENCH_thermal.json".to_string(),
+        grids: vec![64, 128, 256, 512],
+        threads: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => opts.grids = vec![32, 64],
+            "--out" => opts.out = value("--out"),
+            "--grids" => {
+                opts.grids = value("--grids")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad grid side {s:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The alpha power profile with leakage folded into fixed dynamic power —
+/// turns the fixed point into a single linear solve of the same total
+/// wattage.
+fn zero_leakage(pm: &PowerModel) -> PowerModel {
+    let mut out = PowerModel::new();
+    for (name, bp) in pm.iter() {
+        out.set_block_power(
+            name,
+            BlockPower::new(bp.dynamic_w() + bp.leakage_ref_w(), 0.0).expect("power"),
+        )
+        .expect("block");
+    }
+    out
+}
+
+fn config(side: usize, solver: ThermalSolverKind, warm_start: bool) -> ThermalConfig {
+    ThermalConfig {
+        nx: side,
+        ny: side,
+        solver,
+        warm_start,
+        ..ThermalConfig::default()
+    }
+}
+
+/// Block mean and max temperatures, the quantities the reliability model
+/// consumes — the consistency contract between solver variants.
+fn block_temps(map: &TemperatureMap, fp: &Floorplan) -> Vec<f64> {
+    fp.blocks()
+        .iter()
+        .flat_map(|b| {
+            let s = map.block_stats(b.rect());
+            [s.mean_k, s.max_k]
+        })
+        .collect()
+}
+
+fn agrees(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() < AGREE_TOL_K)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_row(row: &ThermalRow) {
+    println!(
+        "  {:<13} {:<11} outer {:>3}  cg {:>6}  asm {:>7.4}s  pre {:>7.4}s  \
+         solve {:>8.4}s  total {:>8.4}s  {:>6.1}x  {}",
+        row.kind,
+        row.solver,
+        row.outer_iters,
+        row.total_cg_iters,
+        row.assembly_s,
+        row.precond_s,
+        row.solve_s,
+        row.total_s,
+        row.speedup_vs_jacobi,
+        if row.consistent { "ok" } else { "MISMATCH" }
+    );
+}
+
+fn main() {
+    let opts = parse_options();
+    // The thermal solver reads its thread budget from the environment.
+    std::env::set_var("STATOBD_THREADS", opts.threads.to_string());
+    let fp = alpha_ev6_floorplan().expect("floorplan");
+    let pm = alpha_ev6_power().expect("power");
+    let pm_steady = zero_leakage(&pm);
+    let solvers = [
+        ThermalSolverKind::JacobiPcg,
+        ThermalSolverKind::PlainCg,
+        ThermalSolverKind::Ic0Pcg,
+        ThermalSolverKind::Mgcg,
+    ];
+
+    let mut rows: Vec<ThermalRow> = Vec::new();
+    let mut all_consistent = true;
+    for &side in &opts.grids {
+        println!("grid {side}x{side} ({} cells):", side * side);
+        let mut reference: Option<Vec<f64>> = None;
+        let mut leakage_reference: Option<Vec<f64>> = None;
+        let baseline = |rows: &[ThermalRow], kind: &str| {
+            rows.iter()
+                .find(|r| r.grid_side == side && r.kind == kind && r.solver == "jacobi_pcg")
+                .map(|r| r.total_s)
+        };
+
+        for &solver in &solvers {
+            // Steady: one linear solve, the headline comparison.
+            let t0 = std::time::Instant::now();
+            let map = ThermalSolver::new(config(side, solver, true))
+                .solve(&fp, &pm_steady)
+                .expect("steady solve");
+            let total_s = t0.elapsed().as_secs_f64();
+            let temps = block_temps(&map, &fp);
+            let consistent = reference
+                .as_ref()
+                .map(|r| agrees(&temps, r))
+                .unwrap_or(true);
+            all_consistent &= consistent;
+            if reference.is_none() {
+                reference = Some(temps);
+            }
+            let b = map.breakdown();
+            let row = ThermalRow {
+                grid_side: side,
+                n_cells: side * side,
+                kind: "steady".to_string(),
+                solver: b.solver.clone(),
+                assembly_s: b.assembly_s,
+                precond_s: b.precond_s,
+                solve_s: b.solve_s,
+                total_s,
+                outer_iters: map.leakage_iterations(),
+                total_cg_iters: map.total_cg_iterations(),
+                final_residual: map.final_residual(),
+                speedup_vs_jacobi: baseline(&rows, "steady")
+                    .map(|b| b / total_s.max(1e-12))
+                    .unwrap_or(0.0),
+                consistent,
+            };
+            print_row(&row);
+            rows.push(row);
+
+            // Leakage fixed point, warm vs cold.
+            if matches!(
+                solver,
+                ThermalSolverKind::PlainCg | ThermalSolverKind::JacobiPcg
+            ) && side > SLOW_SOLVER_LEAKAGE_LIMIT
+            {
+                println!(
+                    "  (skipping {} leakage rows at {side}x{side}: cold loop is minutes-slow)",
+                    solver.name()
+                );
+                continue;
+            }
+            for (kind, warm) in [("leakage_warm", true), ("leakage_cold", false)] {
+                let t0 = std::time::Instant::now();
+                let map = ThermalSolver::new(config(side, solver, warm))
+                    .solve(&fp, &pm)
+                    .expect("leakage solve");
+                let total_s = t0.elapsed().as_secs_f64();
+                let temps = block_temps(&map, &fp);
+                let consistent = leakage_reference
+                    .as_ref()
+                    .map(|r| agrees(&temps, r))
+                    .unwrap_or(true);
+                all_consistent &= consistent;
+                if leakage_reference.is_none() {
+                    leakage_reference = Some(temps);
+                }
+                let b = map.breakdown();
+                let row = ThermalRow {
+                    grid_side: side,
+                    n_cells: side * side,
+                    kind: kind.to_string(),
+                    solver: b.solver.clone(),
+                    assembly_s: b.assembly_s,
+                    precond_s: b.precond_s,
+                    solve_s: b.solve_s,
+                    total_s,
+                    outer_iters: map.leakage_iterations(),
+                    total_cg_iters: map.total_cg_iterations(),
+                    final_residual: map.final_residual(),
+                    speedup_vs_jacobi: baseline(&rows, kind)
+                        .map(|b| b / total_s.max(1e-12))
+                        .unwrap_or(0.0),
+                    consistent,
+                };
+                print_row(&row);
+                rows.push(row);
+            }
+        }
+
+        // Transient: auto-dispatched solver, 3 vertical time constants.
+        let cfg = config(side, ThermalSolverKind::Auto, true);
+        let tau_v = cfg.r_package * cfg.c_volumetric * cfg.die_thickness;
+        let t0 = std::time::Instant::now();
+        let result = ThermalSolver::new(cfg)
+            .solve_transient(&fp, &pm, cfg.ambient_k, 3.0 * tau_v, 3)
+            .expect("transient solve");
+        let total_s = t0.elapsed().as_secs_f64();
+        let s = &result.stats;
+        assert_eq!(s.operator_assemblies, 1, "transient must assemble once");
+        let row = ThermalRow {
+            grid_side: side,
+            n_cells: side * side,
+            kind: "transient".to_string(),
+            solver: s.solver.clone(),
+            assembly_s: s.assembly_s,
+            precond_s: s.precond_s,
+            solve_s: s.solve_s,
+            total_s,
+            outer_iters: s.steps,
+            total_cg_iters: s.total_cg_iterations,
+            final_residual: 0.0,
+            speedup_vs_jacobi: 0.0,
+            consistent: true,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    let report = ThermalReport {
+        threads: opts.threads,
+        rows,
+    };
+    std::fs::write(&opts.out, statobd_num::json::to_string_pretty(&report))
+        .expect("report written");
+    println!("wrote {}", opts.out);
+    if !all_consistent {
+        eprintln!("ERROR: a solver produced block temperatures diverging from the reference");
+        std::process::exit(1);
+    }
+}

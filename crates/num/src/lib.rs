@@ -7,8 +7,10 @@
 //!   eigendecomposition — Jacobi, Householder tridiagonalization +
 //!   implicit-shift QL, blocked Lanczos top-k — plus Cholesky and LU
 //!   factorizations),
-//! * sparse matrices and a conjugate-gradient solver (used by the thermal
-//!   simulator),
+//! * sparse matrices and a preconditioned conjugate-gradient solver with a
+//!   pluggable [`cg::Preconditioner`] — Jacobi diagonal, zero-fill
+//!   incomplete Cholesky ([`precond::Ic0`]) and a geometric-multigrid
+//!   V-cycle ([`multigrid::Multigrid`]) — used by the thermal simulator,
 //! * special functions (`erf`, `ln_gamma`, regularized incomplete gamma),
 //! * probability distributions (normal, gamma/χ², Weibull, exponential) with
 //!   PDFs, CDFs, quantiles and sampling,
@@ -55,7 +57,9 @@ pub mod json;
 pub mod lanczos;
 pub mod lu;
 pub mod matrix;
+pub mod multigrid;
 pub mod parallel;
+pub mod precond;
 pub mod quad;
 pub mod quadform;
 pub mod rng;

@@ -10,8 +10,11 @@
 //!    leakage,
 //! 3. a [`ThermalSolver`] that discretizes the die into a grid of thermal
 //!    cells with lateral silicon conductances and a vertical
-//!    package-to-ambient path, and solves the steady state with conjugate
-//!    gradients, iterating the leakage–temperature fixed point,
+//!    package-to-ambient path, and solves the steady state with
+//!    preconditioned conjugate gradients — tiered backends from plain CG
+//!    through `IC(0)` to multigrid-preconditioned CG, chosen by
+//!    [`ThermalSolverKind`] — iterating the warm-started
+//!    leakage–temperature fixed point,
 //! 4. a [`TemperatureMap`] from which per-block worst-case/mean
 //!    temperatures are extracted for the reliability model.
 //!
@@ -51,8 +54,10 @@ mod transient;
 pub use floorplan::{Block, Floorplan, Rect};
 pub use power::{dynamic_power, BlockPower, PowerModel, LEAKAGE_REF_K};
 pub use profiles::{alpha_ev6_floorplan, alpha_ev6_power, many_core_floorplan, many_core_power};
-pub use solver::{BlockTempStats, TemperatureMap, ThermalConfig, ThermalSolver};
-pub use transient::TransientResult;
+pub use solver::{
+    BlockTempStats, SolveBreakdown, TemperatureMap, ThermalConfig, ThermalSolver, ThermalSolverKind,
+};
+pub use transient::{TransientResult, TransientStats};
 
 use statobd_num::NumError;
 

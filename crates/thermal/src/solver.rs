@@ -10,16 +10,116 @@
 //! ```
 //!
 //! with `L` the weighted graph Laplacian of lateral conductances — an SPD
-//! system handled by conjugate gradients. Leakage power depends on
-//! temperature, so the solver iterates the leakage–temperature fixed point
-//! to convergence.
+//! system handled by preconditioned conjugate gradients. Leakage power
+//! depends on temperature, so the solver iterates the leakage–temperature
+//! fixed point to convergence, warm-starting each linear solve from the
+//! previous temperature field.
+//!
+//! The linear-solver backend is tiered ([`ThermalSolverKind`]), mirroring
+//! the spectral pipeline's `SpectralOptions` dispatch: plain CG and
+//! Jacobi-PCG for reference, zero-fill incomplete Cholesky (`IC(0)`) PCG
+//! for small/medium grids, and multigrid-preconditioned CG (MGCG) — whose
+//! iteration count does not grow with resolution — for large ones.
+//! [`ThermalSolverKind::Auto`] picks by grid size.
 
 use crate::floorplan::{Floorplan, Rect};
 use crate::power::PowerModel;
 use crate::{Result, ThermalError};
-use statobd_num::cg::{solve_cg, CgOptions};
+use statobd_num::cg::{
+    solve_pcg, CgOptions, IdentityPreconditioner, JacobiPreconditioner, Preconditioner,
+};
 use statobd_num::impl_json_struct;
-use statobd_num::sparse::CooMatrix;
+use statobd_num::json::{FromJson, Json, JsonError, ToJson};
+use statobd_num::multigrid::{Multigrid, MultigridOptions};
+use statobd_num::precond::Ic0;
+use statobd_num::sparse::{CooMatrix, CsrMatrix};
+
+/// Which linear-solver variant backs the thermal solve.
+///
+/// All variants produce the same temperature field to solver tolerance;
+/// they differ only in cost. `Auto` dispatches by grid size the way the
+/// spectral pipeline's `SpectralOptions` dispatches eigensolvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThermalSolverKind {
+    /// Choose by grid size: MGCG from
+    /// [`ThermalSolverKind::MGCG_MIN_CELLS`] cells upward, `IC(0)`-PCG
+    /// below.
+    Auto,
+    /// Unpreconditioned conjugate gradients (reference/baseline).
+    PlainCg,
+    /// Jacobi (diagonal) preconditioned CG — the historical default.
+    JacobiPcg,
+    /// Zero-fill incomplete-Cholesky preconditioned CG.
+    Ic0Pcg,
+    /// Geometric-multigrid V-cycle preconditioned CG.
+    Mgcg,
+}
+
+impl ThermalSolverKind {
+    /// Grid size (cells) from which `Auto` dispatches to MGCG: below this
+    /// the `IC(0)` factorization's cheap setup wins, above it the
+    /// resolution-independent multigrid iteration count does (measured
+    /// crossover on the alpha profile, see `BENCH_thermal.json`).
+    pub const MGCG_MIN_CELLS: usize = 64 * 64;
+
+    /// Stable lower-case name for logs, stats and benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThermalSolverKind::Auto => "auto",
+            ThermalSolverKind::PlainCg => "plain_cg",
+            ThermalSolverKind::JacobiPcg => "jacobi_pcg",
+            ThermalSolverKind::Ic0Pcg => "ic0_pcg",
+            ThermalSolverKind::Mgcg => "mgcg",
+        }
+    }
+
+    /// Parses a solver name (accepting a few aliases).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(ThermalSolverKind::Auto),
+            "plain_cg" | "plain" | "cg" => Some(ThermalSolverKind::PlainCg),
+            "jacobi_pcg" | "jacobi" => Some(ThermalSolverKind::JacobiPcg),
+            "ic0_pcg" | "ic0" => Some(ThermalSolverKind::Ic0Pcg),
+            "mgcg" | "multigrid" => Some(ThermalSolverKind::Mgcg),
+            _ => None,
+        }
+    }
+
+    /// Resolves `Auto` for a grid of `n_cells`; concrete kinds map to
+    /// themselves.
+    pub fn resolve(self, n_cells: usize) -> Self {
+        match self {
+            ThermalSolverKind::Auto => {
+                if n_cells >= Self::MGCG_MIN_CELLS {
+                    ThermalSolverKind::Mgcg
+                } else {
+                    ThermalSolverKind::Ic0Pcg
+                }
+            }
+            kind => kind,
+        }
+    }
+}
+
+impl ToJson for ThermalSolverKind {
+    fn to_json(&self) -> Json {
+        Json::String(self.name().to_string())
+    }
+}
+
+impl FromJson for ThermalSolverKind {
+    fn from_json(v: &Json) -> statobd_num::json::Result<Self> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| JsonError::new(format!("expected a solver name string, got {v}")))?;
+        ThermalSolverKind::parse(name)
+            .ok_or_else(|| JsonError::new(format!("unknown thermal solver {name:?}")))
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(ThermalSolverKind::Auto)
+    }
+}
 
 /// Physical and numerical configuration of the thermal solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +154,16 @@ pub struct ThermalConfig {
     /// Volumetric heat capacity of silicon (J/(m³·K)) — used only by the
     /// transient solver.
     pub c_volumetric: f64,
+    /// Linear-solver variant ([`ThermalSolverKind::Auto`] dispatches by
+    /// grid size).
+    pub solver: ThermalSolverKind,
+    /// Relative residual tolerance of each CG solve.
+    pub cg_rel_tol: f64,
+    /// Iteration cap of each CG solve.
+    pub cg_max_iter: usize,
+    /// Warm-start each leakage iteration (and transient step) from the
+    /// previous temperature field instead of from zero.
+    pub warm_start: bool,
 }
 
 impl_json_struct!(ThermalConfig {
@@ -69,6 +179,10 @@ impl_json_struct!(ThermalConfig {
     max_leakage_iters,
     leakage_tol_k,
     c_volumetric,
+    solver,
+    cg_rel_tol,
+    cg_max_iter,
+    warm_start,
 });
 
 impl Default for ThermalConfig {
@@ -86,6 +200,10 @@ impl Default for ThermalConfig {
             max_leakage_iters: 25,
             leakage_tol_k: 1e-3,
             c_volumetric: 1.63e6,
+            solver: ThermalSolverKind::Auto,
+            cg_rel_tol: 1e-9,
+            cg_max_iter: 50_000,
+            warm_start: true,
         }
     }
 }
@@ -118,7 +236,215 @@ impl ThermalConfig {
                 });
             }
         }
+        if !(self.cg_rel_tol > 0.0) || self.cg_rel_tol >= 1.0 {
+            return Err(ThermalError::InvalidParameter {
+                detail: format!("cg_rel_tol must be in (0, 1), got {}", self.cg_rel_tol),
+            });
+        }
+        if self.cg_max_iter == 0 {
+            return Err(ThermalError::InvalidParameter {
+                detail: "cg_max_iter must be at least 1".to_string(),
+            });
+        }
         Ok(())
+    }
+
+    /// The CG options every linear solve in this configuration uses.
+    pub(crate) fn cg_options(&self) -> CgOptions {
+        CgOptions {
+            rel_tol: self.cg_rel_tol,
+            max_iter: self.cg_max_iter,
+            jacobi_precondition: false,
+        }
+    }
+}
+
+/// The assembled grid operator shared by the steady-state and transient
+/// paths: the conductance matrix `L + diag(G_v)` plus the per-cell
+/// constants it was built from.
+#[derive(Debug, Clone)]
+pub(crate) struct GridOperator {
+    /// Vertical cell-to-ambient conductance (W/K).
+    pub(crate) g_v: f64,
+    /// Heat capacity of one cell (J/K) — the transient stepper's `C`.
+    pub(crate) c_cell: f64,
+    /// `L + diag(G_v)`, SPD.
+    pub(crate) matrix: CsrMatrix,
+}
+
+/// Assembles the conductance operator for `cfg` on a `die_w × die_h` die.
+///
+/// This is the single source of truth for the grid RC constants — the
+/// steady-state solve and the transient stepper both build on it, so the
+/// two paths can never drift apart.
+pub(crate) fn assemble_conductance(cfg: &ThermalConfig, die_w: f64, die_h: f64) -> GridOperator {
+    let (nx, ny) = (cfg.nx, cfg.ny);
+    let n = nx * ny;
+    let cw = die_w / nx as f64;
+    let ch = die_h / ny as f64;
+    let cell_area = cw * ch;
+
+    // Lateral conductance between adjacent cells: the silicon substrate
+    // and the heat spreader act as parallel conduction sheets, so the
+    // sheet conductance is k_si·t_die + k_sp·t_sp, times the aspect of
+    // the shared face over the center distance.
+    let sheet = cfg.k_silicon * cfg.die_thickness + cfg.k_spreader * cfg.spreader_thickness;
+    let g_x = sheet * ch / cw;
+    let g_y = sheet * cw / ch;
+    let g_v = cell_area / cfg.r_package;
+    let c_cell = cfg.c_volumetric * cell_area * cfg.die_thickness;
+
+    let mut coo = CooMatrix::new(n, n);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let i = iy * nx + ix;
+            let mut diag = g_v;
+            if ix + 1 < nx {
+                let j = iy * nx + ix + 1;
+                coo.push(i, j, -g_x);
+                coo.push(j, i, -g_x);
+                diag += g_x;
+            }
+            if ix > 0 {
+                diag += g_x;
+            }
+            if iy + 1 < ny {
+                let j = (iy + 1) * nx + ix;
+                coo.push(i, j, -g_y);
+                coo.push(j, i, -g_y);
+                diag += g_y;
+            }
+            if iy > 0 {
+                diag += g_y;
+            }
+            coo.push(i, i, diag);
+        }
+    }
+    GridOperator {
+        g_v,
+        c_cell,
+        matrix: coo.to_csr(),
+    }
+}
+
+/// Rasterizes block powers onto the thermal grid: per-cell dynamic power
+/// and reference leakage, apportioned by cell–block overlap area. Shared
+/// by the steady-state and transient paths.
+pub(crate) fn rasterize_power(
+    floorplan: &Floorplan,
+    power: &PowerModel,
+    nx: usize,
+    ny: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let cw = floorplan.die_w() / nx as f64;
+    let ch = floorplan.die_h() / ny as f64;
+    let n = nx * ny;
+    let mut dyn_cell = vec![0.0; n];
+    let mut leak_cell_ref = vec![0.0; n];
+    for block in floorplan.blocks() {
+        let Some(bp) = power.block_power(block.name()) else {
+            continue;
+        };
+        let r = block.rect();
+        let dyn_density = bp.dynamic_w() / r.area();
+        let leak_density = bp.leakage_ref_w() / r.area();
+        let ix0 = ((r.x() / cw).floor().max(0.0) as usize).min(nx - 1);
+        let ix1 = (((r.x1() / cw).ceil().max(1.0) as usize) - 1).min(nx - 1);
+        let iy0 = ((r.y() / ch).floor().max(0.0) as usize).min(ny - 1);
+        let iy1 = (((r.y1() / ch).ceil().max(1.0) as usize) - 1).min(ny - 1);
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let cx0 = ix as f64 * cw;
+                let cy0 = iy as f64 * ch;
+                let ox = (r.x1().min(cx0 + cw) - r.x().max(cx0)).max(0.0);
+                let oy = (r.y1().min(cy0 + ch) - r.y().max(cy0)).max(0.0);
+                let overlap = ox * oy;
+                if overlap > 0.0 {
+                    dyn_cell[iy * nx + ix] += dyn_density * overlap;
+                    leak_cell_ref[iy * nx + ix] += leak_density * overlap;
+                }
+            }
+        }
+    }
+    (dyn_cell, leak_cell_ref)
+}
+
+/// A built preconditioner, dispatched from a resolved
+/// [`ThermalSolverKind`] and reused across every solve on the same
+/// operator (all leakage iterations, all transient steps).
+#[derive(Debug)]
+pub(crate) enum BuiltPreconditioner {
+    /// No preconditioning (plain CG).
+    Identity(IdentityPreconditioner),
+    /// Diagonal scaling.
+    Jacobi(JacobiPreconditioner),
+    /// Zero-fill incomplete Cholesky.
+    Ic0(Ic0),
+    /// Geometric-multigrid V-cycle (MGCG).
+    Multigrid(Box<Multigrid>),
+}
+
+impl BuiltPreconditioner {
+    /// Builds the preconditioner `kind` (must be resolved, not `Auto`)
+    /// for the operator `a` on an `nx × ny` grid.
+    pub(crate) fn build(
+        kind: ThermalSolverKind,
+        a: &CsrMatrix,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Self> {
+        let fail = |e: statobd_num::NumError| ThermalError::SolveFailed {
+            detail: format!("building {} preconditioner: {e}", kind.name()),
+        };
+        Ok(match kind.resolve(nx * ny) {
+            ThermalSolverKind::Auto => unreachable!("resolve never returns Auto"),
+            ThermalSolverKind::PlainCg => BuiltPreconditioner::Identity(IdentityPreconditioner),
+            ThermalSolverKind::JacobiPcg => {
+                BuiltPreconditioner::Jacobi(JacobiPreconditioner::new(a).map_err(fail)?)
+            }
+            ThermalSolverKind::Ic0Pcg => BuiltPreconditioner::Ic0(Ic0::new(a).map_err(fail)?),
+            ThermalSolverKind::Mgcg => BuiltPreconditioner::Multigrid(Box::new(
+                Multigrid::new(a, nx, ny, &MultigridOptions::default()).map_err(fail)?,
+            )),
+        })
+    }
+
+    /// The trait object the CG solver consumes.
+    pub(crate) fn as_dyn(&self) -> &dyn Preconditioner {
+        match self {
+            BuiltPreconditioner::Identity(m) => m,
+            BuiltPreconditioner::Jacobi(m) => m,
+            BuiltPreconditioner::Ic0(m) => m,
+            BuiltPreconditioner::Multigrid(m) => m.as_ref(),
+        }
+    }
+}
+
+/// Wall-time and convergence breakdown of a steady-state solve, carried on
+/// the [`TemperatureMap`] so `--timings` and the benchmarks can report the
+/// real cost.
+#[derive(Debug, Clone, Default)]
+pub struct SolveBreakdown {
+    /// Resolved linear-solver name (`plain_cg`, `jacobi_pcg`, `ic0_pcg`,
+    /// `mgcg`).
+    pub solver: String,
+    /// Conductance assembly plus power rasterization seconds.
+    pub assembly_s: f64,
+    /// Preconditioner construction seconds (IC(0) factorization or
+    /// multigrid hierarchy build).
+    pub precond_s: f64,
+    /// Accumulated CG seconds over all leakage iterations.
+    pub solve_s: f64,
+    /// CG iterations of each leakage fixed-point iteration.
+    pub cg_iterations: Vec<usize>,
+    /// Relative residual of the final CG solve.
+    pub final_residual: f64,
+}
+
+impl SolveBreakdown {
+    /// Total CG iterations across the leakage loop.
+    pub fn total_cg_iterations(&self) -> usize {
+        self.cg_iterations.iter().sum()
     }
 }
 
@@ -143,8 +469,9 @@ pub struct TemperatureMap {
     die_h: f64,
     /// Cell temperatures (K), row-major: index `iy * nx + ix`.
     temps: Vec<f64>,
-    /// Leakage iterations the solve took.
-    leakage_iterations: usize,
+    /// Solver breakdown; `cg_iterations.len()` is the leakage iteration
+    /// count.
+    breakdown: SolveBreakdown,
 }
 
 impl TemperatureMap {
@@ -167,7 +494,7 @@ impl TemperatureMap {
             die_w,
             die_h,
             temps,
-            leakage_iterations: 0,
+            breakdown: SolveBreakdown::default(),
         }
     }
 
@@ -183,7 +510,29 @@ impl TemperatureMap {
 
     /// Leakage fixed-point iterations performed.
     pub fn leakage_iterations(&self) -> usize {
-        self.leakage_iterations
+        self.breakdown.cg_iterations.len()
+    }
+
+    /// CG iterations of each leakage fixed-point iteration.
+    pub fn cg_iterations(&self) -> &[usize] {
+        &self.breakdown.cg_iterations
+    }
+
+    /// Total CG iterations across the whole solve.
+    pub fn total_cg_iterations(&self) -> usize {
+        self.breakdown.total_cg_iterations()
+    }
+
+    /// Relative residual of the final CG solve.
+    pub fn final_residual(&self) -> f64 {
+        self.breakdown.final_residual
+    }
+
+    /// Wall-time and convergence breakdown of the solve that produced this
+    /// map (empty for maps assembled by the transient stepper, which has
+    /// its own per-run stats).
+    pub fn breakdown(&self) -> &SolveBreakdown {
+        &self.breakdown
     }
 
     /// Temperature (K) of cell `(ix, iy)`.
@@ -301,6 +650,12 @@ impl ThermalSolver {
     /// Solves the steady-state temperature field for a floorplan and power
     /// model, iterating the leakage–temperature fixed point.
     ///
+    /// The conductance operator and the preconditioner are built once and
+    /// reused across all fixed-point iterations; with
+    /// [`ThermalConfig::warm_start`] each iteration's CG starts from the
+    /// previous temperature field, which cuts later iterations to a
+    /// handful of CG steps.
+    ///
     /// # Errors
     ///
     /// * [`ThermalError::InvalidParameter`] for an invalid configuration,
@@ -311,90 +666,26 @@ impl ThermalSolver {
         let cfg = &self.config;
         let (nx, ny) = (cfg.nx, cfg.ny);
         let n = nx * ny;
-        let cw = floorplan.die_w() / nx as f64;
-        let ch = floorplan.die_h() / ny as f64;
-        let cell_area = cw * ch;
 
-        // Lateral conductance between adjacent cells: the silicon substrate
-        // and the heat spreader act as parallel conduction sheets, so the
-        // sheet conductance is k_si·t_die + k_sp·t_sp, times the aspect of
-        // the shared face over the center distance.
-        let sheet = cfg.k_silicon * cfg.die_thickness + cfg.k_spreader * cfg.spreader_thickness;
-        let g_x = sheet * ch / cw;
-        let g_y = sheet * cw / ch;
-        let g_v = cell_area / cfg.r_package;
+        let t_assembly = std::time::Instant::now();
+        let op = assemble_conductance(cfg, floorplan.die_w(), floorplan.die_h());
+        let (dyn_cell, leak_cell_ref) = rasterize_power(floorplan, power, nx, ny);
+        let assembly_s = t_assembly.elapsed().as_secs_f64();
 
-        // Assemble (L + diag(G_v)) once.
-        let mut coo = CooMatrix::new(n, n);
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let i = iy * nx + ix;
-                let mut diag = g_v;
-                if ix + 1 < nx {
-                    let j = iy * nx + ix + 1;
-                    coo.push(i, j, -g_x);
-                    coo.push(j, i, -g_x);
-                    diag += g_x;
-                }
-                if ix > 0 {
-                    diag += g_x;
-                }
-                if iy + 1 < ny {
-                    let j = (iy + 1) * nx + ix;
-                    coo.push(i, j, -g_y);
-                    coo.push(j, i, -g_y);
-                    diag += g_y;
-                }
-                if iy > 0 {
-                    diag += g_y;
-                }
-                coo.push(i, i, diag);
-            }
-        }
-        let a = coo.to_csr();
-
-        // Distribute each block's power uniformly over its area; build the
-        // per-cell dynamic and reference-leakage density maps.
-        let mut dyn_cell = vec![0.0; n];
-        let mut leak_cell_ref = vec![0.0; n];
-        for block in floorplan.blocks() {
-            let Some(bp) = power.block_power(block.name()) else {
-                continue;
-            };
-            let r = block.rect();
-            let dyn_density = bp.dynamic_w() / r.area();
-            let leak_density = bp.leakage_ref_w() / r.area();
-            // Apportion by cell-block overlap area.
-            let ix0 = ((r.x() / cw).floor().max(0.0) as usize).min(nx - 1);
-            let ix1 = (((r.x1() / cw).ceil().max(1.0) as usize) - 1).min(nx - 1);
-            let iy0 = ((r.y() / ch).floor().max(0.0) as usize).min(ny - 1);
-            let iy1 = (((r.y1() / ch).ceil().max(1.0) as usize) - 1).min(ny - 1);
-            for iy in iy0..=iy1 {
-                for ix in ix0..=ix1 {
-                    let cx0 = ix as f64 * cw;
-                    let cy0 = iy as f64 * ch;
-                    let ox = (r.x1().min(cx0 + cw) - r.x().max(cx0)).max(0.0);
-                    let oy = (r.y1().min(cy0 + ch) - r.y().max(cy0)).max(0.0);
-                    let overlap = ox * oy;
-                    if overlap > 0.0 {
-                        dyn_cell[iy * nx + ix] += dyn_density * overlap;
-                        leak_cell_ref[iy * nx + ix] += leak_density * overlap;
-                    }
-                }
-            }
-        }
+        let resolved = cfg.solver.resolve(n);
+        let t_precond = std::time::Instant::now();
+        let precond = BuiltPreconditioner::build(resolved, &op.matrix, nx, ny)?;
+        let precond_s = t_precond.elapsed().as_secs_f64();
 
         // Leakage–temperature fixed point.
+        let g_v = op.g_v;
         let mut temps = vec![cfg.ambient_k; n];
-        let cg_opts = CgOptions {
-            rel_tol: 1e-9,
-            max_iter: 50_000,
-            jacobi_precondition: true,
-        };
+        let cg_opts = cfg.cg_options();
         let threads = statobd_num::parallel::resolve_threads(None);
-        let mut iterations = 0;
-        for iter in 0..cfg.max_leakage_iters {
-            iterations = iter + 1;
+        let mut cg_iterations = Vec::new();
+        let mut final_residual = 0.0;
+        let mut solve_s = 0.0;
+        for _ in 0..cfg.max_leakage_iters {
             // Temperature-dependent leakage makes the per-cell source
             // assembly the sweep's hot loop (an exp per cell per
             // iteration); fan it out over fixed-size chunks so the field
@@ -415,9 +706,17 @@ impl ThermalSolver {
                     }
                 });
             }
-            let sol = solve_cg(&a, &rhs, &cg_opts).map_err(|e| ThermalError::SolveFailed {
-                detail: format!("CG failed: {e}"),
-            })?;
+            let guess = cfg.warm_start.then_some(temps.as_slice());
+            let t_solve = std::time::Instant::now();
+            let sol =
+                solve_pcg(&op.matrix, &rhs, guess, precond.as_dyn(), &cg_opts).map_err(|e| {
+                    ThermalError::SolveFailed {
+                        detail: format!("{} failed: {e}", resolved.name()),
+                    }
+                })?;
+            solve_s += t_solve.elapsed().as_secs_f64();
+            cg_iterations.push(sol.iterations);
+            final_residual = sol.relative_residual;
             let max_delta = sol
                 .x
                 .iter()
@@ -436,14 +735,17 @@ impl ThermalSolver {
             }
         }
 
-        Ok(TemperatureMap {
-            nx,
-            ny,
-            die_w: floorplan.die_w(),
-            die_h: floorplan.die_h(),
-            temps,
-            leakage_iterations: iterations,
-        })
+        let mut map =
+            TemperatureMap::from_parts(nx, ny, floorplan.die_w(), floorplan.die_h(), temps);
+        map.breakdown = SolveBreakdown {
+            solver: resolved.name().to_string(),
+            assembly_s,
+            precond_s,
+            solve_s,
+            cg_iterations,
+            final_residual,
+        };
+        Ok(map)
     }
 }
 
@@ -608,6 +910,16 @@ mod tests {
             ..ThermalConfig::default()
         };
         assert!(ThermalSolver::new(cfg).solve(&fp, &pm).is_err());
+        let cfg = ThermalConfig {
+            cg_rel_tol: 0.0,
+            ..ThermalConfig::default()
+        };
+        assert!(ThermalSolver::new(cfg).solve(&fp, &pm).is_err());
+        let cfg = ThermalConfig {
+            cg_max_iter: 0,
+            ..ThermalConfig::default()
+        };
+        assert!(ThermalSolver::new(cfg).solve(&fp, &pm).is_err());
     }
 
     #[test]
@@ -630,5 +942,107 @@ mod tests {
         let hot = map.block_stats(fp.block("hot").unwrap().rect());
         let cold = map.block_stats(fp.block("cold").unwrap().rect());
         assert!(hot.mean_k > cold.mean_k + 5.0);
+    }
+
+    #[test]
+    fn solver_kind_parse_and_names_round_trip() {
+        for kind in [
+            ThermalSolverKind::Auto,
+            ThermalSolverKind::PlainCg,
+            ThermalSolverKind::JacobiPcg,
+            ThermalSolverKind::Ic0Pcg,
+            ThermalSolverKind::Mgcg,
+        ] {
+            assert_eq!(ThermalSolverKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            ThermalSolverKind::parse("multigrid"),
+            Some(ThermalSolverKind::Mgcg)
+        );
+        assert_eq!(ThermalSolverKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn auto_dispatch_follows_grid_size() {
+        assert_eq!(
+            ThermalSolverKind::Auto.resolve(32 * 32),
+            ThermalSolverKind::Ic0Pcg
+        );
+        assert_eq!(
+            ThermalSolverKind::Auto.resolve(ThermalSolverKind::MGCG_MIN_CELLS),
+            ThermalSolverKind::Mgcg
+        );
+        assert_eq!(
+            ThermalSolverKind::PlainCg.resolve(1 << 20),
+            ThermalSolverKind::PlainCg
+        );
+    }
+
+    #[test]
+    fn config_json_round_trips_solver_kind() {
+        let cfg = ThermalConfig {
+            solver: ThermalSolverKind::Mgcg,
+            cg_rel_tol: 1e-8,
+            ..ThermalConfig::default()
+        };
+        let json = statobd_num::json::to_string(&cfg);
+        let back: ThermalConfig = statobd_num::json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn breakdown_reports_convergence_cost() {
+        let (fp, pm) = one_block_chip(30.0);
+        let solver = ThermalSolver::new(ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::default()
+        });
+        let map = solver.solve(&fp, &pm).unwrap();
+        let b = map.breakdown();
+        assert_eq!(b.solver, "ic0_pcg");
+        assert_eq!(b.cg_iterations.len(), map.leakage_iterations());
+        assert!(map.total_cg_iterations() > 0);
+        assert!(map.final_residual() <= solver.config().cg_rel_tol);
+        assert!(b.assembly_s >= 0.0 && b.precond_s >= 0.0 && b.solve_s > 0.0);
+    }
+
+    #[test]
+    fn all_solver_kinds_agree_on_a_hotspot() {
+        let mut fp = Floorplan::new(0.016, 0.016).unwrap();
+        fp.add_block(Block::new("hot", Rect::new(0.001, 0.001, 0.004, 0.004).unwrap()).unwrap())
+            .unwrap();
+        fp.add_block(Block::new("rest", Rect::new(0.008, 0.008, 0.008, 0.008).unwrap()).unwrap())
+            .unwrap();
+        let mut pm = PowerModel::new();
+        pm.set_block_power("hot", BlockPower::new(15.0, 2.0).unwrap())
+            .unwrap();
+        pm.set_block_power("rest", BlockPower::new(2.0, 0.5).unwrap())
+            .unwrap();
+        let reference = ThermalSolver::new(ThermalConfig {
+            nx: 24,
+            ny: 24,
+            solver: ThermalSolverKind::PlainCg,
+            ..ThermalConfig::default()
+        })
+        .solve(&fp, &pm)
+        .unwrap();
+        for kind in [
+            ThermalSolverKind::JacobiPcg,
+            ThermalSolverKind::Ic0Pcg,
+            ThermalSolverKind::Mgcg,
+        ] {
+            let map = ThermalSolver::new(ThermalConfig {
+                nx: 24,
+                ny: 24,
+                solver: kind,
+                ..ThermalConfig::default()
+            })
+            .solve(&fp, &pm)
+            .unwrap();
+            for (a, b) in map.temps().iter().zip(reference.temps()) {
+                assert!((a - b).abs() < 1e-6, "{} diverged: {a} vs {b}", kind.name());
+            }
+        }
     }
 }

@@ -1,12 +1,23 @@
-//! Transient thermal simulation (HotSpot's transient mode, as a compact
-//! explicit integrator).
+//! Transient thermal simulation (HotSpot's transient mode, as an implicit
+//! integrator).
 //!
 //! The same grid RC network as the steady-state solver, plus a heat
 //! capacity per cell: `C·dT/dt = P(T) + G_v·T_amb − (L + diag(G_v))·T`.
-//! Integration is explicit Euler with an automatically chosen stable
-//! sub-step (`dt ≤ stability_factor · C / max_row_conductance`), which is
-//! cheap because the thermal RC time constants of a die are far longer
-//! than the stability limit of its lateral network.
+//! Integration is backward Euler: each step solves
+//!
+//! ```text
+//! (A + (C/dt)·I) · T_{n+1} = P(T_n) + G_v·T_amb + (C/dt)·T_n
+//! ```
+//!
+//! with `A = L + diag(G_v)` the steady-state operator. Backward Euler is
+//! unconditionally stable, so the sub-step is chosen to *resolve the
+//! physics* — a fraction of the vertical RC time constant
+//! `τ_v = r_package·c_volumetric·t_die` — instead of being pinned to the
+//! explicit stability limit of the much stiffer lateral network. The
+//! stepped operator and its preconditioner are assembled **once** and
+//! reused across every step, and each solve warm-starts from the previous
+//! field, so a step typically costs only a handful of CG iterations.
+//! Leakage is handled semi-implicitly (evaluated at `T_n`).
 //!
 //! Transient analysis matters to the reliability flow because application
 //! phases with different power maps produce different *worst-case block
@@ -16,17 +27,47 @@
 
 use crate::floorplan::Floorplan;
 use crate::power::PowerModel;
-use crate::solver::{TemperatureMap, ThermalSolver};
+use crate::solver::{
+    assemble_conductance, rasterize_power, BuiltPreconditioner, TemperatureMap, ThermalSolver,
+};
 use crate::{Result, ThermalError};
+use statobd_num::cg::solve_pcg;
 
-/// Fraction of the explicit-Euler stability limit to use as the sub-step.
-const STABILITY_FACTOR: f64 = 0.5;
+/// How many backward-Euler sub-steps resolve one vertical RC time
+/// constant `τ_v` (sets the target `dt = τ_v / TAU_RESOLUTION`).
+const TAU_RESOLUTION: f64 = 16.0;
+
+/// Cost accounting of a transient run — proof that the stepper reuses one
+/// assembled operator and preconditioner across all steps.
+#[derive(Debug, Clone, Default)]
+pub struct TransientStats {
+    /// Resolved linear-solver name backing every step.
+    pub solver: String,
+    /// Backward-Euler steps taken.
+    pub steps: usize,
+    /// Sub-step length (s).
+    pub dt_s: f64,
+    /// Times the stepped operator `A + (C/dt)·I` was assembled (always 1).
+    pub operator_assemblies: usize,
+    /// Times the preconditioner was built (always 1).
+    pub preconditioner_builds: usize,
+    /// CG iterations summed over all steps.
+    pub total_cg_iterations: usize,
+    /// Operator assembly plus power rasterization seconds.
+    pub assembly_s: f64,
+    /// Preconditioner construction seconds.
+    pub precond_s: f64,
+    /// Accumulated CG seconds over all steps.
+    pub solve_s: f64,
+}
 
 /// A transient simulation result: snapshots at the requested times.
 #[derive(Debug)]
 pub struct TransientResult {
     /// `(time (s), temperature field)` pairs, in increasing time order.
     pub snapshots: Vec<(f64, TemperatureMap)>,
+    /// Cost accounting of the run.
+    pub stats: TransientStats,
 }
 
 impl TransientResult {
@@ -50,7 +91,7 @@ impl ThermalSolver {
     ///
     /// * [`ThermalError::InvalidParameter`] for a non-positive duration,
     ///   zero snapshots, or an invalid configuration,
-    /// * [`ThermalError::SolveFailed`] on thermal runaway.
+    /// * [`ThermalError::SolveFailed`] on thermal runaway or CG failure.
     pub fn solve_transient(
         &self,
         floorplan: &Floorplan,
@@ -70,127 +111,87 @@ impl ThermalSolver {
         }
         let (nx, ny) = (cfg.nx, cfg.ny);
         let n = nx * ny;
-        let cw = floorplan.die_w() / nx as f64;
-        let ch = floorplan.die_h() / ny as f64;
-        let cell_area = cw * ch;
 
-        // Reuse the steady-state assembly helpers by rebuilding the
-        // conductance structure inline (same constants as `solve`).
-        let sheet = cfg.k_silicon * cfg.die_thickness + cfg.k_spreader * cfg.spreader_thickness;
-        let g_x = sheet * ch / cw;
-        let g_y = sheet * cw / ch;
-        let g_v = cell_area / cfg.r_package;
-        let c_cell = cfg.c_volumetric * cell_area * cfg.die_thickness;
+        let t_assembly = std::time::Instant::now();
+        let op = assemble_conductance(cfg, floorplan.die_w(), floorplan.die_h());
+        let (dyn_cell, leak_cell_ref) = rasterize_power(floorplan, power, nx, ny);
 
-        // Per-cell dynamic power and reference leakage (uniform density
-        // over each block).
-        let (dyn_cell, leak_cell_ref) = rasterize_power(floorplan, power, nx, ny, cw, ch);
-
-        // Stability: dt <= factor * C / (sum of conductances at a cell).
-        let max_row_g = g_v + 2.0 * g_x + 2.0 * g_y;
-        let dt = STABILITY_FACTOR * c_cell / max_row_g;
+        // Sub-step: resolve the slowest (vertical) RC time constant
+        // τ_v = C/G_v = r_pkg·c_v·t_die — grid-independent — while landing
+        // exactly on each snapshot boundary.
+        let tau_v = cfg.r_package * cfg.c_volumetric * cfg.die_thickness;
         let snap_every = duration_s / n_snapshots as f64;
+        let steps_per_snap = ((snap_every * TAU_RESOLUTION / tau_v).ceil() as usize).max(1);
+        let dt = snap_every / steps_per_snap as f64;
 
+        // Backward-Euler operator M = A + (C/dt)·I, assembled once for the
+        // whole run.
+        let shift = op.c_cell / dt;
+        let m = op.matrix.with_shifted_diagonal(shift)?;
+        let assembly_s = t_assembly.elapsed().as_secs_f64();
+
+        let resolved = cfg.solver.resolve(n);
+        let t_precond = std::time::Instant::now();
+        let precond = BuiltPreconditioner::build(resolved, &m, nx, ny)?;
+        let precond_s = t_precond.elapsed().as_secs_f64();
+
+        let g_v = op.g_v;
+        let cg_opts = cfg.cg_options();
         let mut temps = vec![t_init_k; n];
-        let mut next = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
         let mut snapshots = Vec::with_capacity(n_snapshots);
-        let mut t_now = 0.0;
-        let mut next_snap = snap_every;
-        while t_now < duration_s - 1e-12 {
-            let step = dt.min(duration_s - t_now).min(next_snap - t_now + 1e-15);
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let i = iy * nx + ix;
-                    let t_i = temps[i];
-                    let mut flow = g_v * (cfg.ambient_k - t_i);
-                    if ix + 1 < nx {
-                        flow += g_x * (temps[i + 1] - t_i);
-                    }
-                    if ix > 0 {
-                        flow += g_x * (temps[i - 1] - t_i);
-                    }
-                    if iy + 1 < ny {
-                        flow += g_y * (temps[i + nx] - t_i);
-                    }
-                    if iy > 0 {
-                        flow += g_y * (temps[i - nx] - t_i);
-                    }
+        let mut total_cg_iterations = 0usize;
+        let mut solve_s = 0.0;
+        for snap in 0..n_snapshots {
+            for _ in 0..steps_per_snap {
+                for i in 0..n {
                     let leak = leak_cell_ref[i]
-                        * ((t_i - crate::power::LEAKAGE_REF_K) / cfg.leakage_theta_k).exp();
-                    next[i] = t_i + step * (dyn_cell[i] + leak + flow) / c_cell;
+                        * ((temps[i] - crate::power::LEAKAGE_REF_K) / cfg.leakage_theta_k).exp();
+                    rhs[i] = dyn_cell[i] + leak + g_v * cfg.ambient_k + shift * temps[i];
+                }
+                let guess = cfg.warm_start.then_some(temps.as_slice());
+                let t_solve = std::time::Instant::now();
+                let sol = solve_pcg(&m, &rhs, guess, precond.as_dyn(), &cg_opts).map_err(|e| {
+                    ThermalError::SolveFailed {
+                        detail: format!("transient {} failed: {e}", resolved.name()),
+                    }
+                })?;
+                solve_s += t_solve.elapsed().as_secs_f64();
+                total_cg_iterations += sol.iterations;
+                temps = sol.x;
+                let hottest = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if !hottest.is_finite() || hottest > cfg.ambient_k + 500.0 {
+                    return Err(ThermalError::SolveFailed {
+                        detail: format!("transient thermal runaway: hottest cell {hottest:.1} K"),
+                    });
                 }
             }
-            std::mem::swap(&mut temps, &mut next);
-            t_now += step;
-            let hottest = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            if !hottest.is_finite() || hottest > cfg.ambient_k + 500.0 {
-                return Err(ThermalError::SolveFailed {
-                    detail: format!("transient thermal runaway at t = {t_now:.3e} s"),
-                });
-            }
-            if t_now >= next_snap - 1e-12 {
-                snapshots.push((
-                    t_now,
-                    TemperatureMap::from_parts(
-                        nx,
-                        ny,
-                        floorplan.die_w(),
-                        floorplan.die_h(),
-                        temps.clone(),
-                    ),
-                ));
-                next_snap += snap_every;
-            }
-        }
-        if snapshots.is_empty() {
             snapshots.push((
-                t_now,
-                TemperatureMap::from_parts(nx, ny, floorplan.die_w(), floorplan.die_h(), temps),
+                (snap + 1) as f64 * snap_every,
+                TemperatureMap::from_parts(
+                    nx,
+                    ny,
+                    floorplan.die_w(),
+                    floorplan.die_h(),
+                    temps.clone(),
+                ),
             ));
         }
-        Ok(TransientResult { snapshots })
+        Ok(TransientResult {
+            snapshots,
+            stats: TransientStats {
+                solver: resolved.name().to_string(),
+                steps: n_snapshots * steps_per_snap,
+                dt_s: dt,
+                operator_assemblies: 1,
+                preconditioner_builds: 1,
+                total_cg_iterations,
+                assembly_s,
+                precond_s,
+                solve_s,
+            },
+        })
     }
-}
-
-/// Rasterizes block powers onto the thermal grid (shared with the
-/// steady-state path's logic).
-fn rasterize_power(
-    floorplan: &Floorplan,
-    power: &PowerModel,
-    nx: usize,
-    ny: usize,
-    cw: f64,
-    ch: f64,
-) -> (Vec<f64>, Vec<f64>) {
-    let n = nx * ny;
-    let mut dyn_cell = vec![0.0; n];
-    let mut leak_cell_ref = vec![0.0; n];
-    for block in floorplan.blocks() {
-        let Some(bp) = power.block_power(block.name()) else {
-            continue;
-        };
-        let r = block.rect();
-        let dyn_density = bp.dynamic_w() / r.area();
-        let leak_density = bp.leakage_ref_w() / r.area();
-        let ix0 = ((r.x() / cw).floor().max(0.0) as usize).min(nx - 1);
-        let ix1 = (((r.x1() / cw).ceil().max(1.0) as usize) - 1).min(nx - 1);
-        let iy0 = ((r.y() / ch).floor().max(0.0) as usize).min(ny - 1);
-        let iy1 = (((r.y1() / ch).ceil().max(1.0) as usize) - 1).min(ny - 1);
-        for iy in iy0..=iy1 {
-            for ix in ix0..=ix1 {
-                let cx0 = ix as f64 * cw;
-                let cy0 = iy as f64 * ch;
-                let ox = (r.x1().min(cx0 + cw) - r.x().max(cx0)).max(0.0);
-                let oy = (r.y1().min(cy0 + ch) - r.y().max(cy0)).max(0.0);
-                let overlap = ox * oy;
-                if overlap > 0.0 {
-                    dyn_cell[iy * nx + ix] += dyn_density * overlap;
-                    leak_cell_ref[iy * nx + ix] += leak_density * overlap;
-                }
-            }
-        }
-    }
-    (dyn_cell, leak_cell_ref)
 }
 
 #[cfg(test)]
@@ -277,5 +278,28 @@ mod tests {
         assert!(solver.solve_transient(&fp, &pm, 318.15, 0.0, 2).is_err());
         assert!(solver.solve_transient(&fp, &pm, 318.15, 0.1, 0).is_err());
         assert!(solver.solve_transient(&fp, &pm, 0.0, 0.1, 2).is_err());
+    }
+
+    #[test]
+    fn stepper_assembles_operator_and_preconditioner_once() {
+        let (fp, pm, solver) = setup(10.0);
+        let result = solver.solve_transient(&fp, &pm, 318.15, 0.05, 5).unwrap();
+        let s = &result.stats;
+        assert_eq!(s.operator_assemblies, 1);
+        assert_eq!(s.preconditioner_builds, 1);
+        assert!(s.steps >= 5, "expected at least one step per snapshot");
+        assert!(s.dt_s > 0.0);
+        assert!(s.total_cg_iterations > 0);
+        assert_eq!(s.solver, "ic0_pcg");
+    }
+
+    #[test]
+    fn snapshot_times_land_on_uniform_boundaries() {
+        let (fp, pm, solver) = setup(4.0);
+        let result = solver.solve_transient(&fp, &pm, 318.15, 0.1, 4).unwrap();
+        for (k, (t, _)) in result.snapshots.iter().enumerate() {
+            let want = (k + 1) as f64 * 0.025;
+            assert!((t - want).abs() < 1e-12, "snapshot {k} at {t}, want {want}");
+        }
     }
 }

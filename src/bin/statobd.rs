@@ -5,8 +5,16 @@
 //! statobd template <out.json>          write an example chip spec
 //! statobd analyze  <spec.json> [opts]  analyze a chip spec
 //! statobd bench    <C1..C6|MC16>       analyze a bundled benchmark design
-//! statobd thermal  <floorplan.json> <power.json>
+//! statobd thermal  <floorplan.json> <power.json> [opts]
 //!                                      solve the steady-state thermal map
+//!
+//! options for thermal:
+//!   --solver <name>  linear solver: auto, plain_cg, jacobi_pcg, ic0_pcg,
+//!                    mgcg (default auto: picks by grid size)
+//!   --grid <n>       thermal grid side                (default 64)
+//!   --timings        print the assembly / preconditioner / solve
+//!                    wall-time breakdown, per-iteration CG counts and the
+//!                    final residual
 //!
 //! options for analyze/bench:
 //!   --rho <f>        relative correlation distance   (default 0.5)
@@ -33,7 +41,9 @@ use statobd::core::{
     HybridTables, MonteCarloConfig, StFast, StFastConfig,
 };
 use statobd::device::ClosedFormTech;
-use statobd::thermal::{kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver};
+use statobd::thermal::{
+    kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver, ThermalSolverKind,
+};
 use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
 use std::process::ExitCode;
 
@@ -83,12 +93,51 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json>"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]"
     );
     ExitCode::FAILURE
 }
 
-fn thermal(fp_path: &str, pm_path: &str) -> Result<(), String> {
+struct ThermalOptions {
+    solver: ThermalSolverKind,
+    grid: Option<usize>,
+    timings: bool,
+}
+
+fn parse_thermal_options(args: &[String]) -> Result<ThermalOptions, String> {
+    let mut opts = ThermalOptions {
+        solver: ThermalSolverKind::Auto,
+        grid: None,
+        timings: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--solver" => {
+                let name = value("--solver")?;
+                opts.solver = ThermalSolverKind::parse(&name)
+                    .ok_or_else(|| format!("--solver: unknown solver '{name}'"))?;
+            }
+            "--grid" => {
+                opts.grid = Some(
+                    value("--grid")?
+                        .parse()
+                        .map_err(|e| format!("--grid: {e}"))?,
+                )
+            }
+            "--timings" => opts.timings = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn thermal(fp_path: &str, pm_path: &str, opts: &ThermalOptions) -> Result<(), String> {
     let fp: Floorplan = statobd::num::json::from_str(
         &std::fs::read_to_string(fp_path).map_err(|e| format!("reading {fp_path}: {e}"))?,
     )
@@ -97,8 +146,35 @@ fn thermal(fp_path: &str, pm_path: &str) -> Result<(), String> {
         &std::fs::read_to_string(pm_path).map_err(|e| format!("reading {pm_path}: {e}"))?,
     )
     .map_err(|e| format!("parsing {pm_path}: {e}"))?;
-    let solver = ThermalSolver::new(ThermalConfig::default());
+    let mut config = ThermalConfig {
+        solver: opts.solver,
+        ..ThermalConfig::default()
+    };
+    if let Some(side) = opts.grid {
+        config.nx = side;
+        config.ny = side;
+    }
+    let solver = ThermalSolver::new(config);
     let map = solver.solve(&fp, &pm).map_err(|e| e.to_string())?;
+    if opts.timings {
+        let b = map.breakdown();
+        println!(
+            "thermal solve: {}x{} grid, solver {}",
+            config.nx, config.ny, b.solver
+        );
+        println!(
+            "  assembly {:.4} s  preconditioner {:.4} s  solve {:.4} s",
+            b.assembly_s, b.precond_s, b.solve_s
+        );
+        let per_iter: Vec<String> = b.cg_iterations.iter().map(|i| i.to_string()).collect();
+        println!(
+            "  leakage iterations {}: CG per iteration [{}], total {}",
+            map.leakage_iterations(),
+            per_iter.join(", "),
+            map.total_cg_iterations()
+        );
+        println!("  final relative residual {:.3e}\n", map.final_residual());
+    }
     println!("{}", map.ascii_render(48));
     println!(
         "die: min {:.1} C, mean {:.1} C, max {:.1} C",
@@ -388,7 +464,10 @@ fn main() -> ExitCode {
             let (Some(fp), Some(pm)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            thermal(fp, pm)
+            match parse_thermal_options(&args[3..]) {
+                Ok(opts) => thermal(fp, pm, &opts),
+                Err(e) => Err(e),
+            }
         }
         "bench" => {
             let Some(name) = args.get(1) else {
