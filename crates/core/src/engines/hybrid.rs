@@ -17,12 +17,13 @@
 
 use crate::chip::ChipAnalysis;
 use crate::engines::st_fast::{BlockQuadrature, StFastConfig};
-use crate::engines::ReliabilityEngine;
+use crate::engines::{ReliabilityEngine, WeakestLink};
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
 use statobd_num::impl_json_struct;
 use statobd_num::interp::Bilinear;
 use statobd_num::parallel;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Floor applied before taking logs of probabilities.
 const LN_P_FLOOR: f64 = -700.0;
@@ -69,6 +70,42 @@ impl Default for HybridConfig {
     }
 }
 
+impl HybridConfig {
+    /// Extends the upper `γ` edge to cover `gamma_hi`, growing `n_gamma`
+    /// proportionally so the sample density (and hence the interpolation
+    /// error) is unchanged. A runtime manager that must stay on-grid out
+    /// to a service-life horizon `t_svc` under a worst-case operating
+    /// point `α_min` builds its tables with
+    /// `config.covering_gamma(ln(t_svc / α_min) + margin)`.
+    pub fn covering_gamma(mut self, gamma_hi: f64) -> Self {
+        let (g0, g1) = self.gamma_range;
+        if gamma_hi.is_finite() && gamma_hi > g1 && g1 > g0 {
+            let density = (self.n_gamma.max(2) - 1) as f64 / (g1 - g0);
+            self.gamma_range.1 = gamma_hi;
+            let samples = ((gamma_hi - g0) * density).ceil() as usize + 1;
+            self.n_gamma = samples.max(self.n_gamma);
+        }
+        self
+    }
+
+    /// Extends the `b` range to cover `[b_lo, b_hi]`, growing `n_b`
+    /// proportionally so the sample density is unchanged.
+    pub fn covering_b(mut self, b_lo: f64, b_hi: f64) -> Self {
+        let (old_lo, old_hi) = self.b_range;
+        if b_lo.is_finite() && b_hi.is_finite() && old_hi > old_lo {
+            let density = (self.n_b.max(2) - 1) as f64 / (old_hi - old_lo);
+            let new_lo = b_lo.min(old_lo);
+            let new_hi = b_hi.max(old_hi);
+            if (new_lo, new_hi) != self.b_range {
+                self.b_range = (new_lo, new_hi);
+                let samples = ((new_hi - new_lo) * density).ceil() as usize + 1;
+                self.n_b = samples.max(self.n_b);
+            }
+        }
+        self
+    }
+}
+
 /// One block's lookup table.
 #[derive(Debug, Clone)]
 struct BlockTable {
@@ -109,6 +146,10 @@ pub struct HybridTables {
     tables: Vec<BlockTable>,
     interps: Vec<Bilinear>,
     config: HybridConfig,
+    /// Queries that fell off the non-conservative table edges (`γ` above
+    /// the grid, or `b` outside it) and were silently clamped by the
+    /// bilinear interpolation — see [`HybridTables::off_grid_queries`].
+    off_grid: AtomicU64,
 }
 
 impl HybridTables {
@@ -178,6 +219,7 @@ impl HybridTables {
             tables,
             interps,
             config,
+            off_grid: AtomicU64::new(0),
         })
     }
 
@@ -221,15 +263,93 @@ impl HybridTables {
     }
 
     /// Per-block failure probability by bilinear interpolation in
-    /// `(γ, b)`.
+    /// `(γ, b)` at the block's current operating point.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `block_idx` is out of range.
-    pub fn block_failure_probability(&self, block_idx: usize, t_s: f64) -> f64 {
-        let table = &self.tables[block_idx];
+    /// Returns [`CoreError::InvalidParameter`] for an out-of-range block
+    /// index.
+    pub fn block_failure_probability(&self, block_idx: usize, t_s: f64) -> Result<f64> {
+        let table = self.table(block_idx)?;
         let gamma = (t_s / table.alpha_s).ln();
-        let ln_p = self.interps[block_idx].eval(gamma, table.b_per_nm);
+        Ok(self.eval_tracked(block_idx, gamma, table.b_per_nm))
+    }
+
+    /// Per-block failure probability at an accumulated *effective age*
+    /// `ξ_j = ∫ dt / α_j(T(t), V(t))` (dimensionless) and an
+    /// instantaneous `b` — the runtime reliability-manager entry point.
+    ///
+    /// The table integral depends on the operating point only through
+    /// `γ = ln(t/α)`, so a piecewise-constant operating history enters
+    /// purely as `γ = ln ξ`: under a constant point `ξ = t/α` and this
+    /// reduces exactly to
+    /// [`block_failure_probability`](HybridTables::block_failure_probability).
+    ///
+    /// An age of zero (or below) returns `P = 0` without touching the
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an out-of-range block
+    /// index or a non-positive `b`.
+    pub fn block_failure_probability_at_age(
+        &self,
+        block_idx: usize,
+        effective_age: f64,
+        b_per_nm: f64,
+    ) -> Result<f64> {
+        self.table(block_idx)?;
+        if !(b_per_nm > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                detail: format!("b must be positive, got {b_per_nm}"),
+            });
+        }
+        if effective_age <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.eval_tracked(block_idx, effective_age.ln(), b_per_nm))
+    }
+
+    /// Number of queries so far that landed off the table on a
+    /// *non-conservative* edge — `γ` above the grid (the clamp then
+    /// freezes `ln P` at its edge value and **underestimates** failure),
+    /// or `b` outside the grid in either direction. Queries below the
+    /// `γ` range are not counted: there the clamp returns the table's
+    /// `≈ −700` floor, a vanishing and conservative overestimate.
+    ///
+    /// A runtime monitor should treat a nonzero count as "the tables
+    /// were built too small for this service life" and rebuild with
+    /// [`HybridConfig::covering_gamma`] /
+    /// [`HybridConfig::covering_b`].
+    pub fn off_grid_queries(&self) -> u64 {
+        self.off_grid.load(Ordering::Relaxed)
+    }
+
+    /// Resets the off-grid query counter to zero.
+    pub fn reset_off_grid_queries(&self) {
+        self.off_grid.store(0, Ordering::Relaxed);
+    }
+
+    fn table(&self, block_idx: usize) -> Result<&BlockTable> {
+        self.tables
+            .get(block_idx)
+            .ok_or_else(|| CoreError::InvalidParameter {
+                detail: format!(
+                    "block index {block_idx} out of range ({} tables)",
+                    self.tables.len()
+                ),
+            })
+    }
+
+    /// The shared `(γ, b)` lookup kernel of every query path (scalar,
+    /// batched, effective-age), with off-grid accounting.
+    fn eval_tracked(&self, block_idx: usize, gamma: f64, b_per_nm: f64) -> f64 {
+        let (_, g_hi) = self.config.gamma_range;
+        let (b_lo, b_hi) = self.config.b_range;
+        if gamma > g_hi || b_per_nm < b_lo || b_per_nm > b_hi {
+            self.off_grid.fetch_add(1, Ordering::Relaxed);
+        }
+        let ln_p = self.interps[block_idx].eval(gamma, b_per_nm);
         ln_p.exp().min(1.0)
     }
 
@@ -266,6 +386,7 @@ impl HybridTables {
             tables: s.tables,
             interps,
             config: s.config,
+            off_grid: AtomicU64::new(0),
         })
     }
 }
@@ -284,34 +405,32 @@ impl ReliabilityEngine for HybridTables {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut total = 0.0;
+        let mut chip = WeakestLink::new();
         for j in 0..self.tables.len() {
-            total += self.block_failure_probability(j, t_s);
+            chip.absorb(self.block_failure_probability(j, t_s)?);
         }
-        Ok(total.min(1.0))
+        Ok(chip.failure_probability())
     }
 
-    /// Batched table interpolation: the per-block `(γ, b)` lookups are
-    /// hoisted out of the time loop, and long sweeps fan out over threads
-    /// one time point per work item (each point's block sum is independent,
-    /// so the result is bit-identical to the scalar loop at any thread
-    /// count).
+    /// Batched table interpolation: the per-block `(α, b)` operating
+    /// points are hoisted out of the time loop, and long sweeps fan out
+    /// over threads one time point per work item (each point's
+    /// weakest-link composition runs in block order, so the result is
+    /// bit-identical to the scalar loop at any thread count).
     fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
-        // One (interpolant, α, b) triple per block, resolved once.
-        let blocks: Vec<(&Bilinear, f64, f64)> = self
+        // One (α, b) pair per block, resolved once.
+        let points: Vec<(f64, f64)> = self
             .tables
             .iter()
-            .zip(self.interps.iter())
-            .map(|(table, interp)| (interp, table.alpha_s, table.b_per_nm))
+            .map(|table| (table.alpha_s, table.b_per_nm))
             .collect();
         let eval_one = |&t_s: &f64| -> f64 {
-            let mut total = 0.0;
-            for &(interp, alpha_s, b_per_nm) in &blocks {
+            let mut chip = WeakestLink::new();
+            for (j, &(alpha_s, b_per_nm)) in points.iter().enumerate() {
                 let gamma = (t_s / alpha_s).ln();
-                let ln_p = interp.eval(gamma, b_per_nm);
-                total += ln_p.exp().min(1.0);
+                chip.absorb(self.eval_tracked(j, gamma, b_per_nm));
             }
-            total.min(1.0)
+            chip.failure_probability()
         };
         // Lookups are cheap; only fan out when the sweep is long enough to
         // amortize the thread spawn.
@@ -466,5 +585,103 @@ mod tests {
         let mut h = HybridTables::build(&a, HybridConfig::default()).unwrap();
         assert!(h.set_operating_point(99, 1e16, 0.6).is_err());
         assert!(h.set_operating_point(0, -1.0, 0.6).is_err());
+        // Query paths return errors instead of panicking.
+        assert!(h.block_failure_probability(99, 1e9).is_err());
+        assert!(h.block_failure_probability_at_age(99, 1e-3, 0.8).is_err());
+        assert!(h.block_failure_probability_at_age(0, 1e-3, -0.8).is_err());
+    }
+
+    #[test]
+    fn age_query_reduces_to_time_query_at_constant_point() {
+        // Under a constant operating point ξ = t/α, so the effective-age
+        // entry point must reproduce the time query bit for bit.
+        let a = analysis();
+        let h = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        for j in 0..h.n_blocks() {
+            let block = &a.blocks()[j];
+            for &t in &[1e8, 1e9, 5e9] {
+                let p_t = h.block_failure_probability(j, t).unwrap();
+                let p_xi = h
+                    .block_failure_probability_at_age(j, t / block.alpha_s(), block.b_per_nm())
+                    .unwrap();
+                assert_eq!(p_t.to_bits(), p_xi.to_bits(), "block {j} at t={t:e}");
+            }
+        }
+        // Zero age is exactly zero probability.
+        assert_eq!(
+            h.block_failure_probability_at_age(0, 0.0, 0.8).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn off_grid_queries_are_counted_on_nonconservative_edges() {
+        let a = analysis();
+        let mut h = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        assert_eq!(h.off_grid_queries(), 0);
+        // In-range queries do not count.
+        let _ = h.block_failure_probability(0, 1e9).unwrap();
+        assert_eq!(h.off_grid_queries(), 0);
+        // Below the γ range: conservative clamp, not counted.
+        let _ = h.block_failure_probability_at_age(0, 1e-30, 0.8).unwrap();
+        assert_eq!(h.off_grid_queries(), 0);
+        // Above the γ range (age past the table horizon): counted.
+        let _ = h.block_failure_probability_at_age(0, 10.0, 0.8).unwrap();
+        assert_eq!(h.off_grid_queries(), 1);
+        // b outside the grid in either direction: counted.
+        let _ = h.block_failure_probability_at_age(0, 1e-3, 0.5).unwrap();
+        let _ = h.block_failure_probability_at_age(0, 1e-3, 1.5).unwrap();
+        assert_eq!(h.off_grid_queries(), 3);
+        h.reset_off_grid_queries();
+        assert_eq!(h.off_grid_queries(), 0);
+        // The engine-trait paths count too (scalar and batched agree).
+        let far_future = 1e18;
+        let _ = h.failure_probability(far_future).unwrap();
+        let scalar_count = h.off_grid_queries();
+        assert_eq!(scalar_count, h.n_blocks() as u64);
+        let _ = h.failure_probabilities(&[far_future]).unwrap();
+        assert_eq!(h.off_grid_queries(), 2 * scalar_count);
+    }
+
+    #[test]
+    fn covering_gamma_widens_range_and_keeps_density() {
+        let base = HybridConfig::default();
+        let wide = base.covering_gamma(6.0);
+        assert_eq!(wide.gamma_range, (-30.0, 6.0));
+        // Density preserved: 99 intervals over 30 units → 3.3/unit.
+        let base_density = (base.n_gamma - 1) as f64 / (base.gamma_range.1 - base.gamma_range.0);
+        let wide_density = (wide.n_gamma - 1) as f64 / (wide.gamma_range.1 - wide.gamma_range.0);
+        assert!(wide_density >= base_density * 0.999);
+        // A no-op when the range already covers the horizon.
+        assert_eq!(base.covering_gamma(-5.0), base);
+        let wide_b = base.covering_b(0.70, 0.90);
+        assert_eq!(wide_b.b_range, (0.70, 0.90));
+        assert!(wide_b.n_b > base.n_b);
+        assert_eq!(base.covering_b(0.75, 0.85), base);
+    }
+
+    #[test]
+    fn widened_tables_agree_with_default_on_grid() {
+        // Widening the γ range must not change on-grid results beyond
+        // interpolation noise (the sample density is preserved, not the
+        // sample placement).
+        let a = analysis();
+        let mut base = HybridTables::build(&a, HybridConfig::default()).unwrap();
+        let mut wide =
+            HybridTables::build(&a, HybridConfig::default().covering_gamma(5.0)).unwrap();
+        for &t in &[1e8, 1e9, 5e9] {
+            let pb = base.failure_probability(t).unwrap();
+            let pw = wide.failure_probability(t).unwrap();
+            let rel = ((pb - pw) / pb).abs();
+            assert!(rel < 0.01, "base {pb:e} vs widened {pw:e} at t={t:e}");
+        }
+        // And the widened table keeps the far tail on-grid.
+        wide.reset_off_grid_queries();
+        let block = &a.blocks()[0];
+        let xi_far = (4.0_f64).exp();
+        let _ = wide
+            .block_failure_probability_at_age(0, xi_far, block.b_per_nm())
+            .unwrap();
+        assert_eq!(wide.off_grid_queries(), 0);
     }
 }

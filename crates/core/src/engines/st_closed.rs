@@ -17,7 +17,7 @@
 
 use crate::chip::ChipAnalysis;
 use crate::engines::st_fast::{StFast, StFastConfig};
-use crate::engines::ReliabilityEngine;
+use crate::engines::{ReliabilityEngine, WeakestLink};
 use crate::gfun::GCoefficients;
 use crate::Result;
 
@@ -64,15 +64,15 @@ impl ReliabilityEngine for StClosed<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut total = 0.0;
+        let mut chip = WeakestLink::new();
         for j in 0..self.analysis.n_blocks() {
             let p = match self.block_failure_probability_closed(j, t_s) {
                 Some(p) => p,
                 None => self.fallback.block_failure_probability(j, t_s)?,
             };
-            total += p;
+            chip.absorb(p);
         }
-        Ok(total.min(1.0))
+        Ok(chip.failure_probability())
     }
 
     /// Hoists the per-block BLOD moments out of the time loop; the
@@ -99,7 +99,7 @@ impl ReliabilityEngine for StClosed<'_> {
             .collect();
         let mut out = Vec::with_capacity(ts.len());
         for (ti, &t_s) in ts.iter().enumerate() {
-            let mut total = 0.0;
+            let mut chip = WeakestLink::new();
             for (j, (alpha_s, b_per_nm, area, u0, u_sigma, v_dist)) in blocks.iter().enumerate() {
                 let coeff = GCoefficients::at(t_s, *alpha_s, *b_per_nm);
                 let mean_term =
@@ -109,12 +109,12 @@ impl ReliabilityEngine for StClosed<'_> {
                     .ok()
                     .map(|v_term| area * mean_term * v_term)
                     .filter(|&p| p < 0.01);
-                total += match closed {
+                chip.absorb(match closed {
                     Some(p) => p,
                     None => self.fallback.block_failure_probability(j, ts[ti])?,
-                };
+                });
             }
-            out.push(total.min(1.0));
+            out.push(chip.failure_probability());
         }
         Ok(out)
     }

@@ -15,7 +15,7 @@
 
 use crate::blod::{MeanDist, VarianceDist};
 use crate::chip::ChipAnalysis;
-use crate::engines::ReliabilityEngine;
+use crate::engines::{ReliabilityEngine, WeakestLink};
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
 use statobd_num::dist::ContinuousDistribution;
@@ -196,18 +196,18 @@ impl ReliabilityEngine for StFast<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut total = 0.0;
+        let mut chip = WeakestLink::new();
         for j in 0..self.analysis.n_blocks() {
-            total += self.block_failure_probability(j, t_s)?;
+            chip.absorb(self.block_failure_probability(j, t_s)?);
         }
-        Ok(total.min(1.0))
+        Ok(chip.failure_probability())
     }
 
     /// Reuses the time-independent quadrature node sets and fans the
     /// `(block × t)` kernel evaluations out over threads as a flat work
     /// list. Each `(block, t)` integral is independent, and the per-time
-    /// block sums run in block order, so the result is bit-identical to
-    /// the scalar loop at any thread count.
+    /// weakest-link compositions run in block order, so the result is
+    /// bit-identical to the scalar loop at any thread count.
     fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
         let quads = self.quadratures()?;
         let blocks = self.analysis.blocks();
@@ -228,11 +228,11 @@ impl ReliabilityEngine for StFast<'_> {
         };
         Ok((0..n_t)
             .map(|ti| {
-                let mut total = 0.0;
+                let mut chip = WeakestLink::new();
                 for j in 0..n_blocks {
-                    total += per_block_t[j * n_t + ti];
+                    chip.absorb(per_block_t[j * n_t + ti]);
                 }
-                total.min(1.0)
+                chip.failure_probability()
             })
             .collect())
     }

@@ -10,7 +10,7 @@
 //! `f(u,v) ≈ f(u)·f(v)` approximation costs (~0.1 %).
 
 use crate::chip::ChipAnalysis;
-use crate::engines::ReliabilityEngine;
+use crate::engines::{ReliabilityEngine, WeakestLink};
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
 use statobd_num::hist::Histogram2d;
@@ -249,18 +249,18 @@ impl ReliabilityEngine for StMc<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut total = 0.0;
+        let mut chip = WeakestLink::new();
         for j in 0..self.analysis.n_blocks() {
-            total += self.block_failure_probability(j, t_s);
+            chip.absorb(self.block_failure_probability(j, t_s));
         }
-        Ok(total.min(1.0))
+        Ok(chip.failure_probability())
     }
 
     /// Computes each block's joint-bin masses once for the whole sweep
     /// (instead of once per `(block, t)` evaluation) and fans the
     /// `(block × t)` integral sums out over threads as a flat work list;
-    /// per-time block sums run in block order, so the result is
-    /// bit-identical to the scalar loop at any thread count.
+    /// per-time weakest-link compositions run in block order, so the
+    /// result is bit-identical to the scalar loop at any thread count.
     fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
         let n_t = ts.len();
         let n_blocks = self.analysis.n_blocks();
@@ -296,11 +296,11 @@ impl ReliabilityEngine for StMc<'_> {
         };
         Ok((0..n_t)
             .map(|ti| {
-                let mut total = 0.0;
+                let mut chip = WeakestLink::new();
                 for j in 0..n_blocks {
-                    total += per_block_t[j * n_t + ti];
+                    chip.absorb(per_block_t[j * n_t + ti]);
                 }
-                total.min(1.0)
+                chip.failure_probability()
             })
             .collect())
     }

@@ -1,0 +1,214 @@
+//! The budget-driven DVFS policy layer.
+
+use crate::{ManagerError, Result};
+use statobd_num::impl_json_struct;
+
+/// One rung of the DVFS ladder, fastest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsLevel {
+    /// Display name ("turbo", "nominal", "eco", ...).
+    pub name: String,
+    /// Supply-voltage cap (V): the level grants `min(requested, cap)`.
+    pub vdd_cap_v: f64,
+    /// Temperature offset (K) applied to every block when this level
+    /// actually caps the requested voltage — running slower also runs
+    /// cooler. Usually ≤ 0.
+    pub dt_when_capped_k: f64,
+}
+
+impl_json_struct!(DvfsLevel {
+    name,
+    vdd_cap_v,
+    dt_when_capped_k
+});
+
+/// The reliability-budget policy: how much end-of-service failure
+/// probability the product may spend, over which service life, and which
+/// DVFS levels the manager may retreat through to stay inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyConfig {
+    /// End-of-service failure-probability budget (e.g. `1e-6` for the
+    /// paper's one-per-million criterion).
+    pub budget: f64,
+    /// Service life (s) the budget covers.
+    pub service_life_s: f64,
+    /// Hysteresis factor `h ∈ (0, 1]`: after throttling down, the
+    /// manager steps back up only when the projection *at the faster
+    /// level* falls to `h · budget` — strictly inside the budget, so a
+    /// projection hovering at the boundary cannot make the throttle
+    /// oscillate. `h = 1` disables the hysteresis.
+    pub hysteresis: f64,
+    /// The DVFS ladder, fastest (index 0) to slowest. Caps must be
+    /// strictly decreasing.
+    pub levels: Vec<DvfsLevel>,
+}
+
+impl_json_struct!(PolicyConfig {
+    budget,
+    service_life_s,
+    hysteresis,
+    levels
+});
+
+impl PolicyConfig {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::InvalidParameter`] for a non-positive
+    /// budget or service life, a hysteresis outside `(0, 1]`, an empty
+    /// ladder, or caps that are not positive and strictly decreasing.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.budget > 0.0) || self.budget > 1.0 {
+            return Err(ManagerError::InvalidParameter {
+                detail: format!("budget must be in (0, 1], got {}", self.budget),
+            });
+        }
+        if !(self.service_life_s > 0.0) || !self.service_life_s.is_finite() {
+            return Err(ManagerError::InvalidParameter {
+                detail: format!("service life must be positive, got {}", self.service_life_s),
+            });
+        }
+        if !(self.hysteresis > 0.0) || self.hysteresis > 1.0 {
+            return Err(ManagerError::InvalidParameter {
+                detail: format!("hysteresis must be in (0, 1], got {}", self.hysteresis),
+            });
+        }
+        if self.levels.is_empty() {
+            return Err(ManagerError::InvalidParameter {
+                detail: "the DVFS ladder needs at least one level".to_string(),
+            });
+        }
+        for pair in self.levels.windows(2) {
+            if !(pair[1].vdd_cap_v < pair[0].vdd_cap_v) {
+                return Err(ManagerError::InvalidParameter {
+                    detail: format!(
+                        "DVFS caps must be strictly decreasing: '{}' ({} V) then '{}' ({} V)",
+                        pair[0].name, pair[0].vdd_cap_v, pair[1].name, pair[1].vdd_cap_v
+                    ),
+                });
+            }
+        }
+        if let Some(bad) = self
+            .levels
+            .iter()
+            .find(|l| !(l.vdd_cap_v > 0.0) || !l.dt_when_capped_k.is_finite())
+        {
+            return Err(ManagerError::InvalidParameter {
+                detail: format!("invalid DVFS level '{}'", bad.name),
+            });
+        }
+        Ok(())
+    }
+
+    /// An unconstrained single-level policy: one rung whose cap never
+    /// binds, the whole budget, no throttling in practice. Useful for
+    /// pure monitoring (and for cross-validating the damage model
+    /// against the static engines).
+    pub fn monitoring_only(budget: f64, service_life_s: f64) -> Self {
+        PolicyConfig {
+            budget,
+            service_life_s,
+            hysteresis: 0.9,
+            levels: vec![DvfsLevel {
+                name: "unmanaged".to_string(),
+                vdd_cap_v: f64::MAX,
+                dt_when_capped_k: 0.0,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<DvfsLevel> {
+        vec![
+            DvfsLevel {
+                name: "turbo".to_string(),
+                vdd_cap_v: 1.26,
+                dt_when_capped_k: 0.0,
+            },
+            DvfsLevel {
+                name: "nominal".to_string(),
+                vdd_cap_v: 1.20,
+                dt_when_capped_k: -6.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn accepts_a_sane_policy() {
+        let p = PolicyConfig {
+            budget: 1e-6,
+            service_life_s: 1.6e8,
+            hysteresis: 0.8,
+            levels: ladder(),
+        };
+        assert!(p.validate().is_ok());
+        assert!(PolicyConfig::monitoring_only(1e-6, 1.6e8)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_policies() {
+        let good = PolicyConfig {
+            budget: 1e-6,
+            service_life_s: 1.6e8,
+            hysteresis: 0.8,
+            levels: ladder(),
+        };
+        for bad in [
+            PolicyConfig {
+                budget: 0.0,
+                ..good.clone()
+            },
+            PolicyConfig {
+                budget: 2.0,
+                ..good.clone()
+            },
+            PolicyConfig {
+                service_life_s: -1.0,
+                ..good.clone()
+            },
+            PolicyConfig {
+                hysteresis: 0.0,
+                ..good.clone()
+            },
+            PolicyConfig {
+                hysteresis: 1.5,
+                ..good.clone()
+            },
+            PolicyConfig {
+                levels: vec![],
+                ..good.clone()
+            },
+            PolicyConfig {
+                // Caps must strictly decrease.
+                levels: {
+                    let mut l = ladder();
+                    l[1].vdd_cap_v = 1.30;
+                    l
+                },
+                ..good.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn policy_json_round_trip() {
+        let p = PolicyConfig {
+            budget: 1e-6,
+            service_life_s: 1.6e8,
+            hysteresis: 0.8,
+            levels: ladder(),
+        };
+        let restored: PolicyConfig =
+            statobd_num::json::from_str(&statobd_num::json::to_string(&p)).unwrap();
+        assert_eq!(restored, p);
+    }
+}

@@ -9,15 +9,18 @@
 //! operating point, each block's Weibull hazard advances by
 //! `dξ_j = dt / α_j(T(t), V(t))`; the block's failure probability at any
 //! moment is the table entry at `γ_j = ln(ξ_j)` (the constant-condition
-//! identity `γ = ln(t/α)` with `ξ = t/α` made cumulative). The manager
-//! throttles the supply voltage when the projected end-of-life failure
-//! probability exceeds the budget.
+//! identity `γ = ln(t/α)` with `ξ = t/α` made cumulative). The chip-level
+//! probability is weakest-link composed on log-survival — *not* a sum of
+//! block probabilities — and the manager walks a DVFS ladder whenever the
+//! projected end-of-service probability exceeds the budget.
 //!
 //! Run with: `cargo run --release --example reliability_manager`
 
 use statobd::circuits::{build_design, Benchmark, DesignConfig};
-use statobd::core::{params, ChipAnalysis, HybridConfig, HybridTables};
-use statobd::device::{ClosedFormTech, ObdTechnology};
+use statobd::core::params;
+use statobd::core::ChipAnalysis;
+use statobd::device::ClosedFormTech;
+use statobd::manager::{DamageState, DvfsLevel, ManagerConfig, PolicyConfig, ReliabilityManager};
 use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
 
 const MONTH_S: f64 = 2.63e6;
@@ -25,7 +28,8 @@ const LIFETIME_MONTHS: usize = 60; // 5-year service target
 const BUDGET: f64 = params::ONE_PER_MILLION;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Design and tables (built once, offline).
+    // Design and tables (built once, offline). The manager widens the
+    // table grid so the whole service life stays on-grid.
     let built = build_design(Benchmark::C3, &DesignConfig::default())?;
     let model = ThicknessModelBuilder::new()
         .grid(built.grid)
@@ -37,97 +41,108 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let tech = ClosedFormTech::nominal_45nm();
     let analysis = ChipAnalysis::new(built.spec.clone(), model, &tech)?;
-    let mut tables = HybridTables::build(&analysis, HybridConfig::default())?;
-    // Reparameterize every block to α = 1 so a query at time ξ_j reads the
-    // table at γ_j = ln(ξ_j): cumulative effective age drives the tables.
-    let n_blocks = analysis.n_blocks();
 
-    // Three workload regimes: their per-block temperature offsets relative
-    // to the design's nominal profile, and the voltage the manager picks.
+    let policy = PolicyConfig {
+        budget: BUDGET,
+        service_life_s: LIFETIME_MONTHS as f64 * MONTH_S,
+        hysteresis: 0.85,
+        levels: vec![
+            DvfsLevel {
+                name: "turbo".to_string(),
+                vdd_cap_v: 1.26,
+                dt_when_capped_k: 0.0,
+            },
+            DvfsLevel {
+                name: "nominal".to_string(),
+                vdd_cap_v: 1.20,
+                dt_when_capped_k: -6.0,
+            },
+            DvfsLevel {
+                name: "eco".to_string(),
+                vdd_cap_v: 1.10,
+                dt_when_capped_k: -14.0,
+            },
+        ],
+    };
+    let mut mgr =
+        ReliabilityManager::new(&analysis, Box::new(tech), policy, ManagerConfig::default())?;
+
+    // Three workload regimes: per-block temperature offsets relative to
+    // the design's nominal profile, and the voltage the workload asks for.
     let regimes = [
         ("idle", -12.0, 1.10),
         ("typical", 0.0, 1.20),
         ("turbo", 10.0, 1.26),
     ];
+    let spec_temps: Vec<f64> = analysis
+        .blocks()
+        .iter()
+        .map(|b| b.spec().temperature_k())
+        .collect();
 
     println!("dynamic reliability manager: C3, 5-year service, budget 1 ppm\n");
     println!(
-        "{:>6} {:>9} {:>7} {:>13} {:>13}  action",
-        "month", "regime", "VDD", "P(now)", "P(projected)"
+        "{:>6} {:>9} {:>8} {:>7} {:>13} {:>13}",
+        "month", "regime", "level", "VDD", "P(now)", "P(projected)"
     );
 
-    let mut xi = vec![0.0_f64; n_blocks]; // per-block effective age (s)
-    let mut throttled = false;
+    let mut checkpoint: Option<String> = None;
     let mut query_count = 0usize;
     let query_start = std::time::Instant::now();
     for month in 0..LIFETIME_MONTHS {
-        // Pick the requested regime: a bursty pattern with turbo phases.
+        // A bursty request pattern with turbo phases.
         let (name, dt_k, vdd_req) = match month % 12 {
             0..=2 => regimes[1],
             3..=4 => regimes[2],
             5..=8 => regimes[1],
             _ => regimes[0],
         };
-        // The manager may override turbo if the budget projection fails.
-        let (vdd, label) = if throttled && vdd_req > 1.2 {
-            (1.2, "THROTTLED")
-        } else {
-            (vdd_req, "")
-        };
+        let temps: Vec<f64> = spec_temps.iter().map(|t| t + dt_k).collect();
+        let report = mgr.step(MONTH_S, &temps, vdd_req)?;
+        // One p_now sweep + one projection sweep per ladder walk.
+        query_count += 2 * analysis.n_blocks();
 
-        // Advance each block's effective age under this month's operating
-        // point.
-        for (j, block) in analysis.blocks().iter().enumerate() {
-            let t_k = block.spec().temperature_k() + dt_k;
-            let alpha = tech.alpha(t_k, vdd);
-            xi[j] += MONTH_S / alpha;
-        }
-
-        // Current and end-of-life-projected failure probability, by table
-        // lookup (α = 1, query at the effective ages).
-        let mut p_now = 0.0;
-        let mut p_proj = 0.0;
-        let months_left = (LIFETIME_MONTHS - month - 1) as f64;
-        for (j, block) in analysis.blocks().iter().enumerate() {
-            tables.set_operating_point(j, 1.0, block.b_per_nm())?;
-            p_now += tables.block_failure_probability(j, xi[j]);
-            // Projection: remaining months at the typical operating point.
-            let t_k = block.spec().temperature_k();
-            let alpha_typ = tech.alpha(t_k, 1.2);
-            let xi_proj = xi[j] + months_left * MONTH_S / alpha_typ;
-            p_proj += tables.block_failure_probability(j, xi_proj);
-            query_count += 2;
-        }
-
-        // Budget check drives the throttle state.
-        let newly_throttled = !throttled && p_proj > BUDGET;
-        if newly_throttled {
-            throttled = true;
-        }
-        if month % 12 < 6 || newly_throttled {
+        if month % 12 < 6 {
             println!(
-                "{:>6} {:>9} {:>7.2} {:>13.3e} {:>13.3e}  {}{}",
+                "{:>6} {:>9} {:>8} {:>7.2} {:>13.3e} {:>13.3e}{}",
                 month,
                 name,
-                vdd,
-                p_now,
-                p_proj,
-                label,
-                if newly_throttled {
-                    " <- budget exceeded, disabling turbo"
-                } else {
-                    ""
-                }
+                mgr.level_name(),
+                report.vdd_v,
+                report.p_now,
+                report.p_projected,
+                if report.capped { "  <- capped" } else { "" }
             );
         }
+        // Mid-life: checkpoint the complete reliability state.
+        if month == LIFETIME_MONTHS / 2 {
+            checkpoint = Some(mgr.damage().to_json());
+        }
     }
-
     let per_query = query_start.elapsed().as_secs_f64() / query_count as f64;
-    let p_final: f64 = (0..n_blocks)
-        .map(|j| tables.block_failure_probability(j, xi[j]))
-        .sum();
+
+    // The damage vector is the *complete* state: restoring the mid-life
+    // checkpoint into a fresh manager reproduces the monitored value.
+    let json = checkpoint.expect("mid-life checkpoint");
+    let mut resumed = ReliabilityManager::new(
+        &analysis,
+        Box::new(tech),
+        mgr.policy().clone(),
+        ManagerConfig::default(),
+    )?;
+    resumed.restore(DamageState::from_json(&json)?)?;
     println!(
-        "\nend of service: accumulated failure probability {p_final:.3e} (budget {BUDGET:.0e})"
+        "\nmid-life checkpoint: {} bytes of JSON, P on restore {:.3e}",
+        json.len(),
+        resumed.failure_probability_now()?
+    );
+
+    let p_final = mgr.failure_probability_now()?;
+    println!(
+        "end of service: chip failure probability {p_final:.3e} (budget {BUDGET:.0e}), \
+         {} DVFS transitions, {} off-grid queries",
+        mgr.transitions(),
+        mgr.off_grid_queries()
     );
     println!(
         "manager overhead: {} table queries at {:.1} µs each — cheap enough for a runtime monitor",
@@ -137,8 +152,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if p_final <= BUDGET {
         println!(
             "verdict: budget met{}",
-            if throttled {
-                " (after throttling turbo)"
+            if mgr.transitions() > 0 {
+                " (after throttling)"
             } else {
                 ""
             }

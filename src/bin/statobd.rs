@@ -7,6 +7,18 @@
 //! statobd bench    <C1..C6|MC16>       analyze a bundled benchmark design
 //! statobd thermal  <floorplan.json> <power.json> [opts]
 //!                                      solve the steady-state thermal map
+//! statobd manage   <spec.json> <schedule.json> [opts]
+//!                                      run the dynamic reliability manager
+//!                                      over a phase schedule
+//! statobd manage template <out.json>   write an example schedule
+//!
+//! options for manage:
+//!   --rho <f>        relative correlation distance   (default 0.5)
+//!   --grid <n>       correlation grid side           (default 25)
+//!   --l0 <n>         table-quadrature sub-domains    (default 10)
+//!   --threads <n>    worker threads for the table build
+//!   --checkpoint <path>  restore the damage state from this file if it
+//!                    exists, and save the updated state back on exit
 //!
 //! options for thermal:
 //!   --solver <name>  linear solver: auto, plain_cg, jacobi_pcg, ic0_pcg,
@@ -41,12 +53,16 @@ use statobd::core::{
     HybridTables, MonteCarloConfig, StFast, StFastConfig,
 };
 use statobd::device::ClosedFormTech;
+use statobd::manager::{
+    DamageState, DvfsLevel, ManageSpec, ManagerConfig, PhaseSpec, PolicyConfig, ReliabilityManager,
+};
 use statobd::thermal::{
     kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver, ThermalSolverKind,
 };
 use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Options {
     rho: f64,
     grid: usize,
@@ -93,11 +109,12 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>"
     );
     ExitCode::FAILURE
 }
 
+#[derive(Debug)]
 struct ThermalOptions {
     solver: ThermalSolverKind,
     grid: Option<usize>,
@@ -133,6 +150,9 @@ fn parse_thermal_options(args: &[String]) -> Result<ThermalOptions, String> {
             "--timings" => opts.timings = true,
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if opts.grid == Some(0) {
+        return Err("--grid: the thermal grid needs at least one cell per side".to_string());
     }
     Ok(opts)
 }
@@ -248,7 +268,43 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
+    validate_options(&opts)?;
     Ok(opts)
+}
+
+/// Rejects parameter values that would only fail (or silently produce
+/// nonsense) deep inside the analysis: zero grid sides, zero quadrature
+/// sub-domains, non-positive correlation distances, empty Monte-Carlo
+/// populations and empty curves.
+fn validate_options(opts: &Options) -> Result<(), String> {
+    if !(opts.rho > 0.0) || !opts.rho.is_finite() {
+        return Err(format!(
+            "--rho: correlation distance must be positive and finite, got {}",
+            opts.rho
+        ));
+    }
+    if opts.grid == 0 {
+        return Err("--grid: the correlation grid needs at least one cell per side".to_string());
+    }
+    if opts.l0 == 0 {
+        return Err("--l0: the quadrature needs at least one sub-domain".to_string());
+    }
+    if !(opts.target > 0.0) || opts.target >= 1.0 {
+        return Err(format!(
+            "--target: failure-probability target must be in (0, 1), got {}",
+            opts.target
+        ));
+    }
+    if opts.mc_chips == Some(0) {
+        return Err("--mc: the Monte-Carlo population needs at least one chip".to_string());
+    }
+    if opts.curve_points == Some(0) {
+        return Err("--curve: the P(t) curve needs at least one point".to_string());
+    }
+    if opts.threads == Some(0) {
+        return Err("--threads: need at least one worker thread".to_string());
+    }
+    Ok(())
 }
 
 fn template(path: &str) -> Result<(), String> {
@@ -277,6 +333,244 @@ fn template(path: &str) -> Result<(), String> {
         "grid indices refer to a {0}x{0} correlation grid (row-major)",
         25
     );
+    Ok(())
+}
+
+#[derive(Debug)]
+struct ManageOptions {
+    rho: f64,
+    grid: usize,
+    l0: usize,
+    threads: Option<usize>,
+    checkpoint: Option<String>,
+}
+
+fn parse_manage_options(args: &[String]) -> Result<ManageOptions, String> {
+    let mut opts = ManageOptions {
+        rho: params::DEFAULT_CORRELATION_DISTANCE,
+        grid: params::DEFAULT_GRID_SIDE,
+        l0: params::DEFAULT_L0,
+        threads: None,
+        checkpoint: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--rho" => opts.rho = value("--rho")?.parse().map_err(|e| format!("--rho: {e}"))?,
+            "--grid" => {
+                opts.grid = value("--grid")?
+                    .parse()
+                    .map_err(|e| format!("--grid: {e}"))?
+            }
+            "--l0" => opts.l0 = value("--l0")?.parse().map_err(|e| format!("--l0: {e}"))?,
+            "--threads" => {
+                opts.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if !(opts.rho > 0.0) || !opts.rho.is_finite() {
+        return Err(format!(
+            "--rho: correlation distance must be positive and finite, got {}",
+            opts.rho
+        ));
+    }
+    if opts.grid == 0 {
+        return Err("--grid: the correlation grid needs at least one cell per side".to_string());
+    }
+    if opts.l0 == 0 {
+        return Err("--l0: the quadrature needs at least one sub-domain".to_string());
+    }
+    if opts.threads == Some(0) {
+        return Err("--threads: need at least one worker thread".to_string());
+    }
+    Ok(opts)
+}
+
+/// Writes an example `statobd manage` schedule: a 1-ppm five-year budget,
+/// a three-level DVFS ladder and a bursty typical/turbo/idle pattern.
+fn manage_template(path: &str) -> Result<(), String> {
+    const MONTH_S: f64 = 2.63e6;
+    let spec = ManageSpec {
+        policy: PolicyConfig {
+            budget: params::ONE_PER_MILLION,
+            service_life_s: 60.0 * MONTH_S,
+            hysteresis: 0.85,
+            levels: vec![
+                DvfsLevel {
+                    name: "turbo".to_string(),
+                    vdd_cap_v: 1.26,
+                    dt_when_capped_k: 0.0,
+                },
+                DvfsLevel {
+                    name: "nominal".to_string(),
+                    vdd_cap_v: 1.20,
+                    dt_when_capped_k: -6.0,
+                },
+                DvfsLevel {
+                    name: "eco".to_string(),
+                    vdd_cap_v: 1.10,
+                    dt_when_capped_k: -14.0,
+                },
+            ],
+        },
+        phases: vec![
+            PhaseSpec {
+                name: "typical".to_string(),
+                duration_s: 3.0 * MONTH_S,
+                dt_k: 0.0,
+                vdd_v: 1.20,
+            },
+            PhaseSpec {
+                name: "turbo".to_string(),
+                duration_s: 2.0 * MONTH_S,
+                dt_k: 10.0,
+                vdd_v: 1.26,
+            },
+            PhaseSpec {
+                name: "idle".to_string(),
+                duration_s: 7.0 * MONTH_S,
+                dt_k: -12.0,
+                vdd_v: 1.10,
+            },
+        ],
+        steps_per_phase: 3,
+        repeat: 5,
+    };
+    std::fs::write(path, spec.to_json()).map_err(|e| e.to_string())?;
+    println!("wrote example schedule to {path}");
+    println!("phase temperatures are offsets (dt_k) from each block's spec temperature");
+    Ok(())
+}
+
+/// Runs the dynamic reliability manager over a phase schedule.
+fn manage(spec_path: &str, schedule_path: &str, opts: &ManageOptions) -> Result<(), String> {
+    let chip: ChipSpec = statobd::num::json::from_str(
+        &std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {spec_path}: {e}"))?;
+    let schedule = ManageSpec::from_json(
+        &std::fs::read_to_string(schedule_path)
+            .map_err(|e| format!("reading {schedule_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {schedule_path}: {e}"))?;
+
+    let grid = GridSpec::square_unit(opts.grid).map_err(|e| e.to_string())?;
+    let model = ThicknessModelBuilder::new()
+        .grid(grid)
+        .nominal(params::NOMINAL_THICKNESS_NM)
+        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM).map_err(|e| e.to_string())?)
+        .kernel(CorrelationKernel::Exponential {
+            rel_distance: opts.rho,
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    let tech = ClosedFormTech::nominal_45nm();
+    let analysis = ChipAnalysis::new(chip, model, &tech).map_err(|e| e.to_string())?;
+
+    let start = std::time::Instant::now();
+    let manager_config = ManagerConfig {
+        tables: HybridConfig {
+            quadrature_l0: opts.l0,
+            threads: opts.threads,
+            ..HybridConfig::default()
+        },
+        ..ManagerConfig::default()
+    };
+    let mut mgr = ReliabilityManager::new(
+        &analysis,
+        Box::new(tech),
+        schedule.policy.clone(),
+        manager_config,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "manager ready: {} blocks, tables γ ∈ [{:.1}, {:.1}], b ∈ [{:.3}, {:.3}]  [{:.2} s]",
+        analysis.n_blocks(),
+        mgr.tables().config().gamma_range.0,
+        mgr.tables().config().gamma_range.1,
+        mgr.tables().config().b_range.0,
+        mgr.tables().config().b_range.1,
+        start.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = &opts.checkpoint {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                let state = DamageState::from_json(&json).map_err(|e| e.to_string())?;
+                println!(
+                    "restored checkpoint {path}: {:.3} years of damage, P = {:.3e}",
+                    state.elapsed_s() / 3.156e7,
+                    {
+                        mgr.restore(state).map_err(|e| e.to_string())?;
+                        mgr.failure_probability_now().map_err(|e| e.to_string())?
+                    }
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                println!("checkpoint {path} not found, starting from a pristine chip");
+            }
+            Err(e) => return Err(format!("reading {path}: {e}")),
+        }
+    }
+
+    println!(
+        "\n{:>5} {:>12} {:>8} {:>7} {:>13} {:>13}",
+        "cycle", "phase", "level", "VDD", "P(now)", "P(projected)"
+    );
+    let budget = schedule.policy.budget;
+    for cycle in 0..schedule.repeat {
+        for phase_spec in &schedule.phases {
+            let phase = phase_spec.resolve(analysis.spec());
+            let reports = mgr
+                .run_phase(&phase, schedule.steps_per_phase)
+                .map_err(|e| e.to_string())?;
+            let last = reports.last().expect("at least one step");
+            println!(
+                "{:>5} {:>12} {:>8} {:>7.2} {:>13.3e} {:>13.3e}{}",
+                cycle,
+                phase.name,
+                mgr.level_name(),
+                last.vdd_v,
+                last.p_now,
+                last.p_projected,
+                if last.capped { "  <- capped" } else { "" }
+            );
+        }
+    }
+
+    let p_final = mgr.failure_probability_now().map_err(|e| e.to_string())?;
+    println!(
+        "\nend of schedule: {:.2} years elapsed, P = {p_final:.3e} (budget {budget:.1e}), {} DVFS transitions",
+        mgr.damage().elapsed_s() / 3.156e7,
+        mgr.transitions()
+    );
+    if mgr.off_grid_queries() > 0 {
+        println!(
+            "warning: {} table queries ran off the grid — results clamp conservatively low; \
+             rebuild with a longer service life or cooler schedule",
+            mgr.off_grid_queries()
+        );
+    }
+    println!(
+        "verdict: budget {}",
+        if p_final <= budget { "met" } else { "exceeded" }
+    );
+
+    if let Some(path) = &opts.checkpoint {
+        std::fs::write(path, mgr.damage().to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("damage state checkpointed to {path}");
+    }
     Ok(())
 }
 
@@ -469,6 +763,14 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             }
         }
+        "manage" => match (args.get(1).map(String::as_str), args.get(2)) {
+            (Some("template"), Some(path)) => manage_template(path),
+            (Some(spec), Some(schedule)) => match parse_manage_options(&args[3..]) {
+                Ok(opts) => manage(spec, schedule, &opts),
+                Err(e) => Err(e),
+            },
+            _ => return usage(),
+        },
         "bench" => {
             let Some(name) = args.get(1) else {
                 return usage();
@@ -509,6 +811,96 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_options_accepts_sane_flags() {
+        let opts = parse_options(&args(&[
+            "--rho",
+            "0.4",
+            "--grid",
+            "12",
+            "--l0",
+            "8",
+            "--mc",
+            "50",
+            "--curve",
+            "5",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(opts.grid, 12);
+        assert_eq!(opts.l0, 8);
+        assert_eq!(opts.mc_chips, Some(50));
+        assert_eq!(opts.curve_points, Some(5));
+        assert_eq!(opts.threads, Some(2));
+        assert!((opts.rho - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_options_rejects_degenerate_values_at_parse_time() {
+        // Each of these used to parse fine and fail (or mislead) much
+        // later, deep inside the analysis.
+        for (bad, needle) in [
+            (vec!["--l0", "0"], "--l0"),
+            (vec!["--grid", "0"], "--grid"),
+            (vec!["--rho", "0"], "--rho"),
+            (vec!["--rho", "-0.5"], "--rho"),
+            (vec!["--rho", "nan"], "--rho"),
+            (vec!["--mc", "0"], "--mc"),
+            (vec!["--curve", "0"], "--curve"),
+            (vec!["--threads", "0"], "--threads"),
+            (vec!["--target", "0"], "--target"),
+            (vec!["--target", "1.5"], "--target"),
+        ] {
+            let err = parse_options(&args(&bad)).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "rejection for {bad:?} should mention {needle}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_options_rejects_unknown_and_dangling_flags() {
+        assert!(parse_options(&args(&["--frobnicate"])).is_err());
+        assert!(parse_options(&args(&["--rho"])).is_err());
+    }
+
+    #[test]
+    fn parse_thermal_options_rejects_zero_grid() {
+        assert!(parse_thermal_options(&args(&["--grid", "0"])).is_err());
+        assert!(parse_thermal_options(&args(&["--grid", "32"])).is_ok());
+    }
+
+    #[test]
+    fn parse_manage_options_validates_like_analyze() {
+        let opts =
+            parse_manage_options(&args(&["--checkpoint", "state.json", "--grid", "10"])).unwrap();
+        assert_eq!(opts.checkpoint.as_deref(), Some("state.json"));
+        assert_eq!(opts.grid, 10);
+        for bad in [
+            vec!["--l0", "0"],
+            vec!["--grid", "0"],
+            vec!["--rho", "0"],
+            vec!["--threads", "0"],
+            vec!["--unknown"],
+        ] {
+            assert!(
+                parse_manage_options(&args(&bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 }

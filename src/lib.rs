@@ -15,6 +15,9 @@
 //! * [`device`] — device-level Weibull OBD model and degradation simulator,
 //! * [`core`] — the statistical chip-level reliability engines, all built
 //!   through the unified [`core::build_engine`] factory,
+//! * [`manager`] — runtime dynamic reliability management on the hybrid
+//!   tables: effective-age damage accumulation, budget-driven DVFS
+//!   throttling and checkpointable monitoring,
 //! * [`circuits`] — the C1–C6 benchmark designs from the paper.
 //!
 //! The workspace is **hermetic**: it builds offline with the standard
@@ -60,6 +63,7 @@
 pub use statobd_circuits as circuits;
 pub use statobd_core as core;
 pub use statobd_device as device;
+pub use statobd_manager as manager;
 pub use statobd_num as num;
 pub use statobd_thermal as thermal;
 pub use statobd_variation as variation;

@@ -105,6 +105,114 @@ fn tables_export_writes_valid_json() {
 }
 
 #[test]
+fn degenerate_option_values_fail_fast() {
+    // These used to parse fine and blow up (or mislead) deep inside the
+    // analysis; now the CLI rejects them before building anything.
+    for bad in [
+        ["--l0", "0"],
+        ["--grid", "0"],
+        ["--rho", "0"],
+        ["--rho", "-1"],
+        ["--mc", "0"],
+        ["--curve", "0"],
+    ] {
+        let out = Command::new(bin())
+            .args(["bench", "C1"])
+            .args(bad)
+            .output()
+            .expect("run bench");
+        assert!(!out.status.success(), "{bad:?} should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(bad[0]),
+            "rejection for {bad:?} should mention the flag: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn manage_runs_a_schedule_and_checkpoints() {
+    let dir = std::env::temp_dir().join("statobd_cli_manage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+    let sched = dir.join("sched.json");
+    let state = dir.join("state.json");
+
+    let out = Command::new(bin())
+        .args(["template", spec.to_str().unwrap()])
+        .output()
+        .expect("template");
+    assert!(out.status.success(), "{out:?}");
+    let out = Command::new(bin())
+        .args(["manage", "template", sched.to_str().unwrap()])
+        .output()
+        .expect("manage template");
+    assert!(out.status.success(), "{out:?}");
+
+    let run = |extra: &[&str]| {
+        Command::new(bin())
+            .args([
+                "manage",
+                spec.to_str().unwrap(),
+                sched.to_str().unwrap(),
+                "--grid",
+                "8",
+                "--checkpoint",
+                state.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .expect("manage")
+    };
+    let out = run(&[]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pristine chip"), "{stdout}");
+    assert!(stdout.contains("end of schedule"), "{stdout}");
+    assert!(stdout.contains("verdict: budget"), "{stdout}");
+    // The checkpoint was written and restores as a valid damage state.
+    let json = std::fs::read_to_string(&state).unwrap();
+    assert!(statobd::manager::DamageState::from_json(&json).is_ok());
+
+    // A second run resumes from the accumulated damage.
+    let out = run(&[]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("restored checkpoint"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manage_rejects_bad_schedules() {
+    let dir = std::env::temp_dir().join("statobd_cli_manage_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+    Command::new(bin())
+        .args(["template", spec.to_str().unwrap()])
+        .output()
+        .expect("template");
+    // A schedule whose policy has an empty ladder must be rejected while
+    // parsing, before any tables are built.
+    let sched = dir.join("sched.json");
+    std::fs::write(
+        &sched,
+        r#"{"policy": {"budget": 1e-6, "service_life_s": 1e8, "hysteresis": 0.8, "levels": []},
+            "phases": [{"name": "p", "duration_s": 1e6, "dt_k": 0.0, "vdd_v": 1.2}],
+            "steps_per_phase": 1, "repeat": 1}"#,
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args(["manage", spec.to_str().unwrap(), sched.to_str().unwrap()])
+        .output()
+        .expect("manage");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ladder"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn thermal_subcommand_reports_block_temperatures() {
     use statobd::thermal::{Block, BlockPower, Floorplan, PowerModel, Rect};
     let dir = std::env::temp_dir().join("statobd_cli_thermal");
