@@ -28,7 +28,7 @@ fn main() {
         }
     }
     let block = BlockSpec::new("fig6", 20_000.0, 20_000, 358.15, 1.2, weights).expect("block spec");
-    let moments = BlodMoments::characterize(&model, &block);
+    let moments = BlodMoments::characterize(&model, &block).expect("BLOD characterization");
 
     // Sample (u, v) pairs.
     let n_samples = 200_000;

@@ -26,7 +26,7 @@ fn main() {
         }
     }
     let block = BlockSpec::new("fig8", 50_000.0, 50_000, 358.15, 1.2, weights).expect("block spec");
-    let moments = BlodMoments::characterize(&model, &block);
+    let moments = BlodMoments::characterize(&model, &block).expect("BLOD characterization");
     let v_dist = moments.v_dist();
 
     println!("== Fig. 8: quadratic-form CDF vs chi-square approximation ==");

@@ -27,8 +27,8 @@
 //!   ... ] }
 //! ```
 
-use statobd_bench::{analyze, thickness_model_for};
-use statobd_circuits::{build_design, Benchmark, DesignConfig};
+use statobd_bench::session_for;
+use statobd_circuits::Benchmark;
 use statobd_core::{HybridTables, ReliabilityEngine};
 use statobd_device::ClosedFormTech;
 use statobd_manager::{DvfsLevel, ManagerConfig, PolicyConfig, ReliabilityManager};
@@ -103,19 +103,10 @@ struct Options {
 }
 
 fn parse_benchmark(name: &str) -> Benchmark {
-    match name.to_ascii_uppercase().as_str() {
-        "C1" => Benchmark::C1,
-        "C2" => Benchmark::C2,
-        "C3" => Benchmark::C3,
-        "C4" => Benchmark::C4,
-        "C5" => Benchmark::C5,
-        "C6" => Benchmark::C6,
-        "MC16" => Benchmark::ManyCore16,
-        other => {
-            eprintln!("unknown design {other:?} (expected C1..C6 or MC16)");
-            std::process::exit(2);
-        }
-    }
+    Benchmark::parse(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_options() -> Options {
@@ -195,9 +186,8 @@ fn main() {
     let mut all_within = true;
 
     for &benchmark in &opts.designs {
-        let built = build_design(benchmark, &DesignConfig::default()).expect("design builds");
-        let model = thickness_model_for(&built, 0.5);
-        let analysis = analyze(&built, &model, &tech).expect("analysis succeeds");
+        let session = session_for(benchmark, 0.5);
+        let analysis = session.analysis();
         let n_blocks = analysis.n_blocks();
         let spec_temps: Vec<f64> = analysis
             .blocks()
@@ -213,7 +203,7 @@ fn main() {
             "{}: {} blocks, {} devices",
             benchmark.name(),
             n_blocks,
-            built.spec.total_devices()
+            analysis.spec().total_devices()
         );
         let manager_config = ManagerConfig {
             tables: statobd_core::HybridConfig {
@@ -229,7 +219,7 @@ fn main() {
         // engine, anchoring the damage model.
         let build_start = Instant::now();
         let mut mgr = ReliabilityManager::new(
-            &analysis,
+            analysis,
             Box::new(tech),
             PolicyConfig::monitoring_only(1.0, service_life_s),
             manager_config,
@@ -249,7 +239,7 @@ fn main() {
         // table configuration — identical grids, so the only difference
         // is Σ(dt/α) vs (Σdt)/α float rounding.
         let mut direct =
-            HybridTables::build(&analysis, *mgr.tables().config()).expect("direct tables");
+            HybridTables::build(analysis, *mgr.tables().config()).expect("direct tables");
         let p_direct = direct
             .failure_probability(mgr.damage().elapsed_s())
             .expect("direct eval");
@@ -305,7 +295,7 @@ fn main() {
         };
         let build_start = Instant::now();
         let mut mgr = ReliabilityManager::new(
-            &analysis,
+            analysis,
             Box::new(tech),
             policy,
             ManagerConfig {

@@ -2,19 +2,20 @@
 //! one-screen summary — a fast end-to-end sanity check of the whole
 //! pipeline (design construction, thermal solve, PCA, BLOD, engines).
 use statobd_bench::*;
-use statobd_circuits::{build_design, Benchmark, DesignConfig};
+use statobd_circuits::Benchmark;
 use statobd_core::MonteCarloConfig;
 use statobd_core::StMcConfig;
-use statobd_device::ClosedFormTech;
 
 fn main() {
-    let built = build_design(Benchmark::C1, &DesignConfig::default()).unwrap();
+    let session = session_for(Benchmark::C1, 0.5);
+    let analysis = session.analysis();
     println!(
-        "C1 built: {} blocks, {} devices",
-        built.spec.n_blocks(),
-        built.spec.total_devices()
+        "C1 built: {} blocks, {} devices  (cold compile {:.2}s)",
+        analysis.spec().n_blocks(),
+        analysis.spec().total_devices(),
+        session.stats().build_s
     );
-    for b in built.spec.blocks() {
+    for b in analysis.spec().blocks() {
         println!(
             "  {:>4}: m={:>7} T={:.1}C",
             b.name(),
@@ -22,26 +23,15 @@ fn main() {
             b.temperature_k() - 273.15
         );
     }
-    let t0 = std::time::Instant::now();
-    let model = thickness_model_for(&built, 0.5);
-    println!(
-        "model built in {:.2}s: {} grids, {} PCs",
-        t0.elapsed().as_secs_f64(),
-        model.n_grids(),
-        model.n_components()
-    );
-    let tech = ClosedFormTech::nominal_45nm();
-    let t0 = std::time::Instant::now();
-    let analysis = analyze(&built, &model, &tech).unwrap();
-    println!("analysis in {:.2}s", t0.elapsed().as_secs_f64());
-    let mc = run_mc(&analysis, MonteCarloConfig::default()).unwrap();
+    println!("retained components: {}", session.stats().n_components);
+    let mc = run_mc(analysis, MonteCarloConfig::default()).unwrap();
     println!(
         "MC:      t1={} t10={} rt={}",
         fmt_lifetime(mc.t_1pm),
         fmt_lifetime(mc.t_10pm),
         fmt_seconds(mc.runtime_s)
     );
-    let fast = run_st_fast(&analysis).unwrap();
+    let fast = run_st_fast(analysis).unwrap();
     let (e1, e10) = fast.error_pct(&mc);
     println!(
         "st_fast: t1={} err=({:.2}%,{:.2}%) rt={}",
@@ -50,7 +40,7 @@ fn main() {
         e10,
         fmt_seconds(fast.runtime_s)
     );
-    let smc = run_st_mc(&analysis, StMcConfig::default()).unwrap();
+    let smc = run_st_mc(analysis, StMcConfig::default()).unwrap();
     let (e1, e10) = smc.error_pct(&mc);
     println!(
         "st_MC:   t1={} err=({:.2}%,{:.2}%) rt={}",
@@ -59,7 +49,7 @@ fn main() {
         e10,
         fmt_seconds(smc.runtime_s)
     );
-    let (build_s, hyb) = run_hybrid(&analysis).unwrap();
+    let (build_s, hyb) = run_hybrid(analysis).unwrap();
     let (e1, e10) = hyb.error_pct(&mc);
     println!(
         "hybrid:  t1={} err=({:.2}%,{:.2}%) rt={} (build {})",
@@ -69,7 +59,7 @@ fn main() {
         fmt_seconds(hyb.runtime_s),
         fmt_seconds(build_s)
     );
-    let guard = run_guard(&analysis).unwrap();
+    let guard = run_guard(analysis).unwrap();
     let (e1, e10) = guard.error_pct(&mc);
     println!(
         "guard:   t1={} err=({:.2}%,{:.2}%)",

@@ -24,10 +24,9 @@
 //!   "bit_identical": true }, ... ] }
 //! ```
 
-use statobd_bench::{analyze, thickness_model_for, BRACKET};
-use statobd_circuits::{build_design, Benchmark, DesignConfig};
+use statobd_bench::{session_for, BRACKET};
+use statobd_circuits::Benchmark;
 use statobd_core::{build_engine, EngineKind, EngineSpec, MonteCarloConfig};
-use statobd_device::ClosedFormTech;
 use statobd_num::impl_json_struct;
 use std::time::Instant;
 
@@ -85,19 +84,10 @@ struct Options {
 }
 
 fn parse_benchmark(name: &str) -> Benchmark {
-    match name.to_ascii_uppercase().as_str() {
-        "C1" => Benchmark::C1,
-        "C2" => Benchmark::C2,
-        "C3" => Benchmark::C3,
-        "C4" => Benchmark::C4,
-        "C5" => Benchmark::C5,
-        "C6" => Benchmark::C6,
-        "MC16" => Benchmark::ManyCore16,
-        other => {
-            eprintln!("unknown design {other:?} (expected C1..C6 or MC16)");
-            std::process::exit(2);
-        }
-    }
+    Benchmark::parse(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_options() -> Options {
@@ -170,19 +160,18 @@ fn sweep_times(n: usize) -> Vec<f64> {
 fn main() {
     let opts = parse_options();
     let threads = (opts.threads > 0).then_some(opts.threads);
-    let tech = ClosedFormTech::nominal_45nm();
     let mut rows = Vec::new();
     let mut all_identical = true;
 
     for &benchmark in &opts.designs {
-        let built = build_design(benchmark, &DesignConfig::default()).expect("design builds");
-        let model = thickness_model_for(&built, 0.5);
-        let analysis = analyze(&built, &model, &tech).expect("analysis succeeds");
+        let session = session_for(benchmark, 0.5);
+        let analysis = session.analysis();
+        let devices = analysis.spec().total_devices();
         println!(
             "{}: {} blocks, {} devices",
             benchmark.name(),
-            built.spec.n_blocks(),
-            built.spec.total_devices()
+            analysis.spec().n_blocks(),
+            devices
         );
 
         for kind in EngineKind::ALL {
@@ -195,7 +184,7 @@ fn main() {
             }
             .with_threads(threads);
             let build_start = Instant::now();
-            let mut engine = build_engine(&analysis, &spec).expect("engine builds");
+            let mut engine = build_engine(analysis, &spec).expect("engine builds");
             let build_s = build_start.elapsed().as_secs_f64();
 
             for &n in &opts.sweeps {
@@ -223,7 +212,7 @@ fn main() {
                 let row = SweepRow {
                     design: benchmark.name().to_string(),
                     engine: kind.name().to_string(),
-                    devices: built.spec.total_devices(),
+                    devices,
                     sweep_len: ts.len(),
                     build_s,
                     scalar_eval_s,

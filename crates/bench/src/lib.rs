@@ -132,6 +132,18 @@ pub fn analyze(
     ChipAnalysis::new(built.spec.clone(), model.clone(), tech)
 }
 
+/// Compiles a benchmark design through the facade
+/// [`AnalysisSpec`](statobd::AnalysisSpec)/[`Session`](statobd::Session)
+/// path with relative correlation distance `rho` — the substrate
+/// defaults match `DesignConfig::default()` plus the Table II model, so
+/// the session's analysis is identical to the hand-assembled one. Use
+/// `session.analysis()` to drive specific engines.
+pub fn session_for(benchmark: statobd_circuits::Benchmark, rho: f64) -> statobd::Session {
+    let mut spec = statobd::AnalysisSpec::benchmark(benchmark);
+    spec.model.kernel = CorrelationKernel::Exponential { rel_distance: rho };
+    statobd::Session::build(&spec).expect("benchmark designs compile")
+}
+
 /// Formats seconds for table cells: sub-millisecond values in scientific
 /// notation, the rest with three significant digits.
 pub fn fmt_seconds(s: f64) -> String {

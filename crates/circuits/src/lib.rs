@@ -58,6 +58,37 @@ pub enum Benchmark {
 }
 
 impl Benchmark {
+    /// Every bundled design, in order: the six Table III circuits plus the
+    /// 16-core many-core extra.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::C1,
+        Benchmark::C2,
+        Benchmark::C3,
+        Benchmark::C4,
+        Benchmark::C5,
+        Benchmark::C6,
+        Benchmark::ManyCore16,
+    ];
+
+    /// Parses a benchmark name (case-insensitive: `C1`..`C6`, `MC16`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] listing the valid names
+    /// if `s` matches none of them.
+    pub fn parse(s: &str) -> Result<Self> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+                CircuitError::InvalidParameter {
+                    detail: format!("unknown benchmark '{s}' (one of: {})", names.join(", ")),
+                }
+            })
+    }
+
     /// The six designs of Table III, in order.
     pub fn table_iii() -> [Benchmark; 6] {
         [
@@ -129,6 +160,23 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+impl statobd_num::json::ToJson for Benchmark {
+    fn to_json(&self) -> statobd_num::json::Json {
+        statobd_num::json::Json::String(self.name().to_string())
+    }
+}
+
+impl statobd_num::json::FromJson for Benchmark {
+    fn from_json(
+        json: &statobd_num::json::Json,
+    ) -> std::result::Result<Self, statobd_num::json::JsonError> {
+        let name = json
+            .as_str()
+            .ok_or_else(|| statobd_num::json::JsonError::new("benchmark: expected a string"))?;
+        Benchmark::parse(name).map_err(|e| statobd_num::json::JsonError::new(e.to_string()))
+    }
+}
+
 /// Errors from the benchmark construction pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CircuitError {
@@ -177,3 +225,33 @@ impl From<CoreError> for CircuitError {
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CircuitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statobd_num::json::{FromJson, ToJson};
+
+    #[test]
+    fn parse_accepts_every_name_case_insensitively() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::parse(b.name()).unwrap(), b);
+            assert_eq!(Benchmark::parse(&b.name().to_lowercase()).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn parse_lists_the_menu_on_failure() {
+        let err = Benchmark::parse("C9").unwrap_err().to_string();
+        assert!(err.contains("C9") && err.contains("MC16"), "{err}");
+    }
+
+    #[test]
+    fn benchmark_json_round_trips_as_its_name() {
+        for b in Benchmark::ALL {
+            let json = b.to_json();
+            assert_eq!(json.as_str(), Some(b.name()));
+            assert_eq!(Benchmark::from_json(&json).unwrap(), b);
+        }
+        assert!(Benchmark::from_json(&statobd_num::json::Json::Number(3.0)).is_err());
+    }
+}

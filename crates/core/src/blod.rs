@@ -164,14 +164,74 @@ pub struct BlodMoments {
     chi2_dof: f64,
 }
 
+// Manual (de)serialization instead of `impl_json_struct`: the component
+// arrays scale with the model size, so they use the packed bit-exact
+// float encoding to keep persisted artifacts cheap to load.
+impl statobd_num::json::ToJson for BlodMoments {
+    fn to_json(&self) -> statobd_num::json::Json {
+        use statobd_num::json::{pack_f64s, Json};
+        Json::Object(vec![
+            ("u_nominal".to_string(), self.u_nominal.to_json()),
+            ("u_coeffs".to_string(), pack_f64s(&self.u_coeffs)),
+            ("u_sigma".to_string(), self.u_sigma.to_json()),
+            ("v_floor".to_string(), self.v_floor.to_json()),
+            ("q_trace".to_string(), self.q_trace.to_json()),
+            ("q_trace_sq".to_string(), self.q_trace_sq.to_json()),
+            (
+                "v_projections".to_string(),
+                Json::Array(self.v_projections.iter().map(|p| pack_f64s(p)).collect()),
+            ),
+            ("chi2_scale".to_string(), self.chi2_scale.to_json()),
+            ("chi2_dof".to_string(), self.chi2_dof.to_json()),
+        ])
+    }
+}
+
+impl statobd_num::json::FromJson for BlodMoments {
+    fn from_json(v: &statobd_num::json::Json) -> statobd_num::json::Result<Self> {
+        use statobd_num::json::{unpack_f64s, Json, JsonError};
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field '{k}' in BlodMoments")))
+        };
+        let v_projections = match field("v_projections")? {
+            Json::Array(rows) => rows
+                .iter()
+                .map(unpack_f64s)
+                .collect::<statobd_num::json::Result<Vec<_>>>()?,
+            other => {
+                return Err(JsonError::new(format!(
+                    "expected an array of packed projections, got {other}"
+                )))
+            }
+        };
+        Ok(BlodMoments {
+            u_nominal: f64::from_json(field("u_nominal")?)?,
+            u_coeffs: unpack_f64s(field("u_coeffs")?)?,
+            u_sigma: f64::from_json(field("u_sigma")?)?,
+            v_floor: f64::from_json(field("v_floor")?)?,
+            q_trace: f64::from_json(field("q_trace")?)?,
+            q_trace_sq: f64::from_json(field("q_trace_sq")?)?,
+            v_projections,
+            chi2_scale: f64::from_json(field("chi2_scale")?)?,
+            chi2_dof: f64::from_json(field("chi2_dof")?)?,
+        })
+    }
+}
+
 impl BlodMoments {
     /// Characterizes the BLOD of `block` under `model` (eqs. 22/24/29/30).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigendecomposition failures from the Gram-matrix
+    /// low-rank projection ([`crate::CoreError::Numerical`]).
     ///
     /// # Panics
     ///
     /// Panics if the block references grids outside the model (the
     /// [`crate::ChipAnalysis`] constructor validates this).
-    pub fn characterize(model: &ThicknessModel, block: &BlockSpec) -> Self {
+    pub fn characterize(model: &ThicknessModel, block: &BlockSpec) -> Result<Self> {
         let n_pc = model.n_components();
         let weights = block.grid_weights();
 
@@ -207,7 +267,7 @@ impl BlodMoments {
         // Gram matrix G = F·Fᵀ (n_bg × n_bg): tr(Q) = tr(G),
         // tr(Q²) = Σ G_ik², and the eigenvectors of G give the low-rank
         // projection of Q.
-        let gram = f.mul(&f.transpose()).expect("F·Fᵀ dimensions always agree");
+        let gram = f.mul(&f.transpose())?;
         let q_trace = gram.trace();
         let q_trace_sq = gram.as_slice().iter().map(|x| x * x).sum::<f64>();
 
@@ -227,8 +287,7 @@ impl BlodMoments {
             // on large blocks the Gram decomposition drops from O(m³) to
             // O(k·m²).
             let eig =
-                SymmetricEigen::with_options(&gram, &SpectralOptions::energy(PROJECTION_ENERGY))
-                    .expect("gram matrix is symmetric");
+                SymmetricEigen::with_options(&gram, &SpectralOptions::energy(PROJECTION_ENERGY))?;
             for (r, &mu) in eig.eigenvalues().iter().enumerate() {
                 if mu <= 0.0 {
                     break;
@@ -249,7 +308,7 @@ impl BlodMoments {
             }
         }
 
-        BlodMoments {
+        Ok(BlodMoments {
             u_nominal,
             u_coeffs,
             u_sigma,
@@ -259,7 +318,7 @@ impl BlodMoments {
             v_projections,
             chi2_scale,
             chi2_dof,
-        }
+        })
     }
 
     /// Nominal sample mean `u_{j,0}`.
@@ -425,7 +484,7 @@ mod tests {
     #[test]
     fn single_grid_block_has_deterministic_variance() {
         let m = model(4);
-        let mom = BlodMoments::characterize(&m, &block(vec![(5, 1.0)]));
+        let mom = BlodMoments::characterize(&m, &block(vec![(5, 1.0)])).unwrap();
         assert_eq!(mom.q_trace(), 0.0);
         assert!(matches!(mom.v_dist(), VarianceDist::Deterministic(v)
             if (v - m.sigma_ind().powi(2)).abs() < 1e-18));
@@ -438,7 +497,7 @@ mod tests {
     fn multi_grid_block_gains_variance_spread() {
         let m = model(4);
         // Far-apart grids: within-block dispersion is large.
-        let mom = BlodMoments::characterize(&m, &block(vec![(0, 0.5), (15, 0.5)]));
+        let mom = BlodMoments::characterize(&m, &block(vec![(0, 0.5), (15, 0.5)])).unwrap();
         assert!(mom.q_trace() > 0.0);
         let v = mom.v_dist();
         assert!(v.mean() > m.sigma_ind().powi(2));
@@ -452,7 +511,7 @@ mod tests {
     fn uv_given_z_matches_brute_force_quadratic_form() {
         let m = model(5);
         let b = block(vec![(0, 0.25), (1, 0.25), (7, 0.5)]);
-        let mom = BlodMoments::characterize(&m, &b);
+        let mom = BlodMoments::characterize(&m, &b).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut ns = NormalSampler::new();
         for _ in 0..50 {
@@ -473,7 +532,7 @@ mod tests {
     fn monte_carlo_moments_match_analytic() {
         let m = model(5);
         let b = block(vec![(0, 0.3), (6, 0.4), (24, 0.3)]);
-        let mom = BlodMoments::characterize(&m, &b);
+        let mom = BlodMoments::characterize(&m, &b).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(17);
         let mut ns = NormalSampler::new();
         let mut u_stats = OnlineStats::new();
@@ -511,7 +570,7 @@ mod tests {
         // the empirical CDF of the quadratic form.
         let m = model(5);
         let b = block(vec![(0, 0.2), (3, 0.2), (12, 0.2), (20, 0.2), (24, 0.2)]);
-        let mom = BlodMoments::characterize(&m, &b);
+        let mom = BlodMoments::characterize(&m, &b).unwrap();
         let vd = mom.v_dist();
         let mut rng = Xoshiro256pp::seed_from_u64(23);
         let mut ns = NormalSampler::new();
@@ -529,7 +588,7 @@ mod tests {
     #[test]
     fn mean_dist_variants() {
         let m = model(3);
-        let mom = BlodMoments::characterize(&m, &block(vec![(0, 1.0)]));
+        let mom = BlodMoments::characterize(&m, &block(vec![(0, 1.0)])).unwrap();
         match mom.u_dist() {
             MeanDist::Gaussian(n) => {
                 assert!((n.mean() - 2.2).abs() < 1e-12);
@@ -541,7 +600,7 @@ mod tests {
     #[test]
     fn variance_dist_quantile_and_cdf_consistency() {
         let m = model(4);
-        let mom = BlodMoments::characterize(&m, &block(vec![(0, 0.5), (15, 0.5)]));
+        let mom = BlodMoments::characterize(&m, &block(vec![(0, 0.5), (15, 0.5)])).unwrap();
         let vd = mom.v_dist();
         for &p in &[0.01, 0.5, 0.99] {
             let q = vd.quantile(p).unwrap();

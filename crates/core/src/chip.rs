@@ -239,6 +239,13 @@ pub struct AnalysisBlock {
     moments: BlodMoments,
 }
 
+impl_json_struct!(AnalysisBlock {
+    spec,
+    alpha_s,
+    b_per_nm,
+    moments
+});
+
 impl AnalysisBlock {
     /// The underlying block specification.
     pub fn spec(&self) -> &BlockSpec {
@@ -300,13 +307,86 @@ impl ChipAnalysis {
                     ),
                 });
             }
-            let moments = BlodMoments::characterize(&model, b);
+            let moments = BlodMoments::characterize(&model, b)?;
             blocks.push(AnalysisBlock {
                 spec: b.clone(),
                 alpha_s: tech.alpha(b.temperature_k(), b.voltage_v()),
                 b_per_nm: tech.b(b.temperature_k()),
                 moments,
             });
+        }
+        Ok(ChipAnalysis {
+            spec,
+            model,
+            blocks,
+        })
+    }
+
+    /// Reassembles an analysis from previously characterized parts — the
+    /// artifact-cache load path, which must skip BLOD characterization
+    /// (and hence every eigendecomposition) entirely.
+    ///
+    /// Validates the structural invariants: one analysis block per spec
+    /// block with matching names, grid references inside the model, and
+    /// BLOD component counts matching the model. The numerical content of
+    /// the moments is trusted — it is whatever characterization produced
+    /// at build time (the artifact layer checksums it).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for an empty or inconsistent
+    ///   block list,
+    /// * [`CoreError::GridMismatch`] if a block references a grid outside
+    ///   the model.
+    pub fn from_parts(
+        spec: ChipSpec,
+        model: ThicknessModel,
+        blocks: Vec<AnalysisBlock>,
+    ) -> Result<Self> {
+        if spec.n_blocks() == 0 {
+            return Err(CoreError::InvalidParameter {
+                detail: "chip spec has no blocks".to_string(),
+            });
+        }
+        if blocks.len() != spec.n_blocks() {
+            return Err(CoreError::InvalidParameter {
+                detail: format!(
+                    "{} analysis blocks for {} spec blocks",
+                    blocks.len(),
+                    spec.n_blocks()
+                ),
+            });
+        }
+        let n_grids = model.n_grids();
+        let n_pc = model.n_components();
+        for (s, a) in spec.blocks().iter().zip(&blocks) {
+            if s.name() != a.spec.name() {
+                return Err(CoreError::InvalidParameter {
+                    detail: format!(
+                        "analysis block '{}' does not match spec block '{}'",
+                        a.spec.name(),
+                        s.name()
+                    ),
+                });
+            }
+            if let Some(&(g, _)) = s.grid_weights().iter().find(|&&(g, _)| g >= n_grids) {
+                return Err(CoreError::GridMismatch {
+                    detail: format!(
+                        "block '{}' references grid {g} but the model has {n_grids} grids",
+                        s.name()
+                    ),
+                });
+            }
+            if a.moments.u_coeffs().len() != n_pc {
+                return Err(CoreError::InvalidParameter {
+                    detail: format!(
+                        "block '{}' has {} BLOD components but the model has {}",
+                        s.name(),
+                        a.moments.u_coeffs().len(),
+                        n_pc
+                    ),
+                });
+            }
         }
         Ok(ChipAnalysis {
             spec,
@@ -333,6 +413,33 @@ impl ChipAnalysis {
     /// Number of blocks `N`.
     pub fn n_blocks(&self) -> usize {
         self.blocks.len()
+    }
+}
+
+impl statobd_num::json::ToJson for ChipAnalysis {
+    fn to_json(&self) -> statobd_num::json::Json {
+        use statobd_num::json::Json;
+        Json::Object(vec![
+            ("spec".to_string(), self.spec.to_json()),
+            ("model".to_string(), self.model.to_json()),
+            ("blocks".to_string(), self.blocks.to_json()),
+        ])
+    }
+}
+
+impl statobd_num::json::FromJson for ChipAnalysis {
+    fn from_json(v: &statobd_num::json::Json) -> statobd_num::json::Result<Self> {
+        use statobd_num::json::JsonError;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field '{k}' in ChipAnalysis")))
+        };
+        ChipAnalysis::from_parts(
+            ChipSpec::from_json(field("spec")?)?,
+            ThicknessModel::from_json(field("model")?)?,
+            Vec::<AnalysisBlock>::from_json(field("blocks")?)?,
+        )
+        .map_err(|e| JsonError::new(e.to_string()))
     }
 }
 
@@ -420,6 +527,54 @@ mod tests {
     fn analysis_rejects_empty_spec() {
         let tech = ClosedFormTech::nominal_45nm();
         assert!(ChipAnalysis::new(ChipSpec::new(), model(2), &tech).is_err());
+    }
+
+    #[test]
+    fn analysis_json_round_trip_is_bit_exact() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("hot", 370.0, vec![(0, 0.5), (1, 0.5)]))
+            .unwrap();
+        spec.add_block(block("cool", 340.0, vec![(8, 1.0)]))
+            .unwrap();
+        let tech = ClosedFormTech::nominal_45nm();
+        let a = ChipAnalysis::new(spec, model(3), &tech).unwrap();
+        let json = statobd_num::json::to_string(&a);
+        let back: ChipAnalysis = statobd_num::json::from_str(&json).unwrap();
+        assert_eq!(back.spec(), a.spec());
+        for (x, y) in a.blocks().iter().zip(back.blocks()) {
+            assert_eq!(x.alpha_s().to_bits(), y.alpha_s().to_bits());
+            assert_eq!(x.b_per_nm().to_bits(), y.b_per_nm().to_bits());
+            assert_eq!(
+                x.moments().u_nominal().to_bits(),
+                y.moments().u_nominal().to_bits()
+            );
+            assert_eq!(x.moments().u_coeffs(), y.moments().u_coeffs());
+            assert_eq!(
+                x.moments().chi2_scale().to_bits(),
+                y.moments().chi2_scale().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        let mut spec = ChipSpec::new();
+        spec.add_block(block("a", 350.0, vec![(0, 1.0)])).unwrap();
+        spec.add_block(block("b", 360.0, vec![(1, 1.0)])).unwrap();
+        let tech = ClosedFormTech::nominal_45nm();
+        let a = ChipAnalysis::new(spec.clone(), model(3), &tech).unwrap();
+
+        // Block count mismatch.
+        let short = a.blocks()[..1].to_vec();
+        assert!(ChipAnalysis::from_parts(spec.clone(), model(3), short).is_err());
+        // Name mismatch (blocks swapped).
+        let swapped = vec![a.blocks()[1].clone(), a.blocks()[0].clone()];
+        assert!(ChipAnalysis::from_parts(spec.clone(), model(3), swapped).is_err());
+        // Component-count mismatch against a different model.
+        let fresh = ChipAnalysis::new(spec.clone(), model(4), &tech).unwrap();
+        assert!(ChipAnalysis::from_parts(spec.clone(), model(3), fresh.blocks().to_vec()).is_err());
+        // Consistent parts round-trip.
+        assert!(ChipAnalysis::from_parts(spec, model(3), a.blocks().to_vec()).is_ok());
     }
 
     #[test]

@@ -14,6 +14,8 @@ pub struct GuardBandConfig {
     pub sigmas: f64,
 }
 
+statobd_num::impl_json_struct!(GuardBandConfig { sigmas });
+
 impl Default for GuardBandConfig {
     fn default() -> Self {
         GuardBandConfig {
@@ -57,17 +59,21 @@ impl GuardBand {
                 detail: format!("guard-band thickness margin is non-physical: x_min = {x_min_nm}"),
             });
         }
-        // The hottest block defines the worst corner.
+        // The hottest block defines the worst corner. `total_cmp` keeps
+        // this a total order even for pathological (NaN) temperatures, and
+        // an empty analysis is a structured error — the serve loop must
+        // never abort on a bad request.
         let worst = analysis
             .blocks()
             .iter()
             .max_by(|a, b| {
                 a.spec()
                     .temperature_k()
-                    .partial_cmp(&b.spec().temperature_k())
-                    .expect("finite temperatures")
+                    .total_cmp(&b.spec().temperature_k())
             })
-            .expect("non-empty analysis");
+            .ok_or_else(|| CoreError::InvalidParameter {
+                detail: "guard-band corner needs at least one block".to_string(),
+            })?;
         Ok(GuardBand {
             x_min_nm,
             alpha_worst_s: worst.alpha_s(),

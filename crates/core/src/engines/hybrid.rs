@@ -131,7 +131,34 @@ struct BilinearData {
     values: Vec<f64>,
 }
 
-impl_json_struct!(BilinearData { xs, ys, values });
+// Manual (de)serialization instead of `impl_json_struct`: the table
+// grids scale with the density config, so they use the packed bit-exact
+// float encoding to keep persisted artifacts cheap to load.
+impl statobd_num::json::ToJson for BilinearData {
+    fn to_json(&self) -> statobd_num::json::Json {
+        use statobd_num::json::{pack_f64s, Json};
+        Json::Object(vec![
+            ("xs".to_string(), pack_f64s(&self.xs)),
+            ("ys".to_string(), pack_f64s(&self.ys)),
+            ("values".to_string(), pack_f64s(&self.values)),
+        ])
+    }
+}
+
+impl statobd_num::json::FromJson for BilinearData {
+    fn from_json(v: &statobd_num::json::Json) -> statobd_num::json::Result<Self> {
+        use statobd_num::json::{unpack_f64s, JsonError};
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field '{k}' in BilinearData")))
+        };
+        Ok(BilinearData {
+            xs: unpack_f64s(field("xs")?)?,
+            ys: unpack_f64s(field("ys")?)?,
+            values: unpack_f64s(field("values")?)?,
+        })
+    }
+}
 
 impl BilinearData {
     fn to_interp(&self) -> Result<Bilinear> {
@@ -361,10 +388,18 @@ impl HybridTables {
     /// Returns [`CoreError::InvalidParameter`] on serialization failure
     /// (does not occur for well-formed tables).
     pub fn to_json(&self) -> Result<String> {
-        Ok(statobd_num::json::to_string(&SerializedTables {
+        Ok(self.to_json_value().to_compact())
+    }
+
+    /// Serializes the tables to a JSON tree (the artifact cache embeds
+    /// this in a larger document without re-parsing).
+    pub fn to_json_value(&self) -> statobd_num::json::Json {
+        use statobd_num::json::ToJson;
+        SerializedTables {
             tables: self.tables.clone(),
             config: self.config,
-        }))
+        }
+        .to_json()
     }
 
     /// Restores tables from [`HybridTables::to_json`] output.
@@ -373,10 +408,22 @@ impl HybridTables {
     ///
     /// Returns [`CoreError::InvalidParameter`] for malformed input.
     pub fn from_json(json: &str) -> Result<Self> {
-        let s: SerializedTables =
-            statobd_num::json::from_str(json).map_err(|e| CoreError::InvalidParameter {
-                detail: format!("deserialization failed: {e}"),
-            })?;
+        let v = statobd_num::json::Json::parse(json).map_err(|e| CoreError::InvalidParameter {
+            detail: format!("deserialization failed: {e}"),
+        })?;
+        Self::from_json_value(&v)
+    }
+
+    /// Restores tables from an already-parsed JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for malformed input.
+    pub fn from_json_value(v: &statobd_num::json::Json) -> Result<Self> {
+        use statobd_num::json::FromJson;
+        let s = SerializedTables::from_json(v).map_err(|e| CoreError::InvalidParameter {
+            detail: format!("deserialization failed: {e}"),
+        })?;
         let interps = s
             .tables
             .iter()

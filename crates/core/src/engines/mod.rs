@@ -198,10 +198,29 @@ impl EngineKind {
 
     /// Parses a paper abbreviation (as printed by [`EngineKind::name`],
     /// case-insensitive).
-    pub fn parse(s: &str) -> Option<Self> {
-        EngineKind::ALL
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidParameter`] for an unknown name,
+    /// with the closest valid abbreviation as a did-you-mean suggestion —
+    /// the CLI/server boundary where `st_MC` vs `st_mc` casing used to be
+    /// a silent foot-gun.
+    pub fn parse(s: &str) -> Result<Self> {
+        if let Some(kind) = EngineKind::ALL
             .into_iter()
             .find(|k| k.name().eq_ignore_ascii_case(s))
+        {
+            return Ok(kind);
+        }
+        let nearest = EngineKind::ALL
+            .into_iter()
+            .min_by_key(|k| edit_distance(&s.to_ascii_lowercase(), &k.name().to_ascii_lowercase()))
+            .map(|k| k.name())
+            .unwrap_or("st_fast");
+        let all = EngineKind::ALL.map(EngineKind::name).join(", ");
+        Err(crate::CoreError::InvalidParameter {
+            detail: format!("unknown engine '{s}' (did you mean '{nearest}'? one of: {all})"),
+        })
     }
 
     /// The default configuration for this kind.
@@ -221,6 +240,25 @@ impl std::fmt::Display for EngineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Levenshtein edit distance — the did-you-mean metric for
+/// [`EngineKind::parse`]. The candidate set is six short names, so the
+/// textbook two-row dynamic program is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// An engine selection together with its configuration — the input to
@@ -271,6 +309,56 @@ impl EngineSpec {
 impl Default for EngineSpec {
     fn default() -> Self {
         EngineKind::StFast.default_spec()
+    }
+}
+
+impl statobd_num::json::ToJson for EngineSpec {
+    /// Serializes as the kind name for a default-free kind (`"st_closed"`)
+    /// and as a single-key object `{"<kind>": {<config>}}` otherwise —
+    /// the workspace's standard enum encoding.
+    fn to_json(&self) -> statobd_num::json::Json {
+        use statobd_num::json::Json;
+        let tagged =
+            |kind: EngineKind, config: Json| Json::Object(vec![(kind.name().to_string(), config)]);
+        match self {
+            EngineSpec::StFast(c) => tagged(EngineKind::StFast, c.to_json()),
+            EngineSpec::StMc(c) => tagged(EngineKind::StMc, c.to_json()),
+            EngineSpec::StClosed => Json::String(EngineKind::StClosed.name().to_string()),
+            EngineSpec::Hybrid(c) => tagged(EngineKind::Hybrid, c.to_json()),
+            EngineSpec::GuardBand(c) => tagged(EngineKind::GuardBand, c.to_json()),
+            EngineSpec::MonteCarlo(c) => tagged(EngineKind::MonteCarlo, c.to_json()),
+        }
+    }
+}
+
+impl statobd_num::json::FromJson for EngineSpec {
+    /// Accepts either a bare kind name (default configuration — handy in
+    /// hand-written specs) or the tagged single-key object form.
+    fn from_json(v: &statobd_num::json::Json) -> statobd_num::json::Result<Self> {
+        use statobd_num::json::JsonError;
+        if let Some(name) = v.as_str() {
+            return EngineKind::parse(name)
+                .map(EngineKind::default_spec)
+                .map_err(|e| JsonError::new(e.to_string()));
+        }
+        let members = v
+            .as_object()
+            .ok_or_else(|| JsonError::new(format!("expected an engine spec, got {v}")))?;
+        let [(key, config)] = members else {
+            return Err(JsonError::new(format!(
+                "expected a single-key engine object, got {} keys",
+                members.len()
+            )));
+        };
+        let kind = EngineKind::parse(key).map_err(|e| JsonError::new(e.to_string()))?;
+        Ok(match kind {
+            EngineKind::StFast => EngineSpec::StFast(StFastConfig::from_json(config)?),
+            EngineKind::StMc => EngineSpec::StMc(StMcConfig::from_json(config)?),
+            EngineKind::StClosed => EngineSpec::StClosed,
+            EngineKind::Hybrid => EngineSpec::Hybrid(HybridConfig::from_json(config)?),
+            EngineKind::GuardBand => EngineSpec::GuardBand(GuardBandConfig::from_json(config)?),
+            EngineKind::MonteCarlo => EngineSpec::MonteCarlo(MonteCarloConfig::from_json(config)?),
+        })
     }
 }
 
@@ -358,11 +446,52 @@ mod tests {
     #[test]
     fn kind_names_round_trip() {
         for kind in EngineKind::ALL {
-            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
-            assert_eq!(EngineKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert_eq!(EngineKind::parse(kind.name()).unwrap(), kind);
+            assert_eq!(
+                EngineKind::parse(&kind.name().to_uppercase()).unwrap(),
+                kind
+            );
             assert_eq!(kind.default_spec().kind(), kind);
         }
-        assert_eq!(EngineKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn parse_suggests_the_nearest_name() {
+        // Typos map to a useful did-you-mean, not a bare failure.
+        for (typo, suggestion) in [
+            ("st_fst", "st_fast"),
+            ("hybird", "hybrid"),
+            ("gaurd", "guard"),
+            ("st_mcc", "st_MC"),
+        ] {
+            let err = EngineKind::parse(typo).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("did you mean '{suggestion}'")),
+                "{typo}: {err}"
+            );
+        }
+        // The error always lists the full menu.
+        let err = EngineKind::parse("zzz").unwrap_err().to_string();
+        for kind in EngineKind::ALL {
+            assert!(err.contains(kind.name()), "{err}");
+        }
+    }
+
+    #[test]
+    fn engine_spec_json_round_trips() {
+        use statobd_num::json::{from_str, to_string};
+        for kind in EngineKind::ALL {
+            let spec = kind.default_spec().with_threads(Some(3));
+            let back: EngineSpec = from_str(&to_string(&spec)).unwrap();
+            assert_eq!(back, spec, "{kind}");
+        }
+        // A bare kind name parses as the default configuration.
+        let spec: EngineSpec = from_str("\"hybrid\"").unwrap();
+        assert_eq!(spec, EngineKind::Hybrid.default_spec());
+        // Unknown kinds are rejected with the did-you-mean message.
+        let err = from_str::<EngineSpec>("\"hybird\"").unwrap_err();
+        assert!(err.to_string().contains("did you mean"), "{err}");
+        assert!(from_str::<EngineSpec>("{\"st_fast\":{},\"MC\":{}}").is_err());
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct MonteCarloConfig {
     pub threads: Option<usize>,
 }
 
+statobd_num::impl_json_struct!(MonteCarloConfig {
+    n_chips,
+    bins,
+    seed,
+    threads
+});
+
 impl Default for MonteCarloConfig {
     fn default() -> Self {
         MonteCarloConfig {
@@ -122,7 +129,7 @@ impl<'a> MonteCarlo<'a> {
                 .collect();
             let assigned: u64 = per_grid.iter().map(|&(_, c, _)| c).sum();
             let mut remainder = m - assigned;
-            per_grid.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite fractions"));
+            per_grid.sort_by(|a, b| b.2.total_cmp(&a.2));
             for entry in per_grid.iter_mut() {
                 if remainder == 0 {
                     break;

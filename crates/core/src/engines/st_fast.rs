@@ -31,6 +31,30 @@ pub enum VarianceMethod {
     Imhof,
 }
 
+impl statobd_num::json::ToJson for VarianceMethod {
+    fn to_json(&self) -> statobd_num::json::Json {
+        statobd_num::json::Json::String(
+            match self {
+                VarianceMethod::ChiSquare => "chi_square",
+                VarianceMethod::Imhof => "imhof",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl statobd_num::json::FromJson for VarianceMethod {
+    fn from_json(v: &statobd_num::json::Json) -> statobd_num::json::Result<Self> {
+        match v.as_str() {
+            Some("chi_square") => Ok(VarianceMethod::ChiSquare),
+            Some("imhof") => Ok(VarianceMethod::Imhof),
+            _ => Err(statobd_num::json::JsonError::new(format!(
+                "expected \"chi_square\" or \"imhof\", got {v}"
+            ))),
+        }
+    }
+}
+
 /// Configuration of the [`StFast`] engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StFastConfig {
@@ -44,6 +68,13 @@ pub struct StFastConfig {
     /// (`None` = all cores).
     pub threads: Option<usize>,
 }
+
+statobd_num::impl_json_struct!(StFastConfig {
+    l0,
+    u_width_sigmas,
+    v_method,
+    threads
+});
 
 impl Default for StFastConfig {
     fn default() -> Self {

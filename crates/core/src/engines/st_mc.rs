@@ -32,6 +32,13 @@ pub struct StMcConfig {
     pub threads: Option<usize>,
 }
 
+statobd_num::impl_json_struct!(StMcConfig {
+    n_samples,
+    bins,
+    seed,
+    threads
+});
+
 impl Default for StMcConfig {
     fn default() -> Self {
         StMcConfig {

@@ -1,0 +1,108 @@
+//! Stable, dependency-free content hashing.
+//!
+//! The artifact cache keys compiled reliability models by a hash of their
+//! canonicalized `AnalysisSpec` JSON. `std::hash::DefaultHasher` is
+//! explicitly *not* stable across Rust releases, so cache keys use FNV-1a
+//! (64-bit): a tiny, well-specified hash whose output is identical on every
+//! platform and toolchain. FNV-1a is not cryptographic — the cache key only
+//! needs to be collision-resistant enough for a handful of specs on one
+//! machine, and the load path re-validates the spec echo anyway.
+//!
+//! # Example
+//!
+//! ```
+//! use statobd_num::hash::{fnv1a_64, Fnv1a};
+//!
+//! assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+//! let mut h = Fnv1a::new();
+//! h.write(b"stat");
+//! h.write(b"obd");
+//! assert_eq!(h.finish(), fnv1a_64(b"statobd"));
+//! ```
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// Byte-stream incremental: hashing a message in any chunking produces the
+/// same digest as hashing it in one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Returns the current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One-shot FNV-1a 64-bit hash rendered as a fixed-width lowercase hex
+/// string — the on-disk cache directory name format.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a_64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 7, msg.len()] {
+            let mut h = Fnv1a::new();
+            h.write(&msg[..split]);
+            h.write(&msg[split..]);
+            assert_eq!(h.finish(), fnv1a_64(msg), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hex_format_is_fixed_width() {
+        assert_eq!(fnv1a_hex(b"").len(), 16);
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        // Distinct inputs produce distinct keys (spot check).
+        assert_ne!(fnv1a_hex(b"spec-a"), fnv1a_hex(b"spec-b"));
+    }
+}

@@ -357,6 +357,20 @@ impl<'a> Parser<'a> {
         self.eat(b'"')?;
         let mut s = String::new();
         loop {
+            // Bulk fast path: copy everything up to the next quote or
+            // escape in one go (large packed-float strings would otherwise
+            // pay a per-character loop).
+            let start = self.pos;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b != b'"' && b != b'\\')
+            {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
             let b = self
                 .peek()
                 .ok_or_else(|| self.error("unterminated string"))?;
@@ -491,6 +505,62 @@ pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
 /// `serde_json::from_str`).
 pub fn from_str<T: FromJson>(text: &str) -> Result<T> {
     T::from_json(&Json::parse(text)?)
+}
+
+/// Packs a float slice into one JSON string: 16 lowercase hex digits per
+/// `f64` (big-endian bit pattern), bit-exact under round-trip.
+///
+/// A decimal float array costs one tree node and one shortest-roundtrip
+/// parse per element; packed arrays make million-element payloads (model
+/// eigenbases, lookup tables) one string node each, which is what keeps
+/// artifact loads cheap relative to a cold build.
+pub fn pack_f64s(xs: &[f64]) -> Json {
+    let mut out = String::with_capacity(16 * xs.len());
+    for &x in xs {
+        let bits = x.to_bits();
+        for shift in (0..16).rev() {
+            let nibble = ((bits >> (shift * 4)) & 0xf) as u32;
+            out.push(char::from_digit(nibble, 16).expect("nibble < 16"));
+        }
+    }
+    Json::String(out)
+}
+
+/// Reverses [`pack_f64s`]. A plain number array is also accepted, so
+/// hand-written documents stay usable.
+///
+/// # Errors
+///
+/// Returns an error for any other JSON shape, a hex string whose length
+/// is not a multiple of 16, or a non-hex digit.
+pub fn unpack_f64s(v: &Json) -> Result<Vec<f64>> {
+    match v {
+        Json::String(s) => {
+            if s.len() % 16 != 0 {
+                return Err(JsonError::new(format!(
+                    "packed f64 string length {} is not a multiple of 16",
+                    s.len()
+                )));
+            }
+            let bytes = s.as_bytes();
+            let mut out = Vec::with_capacity(bytes.len() / 16);
+            for chunk in bytes.chunks_exact(16) {
+                let mut bits: u64 = 0;
+                for &b in chunk {
+                    let nibble = (b as char)
+                        .to_digit(16)
+                        .ok_or_else(|| JsonError::new(format!("non-hex digit {:?}", b as char)))?;
+                    bits = (bits << 4) | nibble as u64;
+                }
+                out.push(f64::from_bits(bits));
+            }
+            Ok(out)
+        }
+        Json::Array(_) => Vec::<f64>::from_json(v),
+        other => Err(JsonError::new(format!(
+            "expected a packed f64 string or array, got {other}"
+        ))),
+    }
 }
 
 impl ToJson for Json {

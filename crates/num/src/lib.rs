@@ -21,6 +21,7 @@
 //! * a deterministic pseudo-random stream ([`rng::Xoshiro256pp`]) and
 //!   normal/exponential samplers,
 //! * a JSON value model with parser and serializers ([`json`]),
+//! * stable, toolchain-independent FNV-1a content hashing ([`hash`]),
 //! * chunked scoped-thread parallelism with deterministic reduction order
 //!   ([`parallel`]).
 //!
@@ -51,6 +52,7 @@ pub mod cg;
 pub mod cholesky;
 pub mod dist;
 pub mod eigen;
+pub mod hash;
 pub mod hist;
 pub mod interp;
 pub mod json;

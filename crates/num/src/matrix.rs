@@ -357,6 +357,31 @@ impl DMatrix {
     }
 }
 
+impl crate::json::ToJson for DMatrix {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Object(vec![
+            ("nrows".to_string(), self.nrows.to_json()),
+            ("ncols".to_string(), self.ncols.to_json()),
+            ("data".to_string(), crate::json::pack_f64s(&self.data)),
+        ])
+    }
+}
+
+impl crate::json::FromJson for DMatrix {
+    fn from_json(v: &crate::json::Json) -> crate::json::Result<Self> {
+        use crate::json::JsonError;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field '{k}' in DMatrix")))
+        };
+        let nrows = usize::from_json(field("nrows")?)?;
+        let ncols = usize::from_json(field("ncols")?)?;
+        let data = crate::json::unpack_f64s(field("data")?)?;
+        DMatrix::from_vec(nrows, ncols, data).map_err(|e| JsonError::new(e.to_string()))
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for DMatrix {
     type Output = f64;
 
@@ -524,6 +549,20 @@ mod tests {
                 assert_eq!(s.to_bits(), p.to_bits(), "matmul, threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        use crate::json::{from_str, to_string};
+        let a = DMatrix::from_fn(3, 4, |i, j| ((i * 4 + j) as f64).exp() / 3.0 - 1.7);
+        let back: DMatrix = from_str(&to_string(&a)).unwrap();
+        assert_eq!(back.nrows(), 3);
+        assert_eq!(back.ncols(), 4);
+        for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Inconsistent dimensions are rejected, not trusted.
+        assert!(from_str::<DMatrix>(r#"{"nrows":2,"ncols":2,"data":[1,2,3]}"#).is_err());
     }
 
     #[test]

@@ -177,6 +177,52 @@ impl ThicknessModel {
         (s * s + self.sigma_ind * self.sigma_ind).sqrt()
     }
 
+    /// Reconstructs a model from previously computed parts — the artifact
+    /// cache load path, which must skip the eigendecomposition entirely.
+    ///
+    /// Validates the cross-field invariants (`nominal` and `loadings` rows
+    /// must match the grid count; `sigma_ind` must be finite and
+    /// non-negative) but trusts the loadings themselves: they are whatever
+    /// PCA produced at build time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidParameter`] on any dimension or
+    /// domain violation.
+    pub fn from_parts(
+        grid: GridSpec,
+        nominal: Vec<f64>,
+        loadings: DMatrix,
+        sigma_ind: f64,
+        budget: VarianceBudget,
+        kernel: CorrelationKernel,
+    ) -> Result<Self> {
+        let n = grid.n_grids();
+        if nominal.len() != n {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("nominal has {} entries for {} grids", nominal.len(), n),
+            });
+        }
+        if loadings.nrows() != n {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("loadings have {} rows for {} grids", loadings.nrows(), n),
+            });
+        }
+        if !(sigma_ind >= 0.0) || !sigma_ind.is_finite() {
+            return Err(VariationError::InvalidParameter {
+                detail: format!("sigma_ind must be non-negative, got {sigma_ind}"),
+            });
+        }
+        Ok(ThicknessModel {
+            grid,
+            nominal,
+            loadings,
+            sigma_ind,
+            budget,
+            kernel,
+        })
+    }
+
     /// Constructs a model directly from a caller-supplied grid covariance
     /// matrix (e.g. extracted from silicon, or from a quad-tree model).
     ///
@@ -346,6 +392,42 @@ impl ThicknessModel {
             kernel,
         };
         Ok((model, eig.solver(), (eigen_s, truncation_s)))
+    }
+}
+
+impl statobd_num::json::ToJson for ThicknessModel {
+    fn to_json(&self) -> statobd_num::json::Json {
+        use statobd_num::json::Json;
+        Json::Object(vec![
+            ("grid".to_string(), self.grid.to_json()),
+            (
+                "nominal".to_string(),
+                statobd_num::json::pack_f64s(&self.nominal),
+            ),
+            ("loadings".to_string(), self.loadings.to_json()),
+            ("sigma_ind".to_string(), self.sigma_ind.to_json()),
+            ("budget".to_string(), self.budget.to_json()),
+            ("kernel".to_string(), self.kernel.to_json()),
+        ])
+    }
+}
+
+impl statobd_num::json::FromJson for ThicknessModel {
+    fn from_json(v: &statobd_num::json::Json) -> statobd_num::json::Result<Self> {
+        use statobd_num::json::JsonError;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("missing field '{k}' in ThicknessModel")))
+        };
+        ThicknessModel::from_parts(
+            GridSpec::from_json(field("grid")?)?,
+            statobd_num::json::unpack_f64s(field("nominal")?)?,
+            DMatrix::from_json(field("loadings")?)?,
+            f64::from_json(field("sigma_ind")?)?,
+            VarianceBudget::from_json(field("budget")?)?,
+            CorrelationKernel::from_json(field("kernel")?)?,
+        )
+        .map_err(|e| JsonError::new(e.to_string()))
     }
 }
 
@@ -730,6 +812,62 @@ mod tests {
             assert!((jac.covariance(a, b) - ql.covariance(a, b)).abs() < 1e-10 * scale);
             assert!((jac.covariance(a, b) - lan.covariance(a, b)).abs() < 1e-8 * scale);
         }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        use statobd_num::json::{from_str, to_string};
+        let m = build_model(6, 0.5);
+        let back: ThicknessModel = from_str(&to_string(&m)).unwrap();
+        assert_eq!(back.n_grids(), m.n_grids());
+        assert_eq!(back.n_components(), m.n_components());
+        assert_eq!(back.sigma_ind().to_bits(), m.sigma_ind().to_bits());
+        for (a, b) in m
+            .loadings()
+            .as_slice()
+            .iter()
+            .zip(back.loadings().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in m.nominal().iter().zip(back.nominal()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_dimensions() {
+        let m = build_model(3, 0.5);
+        // Wrong nominal length.
+        assert!(ThicknessModel::from_parts(
+            *m.grid(),
+            vec![2.2; 5],
+            m.loadings().clone(),
+            m.sigma_ind(),
+            *m.budget(),
+            *m.kernel(),
+        )
+        .is_err());
+        // Wrong loadings row count.
+        assert!(ThicknessModel::from_parts(
+            *m.grid(),
+            m.nominal().to_vec(),
+            DMatrix::zeros(4, 2),
+            m.sigma_ind(),
+            *m.budget(),
+            *m.kernel(),
+        )
+        .is_err());
+        // Negative sigma.
+        assert!(ThicknessModel::from_parts(
+            *m.grid(),
+            m.nominal().to_vec(),
+            m.loadings().clone(),
+            -0.1,
+            *m.budget(),
+            *m.kernel(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -84,6 +84,12 @@ impl ToJson for SystematicPattern {
 }
 
 impl FromJson for SystematicPattern {
+    // An absent pattern means "no systematic pattern", so documents
+    // written before the field existed keep parsing.
+    fn from_missing() -> Option<Self> {
+        Some(SystematicPattern::None)
+    }
+
     fn from_json(v: &Json) -> statobd_num::json::Result<Self> {
         if let Some("None") = v.as_str() {
             return Ok(SystematicPattern::None);

@@ -4,44 +4,39 @@
 //!
 //! Run with: `cargo run --release --example alpha_processor`
 
-use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::circuits::Benchmark;
 use statobd::core::{
-    build_engine, params, solve_lifetime, ChipAnalysis, EngineKind, EngineSpec, MonteCarloConfig,
-    StFast, StFastConfig,
+    build_engine, params, solve_lifetime, EngineKind, EngineSpec, MonteCarloConfig, StFast,
+    StFastConfig,
 };
-use statobd::device::ClosedFormTech;
 use statobd::thermal::kelvin_to_celsius;
-use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+use statobd::{AnalysisSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Build C6: the 15-module Alpha-class design with 0.84 M devices.
-    let built = build_design(Benchmark::C6, &DesignConfig::default())?;
+    // Compile C6: the 15-module Alpha-class design with 0.84 M devices.
+    // One declarative spec runs the whole substrate pipeline (floorplan →
+    // architectural power → thermal solve → BLOD characterization).
+    let session = Session::build(&AnalysisSpec::benchmark(Benchmark::C6))?;
+    let analysis = session.analysis();
+    let spec = analysis.spec();
+    let temps: Vec<f64> = spec.blocks().iter().map(|b| b.temperature_k()).collect();
+    let (t_min, t_max) = temps
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
     println!(
-        "C6: {} blocks, {} devices, die {:.0} x {:.0} mm",
-        built.spec.n_blocks(),
-        built.spec.total_devices(),
-        built.floorplan.die_w() * 1e3,
-        built.floorplan.die_h() * 1e3
+        "C6: {} blocks, {} devices",
+        spec.n_blocks(),
+        spec.total_devices()
     );
     println!(
-        "thermal profile: {:.1} C .. {:.1} C (spread {:.1} K)\n",
-        kelvin_to_celsius(built.map.min_k()),
-        kelvin_to_celsius(built.map.max_k()),
-        built.map.max_k() - built.map.min_k()
+        "worst-case block temperatures: {:.1} C .. {:.1} C (spread {:.1} K)\n",
+        kelvin_to_celsius(t_min),
+        kelvin_to_celsius(t_max),
+        t_max - t_min
     );
 
-    // Process model over the design's correlation grid.
-    let model = ThicknessModelBuilder::new()
-        .grid(built.grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
-        })
-        .build()?;
-
-    let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(built.spec.clone(), model, &tech)?;
     let bracket = (1e6, 1e12);
     let p = params::ONE_PER_MILLION;
     let years = |t: f64| t / 3.156e7;
@@ -58,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }),
             _ => kind.default_spec(),
         };
-        let mut engine = build_engine(&analysis, &spec)?;
+        let mut engine = build_engine(analysis, &spec)?;
         let t = solve_lifetime(engine.as_mut(), p, bracket)?;
         println!(
             "{:<9} 1/million lifetime: {:.2} years",
@@ -90,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The blocks that limit the design (per-block breakdown needs the
     // concrete st_fast engine — it is not part of the engine trait).
-    let fast = StFast::new(&analysis, StFastConfig::default());
+    let fast = StFast::new(analysis, StFastConfig::default());
     println!("\nhottest blocks and their failure contribution at the lifetime:");
     let mut rows: Vec<(String, f64, f64)> = analysis
         .blocks()

@@ -6,14 +6,12 @@
 //!
 //! Run with: `cargo run --release --example application_phases`
 
-use statobd::core::{
-    build_engine, params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, EngineKind,
-};
-use statobd::device::ClosedFormTech;
+use statobd::core::{params, BlockSpec, ChipSpec};
 use statobd::thermal::{
     alpha_ev6_floorplan, kelvin_to_celsius, BlockPower, PowerModel, ThermalConfig, ThermalSolver,
 };
-use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+use statobd::variation::GridSpec;
+use statobd::{AnalysisSpec, Session};
 
 /// Power model for a compute-bound phase: integer/FP clusters hot.
 fn compute_phase() -> Result<PowerModel, Box<dyn std::error::Error>> {
@@ -112,14 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Reliability under the per-phase worst-case profile vs naive
-    // chip-global worst case.
+    // chip-global worst case. The floorplan-aligned grid only assigns the
+    // correlation-cell weights; the analyses themselves are compiled from
+    // declarative specs over the same 15x15 grid.
     let grid = GridSpec::new(fp.die_w(), fp.die_h(), 15, 15)?;
-    let model = ThicknessModelBuilder::new()
-        .grid(grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-        .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
-        .build()?;
 
     let devices_per_m2 = 840_000.0 / fp.die_area();
     let build_spec =
@@ -144,24 +138,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok(spec)
         };
 
-    let tech = ClosedFormTech::nominal_45nm();
     let per_block_spec = build_spec(&|i| worst[i].2)?;
     let chip_worst = worst.iter().map(|w| w.2).fold(0.0f64, f64::max);
     let global_spec = build_spec(&|_| chip_worst)?;
 
-    let a1 = ChipAnalysis::new(per_block_spec, model.clone(), &tech)?;
-    let a2 = ChipAnalysis::new(global_spec, model, &tech)?;
-    let spec = EngineKind::StFast.default_spec();
-    let t1 = solve_lifetime(
-        build_engine(&a1, &spec)?.as_mut(),
-        params::ONE_PER_MILLION,
-        (1e5, 1e12),
-    )?;
-    let t2 = solve_lifetime(
-        build_engine(&a2, &spec)?.as_mut(),
-        params::ONE_PER_MILLION,
-        (1e5, 1e12),
-    )?;
+    let lifetime = |spec: ChipSpec| -> Result<f64, Box<dyn std::error::Error>> {
+        let mut session = Session::build(&AnalysisSpec::chip(spec).with_grid_side(15))?;
+        Ok(session.lifetime(params::ONE_PER_MILLION)?)
+    };
+    let t1 = lifetime(per_block_spec)?;
+    let t2 = lifetime(global_spec)?;
     println!(
         "\n1-ppm lifetime, per-block worst-case temps: {:.2} years",
         t1 / 3.156e7

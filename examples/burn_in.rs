@@ -15,32 +15,26 @@
 //!
 //! Run with: `cargo run --release --example burn_in`
 
-use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::circuits::Benchmark;
 use statobd::core::{
-    build_engine, burn_in_failure_probability, params, solve_lifetime,
-    solve_lifetime_after_burn_in, ChipAnalysis, EngineKind,
+    burn_in_failure_probability, params, solve_lifetime, solve_lifetime_after_burn_in,
 };
 use statobd::device::{ClosedFormTech, ObdTechnology};
-use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+use statobd::{AnalysisSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let built = build_design(Benchmark::C3, &DesignConfig::default())?;
-    let model = ThicknessModelBuilder::new()
-        .grid(built.grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
-        })
-        .build()?;
+    let mut session = Session::build(&AnalysisSpec::benchmark(Benchmark::C3))?;
     let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(built.spec.clone(), model.clone(), &tech)?;
-    let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
+    let t_block0_k = session.analysis().blocks()[0].spec().temperature_k();
+
+    // The burn-in free functions drive the raw engine with custom
+    // brackets, outside the session's wrapped queries.
+    let engine = session.engine_mut();
 
     // Context: each burn-in row reports the 1-ppm service life of the
     // surviving population and the fraction lost during burn-in.
     let p = params::ONE_PER_MILLION;
-    let fresh = solve_lifetime(engine.as_mut(), p, (1e5, 1e12))?;
+    let fresh = solve_lifetime(engine, p, (1e5, 1e12))?;
     let years = |t: f64| t / 3.156e7;
     println!("fresh-population 1-ppm lifetime: {:.2} years", years(fresh));
     println!();
@@ -50,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for frac in [0.001, 0.01, 0.05, 0.2, 1.0] {
         let t_burn = fresh * frac;
-        let after = solve_lifetime_after_burn_in(engine.as_mut(), p, t_burn, (1e5, 1e12))?;
+        let after = solve_lifetime_after_burn_in(engine, p, t_burn, (1e5, 1e12))?;
         let fallout = engine.failure_probability(t_burn)?;
         println!(
             "{:>13.3} yr {:>15.2} yr {:>18.2e} ppm",
@@ -63,8 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // An *accelerated* burn-in: elevated voltage shortens the required
     // burn time by the voltage-acceleration factor.
-    let accel = tech.alpha(analysis.blocks()[0].spec().temperature_k(), 1.2)
-        / tech.alpha(analysis.blocks()[0].spec().temperature_k(), 1.4);
+    let accel = tech.alpha(t_block0_k, 1.2) / tech.alpha(t_block0_k, 1.4);
     println!(
         "voltage acceleration 1.2 V -> 1.4 V: {accel:.0}x (a {:.1}-year equivalent burn-in takes {:.1} hours at stress)",
         years(fresh * 0.01),
@@ -72,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Sanity: the conditional probability formula.
-    let p_cond = burn_in_failure_probability(engine.as_mut(), fresh * 0.01, fresh)?;
+    let p_cond = burn_in_failure_probability(engine, fresh * 0.01, fresh)?;
     println!("\nP(fail within the fresh-lifetime window | survived 1% burn-in) = {p_cond:.2e}");
     Ok(())
 }

@@ -7,26 +7,12 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use statobd::core::{
-    build_engine, params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, EngineKind, GuardBand,
-    GuardBandConfig, StFast, StFastConfig,
+    params, BlockSpec, ChipSpec, GuardBand, GuardBandConfig, StFast, StFastConfig,
 };
-use statobd::device::ClosedFormTech;
-use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+use statobd::{AnalysisSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Process model (paper Table II): 2.2 nm nominal oxide, 3σ/u0 = 4 %,
-    //    variance split 50 % global / 25 % spatial / 25 % independent,
-    //    exponential spatial correlation over a 10x10 grid.
-    let model = ThicknessModelBuilder::new()
-        .grid(GridSpec::square_unit(10)?)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
-        })
-        .build()?;
-
-    // 2. Chip description: two temperature-uniform blocks. The core runs
+    // 1. Chip description: two temperature-uniform blocks. The core runs
     //    at 95 C, the cache at 68 C; each block's devices are distributed
     //    over the correlation grids it overlaps.
     let mut spec = ChipSpec::new();
@@ -47,15 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![(44, 0.5), (45, 0.5)],
     )?)?;
 
-    // 3. Characterize against a 45 nm-class OBD technology and solve the
-    //    1-fault-per-million lifetime with the paper's st_fast engine.
-    let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(spec, model, &tech)?;
-    let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
-    let t_stat = solve_lifetime(engine.as_mut(), params::ONE_PER_MILLION, (1e6, 1e12))?;
+    // 2. One declarative spec: the Table II process-variation model
+    //    (2.2 nm nominal oxide, ITRS variance budget, exponential spatial
+    //    correlation over a 10x10 grid), the 45 nm-class OBD technology
+    //    and the paper's st_fast engine are all defaults.
+    let aspec = AnalysisSpec::chip(spec).with_grid_side(10);
+
+    // 3. Compile and solve the 1-fault-per-million lifetime. (For repeat
+    //    runs, `Session::open` loads the compiled model from the artifact
+    //    cache instead of rebuilding it.)
+    let mut session = Session::build(&aspec)?;
+    let t_stat = session.lifetime(params::ONE_PER_MILLION)?;
+    let analysis = session.analysis();
 
     // 4. The traditional guard-band corner for comparison.
-    let guard = GuardBand::new(&analysis, GuardBandConfig::default())?;
+    let guard = GuardBand::new(analysis, GuardBandConfig::default())?;
     let t_guard = guard.lifetime(params::ONE_PER_MILLION)?;
 
     let years = |t: f64| t / 3.156e7;
@@ -76,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Per-block contributions at the statistical lifetime: which block
     //    limits the chip? (Needs the concrete st_fast engine — the
     //    per-block breakdown is not part of the engine trait.)
-    let breakdown = StFast::new(&analysis, StFastConfig::default());
+    let breakdown = StFast::new(analysis, StFastConfig::default());
     println!("\nper-block failure probability at the chip lifetime:");
     for (j, block) in analysis.blocks().iter().enumerate() {
         let p = breakdown.block_failure_probability(j, t_stat)?;

@@ -16,31 +16,31 @@
 //!
 //! Run with: `cargo run --release --example reliability_manager`
 
-use statobd::circuits::{build_design, Benchmark, DesignConfig};
-use statobd::core::params;
-use statobd::core::ChipAnalysis;
+use statobd::circuits::Benchmark;
+use statobd::core::{params, EngineKind};
 use statobd::device::ClosedFormTech;
 use statobd::manager::{DamageState, DvfsLevel, ManagerConfig, PolicyConfig, ReliabilityManager};
-use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+use statobd::{AnalysisSpec, Session};
 
 const MONTH_S: f64 = 2.63e6;
 const LIFETIME_MONTHS: usize = 60; // 5-year service target
 const BUDGET: f64 = params::ONE_PER_MILLION;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Design and tables (built once, offline). The manager widens the
-    // table grid so the whole service life stays on-grid.
-    let built = build_design(Benchmark::C3, &DesignConfig::default())?;
-    let model = ThicknessModelBuilder::new()
-        .grid(built.grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
-        })
-        .build()?;
+    // Compile the design once; the cheap closed-form engine suffices
+    // because the manager drives its own hybrid tables (built once,
+    // offline — the manager widens the table grid so the whole service
+    // life stays on-grid).
+    let aspec = AnalysisSpec::benchmark(Benchmark::C3).with_engine(EngineKind::StClosed);
+    let mut session = Session::build(&aspec)?;
     let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(built.spec.clone(), model, &tech)?;
+    let n_blocks = session.analysis().n_blocks();
+    let spec_temps: Vec<f64> = session
+        .analysis()
+        .blocks()
+        .iter()
+        .map(|b| b.spec().temperature_k())
+        .collect();
 
     let policy = PolicyConfig {
         budget: BUDGET,
@@ -64,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ],
     };
-    let mut mgr =
-        ReliabilityManager::new(&analysis, Box::new(tech), policy, ManagerConfig::default())?;
+    session.configure_manager(policy.clone(), ManagerConfig::default())?;
+    let mgr = session.manager_mut()?;
 
     // Three workload regimes: per-block temperature offsets relative to
     // the design's nominal profile, and the voltage the workload asks for.
@@ -74,11 +74,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("typical", 0.0, 1.20),
         ("turbo", 10.0, 1.26),
     ];
-    let spec_temps: Vec<f64> = analysis
-        .blocks()
-        .iter()
-        .map(|b| b.spec().temperature_k())
-        .collect();
 
     println!("dynamic reliability manager: C3, 5-year service, budget 1 ppm\n");
     println!(
@@ -100,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let temps: Vec<f64> = spec_temps.iter().map(|t| t + dt_k).collect();
         let report = mgr.step(MONTH_S, &temps, vdd_req)?;
         // One p_now sweep + one projection sweep per ladder walk.
-        query_count += 2 * analysis.n_blocks();
+        query_count += 2 * n_blocks;
 
         if month % 12 < 6 {
             println!(
@@ -121,13 +116,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let per_query = query_start.elapsed().as_secs_f64() / query_count as f64;
 
+    // Pull the end-of-service numbers before the manager borrow ends.
+    let p_final = mgr.failure_probability_now()?;
+    let transitions = mgr.transitions();
+    let off_grid = mgr.off_grid_queries();
+
     // The damage vector is the *complete* state: restoring the mid-life
     // checkpoint into a fresh manager reproduces the monitored value.
     let json = checkpoint.expect("mid-life checkpoint");
     let mut resumed = ReliabilityManager::new(
-        &analysis,
+        session.analysis(),
         Box::new(tech),
-        mgr.policy().clone(),
+        policy,
         ManagerConfig::default(),
     )?;
     resumed.restore(DamageState::from_json(&json)?)?;
@@ -136,13 +136,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json.len(),
         resumed.failure_probability_now()?
     );
-
-    let p_final = mgr.failure_probability_now()?;
     println!(
         "end of service: chip failure probability {p_final:.3e} (budget {BUDGET:.0e}), \
-         {} DVFS transitions, {} off-grid queries",
-        mgr.transitions(),
-        mgr.off_grid_queries()
+         {transitions} DVFS transitions, {off_grid} off-grid queries"
     );
     println!(
         "manager overhead: {} table queries at {:.1} µs each — cheap enough for a runtime monitor",
@@ -152,7 +148,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if p_final <= BUDGET {
         println!(
             "verdict: budget met{}",
-            if mgr.transitions() > 0 {
+            if transitions > 0 {
                 " (after throttling)"
             } else {
                 ""

@@ -10,31 +10,25 @@
 //!
 //! Run with: `cargo run --release --example voltage_exploration`
 
-use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::circuits::Benchmark;
 use statobd::core::{
     params, solve_lifetime, ChipAnalysis, GuardBand, GuardBandConfig, HybridConfig, HybridTables,
 };
 use statobd::device::{ClosedFormTech, ObdTechnology};
-use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+use statobd::{AnalysisSpec, Session};
 
 const TEN_YEARS_S: f64 = 3.156e8;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let built = build_design(Benchmark::C3, &DesignConfig::default())?;
-    let model = ThicknessModelBuilder::new()
-        .grid(built.grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
-        })
-        .build()?;
+    // Compile C3 once through the declarative spec; the session's
+    // analysis is the input to the table build below.
+    let session = Session::build(&AnalysisSpec::benchmark(Benchmark::C3))?;
+    let analysis = session.analysis();
     let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(built.spec.clone(), model, &tech)?;
 
     // Build the lookup tables once (the per-design preprocessing step).
     let start = std::time::Instant::now();
-    let mut tables = HybridTables::build(&analysis, HybridConfig::default())?;
+    let mut tables = HybridTables::build(analysis, HybridConfig::default())?;
     println!(
         "hybrid tables built in {:.2} s ({} blocks x 100 x 100 entries)\n",
         start.elapsed().as_secs_f64(),
@@ -62,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         evaluations += 1;
 
         // Guard-band verdict at the same voltage (closed form).
-        let spec_v = built.spec.clone();
+        let spec_v = analysis.spec().clone();
         let analysis_v = {
             // Rebind the analysis at this voltage for the guard corner.
             let mut s = statobd::core::ChipSpec::new();

@@ -9,18 +9,11 @@
 //!
 //! Run with: `cargo run --release --example wafer_positions`
 
-use statobd::core::{
-    build_engine, params, solve_lifetime, BlockSpec, ChipAnalysis, ChipSpec, EngineKind,
-};
-use statobd::device::ClosedFormTech;
-use statobd::variation::{
-    CorrelationKernel, GridSpec, SystematicPattern, ThicknessModelBuilder, VarianceBudget,
-};
+use statobd::core::{params, BlockSpec, ChipSpec};
+use statobd::variation::SystematicPattern;
+use statobd::{AnalysisSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let grid = GridSpec::square_unit(8)?;
-    let tech = ClosedFormTech::nominal_45nm();
-
     // A simple one-hot-one-cool chip reused at every wafer position.
     let spec = {
         let mut s = ChipSpec::new();
@@ -46,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wafer bowl: dies near the wafer edge grow thinner oxide. The die's
     // local gradient appears as a slanted pattern whose magnitude depends
     // on the wafer radius at the die position; the die-mean offset folds
-    // into the nominal.
+    // into the nominal. Each position is one spec — the die-position
+    // parameters live in `model.nominal_nm` and `model.systematic`.
     println!("1-ppm lifetime vs wafer position (bowl-shaped wafer pattern):");
     println!(
         "{:>14} {:>14} {:>14} {:>12}",
@@ -61,21 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                    // die grows with radius.
         let mean_offset = bowl_depth_nm * (r * r - 1.0);
         let gradient = 2.0 * bowl_depth_nm * r * 0.1; // die is ~10% of wafer
-        let model = ThicknessModelBuilder::new()
-            .grid(grid)
-            .nominal(params::NOMINAL_THICKNESS_NM + mean_offset)
-            .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-            .kernel(CorrelationKernel::Exponential {
-                rel_distance: params::DEFAULT_CORRELATION_DISTANCE,
-            })
-            .systematic(SystematicPattern::Slanted {
-                gx: gradient,
-                gy: 0.0,
-            })
-            .build()?;
-        let analysis = ChipAnalysis::new(spec.clone(), model, &tech)?;
-        let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
-        let t = solve_lifetime(engine.as_mut(), params::ONE_PER_MILLION, (1e4, 1e13))?;
+        let mut aspec = AnalysisSpec::chip(spec.clone()).with_grid_side(8);
+        aspec.model.nominal_nm = params::NOMINAL_THICKNESS_NM + mean_offset;
+        aspec.model.budget = Some(statobd::variation::VarianceBudget::itrs_2008(
+            params::NOMINAL_THICKNESS_NM,
+        )?);
+        aspec.model.systematic = SystematicPattern::Slanted {
+            gx: gradient,
+            gy: 0.0,
+        };
+        let mut session = Session::build(&aspec)?;
+        let t = session.lifetime(params::ONE_PER_MILLION)?;
         lifetimes.push(t);
         println!(
             "{:>13.1}R {:>11.1} pm {:>11.1} pm {:>12.2}",

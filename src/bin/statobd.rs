@@ -5,12 +5,22 @@
 //! statobd template <out.json>          write an example chip spec
 //! statobd analyze  <spec.json> [opts]  analyze a chip spec
 //! statobd bench    <C1..C6|MC16>       analyze a bundled benchmark design
+//! statobd serve    [opts]              answer line-delimited JSON queries
+//!                                      over hot sessions (see below)
 //! statobd thermal  <floorplan.json> <power.json> [opts]
 //!                                      solve the steady-state thermal map
 //! statobd manage   <spec.json> <schedule.json> [opts]
 //!                                      run the dynamic reliability manager
 //!                                      over a phase schedule
 //! statobd manage template <out.json>   write an example schedule
+//!
+//! options for serve:
+//!   --socket <path>  listen on a unix socket instead of stdin/stdout
+//!   --cache-dir <p>  artifact cache root (default $STATOBD_CACHE, then
+//!                    ~/.cache/statobd)
+//!   --no-cache       always build cold, never persist artifacts
+//!   --quick          smoke mode: alias for --no-cache (used by CI)
+//!   --max-sessions <n>  hot-session LRU capacity (default 4)
 //!
 //! options for manage:
 //!   --rho <f>        relative correlation distance   (default 0.5)
@@ -38,28 +48,27 @@
 //!   --threads <n>    worker threads for parallel engines (default: the
 //!                    STATOBD_THREADS environment variable, then all cores)
 //!   --mc <n>         also run Monte-Carlo with n chips
-//!   --timings        print the model-construction timing breakdown
-//!                    (covariance assembly / eigendecomposition /
-//!                    truncation) and which spectral solver ran
+//!   --cache          open through the artifact cache: load the compiled
+//!                    model if present, save it after a cold build
+//!   --timings        print the session build breakdown (cold build vs
+//!                    cache load, wall time, retained components)
 //!   --curve <n>      print an n-point P(t) failure-rate curve around the
 //!                    solved lifetime (one batched engine sweep)
 //!   --tables <path>  export hybrid lookup tables as JSON
 //! ```
 
-use statobd::circuits::{build_design, Benchmark, DesignConfig};
+use statobd::circuits::Benchmark;
 use statobd::core::{
-    build_engine, effective_weibull_slope, failure_rate_curve, fit_rate, params, solve_lifetime,
-    ChipAnalysis, ChipSpec, EngineKind, EngineSpec, GuardBand, GuardBandConfig, HybridConfig,
-    HybridTables, MonteCarloConfig, StFast, StFastConfig,
+    build_engine, params, solve_lifetime, ChipSpec, EngineKind, EngineSpec, GuardBand,
+    GuardBandConfig, HybridConfig, HybridTables, MonteCarloConfig, StFast, StFastConfig,
 };
-use statobd::device::ClosedFormTech;
 use statobd::manager::{
-    DamageState, DvfsLevel, ManageSpec, ManagerConfig, PhaseSpec, PolicyConfig, ReliabilityManager,
+    DamageState, DvfsLevel, ManageSpec, ManagerConfig, PhaseSpec, PolicyConfig,
 };
 use statobd::thermal::{
     kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver, ThermalSolverKind,
 };
-use statobd::variation::{CorrelationKernel, GridSpec, ThicknessModelBuilder, VarianceBudget};
+use statobd::{AnalysisSpec, ArtifactCache, DesignSource, ServeConfig, Session};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -73,6 +82,7 @@ struct Options {
     mc_chips: Option<usize>,
     curve_points: Option<usize>,
     tables_out: Option<String>,
+    cache: bool,
     timings: bool,
 }
 
@@ -88,6 +98,7 @@ impl Default for Options {
             mc_chips: None,
             curve_points: None,
             tables_out: None,
+            cache: false,
             timings: false,
         }
     }
@@ -105,11 +116,26 @@ impl Options {
         };
         spec.with_threads(self.threads)
     }
+
+    /// The declarative analysis spec these options denote for `design`.
+    fn to_spec(&self, design: DesignSource) -> AnalysisSpec {
+        let mut spec = match design {
+            DesignSource::Benchmark(b) => AnalysisSpec::benchmark(b),
+            DesignSource::Chip(c) => AnalysisSpec::chip(c),
+        };
+        spec.grid_side = self.grid;
+        spec.model.kernel = statobd::variation::CorrelationKernel::Exponential {
+            rel_distance: self.rho,
+        };
+        spec.engine = self.engine_spec();
+        spec.threads = self.threads;
+        spec
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--cache] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd serve [--socket path] [--cache-dir path] [--no-cache|--quick] [--max-sessions n]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>"
     );
     ExitCode::FAILURE
 }
@@ -253,8 +279,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--engine" => {
                 let name = value("--engine")?;
-                opts.engine = EngineKind::parse(&name)
-                    .ok_or_else(|| format!("--engine: unknown engine '{name}'"))?;
+                opts.engine = EngineKind::parse(&name).map_err(|e| format!("--engine: {e}"))?;
             }
             "--threads" => {
                 opts.threads = Some(
@@ -264,6 +289,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--tables" => opts.tables_out = Some(value("--tables")?),
+            "--cache" => opts.cache = true,
             "--timings" => opts.timings = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -465,18 +491,17 @@ fn manage(spec_path: &str, schedule_path: &str, opts: &ManageOptions) -> Result<
     )
     .map_err(|e| format!("parsing {schedule_path}: {e}"))?;
 
-    let grid = GridSpec::square_unit(opts.grid).map_err(|e| e.to_string())?;
-    let model = ThicknessModelBuilder::new()
-        .grid(grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM).map_err(|e| e.to_string())?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: opts.rho,
-        })
-        .build()
-        .map_err(|e| e.to_string())?;
-    let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(chip, model, &tech).map_err(|e| e.to_string())?;
+    // The manager needs only the compiled analysis; the (cheap) closed-form
+    // engine keeps session construction light.
+    let mut aspec = AnalysisSpec::chip(chip);
+    aspec.grid_side = opts.grid;
+    aspec.model.kernel = statobd::variation::CorrelationKernel::Exponential {
+        rel_distance: opts.rho,
+    };
+    aspec.engine = EngineKind::StClosed.default_spec();
+    aspec.threads = opts.threads;
+    let mut session = Session::build(&aspec).map_err(|e| e.to_string())?;
+    let n_blocks = session.analysis().n_blocks();
 
     let start = std::time::Instant::now();
     let manager_config = ManagerConfig {
@@ -487,16 +512,20 @@ fn manage(spec_path: &str, schedule_path: &str, opts: &ManageOptions) -> Result<
         },
         ..ManagerConfig::default()
     };
-    let mut mgr = ReliabilityManager::new(
-        &analysis,
-        Box::new(tech),
-        schedule.policy.clone(),
-        manager_config,
-    )
-    .map_err(|e| e.to_string())?;
+    session
+        .configure_manager(schedule.policy.clone(), manager_config)
+        .map_err(|e| e.to_string())?;
+    // Resolve the phase temperatures up front: the manager borrow below
+    // is exclusive for the rest of the run.
+    let phases: Vec<statobd::manager::OperatingPhase> = schedule
+        .phases
+        .iter()
+        .map(|p| p.resolve(session.analysis().spec()))
+        .collect();
+    let mgr = session.manager_mut().map_err(|e| e.to_string())?;
     println!(
         "manager ready: {} blocks, tables γ ∈ [{:.1}, {:.1}], b ∈ [{:.3}, {:.3}]  [{:.2} s]",
-        analysis.n_blocks(),
+        n_blocks,
         mgr.tables().config().gamma_range.0,
         mgr.tables().config().gamma_range.1,
         mgr.tables().config().b_range.0,
@@ -530,10 +559,9 @@ fn manage(spec_path: &str, schedule_path: &str, opts: &ManageOptions) -> Result<
     );
     let budget = schedule.policy.budget;
     for cycle in 0..schedule.repeat {
-        for phase_spec in &schedule.phases {
-            let phase = phase_spec.resolve(analysis.spec());
+        for phase in &phases {
             let reports = mgr
-                .run_phase(&phase, schedule.steps_per_phase)
+                .run_phase(phase, schedule.steps_per_phase)
                 .map_err(|e| e.to_string())?;
             let last = reports.last().expect("at least one step");
             println!(
@@ -574,84 +602,60 @@ fn manage(spec_path: &str, schedule_path: &str, opts: &ManageOptions) -> Result<
     Ok(())
 }
 
-/// Builds the thickness model over `grid`; with `--timings` the
-/// construction goes through [`ThicknessModelBuilder::build_with_stats`]
-/// and the covariance/eigen/truncation wall-time breakdown is printed.
-fn build_thickness_model(
-    grid: GridSpec,
-    opts: &Options,
-) -> Result<statobd::variation::ThicknessModel, String> {
-    let builder = ThicknessModelBuilder::new()
-        .grid(grid)
-        .nominal(params::NOMINAL_THICKNESS_NM)
-        .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM).map_err(|e| e.to_string())?)
-        .kernel(CorrelationKernel::Exponential {
-            rel_distance: opts.rho,
-        });
-    if !opts.timings {
-        return builder.build().map_err(|e| e.to_string());
+/// Compiles the session for `design` (through the artifact cache when
+/// `--cache` is set) and prints the full report.
+fn report(design: DesignSource, opts: &Options) -> Result<(), String> {
+    let spec = opts.to_spec(design);
+    let mut session = if opts.cache {
+        let cache = ArtifactCache::open_default().map_err(|e| e.to_string())?;
+        Session::open(&spec, &cache)
+    } else {
+        Session::build(&spec)
     }
-    let (model, stats) = builder.build_with_stats().map_err(|e| e.to_string())?;
-    println!(
-        "model construction: {} grids -> {} components [{}]",
-        stats.n_grids,
-        stats.n_components,
-        stats.solver.name()
-    );
-    println!(
-        "  covariance {:.4} s  eigen {:.4} s  truncation {:.4} s  total {:.4} s",
-        stats.covariance_s,
-        stats.eigen_s,
-        stats.truncation_s,
-        stats.total_s()
-    );
-    Ok(model)
-}
+    .map_err(|e| e.to_string())?;
 
-fn report(spec: ChipSpec, opts: &Options) -> Result<(), String> {
-    let grid = GridSpec::square_unit(opts.grid).map_err(|e| e.to_string())?;
-    let model = build_thickness_model(grid, opts)?;
-    analyze_with_model(spec, model, opts)
-}
-
-fn analyze_with_model(
-    spec: ChipSpec,
-    model: statobd::variation::ThicknessModel,
-    opts: &Options,
-) -> Result<(), String> {
-    let tech = ClosedFormTech::nominal_45nm();
-    let analysis = ChipAnalysis::new(spec, model, &tech).map_err(|e| e.to_string())?;
+    if let Some(note) = &session.stats().note {
+        eprintln!("warning: {note}");
+    }
+    if opts.timings {
+        let stats = session.stats();
+        println!(
+            "session: {} build in {:.4} s, {} components retained, spec hash {}",
+            stats.source.name(),
+            stats.build_s,
+            stats.n_components,
+            stats.spec_hash
+        );
+    }
     println!(
         "design: {} blocks, {} devices, worst block temperature {:.1} C",
-        analysis.n_blocks(),
-        analysis.spec().total_devices(),
-        analysis.spec().max_temperature_k().unwrap_or(0.0) - 273.15
+        session.analysis().n_blocks(),
+        session.analysis().spec().total_devices(),
+        session.analysis().spec().max_temperature_k().unwrap_or(0.0) - 273.15
     );
 
-    let bracket = (1e4, 1e13);
     let years = |t: f64| t / 3.156e7;
+    let kind = opts.engine;
 
-    let spec = opts.engine_spec();
-    let mut primary = build_engine(&analysis, &spec).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
-    let t_fast =
-        solve_lifetime(primary.as_mut(), opts.target, bracket).map_err(|e| e.to_string())?;
+    let t_fast = session.lifetime(opts.target).map_err(|e| e.to_string())?;
     println!(
         "{} lifetime @ P={:.1e}: {:.3e} s ({:.2} years)  [{:.1} ms]",
-        spec.kind(),
+        kind,
         opts.target,
         t_fast,
         years(t_fast),
         start.elapsed().as_secs_f64() * 1e3
     );
 
-    let fit = fit_rate(primary.as_mut(), t_fast).map_err(|e| e.to_string())?;
-    let slope = effective_weibull_slope(primary.as_mut(), t_fast).map_err(|e| e.to_string())?;
+    let fit = session.fit_rate(t_fast).map_err(|e| e.to_string())?;
+    let slope = session.weibull_slope(t_fast).map_err(|e| e.to_string())?;
     println!(
         "at that lifetime: FIT rate {fit:.2} failures/1e9 device-hours, effective Weibull slope {slope:.2}"
     );
 
-    let guard = GuardBand::new(&analysis, GuardBandConfig::default()).map_err(|e| e.to_string())?;
+    let analysis = session.analysis();
+    let guard = GuardBand::new(analysis, GuardBandConfig::default()).map_err(|e| e.to_string())?;
     let t_guard = guard.lifetime(opts.target).map_err(|e| e.to_string())?;
     println!(
         "guard-band corner:            {:.3e} s ({:.2} years)  [{:.0}% pessimistic]",
@@ -667,16 +671,53 @@ fn analyze_with_model(
             threads: opts.threads,
             ..Default::default()
         });
-        let mut mc = build_engine(&analysis, &mc_spec).map_err(|e| e.to_string())?;
-        let t_mc = solve_lifetime(mc.as_mut(), opts.target, bracket).map_err(|e| e.to_string())?;
+        let mut mc = build_engine(analysis, &mc_spec).map_err(|e| e.to_string())?;
+        let t_mc = solve_lifetime(mc.as_mut(), opts.target, statobd::LIFETIME_BRACKET_S)
+            .map_err(|e| e.to_string())?;
         println!(
             "Monte-Carlo ({chips} chips):     {:.3e} s ({:.2} years)  [{:.1} s; {} error {:.2}%]",
             t_mc,
             years(t_mc),
             start.elapsed().as_secs_f64(),
-            spec.kind(),
+            kind,
             100.0 * ((t_fast - t_mc) / t_mc).abs()
         );
+    }
+
+    if let Some(path) = &opts.tables_out {
+        let tables =
+            HybridTables::build(analysis, HybridConfig::default()).map_err(|e| e.to_string())?;
+        std::fs::write(path, tables.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("hybrid lookup tables written to {path}");
+    }
+
+    println!("\nper-block contributions at the {kind} lifetime:");
+    let breakdown = StFast::new(
+        analysis,
+        StFastConfig {
+            l0: opts.l0,
+            threads: opts.threads,
+            ..Default::default()
+        },
+    );
+    let blocks: Vec<(String, f64, f64)> = analysis
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(j, block)| {
+            breakdown.block_failure_probability(j, t_fast).map(|p| {
+                (
+                    block.spec().name().to_string(),
+                    block.spec().temperature_k(),
+                    p,
+                )
+            })
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    for (name, temp_k, p) in &blocks {
+        println!("  {name:<12} {:>7.1} C  P_j = {p:.3e}", temp_k - 273.15);
     }
 
     if let Some(n) = opts.curve_points {
@@ -684,7 +725,8 @@ fn analyze_with_model(
         // Two decades either side of the solved lifetime covers the whole
         // interesting region of the S-curve; one batched sweep.
         let start = std::time::Instant::now();
-        let curve = failure_rate_curve(primary.as_mut(), t_fast * 1e-2, t_fast * 1e2, n)
+        let curve = session
+            .sweep(t_fast * 1e-2, t_fast * 1e2, n)
             .map_err(|e| e.to_string())?;
         println!(
             "\nP(t) curve, {n} points around the lifetime  [{:.1} ms]:",
@@ -695,36 +737,62 @@ fn analyze_with_model(
             println!("  {t:>12.4e}  {:>10.3}  {p:>12.4e}", years(*t));
         }
     }
-
-    if let Some(path) = &opts.tables_out {
-        let tables =
-            HybridTables::build(&analysis, HybridConfig::default()).map_err(|e| e.to_string())?;
-        std::fs::write(path, tables.to_json().map_err(|e| e.to_string())?)
-            .map_err(|e| e.to_string())?;
-        println!("hybrid lookup tables written to {path}");
-    }
-
-    println!("\nper-block contributions at the {} lifetime:", spec.kind());
-    let breakdown = StFast::new(
-        &analysis,
-        StFastConfig {
-            l0: opts.l0,
-            threads: opts.threads,
-            ..Default::default()
-        },
-    );
-    for (j, block) in analysis.blocks().iter().enumerate() {
-        let p = breakdown
-            .block_failure_probability(j, t_fast)
-            .map_err(|e| e.to_string())?;
-        println!(
-            "  {:<12} {:>7.1} C  P_j = {:.3e}",
-            block.spec().name(),
-            block.spec().temperature_k() - 273.15,
-            p
-        );
-    }
     Ok(())
+}
+
+#[derive(Debug, Default)]
+struct ServeOptions {
+    socket: Option<String>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    max_sessions: Option<usize>,
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => opts.socket = Some(value("--socket")?),
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--no-cache" | "--quick" => opts.no_cache = true,
+            "--max-sessions" => {
+                opts.max_sessions = Some(
+                    value("--max-sessions")?
+                        .parse()
+                        .map_err(|e| format!("--max-sessions: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.max_sessions == Some(0) {
+        return Err("--max-sessions: the server needs room for at least one session".to_string());
+    }
+    Ok(opts)
+}
+
+fn serve_cmd(opts: &ServeOptions) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    if let Some(n) = opts.max_sessions {
+        config.max_sessions = n;
+    }
+    config.cache = if opts.no_cache {
+        None
+    } else if let Some(dir) = &opts.cache_dir {
+        Some(ArtifactCache::new(dir))
+    } else {
+        // Serving without any cache root (e.g. no $HOME) is fine: every
+        // open is just a cold build.
+        ArtifactCache::default_root().map(ArtifactCache::new)
+    };
+    let socket = opts.socket.as_ref().map(std::path::Path::new);
+    statobd::serve(config, socket).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -750,10 +818,14 @@ fn main() -> ExitCode {
                         statobd::num::json::from_str::<ChipSpec>(&json)
                             .map_err(|e| format!("parsing {path}: {e}"))
                     })
-                    .and_then(|spec| report(spec, &opts)),
+                    .and_then(|spec| report(DesignSource::Chip(spec), &opts)),
                 Err(e) => Err(e),
             }
         }
+        "serve" => match parse_serve_options(&args[1..]) {
+            Ok(opts) => serve_cmd(&opts),
+            Err(e) => Err(e),
+        },
         "thermal" => {
             let (Some(fp), Some(pm)) = (args.get(1), args.get(2)) else {
                 return usage();
@@ -775,32 +847,11 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1) else {
                 return usage();
             };
-            let bench = match name.as_str() {
-                "C1" => Benchmark::C1,
-                "C2" => Benchmark::C2,
-                "C3" => Benchmark::C3,
-                "C4" => Benchmark::C4,
-                "C5" => Benchmark::C5,
-                "C6" => Benchmark::C6,
-                "MC16" => Benchmark::ManyCore16,
-                other => {
-                    eprintln!("unknown benchmark {other}");
-                    return usage();
-                }
-            };
-            match parse_options(&args[2..]) {
-                Ok(opts) => {
-                    let config = DesignConfig {
-                        correlation_grid_side: opts.grid,
-                        ..DesignConfig::default()
-                    };
-                    build_design(bench, &config)
-                        .map_err(|e| e.to_string())
-                        .and_then(|built| {
-                            let model = build_thickness_model(built.grid, &opts)?;
-                            analyze_with_model(built.spec, model, &opts)
-                        })
-                }
+            match Benchmark::parse(name).map_err(|e| e.to_string()) {
+                Ok(bench) => match parse_options(&args[2..]) {
+                    Ok(opts) => report(DesignSource::Benchmark(bench), &opts),
+                    Err(e) => Err(e),
+                },
                 Err(e) => Err(e),
             }
         }

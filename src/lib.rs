@@ -29,33 +29,23 @@
 //!
 //! # Example
 //!
-//! Statistical 1-fault-per-million lifetime of a bundled benchmark design,
-//! with the full substrate pipeline (floorplan → power → thermal → BLOD →
-//! analytic integration) behind one call each:
+//! The facade API: describe the whole analysis as one declarative
+//! [`AnalysisSpec`], compile it into a [`Session`], query it. (The
+//! substrate pipeline — floorplan → power → thermal → BLOD → analytic
+//! integration — runs behind [`Session::build`]; see [`Session::open`]
+//! for the content-addressed artifact cache that skips recompilation.)
 //!
 //! ```
-//! use statobd::circuits::{build_design, Benchmark, DesignConfig};
-//! use statobd::core::{build_engine, params, solve_lifetime, ChipAnalysis, EngineKind};
-//! use statobd::device::ClosedFormTech;
-//! use statobd::thermal::ThermalConfig;
-//! use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+//! use statobd::{AnalysisSpec, Session};
+//! use statobd::circuits::Benchmark;
+//! use statobd::core::params;
 //!
 //! // Small configuration so the doctest stays fast.
-//! let config = DesignConfig {
-//!     correlation_grid_side: 6,
-//!     thermal: ThermalConfig { nx: 16, ny: 16, ..ThermalConfig::default() },
-//!     ..DesignConfig::default()
-//! };
-//! let built = build_design(Benchmark::C1, &config)?;
-//! let model = ThicknessModelBuilder::new()
-//!     .grid(built.grid)
-//!     .nominal(params::NOMINAL_THICKNESS_NM)
-//!     .budget(VarianceBudget::itrs_2008(params::NOMINAL_THICKNESS_NM)?)
-//!     .kernel(CorrelationKernel::Exponential { rel_distance: 0.5 })
-//!     .build()?;
-//! let analysis = ChipAnalysis::new(built.spec, model, &ClosedFormTech::nominal_45nm())?;
-//! let mut engine = build_engine(&analysis, &EngineKind::StFast.default_spec())?;
-//! let t = solve_lifetime(engine.as_mut(), params::ONE_PER_MILLION, (1e5, 1e12))?;
+//! let mut spec = AnalysisSpec::benchmark(Benchmark::C1).with_grid_side(6);
+//! spec.thermal.nx = 16;
+//! spec.thermal.ny = 16;
+//! let mut session = Session::build(&spec)?;
+//! let t = session.lifetime(params::ONE_PER_MILLION)?;
 //! assert!(t > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -67,3 +57,21 @@ pub use statobd_manager as manager;
 pub use statobd_num as num;
 pub use statobd_thermal as thermal;
 pub use statobd_variation as variation;
+
+mod artifact;
+mod error;
+mod serve;
+mod session;
+mod spec;
+
+pub use artifact::{ArtifactCache, CompiledModel, CACHE_ENV, FORMAT_VERSION};
+pub use error::{Error, Result};
+pub use serve::{serve, serve_lines, ServeConfig};
+pub use session::{
+    Session, SessionSource, SessionStats, DEFAULT_SERVICE_LIFE_S, LIFETIME_BRACKET_S,
+};
+pub use spec::{AnalysisSpec, DesignSource, ModelSpec, TechSpec};
+
+// Convenience re-exports of the types an `AnalysisSpec` is assembled
+// from, so facade users rarely need the substrate crates directly.
+pub use statobd_core::{EngineKind, EngineSpec};

@@ -1,0 +1,498 @@
+//! `statobd serve` — a line-delimited JSON query server over hot
+//! sessions.
+//!
+//! The build/serve split: compiling a model costs seconds to minutes,
+//! queries cost microseconds. The server keeps an LRU map of compiled
+//! [`Session`]s (optionally backed by the [`ArtifactCache`], so even the
+//! first `open` of a previously seen spec is a cheap deserialization) and
+//! answers one JSON request per line on stdin/stdout or a unix socket.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one per line out. Every request carries an
+//! `op`; every reply carries `"ok"` and echoes the request's `id` when
+//! present. Errors are structured replies (`{"ok": false, "error": ...}`)
+//! — a bad request never kills the server.
+//!
+//! | op | request fields | reply fields |
+//! |---|---|---|
+//! | `open` | `session`, `spec` | `source`, `build_s`, `spec_hash` |
+//! | `p_at` | `session`, `t_s` | `p` |
+//! | `sweep` | `session`, `t_lo_s`, `t_hi_s`, `points` | `curve` = `[[t, p], ...]` |
+//! | `lifetime` | `session`, `target` | `t_s`, `years` |
+//! | `manage_step` | `session`, `dt_s`, `vdd_v`, `temps_k` *or* `dt_k` | `p_now`, `p_projected`, `level`, `capped`, `vdd_v` |
+//! | `stats` | `session` | `stats` |
+//! | `close` | `session` | `closed` |
+//! | `shutdown` | — | — (server exits after replying) |
+//!
+//! # Example exchange
+//!
+//! ```text
+//! → {"id": 1, "op": "open", "session": "c1", "spec": {"design": "C1"}}
+//! ← {"id": 1, "ok": true, "session": "c1", "source": "cache", "build_s": 0.18, "spec_hash": "..."}
+//! → {"id": 2, "op": "p_at", "session": "c1", "t_s": 3.156e8}
+//! ← {"id": 2, "ok": true, "p": 3.4e-7}
+//! ```
+
+use crate::artifact::ArtifactCache;
+use crate::error::{Error, Result};
+use crate::session::Session;
+use crate::spec::AnalysisSpec;
+use statobd_manager::StepReport;
+use statobd_num::json::{FromJson, Json, ToJson};
+use std::io::{BufRead, Write};
+
+/// Server configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Maximum number of hot sessions; the least recently used is evicted
+    /// when an `open` would exceed it.
+    pub max_sessions: usize,
+    /// Artifact cache backing `open` (`None` = always build cold, never
+    /// persist).
+    pub cache: Option<ArtifactCache>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 4,
+            cache: None,
+        }
+    }
+}
+
+/// The server state: configuration plus the LRU session map (front =
+/// most recently used).
+#[derive(Debug)]
+struct Server {
+    config: ServeConfig,
+    sessions: Vec<(String, Session)>,
+}
+
+/// What handling one request produced.
+struct Reply {
+    json: Json,
+    shutdown: bool,
+}
+
+impl Server {
+    fn new(config: ServeConfig) -> Self {
+        Server {
+            config,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Handles one request line; never fails — malformed input becomes an
+    /// error reply.
+    fn handle(&mut self, line: &str) -> Reply {
+        let (id, result) = match Json::parse(line) {
+            Ok(request) => {
+                let id = request.get("id").cloned();
+                (id, self.dispatch(&request))
+            }
+            Err(e) => (None, Err(Error::Spec(format!("unparseable request: {e}")))),
+        };
+        match result {
+            Ok(Reply { json, shutdown }) => {
+                let mut members = vec![("ok".to_string(), Json::Bool(true))];
+                if let Some(id) = id {
+                    members.insert(0, ("id".to_string(), id));
+                }
+                if let Json::Object(fields) = json {
+                    members.extend(fields);
+                }
+                Reply {
+                    json: Json::Object(members),
+                    shutdown,
+                }
+            }
+            Err(e) => {
+                let mut members = vec![
+                    ("ok".to_string(), Json::Bool(false)),
+                    ("error".to_string(), Json::String(e.to_string())),
+                ];
+                if let Some(id) = id {
+                    members.insert(0, ("id".to_string(), id));
+                }
+                Reply {
+                    json: Json::Object(members),
+                    shutdown: false,
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, request: &Json) -> Result<Reply> {
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Spec("request needs a string 'op'".to_string()))?;
+        let ok = |json: Json| {
+            Ok(Reply {
+                json,
+                shutdown: false,
+            })
+        };
+        match op {
+            "open" => ok(self.op_open(request)?),
+            "p_at" => {
+                let t_s = num_field(request, "t_s")?;
+                let p = self.session(request)?.p_at(t_s)?;
+                ok(object(vec![("p", Json::Number(p))]))
+            }
+            "sweep" => {
+                let t_lo = num_field(request, "t_lo_s")?;
+                let t_hi = num_field(request, "t_hi_s")?;
+                let points = num_field(request, "points")? as usize;
+                let curve = self.session(request)?.sweep(t_lo, t_hi, points)?;
+                let rows = curve
+                    .into_iter()
+                    .map(|(t, p)| Json::Array(vec![Json::Number(t), Json::Number(p)]))
+                    .collect();
+                ok(object(vec![("curve", Json::Array(rows))]))
+            }
+            "lifetime" => {
+                let target = num_field(request, "target")?;
+                let t_s = self.session(request)?.lifetime(target)?;
+                ok(object(vec![
+                    ("t_s", Json::Number(t_s)),
+                    ("years", Json::Number(t_s / 3.156e7)),
+                ]))
+            }
+            "manage_step" => {
+                let dt_s = num_field(request, "dt_s")?;
+                let vdd_v = num_field(request, "vdd_v")?;
+                let session = self.session(request)?;
+                let report = match request.get("temps_k") {
+                    Some(temps) => {
+                        let temps = Vec::<f64>::from_json(temps).map_err(Error::from)?;
+                        session.manage_step(dt_s, &temps, vdd_v)?
+                    }
+                    None => {
+                        let dt_k = request.get("dt_k").and_then(Json::as_f64).unwrap_or(0.0);
+                        session.manage_step_uniform(dt_s, dt_k, vdd_v)?
+                    }
+                };
+                ok(report_json(&report))
+            }
+            "stats" => {
+                let stats = self.session(request)?.stats().clone();
+                ok(object(vec![("stats", stats.to_json())]))
+            }
+            "close" => {
+                let name = name_field(request)?;
+                let before = self.sessions.len();
+                self.sessions.retain(|(n, _)| n != &name);
+                ok(object(vec![(
+                    "closed",
+                    Json::Bool(self.sessions.len() < before),
+                )]))
+            }
+            "shutdown" => Ok(Reply {
+                json: object(vec![]),
+                shutdown: true,
+            }),
+            other => Err(Error::Spec(format!(
+                "unknown op '{other}' (one of: open, p_at, sweep, lifetime, manage_step, \
+                 stats, close, shutdown)"
+            ))),
+        }
+    }
+
+    fn op_open(&mut self, request: &Json) -> Result<Json> {
+        let name = name_field(request)?;
+        let spec_json = request
+            .get("spec")
+            .ok_or_else(|| Error::Spec("open needs a 'spec' object".to_string()))?;
+        let spec = AnalysisSpec::from_json(spec_json).map_err(Error::from)?;
+        let session = match &self.config.cache {
+            Some(cache) => Session::open(&spec, cache)?,
+            None => Session::build(&spec)?,
+        };
+        let stats = session.stats();
+        let reply = object(vec![
+            ("session", Json::String(name.clone())),
+            ("source", stats.source.to_json()),
+            ("build_s", Json::Number(stats.build_s)),
+            ("spec_hash", Json::String(stats.spec_hash.clone())),
+        ]);
+        self.sessions.retain(|(n, _)| n != &name);
+        self.sessions.insert(0, (name, session));
+        // Evict the least recently used sessions beyond capacity.
+        self.sessions.truncate(self.config.max_sessions.max(1));
+        Ok(reply)
+    }
+
+    /// Looks up the request's session and marks it most recently used.
+    fn session(&mut self, request: &Json) -> Result<&mut Session> {
+        let name = name_field(request)?;
+        let idx = self
+            .sessions
+            .iter()
+            .position(|(n, _)| n == &name)
+            .ok_or_else(|| {
+                Error::Spec(format!(
+                    "no open session '{name}' (use the 'open' op first)"
+                ))
+            })?;
+        let entry = self.sessions.remove(idx);
+        self.sessions.insert(0, entry);
+        Ok(&mut self.sessions[0].1)
+    }
+}
+
+fn object(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn name_field(request: &Json) -> Result<String> {
+    request
+        .get("session")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| Error::Spec("request needs a string 'session'".to_string()))
+}
+
+fn num_field(request: &Json, name: &str) -> Result<f64> {
+    request
+        .get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| Error::Spec(format!("request needs a number '{name}'")))
+}
+
+fn report_json(report: &StepReport) -> Json {
+    object(vec![
+        ("p_now", Json::Number(report.p_now)),
+        ("p_projected", Json::Number(report.p_projected)),
+        ("level", Json::Number(report.level as f64)),
+        ("capped", Json::Bool(report.capped)),
+        ("vdd_v", Json::Number(report.vdd_v)),
+    ])
+}
+
+/// Runs the serve loop over arbitrary line streams: one JSON request per
+/// line in, one JSON reply per line out (flushed per reply). Returns on
+/// EOF or after a `shutdown` op.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] only for transport failures; per-request
+/// problems become `{"ok": false}` replies.
+pub fn serve_lines<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    config: ServeConfig,
+) -> Result<()> {
+    let mut server = Server::new(config);
+    for line in reader.lines() {
+        let line = line.map_err(|e| Error::Io(format!("reading request: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = server.handle(&line);
+        writeln!(writer, "{}", reply.json.to_compact())
+            .and_then(|()| writer.flush())
+            .map_err(|e| Error::Io(format!("writing reply: {e}")))?;
+        if reply.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the server on stdin/stdout, or on a unix socket when `socket` is
+/// given. Socket connections are served sequentially against one shared
+/// session map, so sessions stay hot across client reconnects; the server
+/// exits when a client sends `shutdown`.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] for transport failures, and [`Error::Spec`] for
+/// a socket path on a platform without unix sockets.
+pub fn serve(config: ServeConfig, socket: Option<&std::path::Path>) -> Result<()> {
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(stdin.lock(), stdout.lock(), config)
+        }
+        Some(path) => serve_socket(config, path),
+    }
+}
+
+#[cfg(unix)]
+fn serve_socket(config: ServeConfig, path: &std::path::Path) -> Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    match std::fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(Error::Io(format!("removing {}: {e}", path.display()))),
+    }
+    let listener = UnixListener::bind(path)
+        .map_err(|e| Error::Io(format!("binding {}: {e}", path.display())))?;
+    let mut server = Server::new(config);
+    'accept: for stream in listener.incoming() {
+        let stream = stream.map_err(|e| Error::Io(format!("accepting connection: {e}")))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| Error::Io(format!("cloning stream: {e}")))?;
+        let reader = std::io::BufReader::new(stream);
+        for line in reader.lines() {
+            // A dropped client connection ends this session's loop but
+            // not the server.
+            let Ok(line) = line else { continue 'accept };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = server.handle(&line);
+            if writeln!(writer, "{}", reply.json.to_compact())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                continue 'accept;
+            }
+            if reply.shutdown {
+                break 'accept;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_config: ServeConfig, _path: &std::path::Path) -> Result<()> {
+    Err(Error::Spec(
+        "--socket needs unix domain sockets, unavailable on this platform".to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statobd_core::{BlockSpec, ChipSpec};
+
+    fn tiny_spec_json() -> String {
+        let mut chip = ChipSpec::new();
+        chip.add_block(BlockSpec::new("core", 1e5, 100_000, 368.15, 1.2, vec![(0, 1.0)]).unwrap())
+            .unwrap();
+        let spec = AnalysisSpec::chip(chip)
+            .with_grid_side(4)
+            .with_engine(statobd_core::EngineKind::StClosed);
+        spec.to_json().to_compact()
+    }
+
+    fn run(requests: &[String]) -> Vec<Json> {
+        let input = requests.join("\n");
+        let mut out = Vec::new();
+        serve_lines(input.as_bytes(), &mut out, ServeConfig::default()).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn open_query_shutdown_round_trip() {
+        let spec = tiny_spec_json();
+        let replies = run(&[
+            format!(r#"{{"id": 1, "op": "open", "session": "s", "spec": {spec}}}"#),
+            r#"{"id": 2, "op": "lifetime", "session": "s", "target": 1e-6}"#.to_string(),
+            r#"{"id": 3, "op": "p_at", "session": "s", "t_s": 3.156e8}"#.to_string(),
+            r#"{"id": 4, "op": "sweep", "session": "s", "t_lo_s": 1e7, "t_hi_s": 1e9, "points": 3}"#
+                .to_string(),
+            r#"{"id": 5, "op": "stats", "session": "s"}"#.to_string(),
+            r#"{"id": 6, "op": "shutdown"}"#.to_string(),
+        ]);
+        assert_eq!(replies.len(), 6);
+        for (i, reply) in replies.iter().enumerate() {
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "reply {i}: {}",
+                reply.to_compact()
+            );
+            assert_eq!(reply.get("id").and_then(Json::as_f64), Some((i + 1) as f64));
+        }
+        assert_eq!(
+            replies[0].get("source").and_then(Json::as_str),
+            Some("cold")
+        );
+        assert!(replies[1].get("t_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            replies[3]
+                .get("curve")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            3
+        );
+        let queries = replies[4]
+            .get("stats")
+            .and_then(|s| s.get("queries"))
+            .and_then(Json::as_f64);
+        assert_eq!(queries, Some(5.0), "lifetime + p_at + 3 sweep points");
+    }
+
+    #[test]
+    fn errors_are_structured_replies_not_exits() {
+        let spec = tiny_spec_json();
+        let replies = run(&[
+            "not json at all".to_string(),
+            r#"{"op": "p_at", "session": "nope", "t_s": 1.0}"#.to_string(),
+            r#"{"op": "frobnicate"}"#.to_string(),
+            r#"{"op": "open", "session": "s", "spec": {"design": "C9"}}"#.to_string(),
+            // The server must still work after four failures.
+            format!(r#"{{"op": "open", "session": "s", "spec": {spec}}}"#),
+        ]);
+        assert_eq!(replies.len(), 5);
+        for reply in &replies[..4] {
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(reply.get("error").and_then(Json::as_str).is_some());
+        }
+        assert_eq!(replies[4].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_session() {
+        let spec = tiny_spec_json();
+        let input: Vec<String> = vec![
+            format!(r#"{{"op": "open", "session": "a", "spec": {spec}}}"#),
+            format!(r#"{{"op": "open", "session": "b", "spec": {spec}}}"#),
+            // Touch "a" so "b" becomes the eviction candidate.
+            r#"{"op": "p_at", "session": "a", "t_s": 1e8}"#.to_string(),
+            format!(r#"{{"op": "open", "session": "c", "spec": {spec}}}"#),
+            r#"{"op": "p_at", "session": "b", "t_s": 1e8}"#.to_string(),
+            r#"{"op": "p_at", "session": "a", "t_s": 1e8}"#.to_string(),
+        ];
+        let joined = input.join("\n");
+        let mut out = Vec::new();
+        serve_lines(
+            joined.as_bytes(),
+            &mut out,
+            ServeConfig {
+                max_sessions: 2,
+                cache: None,
+            },
+        )
+        .unwrap();
+        let replies: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        // "b" was evicted by opening "c"; "a" survived.
+        assert_eq!(replies[4].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(replies[5].get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

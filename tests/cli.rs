@@ -213,6 +213,83 @@ fn manage_rejects_bad_schedules() {
 }
 
 #[test]
+fn serve_answers_a_request_script_on_stdin() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join("statobd_cli_serve");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = Command::new(bin())
+        .args(["serve", "--cache-dir", dir.to_str().unwrap()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            concat!(
+                r#"{"id": 1, "op": "open", "session": "c1", "spec": {"design": "C1", "grid_side": 6}}"#,
+                "\n",
+                r#"{"id": 2, "op": "p_at", "session": "c1", "t_s": 3.156e8}"#,
+                "\n",
+                r#"{"id": 3, "op": "lifetime", "session": "c1", "target": 1e-6}"#,
+                "\n",
+                r#"{"id": 4, "op": "p_at", "session": "nope", "t_s": 1e8}"#,
+                "\n",
+                r#"{"op": "shutdown"}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{out:?}");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let replies: Vec<&str> = stdout.lines().collect();
+    assert_eq!(replies.len(), 5, "one reply per request: {stdout}");
+    assert!(replies[0].contains(r#""ok":true"#), "{stdout}");
+    assert!(replies[0].contains(r#""source":"cold""#), "{stdout}");
+    assert!(replies[1].contains(r#""p":"#), "{stdout}");
+    assert!(replies[2].contains(r#""years":"#), "{stdout}");
+    // Unknown session: a structured error, not a dead server.
+    assert!(replies[3].contains(r#""ok":false"#), "{stdout}");
+    assert!(replies[4].contains(r#""ok":true"#), "{stdout}");
+
+    // A second server over the same cache dir opens the session warm.
+    let mut child = Command::new(bin())
+        .args(["serve", "--cache-dir", dir.to_str().unwrap()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve again");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            concat!(
+                r#"{"op": "open", "session": "c1", "spec": {"design": "C1", "grid_side": 6}}"#,
+                "\n",
+                r#"{"op": "shutdown"}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""source":"cache""#), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn thermal_subcommand_reports_block_temperatures() {
     use statobd::thermal::{Block, BlockPower, Floorplan, PowerModel, Rect};
     let dir = std::env::temp_dir().join("statobd_cli_thermal");

@@ -52,7 +52,7 @@ fn fig7_u_v_dependence_is_weak() {
     let m = model(10);
     let weights: Vec<(usize, f64)> = (0..10).map(|i| (30 + i, 0.1)).collect();
     let block = BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, weights).unwrap();
-    let moments = BlodMoments::characterize(&m, &block);
+    let moments = BlodMoments::characterize(&m, &block).expect("BLOD characterization");
 
     let mut rng = Xoshiro256pp::seed_from_u64(7);
     let mut normal = NormalSampler::new();
@@ -109,7 +109,7 @@ fn fig8_chi2_approximation_tracks_quadratic_form() {
     let m = model(10);
     let weights: Vec<(usize, f64)> = (0..20).map(|i| (i * 5, 0.05)).collect();
     let block = BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, weights).unwrap();
-    let moments = BlodMoments::characterize(&m, &block);
+    let moments = BlodMoments::characterize(&m, &block).expect("BLOD characterization");
     let vd = moments.v_dist();
 
     let mut rng = Xoshiro256pp::seed_from_u64(8);
@@ -154,7 +154,7 @@ fn blod_dimensionality_reduction_matches_definitions() {
         vec![(0, 0.5), (9, 0.3), (18, 0.2)],
     )
     .unwrap();
-    let moments = BlodMoments::characterize(&m, &block);
+    let moments = BlodMoments::characterize(&m, &block).expect("BLOD characterization");
     let mut rng = Xoshiro256pp::seed_from_u64(99);
     let mut sampler = FieldSampler::new(&m);
     let mut u_err_worst = 0.0f64;

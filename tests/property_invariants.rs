@@ -89,7 +89,7 @@ fn chi2_fit_matches_moments() {
             vec![(0, w0), (n - 1, 1.0 - w0)],
         )
         .unwrap();
-        let m = BlodMoments::characterize(&model, &block);
+        let m = BlodMoments::characterize(&model, &block).expect("BLOD characterization");
         let v = m.v_dist();
         assert!((v.mean() - (m.v_floor() + m.q_trace())).abs() < 1e-12);
         assert!((v.variance() - 2.0 * m.q_trace_sq()).abs() < 1e-15);
@@ -187,7 +187,7 @@ fn blod_u_distribution_quantiles() {
             .unwrap();
         let block =
             BlockSpec::new("b", 1000.0, 1000, 350.0, 1.2, vec![(0, w), (8, 1.0 - w)]).unwrap();
-        let m = BlodMoments::characterize(&model, &block);
+        let m = BlodMoments::characterize(&model, &block).expect("BLOD characterization");
         if let statobd::core::VarianceDist::ShiftedGamma { .. } = m.v_dist() {
             let q = m.v_dist().quantile(p).unwrap();
             assert!((m.v_dist().cdf(q) - p).abs() < 1e-7);
