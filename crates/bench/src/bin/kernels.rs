@@ -1,0 +1,386 @@
+//! Kernel benchmark: scalar (lane width 1) vs vectorized (widths 4/8)
+//! evaluation of the hot transcendental paths, emitting machine-readable
+//! `BENCH_kernels.json`.
+//!
+//! Four kernel groups are measured, each at every lane width with the
+//! same inputs:
+//!
+//! * raw `num::simd` slice kernels (`exp`, `exp_m1`, `ln_1p`) over
+//!   seeded samples of the engines' argument ranges,
+//! * `st_fast_integrate`: a batched StFast failure-probability sweep on
+//!   the C3 design (the `(u, v)` quadrature lane sweep),
+//! * `hybrid_table_fill`: the hybrid `(γ, b)` table construction,
+//! * `mc_weight_table`: a batched Monte-Carlo sweep (the
+//!   `scaled_exp_grid` weight-table fill plus histogram traversal —
+//!   recurrence-dominated, reported for completeness without a speedup
+//!   bar).
+//!
+//! Every width-4/8 row is gated at ≤ 1e-12 relative against the width-1
+//! reference values. Full runs additionally require a ≥ 2× best-width
+//! speedup on `st_fast_integrate` and `hybrid_table_fill`; the binary
+//! exits non-zero if any gate fails, so a committed `BENCH_kernels.json`
+//! always reflects a working lane layer. `--quick` keeps the accuracy
+//! gates but skips the speedup bars (timings on loaded CI machines are
+//! not trustworthy).
+//!
+//! ```text
+//! cargo run --release -p statobd-bench --bin kernels -- \
+//!     [--quick] [--out BENCH_kernels.json] [--threads 1]
+//! ```
+
+use statobd_bench::{measure_min, session_for, BRACKET};
+use statobd_circuits::Benchmark;
+use statobd_core::{
+    build_engine, EngineSpec, HybridConfig, HybridTables, MonteCarloConfig, ReliabilityEngine,
+    StFastConfig,
+};
+use statobd_num::impl_json_struct;
+use statobd_num::simd::{self, LaneWidth};
+
+/// Widths every kernel is measured at (width 1 is the reference row).
+const WIDTHS: [LaneWidth; 3] = [LaneWidth::W1, LaneWidth::W4, LaneWidth::W8];
+/// Best-width speedup bar for the quadrature kernels (full runs).
+const GATE_SPEEDUP: f64 = 2.0;
+/// Relative gate for width-4/8 values against the width-1 reference.
+const GATE_REL_ERR: f64 = 1e-12;
+
+/// One measurement: a (kernel, lane width) cell.
+#[derive(Debug, Clone)]
+struct KernelRow {
+    kernel: String,
+    /// What one `eval_s` unit covers (self-description for the JSON).
+    unit: String,
+    width: usize,
+    /// Seconds per evaluation unit (min over repetitions).
+    eval_s: f64,
+    /// Width-1 `eval_s` divided by this row's `eval_s`.
+    speedup_vs_scalar: f64,
+    /// Max relative deviation from the width-1 values (0 for width 1).
+    max_rel_err: f64,
+}
+
+impl_json_struct!(KernelRow {
+    kernel,
+    unit,
+    width,
+    eval_s,
+    speedup_vs_scalar,
+    max_rel_err
+});
+
+/// The whole report (`BENCH_kernels.json`).
+#[derive(Debug, Clone)]
+struct KernelReport {
+    /// Lane dispatch decision active for the vector rows.
+    dispatch: String,
+    threads: usize,
+    quick: bool,
+    gate_speedup: f64,
+    gate_rel_err: f64,
+    rows: Vec<KernelRow>,
+}
+
+impl_json_struct!(KernelReport {
+    dispatch,
+    threads,
+    quick,
+    gate_speedup,
+    gate_rel_err,
+    rows
+});
+
+struct Options {
+    out: String,
+    threads: usize,
+    quick: bool,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        out: "BENCH_kernels.json".to_string(),
+        threads: 1,
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = value("--out"),
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Max relative deviation between a row's values and the width-1
+/// reference (denominator floored at the smallest positive normal, so
+/// exact zeros compare exactly).
+fn max_rel_err(got: &[f64], reference: &[f64]) -> f64 {
+    got.iter()
+        .zip(reference)
+        .map(|(&g, &r)| {
+            if g == r {
+                0.0
+            } else {
+                (g - r).abs() / r.abs().max(f64::MIN_POSITIVE)
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Accumulates one kernel's per-width measurements and emits rows; the
+/// width-1 measurement must be pushed first (it becomes the reference
+/// for both the speedup and the accuracy gate).
+struct KernelCells<'a> {
+    kernel: &'a str,
+    unit: &'a str,
+    scalar_s: f64,
+    reference: Vec<f64>,
+}
+
+impl<'a> KernelCells<'a> {
+    fn new(kernel: &'a str, unit: &'a str) -> Self {
+        Self {
+            kernel,
+            unit,
+            scalar_s: 0.0,
+            reference: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rows: &mut Vec<KernelRow>, width: LaneWidth, eval_s: f64, values: &[f64]) {
+        if width == LaneWidth::W1 {
+            self.scalar_s = eval_s;
+            self.reference = values.to_vec();
+        }
+        let row = KernelRow {
+            kernel: self.kernel.to_string(),
+            unit: self.unit.to_string(),
+            width: width.lanes(),
+            eval_s,
+            speedup_vs_scalar: self.scalar_s / eval_s.max(1e-12),
+            max_rel_err: max_rel_err(values, &self.reference),
+        };
+        println!(
+            "  {:<18} w={:<2} {:>10.4e} s/{:<14} {:>6.2}x  rel {:.2e}",
+            row.kernel, row.width, row.eval_s, self.unit, row.speedup_vs_scalar, row.max_rel_err
+        );
+        rows.push(row);
+    }
+}
+
+/// Benchmarks one raw slice kernel at every width: the timed unit is the
+/// kernel writing into a pre-allocated output buffer (no allocation or
+/// copy in the measured region).
+fn bench_slice(
+    kernel: &str,
+    unit: &str,
+    rows: &mut Vec<KernelRow>,
+    args: &[f64],
+    f: impl Fn(&[f64], &mut [f64]),
+) {
+    let mut cells = KernelCells::new(kernel, unit);
+    let mut out = vec![0.0; args.len()];
+    for width in WIDTHS {
+        simd::force_width(Some(width));
+        f(args, &mut out);
+        let eval_s = measure_min(|| f(args, &mut out));
+        f(args, &mut out);
+        cells.push(rows, width, eval_s, &out);
+    }
+    simd::force_width(None);
+}
+
+/// Benchmarks an engine-level kernel at every width. `setup` runs once
+/// per width (after the width is forced) and returns the evaluation
+/// closure; a warm-up call charges lazy state (quadrature nodes, chip
+/// samples) to neither path before the timed repetitions.
+fn bench_engine<E: FnMut() -> Vec<f64>>(
+    kernel: &str,
+    unit: &str,
+    rows: &mut Vec<KernelRow>,
+    mut setup: impl FnMut() -> E,
+) {
+    let mut cells = KernelCells::new(kernel, unit);
+    for width in WIDTHS {
+        simd::force_width(Some(width));
+        let mut eval = setup();
+        let values = eval();
+        let eval_s = measure_min(|| {
+            eval();
+        });
+        cells.push(rows, width, eval_s, &values);
+    }
+    simd::force_width(None);
+}
+
+/// Seeded argument samples for the raw slice kernels, spanning the
+/// engines' ranges: quadrature log-domain arguments for `exp`, the
+/// non-positive hazard exponents for `exp_m1`, weakest-link log terms
+/// for `ln_1p`.
+fn sample_args(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    use statobd_num::rng::Rng;
+    let mut rng = statobd_num::rng::Xoshiro256pp::seed_from_u64(0x6b65726e656c73);
+    let mut exp_args = Vec::with_capacity(n);
+    let mut exp_m1_args = Vec::with_capacity(n);
+    let mut ln_1p_args = Vec::with_capacity(n);
+    for _ in 0..n {
+        exp_args.push(rng.gen_range(-100.0..50.0));
+        exp_m1_args.push(rng.gen_range(-25.0..0.0));
+        ln_1p_args.push(rng.gen_range(-0.999..9.0));
+    }
+    (exp_args, exp_m1_args, ln_1p_args)
+}
+
+fn main() {
+    let opts = parse_options();
+    let threads = (opts.threads > 0).then_some(opts.threads);
+    // Resolve the dispatch before any width forcing so the report shows
+    // the production decision.
+    let dispatch = simd::dispatch_label();
+    println!("lane dispatch: {dispatch}");
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+
+    // --- Raw slice kernels -------------------------------------------------
+    let n_args = if opts.quick { 20_000 } else { 200_000 };
+    let (exp_args, exp_m1_args, ln_1p_args) = sample_args(n_args);
+    let unit = format!("{}k-elem slice", n_args / 1000);
+    bench_slice("exp_slice", &unit, &mut rows, &exp_args, simd::exp_slice);
+    bench_slice(
+        "exp_m1_slice",
+        &unit,
+        &mut rows,
+        &exp_m1_args,
+        simd::exp_m1_slice,
+    );
+    bench_slice(
+        "ln_1p_slice",
+        &unit,
+        &mut rows,
+        &ln_1p_args,
+        simd::ln_1p_slice,
+    );
+    bench_slice(
+        "failure_term_slice",
+        &unit,
+        &mut rows,
+        &exp_args,
+        |xs, out| simd::failure_term_slice(xs, 1e-3, out),
+    );
+
+    // --- Engine kernels ----------------------------------------------------
+    let session = session_for(Benchmark::C3, 0.5);
+    let analysis = session.analysis();
+    let n_sweep = if opts.quick { 32 } else { 256 };
+    let (t_lo, t_hi) = BRACKET;
+    let ratio = (t_hi / t_lo).ln();
+    let ts: Vec<f64> = (0..n_sweep)
+        .map(|i| t_lo * (ratio * i as f64 / (n_sweep - 1) as f64).exp())
+        .collect();
+
+    bench_engine(
+        "st_fast_integrate",
+        &format!("{n_sweep}-pt sweep"),
+        &mut rows,
+        || {
+            let spec = EngineSpec::StFast(StFastConfig::default()).with_threads(threads);
+            let mut engine = build_engine(analysis, &spec).expect("st_fast builds");
+            let ts = ts.clone();
+            move || engine.failure_probabilities(&ts).expect("st_fast sweep")
+        },
+    );
+
+    let hybrid_config = HybridConfig {
+        n_gamma: if opts.quick { 30 } else { 100 },
+        n_b: if opts.quick { 30 } else { 100 },
+        threads,
+        ..HybridConfig::default()
+    };
+    // The timed unit is the (γ, b) table construction itself; the sweep
+    // through the finished tables supplies the gate values and costs
+    // only interpolation.
+    bench_engine("hybrid_table_fill", "table build", &mut rows, || {
+        let ts = ts.clone();
+        move || {
+            let mut tables = HybridTables::build(analysis, hybrid_config).expect("hybrid builds");
+            tables.failure_probabilities(&ts).expect("hybrid sweep")
+        }
+    });
+
+    let mc_config = MonteCarloConfig {
+        n_chips: if opts.quick { 100 } else { 500 },
+        ..MonteCarloConfig::default()
+    };
+    let mc_ts: Vec<f64> = ts[..ts.len().min(64)].to_vec();
+    bench_engine(
+        "mc_weight_table",
+        &format!("{}-pt sweep", mc_ts.len()),
+        &mut rows,
+        || {
+            let spec = EngineSpec::MonteCarlo(mc_config).with_threads(threads);
+            let mut engine = build_engine(analysis, &spec).expect("mc builds");
+            let mc_ts = mc_ts.clone();
+            move || engine.failure_probabilities(&mc_ts).expect("mc sweep")
+        },
+    );
+
+    // --- Gates -------------------------------------------------------------
+    let mut failures: Vec<String> = Vec::new();
+    for row in &rows {
+        if row.width > 1 && row.max_rel_err > GATE_REL_ERR {
+            failures.push(format!(
+                "{} w={}: rel err {:.3e} above the {GATE_REL_ERR:.0e} gate",
+                row.kernel, row.width, row.max_rel_err
+            ));
+        }
+    }
+    if !opts.quick {
+        for kernel in ["st_fast_integrate", "hybrid_table_fill"] {
+            let best = rows
+                .iter()
+                .filter(|r| r.kernel == kernel && r.width > 1)
+                .map(|r| r.speedup_vs_scalar)
+                .fold(0.0, f64::max);
+            if best < GATE_SPEEDUP {
+                failures.push(format!(
+                    "{kernel}: best lane speedup {best:.2}x below the {GATE_SPEEDUP}x bar"
+                ));
+            }
+        }
+    }
+
+    let report = KernelReport {
+        dispatch,
+        threads: opts.threads,
+        quick: opts.quick,
+        gate_speedup: GATE_SPEEDUP,
+        gate_rel_err: GATE_REL_ERR,
+        rows,
+    };
+    std::fs::write(&opts.out, statobd_num::json::to_string_pretty(&report))
+        .expect("report written");
+    println!("wrote {}", opts.out);
+    if !failures.is_empty() {
+        eprintln!("ERROR: kernel gates failed:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -144,6 +144,37 @@ pub fn session_for(benchmark: statobd_circuits::Benchmark, rho: f64) -> statobd:
     statobd::Session::build(&spec).expect("benchmark designs compile")
 }
 
+/// Repetitions per [`measure_min`] measurement (the minimum is reported).
+pub const MEASURE_REPS: usize = 5;
+
+/// Measurements shorter than this are re-run in amplified batches so a
+/// single repetition is long enough for the wall clock to resolve.
+pub const MIN_MEASURE_S: f64 = 1e-3;
+
+/// Times one code path for benchmarking: minimum over [`MEASURE_REPS`]
+/// repetitions, each amplified to at least [`MIN_MEASURE_S`] of work,
+/// returning seconds per single call of `f`. The first (probe) call also
+/// serves as a warm-up for caches and lazy state inside `f`.
+pub fn measure_min(mut f: impl FnMut()) -> f64 {
+    let probe_start = Instant::now();
+    f();
+    let probe = probe_start.elapsed().as_secs_f64();
+    let iters = if probe < MIN_MEASURE_S {
+        ((MIN_MEASURE_S / probe.max(1e-9)).ceil() as usize).clamp(2, 10_000)
+    } else {
+        1
+    };
+    let mut best = probe;
+    for _ in 0..MEASURE_REPS - 1 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
 /// Formats seconds for table cells: sub-millisecond values in scientific
 /// notation, the rest with three significant digits.
 pub fn fmt_seconds(s: f64) -> String {

@@ -211,23 +211,29 @@ impl HybridTables {
         let threads = parallel::resolve_threads(config.threads);
         for block in analysis.blocks() {
             let quadrature = BlockQuadrature::new(block.moments(), &quad)?;
-            // Fill the (γ, b) grid one γ-row per work item; rows are
+            // Fill the (γ, b) grid one γ-row per work item, each row as a
+            // single lane sweep over its n_b quadratures; rows are
             // gathered in index order, so the table is identical at any
             // thread count.
             let area = block.spec().area();
             let rows = parallel::run_indexed(gammas.len(), threads, |gi| {
                 let gamma = gammas[gi];
-                bs.iter()
+                let coeffs: Vec<GCoefficients> = bs
+                    .iter()
                     .map(|&b| {
                         let gb = gamma * b;
-                        let coeff = GCoefficients {
+                        GCoefficients {
                             s1: gb,
                             s2: 0.5 * gb * gb,
-                        };
-                        let p = quadrature.integrate(area, coeff);
-                        p.max(f64::MIN_POSITIVE).ln().max(LN_P_FLOOR)
+                        }
                     })
-                    .collect::<Vec<f64>>()
+                    .collect();
+                let mut row = vec![0.0; coeffs.len()];
+                quadrature.integrate_many(area, &coeffs, &mut row);
+                for p in &mut row {
+                    *p = p.max(f64::MIN_POSITIVE).ln().max(LN_P_FLOOR);
+                }
+                row
             });
             let values: Vec<f64> = rows.into_iter().flatten().collect();
             let data = BilinearData {

@@ -380,7 +380,9 @@ impl<'a> MonteCarlo<'a> {
     ///
     /// The bin axis is uniform, so each `(block, t)` row is a geometric
     /// progression filled by [`statobd_num::special::scaled_exp_grid`] —
-    /// one `exp` per resync window instead of one per bin.
+    /// one `exp` per resync window instead of one per bin (and at lane
+    /// widths > 1 those resync anchors are themselves batched through one
+    /// vectorized exp per row; see [`statobd_num::simd`]).
     fn fill_bin_weights(&self, ts: &[f64], out: &mut Vec<f64>) {
         let bins = self.config.bins;
         let n_t = ts.len();

@@ -20,6 +20,9 @@
 //!   Kolmogorov–Smirnov distance),
 //! * a deterministic pseudo-random stream ([`rng::Xoshiro256pp`]) and
 //!   normal/exponential samplers,
+//! * a runtime-dispatched SIMD-style lane layer ([`simd`]) with
+//!   vectorized `exp`/`exp_m1`/`ln_1p` kernels for the engines' hot
+//!   transcendental loops,
 //! * a JSON value model with parser and serializers ([`json`]),
 //! * stable, toolchain-independent FNV-1a content hashing ([`hash`]),
 //! * chunked scoped-thread parallelism with deterministic reduction order
@@ -65,6 +68,7 @@ pub mod precond;
 pub mod quad;
 pub mod quadform;
 pub mod rng;
+pub mod simd;
 pub mod sparse;
 pub mod special;
 pub mod stats;

@@ -1,0 +1,1377 @@
+//! Runtime-dispatched, std-only SIMD-style lane layer for the hot
+//! transcendental kernels.
+//!
+//! The reliability engines bottom out in three scalar loops: the StFast
+//! `(u, v)` quadrature grids, the hybrid `(γ, b)` table fill and the MC
+//! `[block][bin][t]` weight tables — all dominated by `exp`, `exp_m1`
+//! and `ln_1p` calls. This module replaces those with *array-of-lanes*
+//! kernels: plain `[f64; W]` chunks evaluated by branch-free
+//! range-reduction + polynomial cores that LLVM auto-vectorizes, wrapped
+//! in `#[target_feature]` clones so one binary carries portable, AVX2 and
+//! AVX-512F code paths selected once at startup.
+//!
+//! # Lane widths and determinism
+//!
+//! The active width is picked once (default [`LaneWidth::W8`]) and can be
+//! overridden with `STATOBD_LANES=1|4|8` for debugging, or
+//! programmatically via [`force_width`] (benches, equivalence tests):
+//!
+//! * **Width 1** routes every call through the exact `std` libm
+//!   expressions the engines used before this module existed — results
+//!   are bit-identical to the historical scalar code.
+//! * **Widths 4 and 8** use the polynomial cores. The cores are
+//!   *elementwise deterministic*: they contain only IEEE-754 `+`/`*`/`/`
+//!   and bit manipulation (no FMA contraction, no reductions), so a given
+//!   input produces the same bits regardless of lane position, chunk
+//!   boundary, vector width, or which ISA clone ran. Width 4 and width 8
+//!   therefore agree **bitwise**; they differ from width 1 by the
+//!   polynomial-vs-libm rounding (≈2 ulp-class, see below).
+//!
+//! Reductions are *not* performed here — callers keep their own
+//! accumulation order, which is how the engines preserve cross-thread and
+//! batched-vs-scalar bit-identity at any width.
+//!
+//! # Error budget
+//!
+//! Measured against `std` (`f64::exp` etc.) over the engines' argument
+//! ranges (property-tested in `tests/simd_proptests.rs`):
+//!
+//! * [`exp`](F64Lanes::exp): ≤ 2 ulp-class (Cody–Waite reduction,
+//!   degree-13 polynomial, exact power-of-two scaling; saturates to
+//!   `0`/`+∞` outside the finite window like libm).
+//! * [`exp_m1`](F64Lanes::exp_m1): ≤ 4 ulp-class (dedicated polynomial
+//!   for `|x| ≤ ln2/2`, `exp(x) − 1` elsewhere where no cancellation
+//!   occurs).
+//! * [`ln_1p`](F64Lanes::ln_1p): ≤ 4 ulp-class (`2·atanh(x/(2+x))` odd
+//!   polynomial for `x ∈ [−1/3, 1/2]`, exponent split of `1 + x`
+//!   elsewhere).
+//!
+//! The engine-level acceptance gate on derived probabilities is `1e-12`
+//! relative — two orders looser than these kernels deliver.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+// ---------------------------------------------------------------------------
+// Width selection and ISA dispatch
+// ---------------------------------------------------------------------------
+
+/// Number of f64 lanes processed per kernel chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// Scalar fallback: bit-identical to the historical `std` libm code.
+    W1,
+    /// Four lanes per chunk (one AVX2 register).
+    W4,
+    /// Eight lanes per chunk (one AVX-512 register, two AVX2 registers).
+    W8,
+}
+
+impl LaneWidth {
+    /// The width as a lane count (1, 4 or 8).
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W1 => 1,
+            LaneWidth::W4 => 4,
+            LaneWidth::W8 => 8,
+        }
+    }
+
+    /// Parses `"1"`, `"4"` or `"8"` (the accepted `STATOBD_LANES`
+    /// values); anything else is `None`.
+    pub fn parse(s: &str) -> Option<LaneWidth> {
+        match s.trim() {
+            "1" => Some(LaneWidth::W1),
+            "4" => Some(LaneWidth::W4),
+            "8" => Some(LaneWidth::W8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.lanes())
+    }
+}
+
+/// `WIDTH` values: 0 = not yet initialized, otherwise the lane count.
+static WIDTH: AtomicU8 = AtomicU8::new(0);
+/// Where the active width came from: 0 unset, 1 default, 2 env, 3 forced.
+static WIDTH_SOURCE: AtomicU8 = AtomicU8::new(0);
+
+fn width_from_env() -> (LaneWidth, u8) {
+    match std::env::var("STATOBD_LANES") {
+        Ok(v) => match LaneWidth::parse(&v) {
+            Some(w) => (w, 2),
+            None => (LaneWidth::W8, 1),
+        },
+        Err(_) => (LaneWidth::W8, 1),
+    }
+}
+
+/// The lane width every slice kernel currently dispatches to.
+///
+/// Resolved on first use from `STATOBD_LANES` (default 8) and cached;
+/// [`force_width`] overrides it at runtime.
+pub fn active_width() -> LaneWidth {
+    match WIDTH.load(Ordering::Relaxed) {
+        1 => LaneWidth::W1,
+        4 => LaneWidth::W4,
+        8 => LaneWidth::W8,
+        _ => {
+            let (w, src) = width_from_env();
+            WIDTH_SOURCE.store(src, Ordering::Relaxed);
+            WIDTH.store(w.lanes() as u8, Ordering::Relaxed);
+            w
+        }
+    }
+}
+
+/// Overrides the dispatch width process-wide (`Some(w)`), or restores the
+/// `STATOBD_LANES`/default selection (`None`).
+///
+/// Intended for benches and cross-width equivalence tests; production
+/// code configures the width through the environment once at startup.
+/// Tests that force widths must serialize on a lock — the setting is a
+/// process-global.
+pub fn force_width(w: Option<LaneWidth>) {
+    match w {
+        Some(w) => {
+            WIDTH_SOURCE.store(3, Ordering::Relaxed);
+            WIDTH.store(w.lanes() as u8, Ordering::Relaxed);
+        }
+        None => {
+            let (w, src) = width_from_env();
+            WIDTH_SOURCE.store(src, Ordering::Relaxed);
+            WIDTH.store(w.lanes() as u8, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Instruction-set tier the vector kernels were dispatched to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Isa {
+    /// Baseline codegen (SSE2 on x86-64, NEON-ish elsewhere).
+    Portable,
+    /// AVX2 clone (256-bit lanes).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// AVX-512F clone (512-bit lanes).
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// `ISA` values: 0 unset, 1 portable, 2 avx2, 3 avx512.
+static ISA: AtomicU8 = AtomicU8::new(0);
+
+fn isa() -> Isa {
+    match ISA.load(Ordering::Relaxed) {
+        1 => Isa::Portable,
+        #[cfg(target_arch = "x86_64")]
+        2 => Isa::Avx2,
+        #[cfg(target_arch = "x86_64")]
+        3 => Isa::Avx512,
+        _ => {
+            let detected = detect_isa();
+            ISA.store(
+                match detected {
+                    Isa::Portable => 1,
+                    #[cfg(target_arch = "x86_64")]
+                    Isa::Avx2 => 2,
+                    #[cfg(target_arch = "x86_64")]
+                    Isa::Avx512 => 3,
+                },
+                Ordering::Relaxed,
+            );
+            detected
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_isa() -> Isa {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        Isa::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        Isa::Avx2
+    } else {
+        Isa::Portable
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_isa() -> Isa {
+    Isa::Portable
+}
+
+fn isa_name() -> &'static str {
+    match isa() {
+        Isa::Portable => "portable",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => "avx512f",
+    }
+}
+
+/// Human-readable dispatch decision, e.g. `"8 lanes (avx512f, default)"`
+/// or `"1 lane (scalar libm, env)"` — surfaced by `analyze --timings` and
+/// the serve `stats` op so bench runs are self-describing.
+pub fn dispatch_label() -> String {
+    let w = active_width();
+    let source = match WIDTH_SOURCE.load(Ordering::Relaxed) {
+        2 => "env",
+        3 => "forced",
+        _ => "default",
+    };
+    match w {
+        LaneWidth::W1 => format!("1 lane (scalar libm, {source})"),
+        _ => format!("{} lanes ({}, {source})", w.lanes(), isa_name()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Polynomial cores (elementwise deterministic: IEEE +/*// and bit ops only)
+// ---------------------------------------------------------------------------
+
+/// `1.5 · 2^52`: adding then subtracting rounds to the nearest integer
+/// (branch-free, vectorizable) for |x| < 2^51.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+/// High part of ln 2 with 21 trailing zero bits, so `k · LN2_HI` is exact
+/// for the |k| ≤ 1076 this module produces.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+/// Low part: `LN2_HI + LN2_LO` is ln 2 to ~107 bits.
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// Taylor coefficients 1/k! for k = 2..=13: the tail polynomial
+/// `P(r) = Σ r^(k-2)/k!` shared by `exp` (`e^r = 1 + r + r²·P(r)`) and
+/// `exp_m1` (`e^x − 1 = x + x²·P(x)` for small x). The degree-13 cutoff
+/// leaves a truncation error below 1e-17 relative on |r| ≤ ln2/2.
+const EXP_TAIL: [f64; 12] = [
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5_040.0,
+    1.0 / 40_320.0,
+    1.0 / 362_880.0,
+    1.0 / 3_628_800.0,
+    1.0 / 39_916_800.0,
+    1.0 / 479_001_600.0,
+    1.0 / 6_227_020_800.0,
+];
+
+/// Horner evaluation of the shared tail polynomial `P(r)`.
+#[inline(always)]
+fn exp_tail(r: f64) -> f64 {
+    let mut p = EXP_TAIL[EXP_TAIL.len() - 1];
+    for &c in EXP_TAIL.iter().rev().skip(1) {
+        p = p * r + c;
+    }
+    p
+}
+
+/// Branch-free `exp(x)` core: clamp to the finite-result window,
+/// Cody–Waite reduction `x = k·ln2 + r`, degree-13 polynomial on `r`,
+/// exact two-step `2^k` scaling (split so boundary magnitudes near the
+/// overflow/subnormal edges round correctly). NaN propagates; `±∞` and
+/// out-of-window magnitudes saturate to `+∞`/`0` exactly like libm.
+#[inline(always)]
+fn exp_core(x: f64) -> f64 {
+    // Outside [-746, 710] the scaled result is exactly 0 or +inf anyway,
+    // and the clamp keeps k·LN2_HI in its exact range. NaN survives clamp.
+    let x = x.clamp(-746.0, 710.0);
+    let kf = {
+        let y = x * std::f64::consts::LOG2_E + ROUND_MAGIC;
+        y - ROUND_MAGIC
+    };
+    let r = (x - kf * LN2_HI) - kf * LN2_LO;
+    let poly = 1.0 + r + (r * r) * exp_tail(r);
+    // NaN input: `kf as i64` saturates to 0, leaving poly (= NaN) intact.
+    let ki = kf as i64;
+    let k1 = ki >> 1;
+    let k2 = ki - k1;
+    let s1 = f64::from_bits(((1023 + k1) as u64) << 52);
+    let s2 = f64::from_bits(((1023 + k2) as u64) << 52);
+    (poly * s1) * s2
+}
+
+/// Switch point for the dedicated small-|x| `exp_m1` polynomial (ln 2 / 2).
+const EXPM1_SWITCH: f64 = 0.346_573_590_279_972_65;
+
+/// Branchless bitwise select: `cond ? a : b`, bit-exact in either arm.
+///
+/// The cores pick between precomputed arms with this instead of `if` —
+/// a data-dependent branch in the unrolled chunk bodies costs a
+/// misprediction whenever neighbouring nodes straddle a switch point,
+/// and quadrature argument sweeps cross them constantly.
+#[inline(always)]
+fn select(cond: bool, a: f64, b: f64) -> f64 {
+    let mask = (cond as u64).wrapping_neg();
+    f64::from_bits((a.to_bits() & mask) | (b.to_bits() & !mask))
+}
+
+/// `exp(x) − 1` core. Small arguments use `x + x²·P(x)` (no cancellation);
+/// elsewhere `exp(x) − 1` is safe because the result magnitude is ≥ 0.29.
+/// Both sides are evaluated and combined with a branchless [`select`] so
+/// the chunk loops vectorize without per-element branches.
+///
+/// The large-argument side floors `x` at −54: below that `exp(x)` is
+/// under a quarter-ulp of the −1 result (2⁻⁷⁷), and the floor keeps
+/// `exp_core`'s `2^k` scaling out of the subnormal range — saturated
+/// hazards (`x` in the −100s) would otherwise trigger an FP assist on
+/// every multiply, an order-of-magnitude per-element penalty.
+#[inline(always)]
+fn exp_m1_core(x: f64) -> f64 {
+    let small = x + (x * x) * exp_tail(x);
+    let big = exp_core(x.max(-54.0)) - 1.0;
+    // NaN must take the small arm: `max` above would swallow it
+    // (`NaN.max(-54.0)` is −54), while `x + …` propagates it.
+    select(x.abs() > EXPM1_SWITCH, big, small)
+}
+
+/// Odd-series coefficients `1/(2k+1)` for `atanh(s) = s · Q(s²)`,
+/// truncated after `s^21` — relative truncation below 2e-17 for the
+/// |s| ≤ 0.2 the `ln_1p` reductions produce.
+const ATANH_TAIL: [f64; 11] = [
+    1.0,
+    1.0 / 3.0,
+    1.0 / 5.0,
+    1.0 / 7.0,
+    1.0 / 9.0,
+    1.0 / 11.0,
+    1.0 / 13.0,
+    1.0 / 15.0,
+    1.0 / 17.0,
+    1.0 / 19.0,
+    1.0 / 21.0,
+];
+
+/// Horner evaluation of `Q(w) = Σ w^k/(2k+1)`.
+#[inline(always)]
+fn atanh_poly(w: f64) -> f64 {
+    let mut q = ATANH_TAIL[ATANH_TAIL.len() - 1];
+    for &c in ATANH_TAIL.iter().rev().skip(1) {
+        q = q * w + c;
+    }
+    q
+}
+
+/// `ln(1 + x)` core. `x ∈ [−1/3, 1/2]` uses `2·atanh(x/(2+x))` directly
+/// on `x` (no `1 + x` rounding; the window is asymmetric so the reduced
+/// argument stays at `|s| ≤ 0.2` on both sides). Other arguments split
+/// `u = 1 + x` into exponent and mantissa (`u` is exact by Sterbenz for
+/// `x ∈ [−1, −1/2]`, and elsewhere its half-ulp rounding is dwarfed by
+/// `|ln u| ≥ 0.4`). Domain edges (`x < −1` → NaN, `x = −1` → −∞,
+/// `+∞` → +∞, NaN → NaN) are fixed up with value-dependent selects,
+/// keeping the core elementwise deterministic and if-convertible.
+#[inline(always)]
+fn ln_1p_core(x: f64) -> f64 {
+    let s_small = x / (2.0 + x);
+    let small = 2.0 * s_small * atanh_poly(s_small * s_small);
+
+    let u = 1.0 + x;
+    let bits = u.to_bits();
+    let e_raw = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let m_raw = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let shrink = m_raw > std::f64::consts::SQRT_2;
+    let m = select(shrink, 0.5 * m_raw, m_raw);
+    let e = (e_raw + shrink as i64) as f64;
+    let s_big = (m - 1.0) / (m + 1.0);
+    let big = e * LN2_HI + (2.0 * s_big * atanh_poly(s_big * s_big) + e * LN2_LO);
+
+    let fast = select((-0.333_333_333_333_333_3..=0.5).contains(&x), small, big);
+    let fixed = select(x == -1.0, f64::NEG_INFINITY, fast);
+    let fixed = select(x == f64::INFINITY, f64::INFINITY, fixed);
+    select(x.is_nan() || x < -1.0, f64::NAN, fixed)
+}
+
+// ---------------------------------------------------------------------------
+// F64Lanes: the array-of-lanes value type
+// ---------------------------------------------------------------------------
+
+/// A `W`-wide bundle of `f64` lanes evaluated elementwise by the
+/// polynomial cores.
+///
+/// This is the value-level view of the lane layer: `W` is a compile-time
+/// constant and every operation maps lanes independently, so results are
+/// identical to the slice kernels at widths 4/8 (and to each other at any
+/// `W`). The slice drivers ([`exp_slice`] & co.) are the dispatched fast
+/// path engines should prefer for bulk data; `F64Lanes` exists for
+/// composing custom lane arithmetic and for width-independent testing of
+/// the cores.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F64Lanes<const W: usize>(pub [f64; W]);
+
+impl<const W: usize> F64Lanes<W> {
+    /// All lanes set to `v`.
+    pub fn splat(v: f64) -> Self {
+        F64Lanes([v; W])
+    }
+
+    /// Loads `W` lanes from the front of `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() < W`.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut lanes = [0.0; W];
+        lanes.copy_from_slice(&xs[..W]);
+        F64Lanes(lanes)
+    }
+
+    /// The lanes as a plain array.
+    pub fn to_array(self) -> [f64; W] {
+        self.0
+    }
+
+    /// Elementwise map over the lanes.
+    pub fn map(self, f: impl Fn(f64) -> f64) -> Self {
+        let mut lanes = self.0;
+        for lane in &mut lanes {
+            *lane = f(*lane);
+        }
+        F64Lanes(lanes)
+    }
+
+    /// Elementwise vectorized `exp` (≤ 2 ulp-class, see module docs).
+    pub fn exp(self) -> Self {
+        self.map(exp_core)
+    }
+
+    /// Elementwise vectorized `exp(x) − 1` (≤ 4 ulp-class).
+    pub fn exp_m1(self) -> Self {
+        self.map(exp_m1_core)
+    }
+
+    /// Elementwise vectorized `ln(1 + x)` (≤ 4 ulp-class).
+    pub fn ln_1p(self) -> Self {
+        self.map(ln_1p_core)
+    }
+}
+
+impl<const W: usize> std::ops::Add for F64Lanes<W> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane += r;
+        }
+        F64Lanes(lanes)
+    }
+}
+
+impl<const W: usize> std::ops::Sub for F64Lanes<W> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane -= r;
+        }
+        F64Lanes(lanes)
+    }
+}
+
+impl<const W: usize> std::ops::Mul for F64Lanes<W> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (lane, r) in lanes.iter_mut().zip(rhs.0) {
+            *lane *= r;
+        }
+        F64Lanes(lanes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice kernels with per-ISA clones
+// ---------------------------------------------------------------------------
+
+/// An elementwise kernel instantiable inside the `#[target_feature]`
+/// clones (a trait rather than a closure so monomorphization carries the
+/// captured state — e.g. the fused kernel's scale — into each ISA body).
+trait Elem: Copy {
+    fn eval(self, x: f64) -> f64;
+}
+
+#[derive(Clone, Copy)]
+struct ExpOp;
+impl Elem for ExpOp {
+    #[inline(always)]
+    fn eval(self, x: f64) -> f64 {
+        exp_core(x)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ExpM1Op;
+impl Elem for ExpM1Op {
+    #[inline(always)]
+    fn eval(self, x: f64) -> f64 {
+        exp_m1_core(x)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Ln1pOp;
+impl Elem for Ln1pOp {
+    #[inline(always)]
+    fn eval(self, x: f64) -> f64 {
+        ln_1p_core(x)
+    }
+}
+
+/// First pass of the StFast/hybrid node term: `−scale·exp(x)` (the
+/// negated hazard). The term is evaluated in two lane passes rather
+/// than one fused op — a single op would inline `exp_core` twice (once
+/// directly, once inside the finish arm's large-argument side), and the
+/// resulting register pressure in the unrolled chunk bodies costs more
+/// than the intermediate's L1 round-trip saves.
+#[derive(Clone, Copy)]
+struct NegHazardOp {
+    scale: f64,
+}
+impl Elem for NegHazardOp {
+    #[inline(always)]
+    fn eval(self, x: f64) -> f64 {
+        -self.scale * exp_core(x)
+    }
+}
+
+/// Small-|z| arm of the failure term: `−expm1(z) = −(z + z²·P(z))`.
+#[inline(always)]
+fn failure_small(z: f64) -> f64 {
+    -(z + (z * z) * exp_tail(z))
+}
+
+/// `|z|` bound for the two-term arm: dropping the `z³/6` series term
+/// costs a relative `z²/6 ≤ 6.7·10⁻¹⁵`, two orders inside the 1e-12
+/// lane budget. Quadrature arguments are dominated by this regime —
+/// hazards vanish at early times — so the cheap arm carries most nodes.
+const FAILURE_TINY_Z: f64 = 2e-7;
+
+/// Tiny-|z| arm of the failure term: `−expm1(z) ≈ −(z + z²/2)`.
+#[inline(always)]
+fn failure_tiny(z: f64) -> f64 {
+    -(z + 0.5 * (z * z))
+}
+
+/// Large-|z| arm of the failure term: `1 − e^z` (`z ≤ 0` by
+/// construction). The −54 floor keeps `exp_core` out of the subnormal
+/// range (see [`exp_m1_core`]); the select preserves NaN, which `max`
+/// would swallow.
+#[inline(always)]
+fn failure_big(z: f64) -> f64 {
+    // `!(z <= -54)` keeps NaN on the `z` side (a `max` or `||` would
+    // either swallow it or emit a short-circuit branch).
+    let floored = select(!(z <= -54.0), z, -54.0);
+    1.0 - exp_core(floored)
+}
+
+/// Single-pass failure term for a tile wholly below the small-|z|
+/// threshold: `x ↦ −expm1(−scale·e^x)` via the small arm, with the tiny
+/// arm still selected **per element** for `x < x_tiny` — a tile screen
+/// only proves `x < x_small` for every element, and the arm choice must
+/// stay a function of `(x, scale)` alone or results would depend on how
+/// callers slice the input into tiles. Only one `exp_core` is inlined
+/// (both arms are polynomial), so unlike the general fused term this op
+/// fits the vector register budget — and it skips the intermediate-`z`
+/// store/reload that the two-pass evaluation pays. Bits are identical
+/// to the two-pass composition: `z` is computed by the same expression
+/// and the arms by the same polynomials and select.
+#[derive(Clone, Copy)]
+struct SmallFusedOp {
+    scale: f64,
+    x_tiny: f64,
+}
+impl Elem for SmallFusedOp {
+    #[inline(always)]
+    fn eval(self, x: f64) -> f64 {
+        let z = -self.scale * exp_core(x);
+        select(x < self.x_tiny, failure_tiny(z), failure_small(z))
+    }
+}
+
+/// Single-pass failure term for a tile wholly in the tiny-|z| regime:
+/// one `exp_core` plus the two-term arm.
+#[derive(Clone, Copy)]
+struct TinyFusedOp {
+    scale: f64,
+}
+impl Elem for TinyFusedOp {
+    #[inline(always)]
+    fn eval(self, x: f64) -> f64 {
+        failure_tiny(-self.scale * exp_core(x))
+    }
+}
+
+/// Second pass of the big-arm-only failure route: `z ↦ 1 − e^z` via
+/// [`failure_big`]. Reachable only through
+/// [`failure_term_slice_bounded`] with a caller-certified `lo ≥
+/// x_small`, which proves every element takes the big arm of
+/// [`failure_finish_elem`] — so this op is bit-identical to the 3-arm
+/// finish while inlining one `exp_core` and no small/tiny polynomials.
+#[derive(Clone, Copy)]
+struct BigZOp;
+impl Elem for BigZOp {
+    #[inline(always)]
+    fn eval(self, z: f64) -> f64 {
+        failure_big(z)
+    }
+}
+
+#[inline(always)]
+fn failure_finish_elem(x: f64, z: f64, x_tiny: f64, x_small: f64) -> f64 {
+    let r = select(x < x_small, failure_small(z), failure_big(z));
+    select(x < x_tiny, failure_tiny(z), r)
+}
+
+#[inline(always)]
+fn failure_finish_body<const W: usize>(
+    xs: &[f64],
+    zs: &[f64],
+    x_tiny: f64,
+    x_small: f64,
+    out: &mut [f64],
+) {
+    let n = xs.len();
+    let rem = n - n % W;
+    for ((xc, zc), oc) in xs[..rem]
+        .chunks_exact(W)
+        .zip(zs[..rem].chunks_exact(W))
+        .zip(out[..rem].chunks_exact_mut(W))
+    {
+        let xc: &[f64; W] = xc.try_into().expect("chunks_exact yields W");
+        let zc: &[f64; W] = zc.try_into().expect("chunks_exact yields W");
+        let oc: &mut [f64; W] = oc.try_into().expect("chunks_exact yields W");
+        for w in 0..W {
+            oc[w] = failure_finish_elem(xc[w], zc[w], x_tiny, x_small);
+        }
+    }
+    for j in rem..n {
+        out[j] = failure_finish_elem(xs[j], zs[j], x_tiny, x_small);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn failure_finish_avx2<const W: usize>(
+    xs: &[f64],
+    zs: &[f64],
+    x_tiny: f64,
+    x_small: f64,
+    out: &mut [f64],
+) {
+    failure_finish_body::<W>(xs, zs, x_tiny, x_small, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn failure_finish_avx512<const W: usize>(
+    xs: &[f64],
+    zs: &[f64],
+    x_tiny: f64,
+    x_small: f64,
+    out: &mut [f64],
+) {
+    failure_finish_body::<W>(xs, zs, x_tiny, x_small, out);
+}
+
+fn failure_finish<const W: usize>(
+    xs: &[f64],
+    zs: &[f64],
+    x_tiny: f64,
+    x_small: f64,
+    out: &mut [f64],
+) {
+    match isa() {
+        Isa::Portable => failure_finish_body::<W>(xs, zs, x_tiny, x_small, out),
+        // SAFETY: `isa()` only reports tiers confirmed by runtime CPUID
+        // feature detection on this machine.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { failure_finish_avx2::<W>(xs, zs, x_tiny, x_small, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { failure_finish_avx512::<W>(xs, zs, x_tiny, x_small, out) },
+    }
+}
+
+/// Chunked elementwise map: full `W`-lane chunks through fixed-size
+/// arrays (the shape LLVM vectorizes), remainder through the same
+/// elementwise core — so results never depend on where chunk boundaries
+/// fall.
+#[inline(always)]
+fn map_slice<const W: usize, K: Elem>(k: K, xs: &[f64], out: &mut [f64]) {
+    let n = xs.len();
+    let mut i = 0;
+    while i + W <= n {
+        let mut lanes = [0.0; W];
+        lanes.copy_from_slice(&xs[i..i + W]);
+        for lane in &mut lanes {
+            *lane = k.eval(*lane);
+        }
+        out[i..i + W].copy_from_slice(&lanes);
+        i += W;
+    }
+    for j in i..n {
+        out[j] = k.eval(xs[j]);
+    }
+}
+
+fn run_portable<const W: usize, K: Elem>(k: K, xs: &[f64], out: &mut [f64]) {
+    map_slice::<W, K>(k, xs, out);
+}
+
+/// AVX2 clone of [`map_slice`]: same IEEE arithmetic (rustc does not
+/// contract mul+add without explicit FMA calls), recompiled with 256-bit
+/// vector codegen.
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn run_avx2<const W: usize, K: Elem>(k: K, xs: &[f64], out: &mut [f64]) {
+    map_slice::<W, K>(k, xs, out);
+}
+
+/// AVX-512F clone of [`map_slice`].
+///
+/// # Safety
+///
+/// Caller must have verified `avx512f` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn run_avx512<const W: usize, K: Elem>(k: K, xs: &[f64], out: &mut [f64]) {
+    map_slice::<W, K>(k, xs, out);
+}
+
+fn run_isa<const W: usize, K: Elem>(k: K, xs: &[f64], out: &mut [f64]) {
+    match isa() {
+        Isa::Portable => run_portable::<W, K>(k, xs, out),
+        // SAFETY: `isa()` only reports tiers confirmed by runtime CPUID
+        // feature detection on this machine.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { run_avx2::<W, K>(k, xs, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { run_avx512::<W, K>(k, xs, out) },
+    }
+}
+
+/// Dispatches one slice op: width 1 runs the caller-supplied exact `std`
+/// expression; widths 4/8 run the polynomial kernel on the detected ISA.
+#[inline]
+fn run_op<K: Elem>(k: K, xs: &[f64], out: &mut [f64], scalar: impl Fn(f64) -> f64) {
+    assert_eq!(
+        xs.len(),
+        out.len(),
+        "lane kernel input/output length mismatch"
+    );
+    match active_width() {
+        LaneWidth::W1 => {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = scalar(x);
+            }
+        }
+        LaneWidth::W4 => run_isa::<4, K>(k, xs, out),
+        LaneWidth::W8 => run_isa::<8, K>(k, xs, out),
+    }
+}
+
+/// Fills `out[i] = exp(xs[i])` through the active lane dispatch.
+///
+/// Width 1 is bit-identical to `f64::exp`; widths 4/8 are the ≤ 2
+/// ulp-class polynomial kernel.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn exp_slice(xs: &[f64], out: &mut [f64]) {
+    run_op(ExpOp, xs, out, f64::exp);
+}
+
+/// Fills `out[i] = exp(xs[i]) − 1` through the active lane dispatch.
+///
+/// Width 1 is bit-identical to `f64::exp_m1`; widths 4/8 are the ≤ 4
+/// ulp-class polynomial kernel.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn exp_m1_slice(xs: &[f64], out: &mut [f64]) {
+    run_op(ExpM1Op, xs, out, f64::exp_m1);
+}
+
+/// Fills `out[i] = ln(1 + xs[i])` through the active lane dispatch.
+///
+/// Width 1 is bit-identical to `f64::ln_1p`; widths 4/8 are the ≤ 4
+/// ulp-class polynomial kernel.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn ln_1p_slice(xs: &[f64], out: &mut [f64]) {
+    run_op(Ln1pOp, xs, out, f64::ln_1p);
+}
+
+// ---------------------------------------------------------------------------
+// Quadrature support kernels: interleaved fills and plain reductions
+// ---------------------------------------------------------------------------
+//
+// These are deliberately *not* ISA-dispatched: quadrature rows are often
+// a few dozen nodes, so a real function call per segment (target_feature
+// clones cannot inline into baseline callers) would cost more than the
+// wider vectors save. Inlined at baseline codegen they still
+// auto-vectorize (SSE2) and stay a small fraction of the transcendental
+// kernel cost.
+
+/// Fills `dst[i] = a + b·vs[i]` — the argument fill of a single
+/// quadrature row (`s1·u + s2·v` over the `v` nodes).
+///
+/// # Panics
+///
+/// Panics if `vs.len() != dst.len()`.
+#[inline(always)]
+pub fn affine_slice(a: f64, b: f64, vs: &[f64], dst: &mut [f64]) {
+    assert_eq!(vs.len(), dst.len(), "affine fill length mismatch");
+    for (d, &v) in dst.iter_mut().zip(vs) {
+        *d = a + b * v;
+    }
+}
+
+/// Fills the `W`-interleaved buffer `dst[i·W + w] = a[w] + b[w]·vs[i]`
+/// — the argument fill of a `W`-item batched quadrature sweep (one `v`
+/// node feeding `W` integrals at once).
+///
+/// # Panics
+///
+/// Panics if `dst.len() != vs.len() · W`.
+#[inline(always)]
+pub fn lane_affine_fill<const W: usize>(a: &[f64; W], b: &[f64; W], vs: &[f64], dst: &mut [f64]) {
+    assert_eq!(dst.len(), vs.len() * W, "interleaved fill length mismatch");
+    for (chunk, &v) in dst.chunks_exact_mut(W).zip(vs) {
+        let chunk: &mut [f64; W] = chunk.try_into().expect("chunks_exact yields W");
+        for w in 0..W {
+            chunk[w] = a[w] + b[w] * v;
+        }
+    }
+}
+
+/// Accumulates `acc[w] += Σ_i terms[i·W + w]` — the unweighted segment
+/// reduction of a batched quadrature sweep, for callers that factor a
+/// segment-constant weight out of the sum. Each lane's partial sum is
+/// sequential in `i` (vectorization runs *across* the `W` lanes), so it
+/// reproduces a scalar left-to-right sum bit for bit.
+///
+/// # Panics
+///
+/// Panics if `terms.len()` is not a multiple of `W`.
+#[inline(always)]
+pub fn lane_sum_acc<const W: usize>(terms: &[f64], acc: &mut [f64; W]) {
+    assert_eq!(terms.len() % W, 0, "lane sum length mismatch");
+    for chunk in terms.chunks_exact(W) {
+        let chunk: &[f64; W] = chunk.try_into().expect("chunks_exact yields W");
+        for w in 0..W {
+            acc[w] += chunk[w];
+        }
+    }
+}
+
+/// Intermediate tile length for [`failure_term_slice`]'s two-pass
+/// evaluation: 4 KiB of stack, small enough to stay L1-resident next to
+/// the caller's argument and output buffers.
+const FAILURE_TILE: usize = 512;
+
+/// `1 − e^z` rounds to exactly 1.0 for every `z ≤ −FAILURE_SAT`
+/// (`e^{−37.5} ≈ 5.2·10⁻¹⁷` is under half the f64 spacing below 1.0), so
+/// a saturated tile can be filled with 1.0 **bit-identically** to
+/// evaluating the large-argument arm — the fill is a work-skip, not an
+/// approximation.
+const FAILURE_SAT: f64 = 37.5;
+
+/// The argument threshold above which [`failure_term_slice`] at lane
+/// widths > 1 produces **exactly** 1.0: `x ≥ ln(FAILURE_SAT / scale)`
+/// forces the large arm, whose `1 − e^z` rounds to 1.0 with two decimal
+/// orders of magnitude to spare against threshold rounding (saturation
+/// starts at `|z| ≈ 37.43`, the screen guarantees `|z| ≥ 37.5·(1 − ε)`).
+/// Quadrature drivers use this to skip saturated node runs wholesale:
+/// a run of exact ones sums to the (exactly representable) run length,
+/// so the skip changes no bits. NaN for `scale ≤ 0` or non-finite, which
+/// makes every `x ≥ …` screen compare false.
+pub fn failure_sat_threshold(scale: f64) -> f64 {
+    (FAILURE_SAT / scale).ln()
+}
+
+/// The argument threshold below which the failure term needs only the
+/// polynomial arms (tiny/small — one `exp` per element, no second
+/// transcendental): `x < ln(EXPM1_SWITCH / scale)` guarantees
+/// `|z| < EXPM1_SWITCH` for `z = −scale·e^x`. Quadrature drivers use
+/// this to group node runs by regime before calling
+/// [`failure_term_slice_bounded`] — the grouping affects only which
+/// screened route runs, never any element's bits. NaN for `scale ≤ 0`
+/// or non-finite, which makes every `x < …` comparison false.
+pub fn failure_poly_threshold(scale: f64) -> f64 {
+    (EXPM1_SWITCH / scale).ln()
+}
+
+/// Fills `out[i] = −expm1(−scale · exp(xs[i]))` — the per-node failure
+/// term of the StFast/hybrid quadratures (`xs` holds the log-domain
+/// arguments `s1·u + s2·v`, `scale` the device area).
+///
+/// Width 1 reproduces the engines' historical scalar expression
+/// `-(-scale * x.exp()).exp_m1()` bit for bit. Widths 4/8 evaluate the
+/// term in tiled lane passes: `z = −scale·exp(x)` first, then the
+/// `−expm1(z)` arm chosen **per element by `x`** against thresholds
+/// derived once from `scale` (`x_tiny = ln(FAILURE_TINY_Z/scale)`,
+/// `x_small = ln(EXPM1_SWITCH/scale)`, `x_sat = ln(FAILURE_SAT/scale)`).
+/// Because the arm choice depends only on `(x, scale)`, a tile-level
+/// screen can skip work without changing any element's bits:
+///
+/// * all `x ≥ x_sat` → every element's large arm rounds to exactly 1.0
+///   (see [`FAILURE_SAT`]), so the tile is filled with 1.0 — zero
+///   transcendentals;
+/// * all `x < x_tiny` → the tiny arm `−(z + z²/2)` is three flops past
+///   the hazard `exp` (see [`FAILURE_TINY_Z`]);
+/// * all `x < x_small` → the small arm `−(z + z²·P(z))` needs no second
+///   `exp`, so the tile costs one transcendental pass;
+/// * mixed tiles evaluate all arms branchlessly per element.
+///
+/// The intermediate `z` is an ordinary `f64` store and every decision is
+/// elementwise in `(x, scale)`, so results are identical across lane
+/// position, tile boundary and caller slicing. In-situ quadrature args
+/// are dominated by the first two regimes (saturated hazards at late
+/// times and large defects, vanishing hazards at early times), which is
+/// what lets the lane path beat libm's early-exit fast paths.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn failure_term_slice(xs: &[f64], scale: f64, out: &mut [f64]) {
+    assert_eq!(
+        xs.len(),
+        out.len(),
+        "lane kernel input/output length mismatch"
+    );
+    if active_width() == LaneWidth::W1 {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = -(-scale * x.exp()).exp_m1();
+        }
+        return;
+    }
+    // NaN thresholds (scale ≤ 0 or non-finite) make every screen below
+    // compare false, routing everything through the general path.
+    let x_tiny = (FAILURE_TINY_Z / scale).ln();
+    let x_small = (EXPM1_SWITCH / scale).ln();
+    let x_sat = failure_sat_threshold(scale);
+    failure_term_tiles(xs, scale, x_tiny, x_small, x_sat, out);
+}
+
+/// Lane-path tile walker behind [`failure_term_slice`]: per-tile regime
+/// screens over precomputed thresholds. Every screened route evaluates
+/// the same elementwise `(x, scale)` arms, so the screens change cost,
+/// never bits.
+fn failure_term_tiles(
+    xs: &[f64],
+    scale: f64,
+    x_tiny: f64,
+    x_small: f64,
+    x_sat: f64,
+    out: &mut [f64],
+) {
+    let mut tmp = [0.0; FAILURE_TILE];
+    let mut i = 0;
+    while i < xs.len() {
+        let n = (xs.len() - i).min(FAILURE_TILE);
+        let tile = &xs[i..i + n];
+        if tile.iter().all(|&x| x >= x_sat) {
+            out[i..i + n].fill(1.0);
+            i += n;
+            continue;
+        }
+        // NaN-ignoring max is safe here: a NaN argument that sneaks a
+        // tile into the tiny/small path still propagates through that
+        // arm's polynomial.
+        let hi = tile.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        if hi < x_tiny {
+            run_op(TinyFusedOp { scale }, tile, &mut out[i..i + n], |x| {
+                -(-scale * x.exp()).exp_m1()
+            });
+        } else if hi < x_small {
+            let op = SmallFusedOp { scale, x_tiny };
+            run_op(op, tile, &mut out[i..i + n], |x| {
+                -(-scale * x.exp()).exp_m1()
+            });
+        } else {
+            run_op(NegHazardOp { scale }, tile, &mut tmp[..n], |x| {
+                -scale * x.exp()
+            });
+            match active_width() {
+                LaneWidth::W1 => unreachable!("width 1 handled above"),
+                LaneWidth::W4 => {
+                    failure_finish::<4>(tile, &tmp[..n], x_tiny, x_small, &mut out[i..i + n])
+                }
+                LaneWidth::W8 => {
+                    failure_finish::<8>(tile, &tmp[..n], x_tiny, x_small, &mut out[i..i + n])
+                }
+            }
+        }
+        i += n;
+    }
+}
+
+/// Big-arm-only tile walker: every element is caller-certified `≥
+/// x_small`, so the 3-arm finish reduces elementwise to
+/// [`failure_big`] and the per-tile max fold is unnecessary. The
+/// all-saturated screen is kept — big runs reach deep into the
+/// saturated tail, where the screen skips both passes (`1 − e^z`
+/// rounds to exactly 1.0 for `z ≤` [`FAILURE_SAT`], so the fill is
+/// bit-identical to evaluating the arm).
+fn failure_term_tiles_big(xs: &[f64], scale: f64, x_sat: f64, out: &mut [f64]) {
+    let mut tmp = [0.0; FAILURE_TILE];
+    let mut i = 0;
+    while i < xs.len() {
+        let n = (xs.len() - i).min(FAILURE_TILE);
+        let tile = &xs[i..i + n];
+        if tile.iter().all(|&x| x >= x_sat) {
+            out[i..i + n].fill(1.0);
+            i += n;
+            continue;
+        }
+        run_op(NegHazardOp { scale }, tile, &mut tmp[..n], |x| {
+            -scale * x.exp()
+        });
+        run_op(BigZOp, &tmp[..n], &mut out[i..i + n], failure_big);
+        i += n;
+    }
+}
+
+/// [`failure_term_slice`] with **caller-certified bounds**: every
+/// element of `xs` satisfies `lo ≤ x ≤ hi` (the quadrature engines know
+/// this for free — their arguments are affine in a sorted node axis, so
+/// slice bounds come from row endpoints at O(1) per row instead of the
+/// O(n) folds the unbounded screens pay). Elementwise results are
+/// bit-identical to [`failure_term_slice`]; the bounds only let the
+/// whole slice be classified into one regime up front:
+///
+/// * `lo ≥ x_sat` → saturated fill (exact 1.0, see [`FAILURE_SAT`]);
+/// * `hi < x_tiny` → single tiny-arm pass;
+/// * `hi < x_small` → single small-arm pass (tiny still selected per
+///   element);
+/// * `lo ≥ x_small` → big-arm-only two-pass route (the light
+///   [`failure_big`] finish instead of the 3-arm select);
+/// * otherwise → the tiled screens of the unbounded path.
+///
+/// NaN bounds (e.g. from NaN coefficients) fail every comparison and
+/// fall through to the general path, which propagates elementwise NaN.
+/// Callers must therefore derive bounds such that a NaN element forces
+/// NaN bounds — never clip a NaN away with `f64::min`/`max`.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != out.len()`.
+pub fn failure_term_slice_bounded(xs: &[f64], scale: f64, lo: f64, hi: f64, out: &mut [f64]) {
+    assert_eq!(
+        xs.len(),
+        out.len(),
+        "lane kernel input/output length mismatch"
+    );
+    if active_width() == LaneWidth::W1 {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = -(-scale * x.exp()).exp_m1();
+        }
+        return;
+    }
+    let x_tiny = (FAILURE_TINY_Z / scale).ln();
+    let x_small = (EXPM1_SWITCH / scale).ln();
+    let x_sat = failure_sat_threshold(scale);
+    if lo >= x_sat {
+        out.fill(1.0);
+    } else if hi < x_tiny {
+        run_op(TinyFusedOp { scale }, xs, out, |x| {
+            -(-scale * x.exp()).exp_m1()
+        });
+    } else if hi < x_small {
+        run_op(SmallFusedOp { scale, x_tiny }, xs, out, |x| {
+            -(-scale * x.exp()).exp_m1()
+        });
+    } else if lo >= x_small {
+        failure_term_tiles_big(xs, scale, x_sat, out);
+    } else {
+        failure_term_tiles(xs, scale, x_tiny, x_small, x_sat, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(got: f64, want: f64) -> f64 {
+        if got == want {
+            return 0.0;
+        }
+        (got - want).abs() / want.abs().max(f64::MIN_POSITIVE)
+    }
+
+    #[test]
+    fn exp_core_matches_std_across_ranges() {
+        // Log-spaced magnitudes both signs plus engine-typical arguments.
+        let mut worst = 0.0f64;
+        for i in 0..8000 {
+            let mag = 10f64.powf(-8.0 + 11.0 * i as f64 / 7999.0).min(709.0);
+            for x in [mag, -mag] {
+                let e = rel_err(exp_core(x), x.exp());
+                worst = worst.max(e);
+            }
+        }
+        assert!(worst < 2e-15, "worst exp rel err {worst:e}");
+    }
+
+    #[test]
+    fn exp_core_edges() {
+        assert_eq!(exp_core(0.0), 1.0);
+        assert_eq!(exp_core(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp_core(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp_core(-800.0), 0.0);
+        assert_eq!(exp_core(800.0), f64::INFINITY);
+        assert_eq!(exp_core(710.0), f64::INFINITY);
+        assert!(exp_core(f64::NAN).is_nan());
+        // Near-overflow boundary stays finite where libm is finite.
+        let x = 709.78;
+        assert!(exp_core(x).is_finite(), "exp({x}) overflowed");
+        assert!(rel_err(exp_core(x), x.exp()) < 2e-15);
+        // Subnormal window underflows gradually, not abruptly.
+        assert!(exp_core(-745.0) > 0.0);
+    }
+
+    #[test]
+    fn exp_m1_core_matches_std() {
+        let mut worst = 0.0f64;
+        for i in 0..8000 {
+            let mag = 10f64.powf(-10.0 + 12.7 * i as f64 / 7999.0);
+            for x in [mag, -mag] {
+                let e = rel_err(exp_m1_core(x), x.exp_m1());
+                worst = worst.max(e);
+            }
+        }
+        assert!(worst < 4e-15, "worst exp_m1 rel err {worst:e}");
+        assert_eq!(exp_m1_core(0.0), 0.0);
+        assert_eq!(exp_m1_core(f64::NEG_INFINITY), -1.0);
+        assert_eq!(exp_m1_core(f64::INFINITY), f64::INFINITY);
+        assert!(exp_m1_core(f64::NAN).is_nan());
+        // Deeply negative arguments saturate to exactly -1.
+        assert_eq!(exp_m1_core(-1e6), -1.0);
+    }
+
+    #[test]
+    fn ln_1p_core_matches_std() {
+        let mut worst = 0.0f64;
+        for i in 0..8000 {
+            let mag = 10f64.powf(-12.0 + 24.0 * i as f64 / 7999.0);
+            let e = rel_err(ln_1p_core(mag), mag.ln_1p());
+            worst = worst.max(e);
+            if mag < 1.0 {
+                let e = rel_err(ln_1p_core(-mag), (-mag).ln_1p());
+                worst = worst.max(e);
+            }
+        }
+        // Near −1 from above (large negative logs).
+        for &x in &[-0.999, -1.0 + 1e-9, -1.0 + 1e-15] {
+            worst = worst.max(rel_err(ln_1p_core(x), x.ln_1p()));
+        }
+        assert!(worst < 4e-15, "worst ln_1p rel err {worst:e}");
+        assert_eq!(ln_1p_core(0.0), 0.0);
+        assert_eq!(ln_1p_core(-1.0), f64::NEG_INFINITY);
+        assert!(ln_1p_core(-1.5).is_nan());
+        assert_eq!(ln_1p_core(f64::INFINITY), f64::INFINITY);
+        assert!(ln_1p_core(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn lanes_agree_with_cores_any_width() {
+        let xs = [-700.0, -5.25, -0.3, 0.0, 0.17, 3.9, 42.0, 300.0];
+        let via4a = F64Lanes::<4>::from_slice(&xs[..4]).exp().to_array();
+        let via4b = F64Lanes::<4>::from_slice(&xs[4..]).exp().to_array();
+        let via8 = F64Lanes::<8>::from_slice(&xs).exp().to_array();
+        for (i, &x) in xs.iter().enumerate() {
+            let want = exp_core(x);
+            let got4 = if i < 4 { via4a[i] } else { via4b[i - 4] };
+            assert_eq!(got4.to_bits(), want.to_bits(), "w4 lane {i}");
+            assert_eq!(via8[i].to_bits(), want.to_bits(), "w8 lane {i}");
+        }
+    }
+
+    #[test]
+    fn lanes_arithmetic() {
+        let a = F64Lanes::<4>([1.0, 2.0, 3.0, 4.0]);
+        let b = F64Lanes::<4>::splat(0.5);
+        assert_eq!((a + b).to_array(), [1.5, 2.5, 3.5, 4.5]);
+        assert_eq!((a - b).to_array(), [0.5, 1.5, 2.5, 3.5]);
+        assert_eq!((a * b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(a.map(|x| x * x).to_array(), [1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn slice_kernels_are_chunk_invariant() {
+        // Results must not depend on where the W-lane chunk boundaries
+        // fall: evaluate a 13-element slice (full chunks + remainder) and
+        // compare against the cores one by one, at both vector widths.
+        let xs: Vec<f64> = (0..13).map(|i| -60.0 + 9.5 * i as f64).collect();
+        for w in [LaneWidth::W4, LaneWidth::W8] {
+            let mut out = vec![0.0; xs.len()];
+            match w {
+                LaneWidth::W4 => run_isa::<4, ExpOp>(ExpOp, &xs, &mut out),
+                _ => run_isa::<8, ExpOp>(ExpOp, &xs, &mut out),
+            }
+            for (i, (&x, &got)) in xs.iter().zip(&out).enumerate() {
+                assert_eq!(got.to_bits(), exp_core(x).to_bits(), "{w:?} idx {i}");
+            }
+        }
+    }
+
+    /// The elementwise definition `failure_term_slice` promises at lane
+    /// widths: arm choice by `x` against thresholds derived from `scale`.
+    fn failure_term_reference(x: f64, scale: f64) -> f64 {
+        let x_tiny = (FAILURE_TINY_Z / scale).ln();
+        let x_small = (EXPM1_SWITCH / scale).ln();
+        let z = -scale * exp_core(x);
+        let r = select(x < x_small, failure_small(z), failure_big(z));
+        select(x < x_tiny, failure_tiny(z), r)
+    }
+
+    #[test]
+    fn failure_term_matches_composition() {
+        // Long enough to cross a FAILURE_TILE boundary, so the tiled
+        // two-pass path is exercised end to end; the argument spread
+        // covers all three tile regimes (vanishing, mixed, saturated).
+        let mut xs: Vec<f64> = (0..(FAILURE_TILE + 9))
+            .map(|i| -20.0 + 4.0 * (i % 11) as f64)
+            .collect();
+        // Homogeneous stretches so the saturated-fill and small-only
+        // tile screens actually fire.
+        xs.extend(std::iter::repeat_n(30.0, FAILURE_TILE + 3));
+        xs.extend(std::iter::repeat_n(-40.0, FAILURE_TILE + 3));
+        let scale = 3.2e-3;
+        let mut out = vec![0.0; xs.len()];
+        for w in [LaneWidth::W4, LaneWidth::W8] {
+            force_width(Some(w));
+            failure_term_slice(&xs, scale, &mut out);
+            for (&x, &got) in xs.iter().zip(&out) {
+                let want = failure_term_reference(x, scale);
+                assert_eq!(got.to_bits(), want.to_bits(), "{w:?} x={x}");
+                assert!((0.0..=1.0).contains(&got));
+                // The x-routed arms stay within the lane error budget of
+                // the historical scalar expression.
+                let scalar = -(-scale * x.exp()).exp_m1();
+                assert!(
+                    rel_err(got, scalar) < 1e-12,
+                    "{w:?} x={x} got={got} scalar={scalar}"
+                );
+            }
+        }
+        force_width(None);
+    }
+
+    #[test]
+    fn failure_term_saturated_fill_is_exact() {
+        // For z ≤ −FAILURE_SAT the large arm rounds to exactly 1.0, so
+        // the tile fill must be bit-identical to evaluating the arm.
+        for z in [-FAILURE_SAT, -38.0, -54.0, -60.0, -700.0] {
+            assert_eq!(failure_big(z).to_bits(), 1.0f64.to_bits(), "z={z}");
+        }
+        // NaN still propagates through a saturated-looking tile.
+        force_width(Some(LaneWidth::W8));
+        let xs = [f64::NAN; 4];
+        let mut out = [0.0; 4];
+        failure_term_slice(&xs, 1.0, &mut out);
+        assert!(out.iter().all(|o| o.is_nan()));
+        force_width(None);
+    }
+
+    #[test]
+    fn small_screen_keeps_tiny_arm_per_element() {
+        // A slice wholly below `x_small` takes the single-pass small
+        // screen, but elements below `x_tiny` must still get the tiny
+        // arm — the arm choice is a function of `(x, scale)` alone, or
+        // results would depend on how callers tile the input.
+        let scale = 1e-3;
+        let x_tiny = (FAILURE_TINY_Z / scale).ln();
+        let x_small = (EXPM1_SWITCH / scale).ln();
+        let xs: Vec<f64> = (0..257)
+            .map(|i| x_tiny - 2.0 + 4.0 * i as f64 / 256.0)
+            .collect();
+        assert!(xs.iter().all(|&x| x < x_small), "stays below the screen");
+        assert!(
+            xs.iter().any(|&x| x < x_tiny) && xs.iter().any(|&x| x >= x_tiny),
+            "straddles the tiny threshold"
+        );
+        let mut out = vec![0.0; xs.len()];
+        for w in [LaneWidth::W4, LaneWidth::W8] {
+            force_width(Some(w));
+            failure_term_slice(&xs, scale, &mut out);
+            for (&x, &got) in xs.iter().zip(&out) {
+                let want = failure_term_reference(x, scale);
+                assert_eq!(got.to_bits(), want.to_bits(), "{w:?} x={x}");
+            }
+        }
+        force_width(None);
+    }
+
+    #[test]
+    fn bounded_certifications_match_unbounded_bits() {
+        // Every certification class of `failure_term_slice_bounded`
+        // (saturated, tiny, small, big-only, mixed/unbounded, NaN
+        // bounds) must reproduce the unbounded walker bit for bit —
+        // the bounds pick a route, never an answer.
+        let scale = 1e-3;
+        let x_tiny = (FAILURE_TINY_Z / scale).ln();
+        let x_small = (EXPM1_SWITCH / scale).ln();
+        let x_sat = failure_sat_threshold(scale);
+        let ramp = |lo: f64, hi: f64, n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+                .collect()
+        };
+        let cases = [
+            ramp(x_sat + 0.5, x_sat + 40.0, 600),    // saturated
+            ramp(x_tiny - 30.0, x_tiny - 0.1, 600),  // tiny
+            ramp(x_tiny - 1.0, x_small - 0.1, 600),  // small (straddles tiny)
+            ramp(x_small + 0.01, x_sat + 5.0, 600),  // big-only, crosses saturation
+            ramp(x_tiny - 10.0, x_sat + 10.0, 1200), // mixed, crosses a tile
+        ];
+        for w in [LaneWidth::W4, LaneWidth::W8] {
+            force_width(Some(w));
+            for (case, xs) in cases.iter().enumerate() {
+                let lo = xs.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+                let hi = xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+                let mut bounded = vec![0.0; xs.len()];
+                let mut unbounded = vec![0.0; xs.len()];
+                failure_term_slice_bounded(xs, scale, lo, hi, &mut bounded);
+                failure_term_slice(xs, scale, &mut unbounded);
+                for (i, (&b, &u)) in bounded.iter().zip(&unbounded).enumerate() {
+                    assert_eq!(b.to_bits(), u.to_bits(), "{w:?} case {case} idx {i}");
+                }
+            }
+            // NaN bounds (NaN coefficients upstream) fail every screen
+            // comparison and still propagate elementwise NaN.
+            let xs = [x_small + 1.0, f64::NAN, x_tiny - 1.0];
+            let mut out = [0.0; 3];
+            failure_term_slice_bounded(&xs, scale, f64::NAN, f64::NAN, &mut out);
+            assert!(!out[0].is_nan() && out[1].is_nan() && !out[2].is_nan());
+            assert_eq!(
+                out[0].to_bits(),
+                failure_term_reference(xs[0], scale).to_bits()
+            );
+        }
+        force_width(None);
+    }
+
+    #[test]
+    fn lane_width_parse_and_display() {
+        assert_eq!(LaneWidth::parse("1"), Some(LaneWidth::W1));
+        assert_eq!(LaneWidth::parse(" 4 "), Some(LaneWidth::W4));
+        assert_eq!(LaneWidth::parse("8"), Some(LaneWidth::W8));
+        assert_eq!(LaneWidth::parse("2"), None);
+        assert_eq!(LaneWidth::parse("fast"), None);
+        assert_eq!(LaneWidth::W8.to_string(), "8");
+        assert_eq!(LaneWidth::W4.lanes(), 4);
+    }
+}

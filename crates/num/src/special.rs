@@ -281,6 +281,12 @@ const EXP_GRID_RESYNC: usize = 32;
 /// `(scale, rate, x0, step)` always yields bit-identical values at every
 /// `k` regardless of `stride`.
 ///
+/// At lane widths > 1 (see [`crate::simd`]) the resync anchors are
+/// batched through one vectorized [`crate::simd::exp_slice`] call per
+/// fill instead of one scalar `exp` per resync block; at width 1 the
+/// historical scalar recurrence runs verbatim (bit-identical to previous
+/// releases). Both paths keep the stride-independence guarantee.
+///
 /// # Panics
 ///
 /// Panics if `stride == 0` or `out` is too short for `n` strided writes.
@@ -312,15 +318,40 @@ pub fn scaled_exp_grid(
         "output too short: {} slots for {n} strided writes",
         out.len()
     );
-    let ratio = (rate * step).exp();
-    let mut w = 0.0;
-    for k in 0..n {
-        if k % EXP_GRID_RESYNC == 0 {
-            w = scale * (rate * (x0 + k as f64 * step)).exp();
-        } else {
-            w *= ratio;
+    if crate::simd::active_width() == crate::simd::LaneWidth::W1 {
+        let ratio = (rate * step).exp();
+        let mut w = 0.0;
+        for k in 0..n {
+            if k % EXP_GRID_RESYNC == 0 {
+                w = scale * (rate * (x0 + k as f64 * step)).exp();
+            } else {
+                w *= ratio;
+            }
+            out[k * stride] = w;
         }
-        out[k * stride] = w;
+        return;
+    }
+
+    // Lane path: evaluate every resync anchor with one vectorized exp
+    // call, then run the geometric recurrence within each block. Values
+    // are computed before the strided writes, preserving stride
+    // independence.
+    let ratio = (rate * step).exp();
+    let n_anchor = n.div_ceil(EXP_GRID_RESYNC);
+    let args: Vec<f64> = (0..n_anchor)
+        .map(|m| rate * (x0 + (m * EXP_GRID_RESYNC) as f64 * step))
+        .collect();
+    let mut anchors = vec![0.0; n_anchor];
+    crate::simd::exp_slice(&args, &mut anchors);
+    for (m, &anchor) in anchors.iter().enumerate() {
+        let k0 = m * EXP_GRID_RESYNC;
+        let k_end = n.min(k0 + EXP_GRID_RESYNC);
+        let mut w = scale * anchor;
+        out[k0 * stride] = w;
+        for k in k0 + 1..k_end {
+            w *= ratio;
+            out[k * stride] = w;
+        }
     }
 }
 

@@ -1,0 +1,220 @@
+//! Property-based tests of the `num::simd` lane layer: seeded random
+//! sweeps over the engines' argument ranges checking the vectorized
+//! `exp`/`exp_m1`/`ln_1p` kernels against `std` libm within the
+//! documented error budget, width-1 bit-identity with the historical
+//! scalar expressions, and bitwise agreement between lane widths 4
+//! and 8.
+//!
+//! Width forcing is process-global, so every test that touches it
+//! serializes on one mutex and restores the default before releasing —
+//! the suite passes under any `STATOBD_LANES` setting.
+
+use statobd_num::rng::{Rng, Xoshiro256pp};
+use statobd_num::simd::{self, LaneWidth};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that force the process-global lane width.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII width override: restores the environment-derived default on
+/// drop even if the test panics while holding the lock.
+struct ForcedWidth(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ForcedWidth {
+    fn new(w: LaneWidth) -> Self {
+        let guard = WIDTH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        simd::force_width(Some(w));
+        ForcedWidth(guard)
+    }
+
+    fn set(&self, w: LaneWidth) {
+        simd::force_width(Some(w));
+    }
+}
+
+impl Drop for ForcedWidth {
+    fn drop(&mut self) {
+        simd::force_width(None);
+    }
+}
+
+fn rel_err(got: f64, want: f64) -> f64 {
+    if got == want || (got.is_nan() && want.is_nan()) {
+        return 0.0;
+    }
+    (got - want).abs() / want.abs().max(f64::MIN_POSITIVE)
+}
+
+/// Engine-typical argument draws: log-uniform magnitude across the
+/// quadrature/table range, both signs, clamped inside `exp`'s domain.
+fn engine_args(rng: &mut Xoshiro256pp, n: usize, mag_lo: f64, mag_hi: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let mag = 10f64.powf(rng.gen_range(mag_lo..mag_hi));
+            if rng.gen_range(0.0..1.0) < 0.5 {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn exp_kernels_stay_inside_error_budget() {
+    let _w = ForcedWidth::new(LaneWidth::W4);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D0);
+    for w in [LaneWidth::W4, LaneWidth::W8] {
+        _w.set(w);
+        // exp over the full engine range (quadrature args reach ±700).
+        let xs = engine_args(&mut rng, 4000, -8.0, 2.84);
+        let mut out = vec![0.0; xs.len()];
+        simd::exp_slice(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert!(
+                rel_err(got, x.exp()) < 1e-14,
+                "{w:?} exp({x}) = {got} vs {}",
+                x.exp()
+            );
+        }
+        // exp_m1 concentrates around 0 where cancellation lives.
+        let xs = engine_args(&mut rng, 4000, -12.0, 2.6);
+        simd::exp_m1_slice(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert!(
+                rel_err(got, x.exp_m1()) < 1e-14,
+                "{w:?} exp_m1({x}) = {got} vs {}",
+                x.exp_m1()
+            );
+        }
+        // ln_1p on (−1, ∞): small magnitudes plus the singular side.
+        let xs: Vec<f64> = engine_args(&mut rng, 4000, -12.0, 8.0)
+            .into_iter()
+            .map(|x| {
+                if x <= -1.0 {
+                    -1.0 + 10f64.powf(-x.abs().log10())
+                } else {
+                    x
+                }
+            })
+            .map(|x| x.max(-1.0 + 1e-15))
+            .collect();
+        simd::ln_1p_slice(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert!(
+                rel_err(got, x.ln_1p()) < 1e-13,
+                "{w:?} ln_1p({x}) = {got} vs {}",
+                x.ln_1p()
+            );
+        }
+    }
+}
+
+#[test]
+fn width_one_is_bit_identical_to_libm() {
+    let _w = ForcedWidth::new(LaneWidth::W1);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D1);
+    let xs = engine_args(&mut rng, 2000, -10.0, 2.84);
+    let mut out = vec![0.0; xs.len()];
+    simd::exp_slice(&xs, &mut out);
+    for (&x, &got) in xs.iter().zip(&out) {
+        assert_eq!(got.to_bits(), x.exp().to_bits(), "exp({x})");
+    }
+    simd::exp_m1_slice(&xs, &mut out);
+    for (&x, &got) in xs.iter().zip(&out) {
+        assert_eq!(got.to_bits(), x.exp_m1().to_bits(), "exp_m1({x})");
+    }
+    let scale = 2.7e-4;
+    simd::failure_term_slice(&xs, scale, &mut out);
+    for (&x, &got) in xs.iter().zip(&out) {
+        let want = -(-scale * x.exp()).exp_m1();
+        assert_eq!(got.to_bits(), want.to_bits(), "failure_term({x})");
+    }
+}
+
+#[test]
+fn widths_four_and_eight_agree_bitwise() {
+    let _w = ForcedWidth::new(LaneWidth::W4);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D2);
+    // Prime-length slice so both widths see full chunks and ragged
+    // tails at different element positions.
+    let xs = engine_args(&mut rng, 2003, -10.0, 2.84);
+    let scale = 1.3e-5;
+    let mut via4 = vec![0.0; xs.len()];
+    let mut via8 = vec![0.0; xs.len()];
+    simd::exp_slice(&xs, &mut via4);
+    simd::failure_term_slice(&xs, scale, &mut via8); // reuse as scratch
+    _w.set(LaneWidth::W8);
+    simd::exp_slice(&xs, &mut via8);
+    for (i, (a, b)) in via4.iter().zip(&via8).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "exp idx {i}");
+    }
+    _w.set(LaneWidth::W4);
+    simd::failure_term_slice(&xs, scale, &mut via4);
+    _w.set(LaneWidth::W8);
+    simd::failure_term_slice(&xs, scale, &mut via8);
+    for (i, (a, b)) in via4.iter().zip(&via8).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "failure_term idx {i}");
+    }
+}
+
+#[test]
+fn lane_kernels_handle_edge_arguments() {
+    let _w = ForcedWidth::new(LaneWidth::W8);
+    let xs = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        709.9,  // past the overflow boundary
+        -746.0, // past the underflow boundary
+        -0.0,
+        0.0,
+        5e-324, // smallest subnormal
+    ];
+    let mut out = [0.0; 8];
+    for w in [LaneWidth::W4, LaneWidth::W8] {
+        _w.set(w);
+        simd::exp_slice(&xs, &mut out);
+        assert!(out[0].is_nan());
+        assert_eq!(out[1], f64::INFINITY);
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[3], f64::INFINITY);
+        assert_eq!(out[4], 0.0);
+        assert_eq!(out[5], 1.0);
+        assert_eq!(out[6], 1.0);
+        simd::exp_m1_slice(&xs, &mut out);
+        assert!(out[0].is_nan());
+        assert_eq!(out[1], f64::INFINITY);
+        assert_eq!(out[2], -1.0);
+        simd::ln_1p_slice(&[-1.0, -1.5, f64::INFINITY, f64::NAN], &mut out[..4]);
+        assert_eq!(out[0], f64::NEG_INFINITY);
+        assert!(out[1].is_nan(), "ln_1p below the domain is NaN");
+        assert_eq!(out[2], f64::INFINITY);
+        assert!(out[3].is_nan());
+    }
+}
+
+#[test]
+fn failure_term_accuracy_over_scale_sweep() {
+    // The quadrature kernels see scale = A·(table area) spanning many
+    // decades; the 1e-12 relative gate must hold across all of them.
+    let _w = ForcedWidth::new(LaneWidth::W8);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D3);
+    for w in [LaneWidth::W4, LaneWidth::W8] {
+        _w.set(w);
+        for _ in 0..24 {
+            let scale = 10f64.powf(rng.gen_range(-9.0..3.0));
+            let xs = engine_args(&mut rng, 500, -6.0, 2.5);
+            let mut out = vec![0.0; xs.len()];
+            simd::failure_term_slice(&xs, scale, &mut out);
+            for (&x, &got) in xs.iter().zip(&out) {
+                let want = -(-scale * x.exp()).exp_m1();
+                assert!(
+                    rel_err(got, want) < 1e-12,
+                    "{w:?} scale={scale:e} x={x} got={got} want={want}"
+                );
+                assert!((0.0..=1.0).contains(&got) || got.is_nan());
+            }
+        }
+    }
+}

@@ -626,6 +626,7 @@ fn report(design: DesignSource, opts: &Options) -> Result<(), String> {
             stats.n_components,
             stats.spec_hash
         );
+        println!("lane dispatch: {}", statobd::num::simd::dispatch_label());
     }
     println!(
         "design: {} blocks, {} devices, worst block temperature {:.1} C",

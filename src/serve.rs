@@ -21,7 +21,7 @@
 //! | `sweep` | `session`, `t_lo_s`, `t_hi_s`, `points` | `curve` = `[[t, p], ...]` |
 //! | `lifetime` | `session`, `target` | `t_s`, `years` |
 //! | `manage_step` | `session`, `dt_s`, `vdd_v`, `temps_k` *or* `dt_k` | `p_now`, `p_projected`, `level`, `capped`, `vdd_v` |
-//! | `stats` | `session` | `stats` |
+//! | `stats` | `session` | `stats`, `lanes` (SIMD lane dispatch label) |
 //! | `close` | `session` | `closed` |
 //! | `shutdown` | — | — (server exits after replying) |
 //!
@@ -179,7 +179,10 @@ impl Server {
             }
             "stats" => {
                 let stats = self.session(request)?.stats().clone();
-                ok(object(vec![("stats", stats.to_json())]))
+                ok(object(vec![
+                    ("stats", stats.to_json()),
+                    ("lanes", Json::String(statobd_num::simd::dispatch_label())),
+                ]))
             }
             "close" => {
                 let name = name_field(request)?;
@@ -442,6 +445,11 @@ mod tests {
             .and_then(|s| s.get("queries"))
             .and_then(Json::as_f64);
         assert_eq!(queries, Some(5.0), "lifetime + p_at + 3 sweep points");
+        let lanes = replies[4].get("lanes").and_then(Json::as_str).unwrap();
+        assert!(
+            lanes.contains("lane"),
+            "stats reply self-describes the SIMD dispatch, got {lanes:?}"
+        );
     }
 
     #[test]
