@@ -1,0 +1,307 @@
+//! Fleet benchmark: millions of chips through the sharded constant-memory
+//! streaming reducer, with the determinism claims enforced.
+//!
+//! Three gates, any failure exits non-zero:
+//!
+//! 1. **Cross-thread/shard determinism** — the deterministic aggregate
+//!    block of [`statobd::FleetReport`] must render to bit-identical JSON
+//!    across a thread × shard matrix (1/2/8 threads × 1/2/5 shards).
+//! 2. **Constant memory** — every run must report
+//!    `workspaces_created <= shards`: the hot path allocates one reusable
+//!    workspace per shard and nothing per chip.
+//! 3. **Time budget** (full mode only) — the 10⁶-chip headline run must
+//!    finish inside [`HEADLINE_BUDGET_S`].
+//!
+//! ```text
+//! cargo run --release -p statobd-bench --bin fleet -- \
+//!     [--quick] [--out BENCH_fleet.json] [--chips 1000000] [--threads N]
+//! ```
+//!
+//! Output schema (one JSON object):
+//!
+//! ```text
+//! { "lanes": "...", "rows": [ { "design": "two_block", "scenario":
+//!   "throughput", "profile": "datacenter", "chips": 100000, "threads": 1,
+//!   "shards": 1, "run_s": ..., "chips_per_s": ..., "exceed_budget": ...,
+//!   "deterministic": true, "workspaces_ok": true }, ... ] }
+//! ```
+
+use statobd::{run_fleet, AnalysisSpec, FleetConfig, FleetReport, Session};
+use statobd_core::{BlockSpec, ChipSpec};
+use statobd_device::ClosedFormTech;
+use statobd_manager::MissionProfile;
+use statobd_num::impl_json_struct;
+use statobd_num::json;
+
+/// Wall-clock budget for the full-mode headline run (10⁶ chips).
+const HEADLINE_BUDGET_S: f64 = 120.0;
+
+/// Thread × shard determinism matrix.
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+const SHARD_MATRIX: [usize; 3] = [1, 2, 5];
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+struct FleetRow {
+    design: String,
+    scenario: String,
+    profile: String,
+    chips: u64,
+    threads: u64,
+    shards: u64,
+    run_s: f64,
+    chips_per_s: f64,
+    /// Chips over the failure-probability budget at mission end (a
+    /// deterministic aggregate — identical across rows of one scenario).
+    exceed_budget: u64,
+    /// Aggregates bit-identical to the scenario's reference run.
+    deterministic: bool,
+    /// `workspaces_created <= shards` held for this run.
+    workspaces_ok: bool,
+}
+
+impl_json_struct!(FleetRow {
+    design,
+    scenario,
+    profile,
+    chips,
+    threads,
+    shards,
+    run_s,
+    chips_per_s,
+    exceed_budget,
+    deterministic,
+    workspaces_ok
+});
+
+/// The whole report (`BENCH_fleet.json`).
+#[derive(Debug, Clone)]
+struct Report {
+    /// SIMD lane dispatch active during the run.
+    lanes: String,
+    rows: Vec<FleetRow>,
+}
+
+impl_json_struct!(Report { lanes, rows });
+
+struct Options {
+    out: String,
+    quick: bool,
+    /// Headline fleet size.
+    chips: u64,
+    /// Thread override for the throughput/headline rows (0 = all cores).
+    threads: usize,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        out: "BENCH_fleet.json".to_string(),
+        quick: false,
+        chips: 1_000_000,
+        threads: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = value("--out"),
+            "--chips" => {
+                opts.chips = value("--chips").parse().unwrap_or_else(|_| {
+                    eprintln!("bad chip count");
+                    std::process::exit(2);
+                });
+                if opts.chips == 0 {
+                    eprintln!("--chips: need at least one chip");
+                    std::process::exit(2);
+                }
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The benchmark design: a hot two-block chip over a 10×10 correlation
+/// grid — small enough that the per-chip hot path, not the model build,
+/// dominates, like a production fleet sweep over a compiled model.
+fn bench_session() -> Session {
+    let mut chip = ChipSpec::new();
+    chip.add_block(
+        BlockSpec::new(
+            "core",
+            60_000.0,
+            60_000,
+            368.15,
+            1.2,
+            vec![(0, 0.3), (1, 0.3), (11, 0.4)],
+        )
+        .expect("bench block is valid"),
+    )
+    .expect("bench chip accepts blocks");
+    chip.add_block(
+        BlockSpec::new("cache", 140_000.0, 140_000, 341.15, 1.2, vec![(55, 1.0)])
+            .expect("bench block is valid"),
+    )
+    .expect("bench chip accepts blocks");
+    Session::build(&AnalysisSpec::chip(chip).with_grid_side(10)).expect("bench model compiles")
+}
+
+fn config(
+    chips: u64,
+    profile: MissionProfile,
+    threads: usize,
+    shards: Option<usize>,
+) -> FleetConfig {
+    FleetConfig {
+        chips,
+        profile,
+        threads: (threads > 0).then_some(threads),
+        shards,
+        ..FleetConfig::default()
+    }
+}
+
+fn row(report: &FleetReport, scenario: &str, profile: &str, deterministic: bool) -> FleetRow {
+    FleetRow {
+        design: "two_block".to_string(),
+        scenario: scenario.to_string(),
+        profile: profile.to_string(),
+        chips: report.aggregates.chips,
+        threads: report.threads,
+        shards: report.shards,
+        run_s: report.run_s,
+        chips_per_s: report.chips_per_s,
+        exceed_budget: report.aggregates.exceed_budget,
+        deterministic,
+        workspaces_ok: report.workspaces_created <= report.shards,
+    }
+}
+
+fn print_row(r: &FleetRow) {
+    println!(
+        "  {:<12} {:<13} chips={:<8} t={} s={}  {:>7.3}s  {:>9.0} chips/s  {}{}",
+        r.scenario,
+        r.profile,
+        r.chips,
+        r.threads,
+        r.shards,
+        r.run_s,
+        r.chips_per_s,
+        if r.deterministic { "ok" } else { "DIVERGED" },
+        if r.workspaces_ok { "" } else { " ALLOCATING" }
+    );
+}
+
+fn main() {
+    let opts = parse_options();
+    let session = bench_session();
+    let analysis = session.analysis();
+    let tech = ClosedFormTech::nominal_45nm();
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+
+    // Gate 1+2 — the determinism matrix: one fleet, every thread × shard
+    // combination, aggregates compared bit-for-bit as compact JSON.
+    let det_chips: u64 = if opts.quick { 2_000 } else { 20_000 };
+    println!("determinism matrix ({det_chips} chips):");
+    let mut reference: Option<String> = None;
+    for &threads in &THREAD_MATRIX {
+        for &shards in &SHARD_MATRIX {
+            let report = run_fleet(
+                analysis,
+                &tech,
+                &config(
+                    det_chips,
+                    MissionProfile::datacenter(),
+                    threads,
+                    Some(shards),
+                ),
+            )
+            .expect("fleet runs");
+            let rendered = json::to_string(&report.aggregates);
+            let deterministic = match &reference {
+                None => {
+                    reference = Some(rendered);
+                    true
+                }
+                Some(r) => r == &rendered,
+            };
+            let r = row(&report, "determinism", "datacenter", deterministic);
+            all_ok &= r.deterministic && r.workspaces_ok;
+            print_row(&r);
+            rows.push(r);
+        }
+    }
+
+    // Per-profile throughput at a moderate fleet size.
+    let prof_chips: u64 = if opts.quick { 5_000 } else { 100_000 };
+    println!("profile throughput ({prof_chips} chips):");
+    for profile in MissionProfile::all() {
+        let name = profile.name();
+        let report = run_fleet(
+            analysis,
+            &tech,
+            &config(prof_chips, profile, opts.threads, None),
+        )
+        .expect("fleet runs");
+        let r = row(&report, "throughput", name, true);
+        all_ok &= r.workspaces_ok;
+        print_row(&r);
+        rows.push(r);
+    }
+
+    // Gate 3 — the headline: a production-scale fleet, all cores.
+    let headline_chips = if opts.quick { 10_000 } else { opts.chips };
+    println!("headline ({headline_chips} chips):");
+    let report = run_fleet(
+        analysis,
+        &tech,
+        &config(
+            headline_chips,
+            MissionProfile::datacenter(),
+            opts.threads,
+            None,
+        ),
+    )
+    .expect("fleet runs");
+    let r = row(&report, "headline", "datacenter", true);
+    all_ok &= r.workspaces_ok;
+    if !opts.quick && r.run_s > HEADLINE_BUDGET_S {
+        eprintln!(
+            "ERROR: headline run took {:.1}s, budget {HEADLINE_BUDGET_S}s",
+            r.run_s
+        );
+        all_ok = false;
+    }
+    print_row(&r);
+    rows.push(r);
+
+    let report = Report {
+        lanes: statobd_num::simd::dispatch_label(),
+        rows,
+    };
+    std::fs::write(&opts.out, json::to_string_pretty(&report)).expect("report written");
+    println!("wrote {}", opts.out);
+    if !all_ok {
+        eprintln!(
+            "ERROR: fleet aggregates diverged across threads/shards, allocated per chip, \
+             or blew the time budget"
+        );
+        std::process::exit(1);
+    }
+}

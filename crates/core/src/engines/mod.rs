@@ -243,9 +243,10 @@ impl std::fmt::Display for EngineKind {
 }
 
 /// Levenshtein edit distance — the did-you-mean metric for
-/// [`EngineKind::parse`]. The candidate set is six short names, so the
-/// textbook two-row dynamic program is plenty.
-fn edit_distance(a: &str, b: &str) -> usize {
+/// [`EngineKind::parse`] and other small-menu name parsers (mission
+/// profiles, CLI subcommands). The candidate sets are a handful of short
+/// names, so the textbook two-row dynamic program is plenty.
+pub fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     let mut prev: Vec<usize> = (0..=b.len()).collect();

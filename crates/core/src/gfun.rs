@@ -30,7 +30,17 @@ impl GCoefficients {
     /// Panics in debug builds for non-positive `t_s` or `alpha_s`.
     pub fn at(t_s: f64, alpha_s: f64, b_per_nm: f64) -> Self {
         debug_assert!(t_s > 0.0 && alpha_s > 0.0, "invalid time or alpha");
-        let gamma = (t_s / alpha_s).ln();
+        Self::from_gamma((t_s / alpha_s).ln(), b_per_nm)
+    }
+
+    /// Computes the coefficients directly from `γ = ln(t/α)`.
+    ///
+    /// Callers that track degradation as an effective age `ξ = Σ Δt/α(T,V)`
+    /// (the damage identity — a chip's failure probability depends on its
+    /// stress history only through `γ = ln ξ`) land here without
+    /// reconstructing a fictitious `(t, α)` pair. Bit-identical to
+    /// [`GCoefficients::at`] for `γ = ln(t/α)`.
+    pub fn from_gamma(gamma: f64, b_per_nm: f64) -> Self {
         let gb = gamma * b_per_nm;
         GCoefficients {
             s1: gb,
@@ -128,6 +138,16 @@ mod tests {
     #[test]
     fn conditional_failure_saturates_at_one() {
         assert!((conditional_block_failure(1e5, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_gamma_matches_at_bitwise() {
+        for (t, alpha, b) in [(1e10, 1e16, 0.65), (3e9, 2e16, 0.6), (1e16, 1e16, 0.7)] {
+            let via_at = GCoefficients::at(t, alpha, b);
+            let via_gamma = GCoefficients::from_gamma((t / alpha).ln(), b);
+            assert_eq!(via_at.s1.to_bits(), via_gamma.s1.to_bits());
+            assert_eq!(via_at.s2.to_bits(), via_gamma.s2.to_bits());
+        }
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub use engines::st_closed::StClosed;
 pub use engines::st_fast::{StFast, StFastConfig, VarianceMethod};
 pub use engines::st_mc::{StMc, StMcConfig};
 pub use engines::{
-    build_engine, compose_weakest_link, EngineKind, EngineSpec, ReliabilityEngine, WeakestLink,
+    build_engine, compose_weakest_link, edit_distance, EngineKind, EngineSpec, ReliabilityEngine,
+    WeakestLink,
 };
 pub use gfun::{conditional_block_failure, g_function, GCoefficients};
 pub use lifetime::{

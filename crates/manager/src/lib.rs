@@ -22,6 +22,10 @@
 //!   operating points, either given directly (per-block temperatures +
 //!   supply voltage) or produced from per-phase [`PowerModel`]s through
 //!   `statobd-thermal`'s steady/transient solvers.
+//! * [`MissionProfile`] — a library of named stress histories
+//!   (HTOL/LTOL qualification, datacenter, automotive, burn-in + field)
+//!   expressed as design-independent [`PhaseSpec`] sequences; the fleet
+//!   workload evaluates chip populations against these.
 //! * [`ReliabilityManager`] — ties it together: advances damage, reads
 //!   the chip failure probability off the tables (weakest-link composed
 //!   on log-survival via [`statobd_core::WeakestLink`]), projects it to
@@ -41,11 +45,13 @@
 mod damage;
 mod manager;
 mod policy;
+mod profile;
 mod schedule;
 
 pub use damage::DamageState;
 pub use manager::{ManagerConfig, ReliabilityManager, StepReport};
 pub use policy::{DvfsLevel, PolicyConfig};
+pub use profile::{MissionProfile, YEAR_S};
 pub use schedule::{resolve_thermal_phases, ManageSpec, OperatingPhase, PhaseSpec, ThermalPhase};
 
 /// Errors produced by the reliability manager.

@@ -1,0 +1,228 @@
+//! A library of named mission profiles — the stress histories a real
+//! reliability program runs its population against.
+//!
+//! Each profile is a sequence of design-independent [`PhaseSpec`]s
+//! (temperature *offsets* from each block's specified worst-case
+//! temperature plus a requested supply voltage), so one profile resolves
+//! against any chip specification. The set covers the qualification and
+//! field archetypes: JEDEC-style high/low-temperature operating life
+//! stress, a datacenter duty cycle, automotive thermal cycling, and a
+//! burn-in screen followed by field use (cf. the in-field repair and
+//! time-zero/time-dependent variability studies in PAPERS.md).
+
+use crate::schedule::PhaseSpec;
+use crate::{ManagerError, Result};
+use statobd_core::edit_distance;
+
+/// Seconds per (Julian-ish) year used by the field profiles.
+pub const YEAR_S: f64 = 3.156e7;
+
+/// Seconds per hour.
+const HOUR_S: f64 = 3600.0;
+
+/// A named mission profile: an ordered list of operating phases covering
+/// one mission (a qualification stress or a service life).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionProfile {
+    name: &'static str,
+    description: &'static str,
+    phases: Vec<PhaseSpec>,
+}
+
+impl MissionProfile {
+    /// Names of all built-in profiles, in menu order.
+    pub const NAMES: [&'static str; 5] =
+        ["htol", "ltol", "datacenter", "automotive", "burn_in_field"];
+
+    /// All built-in profiles, in [`MissionProfile::NAMES`] order.
+    pub fn all() -> Vec<MissionProfile> {
+        Self::NAMES
+            .iter()
+            .map(|n| Self::named(n).expect("built-in names parse"))
+            .collect()
+    }
+
+    /// Looks a profile up by name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::InvalidParameter`] for an unknown name,
+    /// with the closest valid name as a did-you-mean suggestion —
+    /// mirroring `statobd_core::EngineKind::parse`.
+    pub fn named(name: &str) -> Result<MissionProfile> {
+        match Self::NAMES
+            .iter()
+            .find(|n| n.eq_ignore_ascii_case(name))
+            .copied()
+        {
+            Some("htol") => Ok(Self::htol()),
+            Some("ltol") => Ok(Self::ltol()),
+            Some("datacenter") => Ok(Self::datacenter()),
+            Some("automotive") => Ok(Self::automotive()),
+            Some("burn_in_field") => Ok(Self::burn_in_field()),
+            _ => {
+                let lower = name.to_ascii_lowercase();
+                let nearest = Self::NAMES
+                    .into_iter()
+                    .min_by_key(|n| edit_distance(&lower, n))
+                    .unwrap_or("datacenter");
+                let all = Self::NAMES.join(", ");
+                Err(ManagerError::InvalidParameter {
+                    detail: format!(
+                        "unknown profile '{name}' (did you mean '{nearest}'? one of: {all})"
+                    ),
+                })
+            }
+        }
+    }
+
+    /// JEDEC-style high-temperature operating life: 1000 h at an elevated
+    /// junction temperature and stress voltage.
+    pub fn htol() -> MissionProfile {
+        MissionProfile {
+            name: "htol",
+            description: "1000 h high-temperature operating life stress (+40 K, 1.32 V)",
+            phases: vec![phase("stress", 1000.0 * HOUR_S, 40.0, 1.32)],
+        }
+    }
+
+    /// Low-temperature operating life: 1000 h cold at stress voltage —
+    /// exercises the opposite corner of the α(T, V) surface.
+    pub fn ltol() -> MissionProfile {
+        MissionProfile {
+            name: "ltol",
+            description: "1000 h low-temperature operating life stress (-55 K, 1.32 V)",
+            phases: vec![phase("stress", 1000.0 * HOUR_S, -55.0, 1.32)],
+        }
+    }
+
+    /// Ten service years of a datacenter duty cycle: mostly near-nominal
+    /// load with idle troughs and turbo peaks.
+    pub fn datacenter() -> MissionProfile {
+        let mission = 10.0 * YEAR_S;
+        MissionProfile {
+            name: "datacenter",
+            description: "10 y datacenter duty cycle (40% idle / 45% nominal / 15% peak)",
+            phases: vec![
+                phase("idle", 0.40 * mission, -15.0, 1.08),
+                phase("nominal", 0.45 * mission, 0.0, 1.20),
+                phase("peak", 0.15 * mission, 20.0, 1.26),
+            ],
+        }
+    }
+
+    /// Fifteen service years of an automotive thermal-cycling mix: long
+    /// parked spans at retention voltage punctuated by driving and
+    /// hot-idle excursions.
+    pub fn automotive() -> MissionProfile {
+        let mission = 15.0 * YEAR_S;
+        MissionProfile {
+            name: "automotive",
+            description:
+                "15 y automotive cycle (70% parked / 15% city / 10% highway / 5% hot idle)",
+            phases: vec![
+                phase("parked", 0.70 * mission, -45.0, 0.55),
+                phase("city", 0.15 * mission, 5.0, 1.20),
+                phase("highway", 0.10 * mission, 15.0, 1.20),
+                phase("hot_idle", 0.05 * mission, 35.0, 1.26),
+            ],
+        }
+    }
+
+    /// A 48 h burn-in screen at elevated temperature and voltage followed
+    /// by ten field years at nominal conditions.
+    pub fn burn_in_field() -> MissionProfile {
+        MissionProfile {
+            name: "burn_in_field",
+            description: "48 h burn-in screen (+50 K, 1.38 V) then 10 y nominal field use",
+            phases: vec![
+                phase("burn_in", 48.0 * HOUR_S, 50.0, 1.38),
+                phase("field", 10.0 * YEAR_S, 0.0, 1.20),
+            ],
+        }
+    }
+
+    /// The profile's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line human description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The ordered phase specifications.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Total mission duration (s).
+    pub fn mission_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// Total mission duration (h) — the denominator of FIT conversions.
+    pub fn mission_hours(&self) -> f64 {
+        self.mission_s() / HOUR_S
+    }
+}
+
+fn phase(name: &str, duration_s: f64, dt_k: f64, vdd_v: f64) -> PhaseSpec {
+    PhaseSpec {
+        name: name.to_string(),
+        duration_s,
+        dt_k,
+        vdd_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_resolve_and_validate() {
+        let mut spec = statobd_core::ChipSpec::new();
+        spec.add_block(
+            statobd_core::BlockSpec::new("core", 40_000.0, 40_000, 368.15, 1.2, vec![(0, 1.0)])
+                .unwrap(),
+        )
+        .unwrap();
+        for p in MissionProfile::all() {
+            assert!(!p.phases().is_empty(), "{} has phases", p.name());
+            assert!(p.mission_s() > 0.0);
+            for ps in p.phases() {
+                let op = ps.resolve(&spec);
+                op.validate(spec.blocks().len())
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", p.name(), ps.name));
+            }
+        }
+    }
+
+    #[test]
+    fn named_is_case_insensitive_and_total() {
+        for name in MissionProfile::NAMES {
+            assert_eq!(MissionProfile::named(name).unwrap().name(), name);
+            let upper = name.to_ascii_uppercase();
+            assert_eq!(MissionProfile::named(&upper).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_profile_suggests_nearest() {
+        let err = MissionProfile::named("datacentre").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean 'datacenter'"), "{msg}");
+        assert!(msg.contains("burn_in_field"), "menu missing: {msg}");
+    }
+
+    #[test]
+    fn mission_durations_are_sane() {
+        assert!((MissionProfile::htol().mission_hours() - 1000.0).abs() < 1e-9);
+        assert!((MissionProfile::datacenter().mission_s() - 10.0 * YEAR_S).abs() < 1e-6);
+        assert!((MissionProfile::automotive().mission_s() - 15.0 * YEAR_S).abs() < 1e-6);
+        let bif = MissionProfile::burn_in_field();
+        assert!(bif.phases()[0].duration_s < bif.phases()[1].duration_s);
+    }
+}

@@ -129,6 +129,95 @@ impl Histogram1d {
         self.lo + (i as f64 + 0.5) * self.bin_width()
     }
 
+    /// The histogram's range `[lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// All accumulators are integer counts, so the merge is *exact and
+    /// commutative*: any partitioning of an observation stream across
+    /// shard histograms, merged in any order, reproduces the single-pass
+    /// histogram bit-for-bit. Sharded reducers (the fleet workload) rest
+    /// their determinism guarantee on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] unless the two layouts are identical
+    /// (bit-equal `lo` and `hi`, same bin count) — merging histograms
+    /// with different bin geometries would silently misattribute mass.
+    pub fn merge(&mut self, other: &Histogram1d) -> Result<()> {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(NumError::Domain {
+                detail: format!(
+                    "cannot merge histograms with different layouts: [{}, {}) x {} vs \
+                     [{}, {}) x {}",
+                    self.lo,
+                    self.hi,
+                    self.counts.len(),
+                    other.lo,
+                    other.hi,
+                    other.counts.len()
+                ),
+            });
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.below += other.below;
+        self.above += other.above;
+        self.total_in_range += other.total_in_range;
+        Ok(())
+    }
+
+    /// Extracts the `q`-quantile of the **in-range** mass from the bin
+    /// counts, spreading each bin's count uniformly over its width
+    /// (linear interpolation). Out-of-range observations are excluded;
+    /// callers that need tail-exact edges should track min/max alongside
+    /// (see [`crate::stats::QuantileSketch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if `q` is outside `[0, 1]` or the
+    /// histogram holds no in-range observations.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(NumError::Domain {
+                detail: format!("quantile level must be in [0, 1], got {q}"),
+            });
+        }
+        if self.total_in_range == 0 {
+            return Err(NumError::Domain {
+                detail: "quantile of a histogram with no in-range observations".to_string(),
+            });
+        }
+        let target = q * self.total_in_range as f64;
+        let width = self.bin_width();
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let cf = c as f64;
+            if cum + cf >= target {
+                let frac = ((target - cum) / cf).clamp(0.0, 1.0);
+                return Ok(self.lo + (i as f64 + frac) * width);
+            }
+            cum += cf;
+        }
+        // Float rounding walked past the last occupied bin: its top edge.
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("total_in_range > 0 implies an occupied bin");
+        Ok(self.lo + (last as f64 + 1.0) * width)
+    }
+
     /// Normalized density values (integrate to 1 over the in-range mass).
     pub fn density(&self) -> Vec<f64> {
         let norm = self.total_in_range.max(1) as f64 * self.bin_width();
@@ -329,6 +418,87 @@ mod tests {
         assert!(Histogram1d::from_data(&[], 4).is_err());
         assert!(Histogram1d::from_data(&[1.0, 1.0], 4).is_err());
         assert!(Histogram1d::from_data(&[1.0, f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        // Split one stream across three shard histograms; every merge
+        // order must reproduce the single-pass histogram exactly.
+        let values: Vec<f64> = (0..3000).map(|i| ((i * 37) % 997) as f64 / 100.0).collect();
+        let mut single = Histogram1d::new(0.0, 8.0, 13).unwrap();
+        for &v in &values {
+            single.add(v);
+        }
+        let mut shards: Vec<Histogram1d> = (0..3)
+            .map(|_| Histogram1d::new(0.0, 8.0, 13).unwrap())
+            .collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 3].add(v);
+        }
+        for order in [[0, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let mut merged = Histogram1d::new(0.0, 8.0, 13).unwrap();
+            for &s in &order {
+                merged.merge(&shards[s]).unwrap();
+            }
+            assert_eq!(merged.counts(), single.counts(), "order {order:?}");
+            assert_eq!(merged.outliers(), single.outliers());
+            assert_eq!(merged.total(), single.total());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_layouts() {
+        let mut base = Histogram1d::new(0.0, 1.0, 4).unwrap();
+        // Different bin count, different lo, different hi: all rejected
+        // with a message naming both layouts.
+        for other in [
+            Histogram1d::new(0.0, 1.0, 5).unwrap(),
+            Histogram1d::new(0.1, 1.0, 4).unwrap(),
+            Histogram1d::new(0.0, 2.0, 4).unwrap(),
+        ] {
+            let err = base.merge(&other).unwrap_err().to_string();
+            assert!(err.contains("different layouts"), "{err}");
+        }
+        // And the failed merges left the target untouched.
+        assert_eq!(base.total(), 0);
+        let same = Histogram1d::new(0.0, 1.0, 4).unwrap();
+        assert!(base.merge(&same).is_ok());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bins() {
+        // Uniform fill of [0, 10): quantiles ≈ identity scaled by 10.
+        let mut h = Histogram1d::new(0.0, 10.0, 20).unwrap();
+        for i in 0..10_000 {
+            h.add(i as f64 / 1000.0);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((v - 10.0 * q).abs() <= h.bin_width(), "q {q}: {v}");
+        }
+        // Quantiles are monotone in q.
+        let vs: Vec<f64> = (0..=10)
+            .map(|i| h.quantile(i as f64 / 10.0).unwrap())
+            .collect();
+        assert!(vs.windows(2).all(|w| w[0] <= w[1]), "{vs:?}");
+    }
+
+    #[test]
+    fn quantile_ignores_outliers_and_rejects_bad_input() {
+        let mut h = Histogram1d::new(0.0, 1.0, 4).unwrap();
+        assert!(h.quantile(0.5).is_err(), "empty histogram");
+        h.add(-5.0);
+        h.add(7.0);
+        assert!(h.quantile(0.5).is_err(), "outliers alone are not mass");
+        h.add(0.3);
+        let v = h.quantile(0.5).unwrap();
+        assert!(
+            (0.25..0.5).contains(&v),
+            "median in the occupied bin, got {v}"
+        );
+        assert!(h.quantile(-0.1).is_err());
+        assert!(h.quantile(1.5).is_err());
+        assert!(h.quantile(f64::NAN).is_err());
     }
 
     #[test]

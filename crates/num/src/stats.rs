@@ -5,7 +5,7 @@
 //! the BLOD sample mean and variance (Fig. 7), and Kolmogorov–Smirnov
 //! distances used to validate the χ² approximation (Fig. 8).
 
-use crate::hist::Histogram2d;
+use crate::hist::{Histogram1d, Histogram2d};
 use crate::{NumError, Result};
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
@@ -114,6 +114,118 @@ impl OnlineStats {
         self.n += other.n;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Streaming quantile sketch with deterministic, order-independent merges.
+///
+/// Wraps a fixed-layout [`Histogram1d`] (integer bin counts) together with
+/// exact running min/max. Every accumulator is either a `u64` count or an
+/// exact `min`/`max` fold, so splitting an observation stream across shards
+/// and merging the shard sketches — in any order — reproduces the
+/// single-pass sketch *bit-for-bit*. Quantiles are then extracted
+/// deterministically from the merged counts. This is the reduction primitive
+/// the fleet workload uses for lifetime/FIT percentiles.
+///
+/// Accuracy: interior quantiles are linearly interpolated within a bin, so
+/// the error is bounded by one bin width of the configured range; the
+/// extreme quantiles (`q = 0`, `q = 1`) are exact (they return the running
+/// min/max), and mass falling outside `[lo, hi)` is attributed to the
+/// appropriate extreme rather than lost.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    hist: Histogram1d,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch over the bin range `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        Ok(QuantileSketch {
+            hist: Histogram1d::new(lo, hi, bins)?,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.hist.add(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Total observations, including those outside the bin range.
+    pub fn count(&self) -> u64 {
+        let (below, above) = self.hist.outliers();
+        self.hist.total() + below + above
+    }
+
+    /// Exact minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The sketch's bin range `[lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        self.hist.range()
+    }
+
+    /// Merges another sketch into this one (exact and commutative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if the bin layouts differ.
+    pub fn merge(&mut self, other: &QuantileSketch) -> Result<()> {
+        self.hist.merge(&other.hist)?;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+
+    /// Estimated `q`-quantile over *all* observations.
+    ///
+    /// Mass below/above the bin range maps to the exact min/max, interior
+    /// mass is interpolated within its bin, and the result is clamped to
+    /// the observed `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Domain`] if the sketch is empty or `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(NumError::Domain {
+                detail: format!("quantile level must be in [0, 1], got {q}"),
+            });
+        }
+        let total = self.count();
+        if total == 0 {
+            return Err(NumError::Domain {
+                detail: "quantile of an empty sketch".to_string(),
+            });
+        }
+        let (below, _above) = self.hist.outliers();
+        let in_range = self.hist.total();
+        let target = q * total as f64;
+        if target <= below as f64 {
+            return Ok(self.min);
+        }
+        if target >= (below + in_range) as f64 {
+            return Ok(self.max);
+        }
+        // Interior mass: rescale the target onto the in-range histogram.
+        let q_in = ((target - below as f64) / in_range as f64).clamp(0.0, 1.0);
+        Ok(self.hist.quantile(q_in)?.clamp(self.min, self.max))
     }
 }
 
@@ -408,6 +520,102 @@ mod tests {
         heavy.push(50.0);
         heavy.push(-50.0);
         assert!(excess_kurtosis(&heavy) > 10.0);
+    }
+
+    #[test]
+    fn quantile_sketch_tracks_sorted_quantiles() {
+        // Deterministic, non-uniformly spaced data in [0, 10).
+        let data: Vec<f64> = (0..2000)
+            .map(|i| 5.0 + 4.9 * (i as f64 * 0.137).sin())
+            .collect();
+        let mut sketch = QuantileSketch::new(0.0, 10.0, 200).unwrap();
+        for &x in &data {
+            sketch.add(x);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bin_w = 10.0 / 200.0;
+        for q in [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let est = sketch.quantile(q).unwrap();
+            let exact = quantile_sorted(&sorted, q).unwrap();
+            assert!(
+                (est - exact).abs() <= bin_w,
+                "q={q}: sketch {est} vs exact {exact}"
+            );
+        }
+        // Extreme quantiles are exact.
+        assert_eq!(sketch.quantile(0.0).unwrap(), sorted[0]);
+        assert_eq!(sketch.quantile(1.0).unwrap(), sorted[sorted.len() - 1]);
+        assert_eq!(sketch.count(), 2000);
+    }
+
+    #[test]
+    fn quantile_sketch_merge_is_bit_identical_to_single_pass() {
+        let data: Vec<f64> = (0..999).map(|i| (i as f64 * 0.311).cos() * 7.0).collect();
+        let mut whole = QuantileSketch::new(-5.0, 5.0, 64).unwrap();
+        for &x in &data {
+            whole.add(x);
+        }
+        // Three shards, merged in a non-stream order (1 <- 2, then 0 <- that).
+        let mut shards: Vec<QuantileSketch> = (0..3)
+            .map(|_| QuantileSketch::new(-5.0, 5.0, 64).unwrap())
+            .collect();
+        for (i, &x) in data.iter().enumerate() {
+            shards[i % 3].add(x);
+        }
+        let s2 = shards.pop().unwrap();
+        let mut s1 = shards.pop().unwrap();
+        let mut s0 = shards.pop().unwrap();
+        s1.merge(&s2).unwrap();
+        s0.merge(&s1).unwrap();
+        let merged = &s0;
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min().to_bits(), whole.min().to_bits());
+        assert_eq!(merged.max().to_bits(), whole.max().to_bits());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(
+                merged.quantile(q).unwrap().to_bits(),
+                whole.quantile(q).unwrap().to_bits(),
+                "quantile {q} diverged after merge"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_sketch_attributes_outliers_to_extremes() {
+        // Range only covers [0, 1) but data spills both sides.
+        let mut s = QuantileSketch::new(0.0, 1.0, 10).unwrap();
+        s.add(-100.0);
+        s.add(0.5);
+        s.add(0.5);
+        s.add(200.0);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.quantile(0.0).unwrap(), -100.0);
+        // q=0.1 -> target 0.4 of 4 obs, inside the below-range mass.
+        assert_eq!(s.quantile(0.1).unwrap(), -100.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 200.0);
+        assert_eq!(s.quantile(0.9).unwrap(), 200.0);
+        // Median lands in the occupied interior bin.
+        let med = s.quantile(0.5).unwrap();
+        assert!((0.0..1.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn quantile_sketch_rejects_bad_input() {
+        let empty = QuantileSketch::new(0.0, 1.0, 4).unwrap();
+        assert!(empty.quantile(0.5).is_err());
+        let mut a = QuantileSketch::new(0.0, 1.0, 4).unwrap();
+        a.add(0.5);
+        assert!(a.quantile(-0.1).is_err());
+        assert!(a.quantile(1.1).is_err());
+        assert!(a.quantile(f64::NAN).is_err());
+        // Layout mismatch is rejected and leaves the target untouched.
+        let mut b = QuantileSketch::new(0.0, 1.0, 8).unwrap();
+        b.add(0.25);
+        assert!(a.merge(&b).is_err());
+        assert_eq!(a.count(), 1);
+        assert!(QuantileSketch::new(1.0, 0.0, 4).is_err());
+        assert!(QuantileSketch::new(0.0, 1.0, 0).is_err());
     }
 
     #[test]

@@ -65,6 +65,26 @@ impl<'a> FieldSampler<'a> {
         GridBaseSample { z, base }
     }
 
+    /// Draws one die's principal components into a caller-owned buffer.
+    ///
+    /// The allocation-free twin of [`FieldSampler::sample_die`] for hot
+    /// loops that evaluate per-block `(u, v)` moments directly from `z`
+    /// (via `uv_given_z`) and never need the grid base field. Draw order
+    /// is identical to `sample_die`, so the two are interchangeable for a
+    /// given RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` differs from the model's component count.
+    pub fn sample_z_into<R: Rng + ?Sized>(&mut self, rng: &mut R, z: &mut [f64]) {
+        assert_eq!(
+            z.len(),
+            self.model.n_components(),
+            "z buffer length must match the model's component count"
+        );
+        self.normal.fill(rng, z);
+    }
+
     /// Draws one device thickness in grid `g` of an already-sampled die.
     ///
     /// # Panics
@@ -186,6 +206,33 @@ mod tests {
             (corr - expected).abs() < 0.03,
             "corr {corr} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn sample_z_into_matches_sample_die_bitwise() {
+        let m = model();
+        let mut rng_a = Xoshiro256pp::seed_from_u64(29);
+        let mut rng_b = rng_a.clone();
+        let mut sampler_a = FieldSampler::new(&m);
+        let mut sampler_b = FieldSampler::new(&m);
+        let mut z = vec![0.0; m.n_components()];
+        for _ in 0..4 {
+            let die = sampler_a.sample_die(&mut rng_a);
+            sampler_b.sample_z_into(&mut rng_b, &mut z);
+            for (a, b) in die.z.iter().zip(&z) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "component count")]
+    fn sample_z_into_rejects_wrong_length() {
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut sampler = FieldSampler::new(&m);
+        let mut z = vec![0.0; m.n_components() + 1];
+        sampler.sample_z_into(&mut rng, &mut z);
     }
 
     #[test]

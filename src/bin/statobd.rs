@@ -13,6 +13,23 @@
 //!                                      run the dynamic reliability manager
 //!                                      over a phase schedule
 //! statobd manage template <out.json>   write an example schedule
+//! statobd fleet    <spec.json|C1..MC16> [opts]
+//!                                      stream a sampled chip population
+//!                                      through a mission profile
+//!
+//! options for fleet:
+//!   --chips <n>      fleet size                      (default 100000)
+//!   --profile <name> mission profile: htol, ltol, datacenter,
+//!                    automotive, burn_in_field       (default datacenter)
+//!   --seed <n>       root RNG seed                   (default 42)
+//!   --budget <f>     failure-probability budget      (default 1e-6)
+//!   --wafer-depth <f> wafer bowl depth in nm, 0 = none (default 0.02)
+//!   --rho <f>        relative correlation distance   (default 0.5)
+//!   --grid <n>       correlation grid side           (default 25)
+//!   --threads <n>    worker threads
+//!   --shards <n>     reducer shards (default: thread count; aggregates
+//!                    are bit-identical for any value)
+//!   --json           print the full report as JSON
 //!
 //! options for serve:
 //!   --socket <path>  listen on a unix socket instead of stdin/stdout
@@ -63,11 +80,13 @@ use statobd::core::{
     GuardBandConfig, HybridConfig, HybridTables, MonteCarloConfig, StFast, StFastConfig,
 };
 use statobd::manager::{
-    DamageState, DvfsLevel, ManageSpec, ManagerConfig, PhaseSpec, PolicyConfig,
+    DamageState, DvfsLevel, ManageSpec, ManagerConfig, MissionProfile, PhaseSpec, PolicyConfig,
 };
 use statobd::thermal::{
     kelvin_to_celsius, Floorplan, PowerModel, ThermalConfig, ThermalSolver, ThermalSolverKind,
 };
+use statobd::variation::SystematicPattern;
+use statobd::{run_fleet, FleetConfig};
 use statobd::{AnalysisSpec, ArtifactCache, DesignSource, ServeConfig, Session};
 use std::process::ExitCode;
 
@@ -135,7 +154,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--cache] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd serve [--socket path] [--cache-dir path] [--no-cache|--quick] [--max-sessions n]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--cache] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd serve [--socket path] [--cache-dir path] [--no-cache|--quick] [--max-sessions n]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>\n  statobd fleet <spec.json|C1..MC16> [--chips n] [--profile name] [--seed n] [--budget f] [--wafer-depth f] [--rho f] [--grid n] [--threads n] [--shards n] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -741,6 +760,232 @@ fn report(design: DesignSource, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+#[derive(Debug)]
+struct FleetOptions {
+    chips: u64,
+    profile: MissionProfile,
+    seed: u64,
+    budget: f64,
+    wafer_depth: f64,
+    rho: f64,
+    grid: usize,
+    threads: Option<usize>,
+    shards: Option<usize>,
+    json: bool,
+}
+
+fn parse_fleet_options(args: &[String]) -> Result<FleetOptions, String> {
+    let mut opts = FleetOptions {
+        chips: 100_000,
+        profile: MissionProfile::datacenter(),
+        seed: 42,
+        budget: params::ONE_PER_MILLION,
+        wafer_depth: 0.02,
+        rho: params::DEFAULT_CORRELATION_DISTANCE,
+        grid: params::DEFAULT_GRID_SIDE,
+        threads: None,
+        shards: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--chips" => {
+                opts.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?
+            }
+            "--profile" => {
+                // Resolve at parse time: an unknown name fails here with a
+                // did-you-mean suggestion, not after the model compiles.
+                let name = value("--profile")?;
+                opts.profile =
+                    MissionProfile::named(&name).map_err(|e| format!("--profile: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--budget" => {
+                opts.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--wafer-depth" => {
+                opts.wafer_depth = value("--wafer-depth")?
+                    .parse()
+                    .map_err(|e| format!("--wafer-depth: {e}"))?
+            }
+            "--rho" => opts.rho = value("--rho")?.parse().map_err(|e| format!("--rho: {e}"))?,
+            "--grid" => {
+                opts.grid = value("--grid")?
+                    .parse()
+                    .map_err(|e| format!("--grid: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--shards" => {
+                opts.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.chips == 0 {
+        return Err("--chips: the fleet needs at least one chip".to_string());
+    }
+    if opts.shards == Some(0) {
+        return Err("--shards: need at least one shard".to_string());
+    }
+    if opts.threads == Some(0) {
+        return Err("--threads: need at least one worker thread".to_string());
+    }
+    if !(opts.budget > 0.0) || opts.budget >= 1.0 {
+        return Err(format!(
+            "--budget: failure-probability budget must be in (0, 1), got {}",
+            opts.budget
+        ));
+    }
+    if !(opts.wafer_depth >= 0.0) || !opts.wafer_depth.is_finite() {
+        return Err(format!(
+            "--wafer-depth: bowl depth must be non-negative and finite, got {}",
+            opts.wafer_depth
+        ));
+    }
+    if !(opts.rho > 0.0) || !opts.rho.is_finite() {
+        return Err(format!(
+            "--rho: correlation distance must be positive and finite, got {}",
+            opts.rho
+        ));
+    }
+    if opts.grid == 0 {
+        return Err("--grid: the correlation grid needs at least one cell per side".to_string());
+    }
+    Ok(opts)
+}
+
+impl FleetOptions {
+    fn config(&self) -> FleetConfig {
+        FleetConfig {
+            chips: self.chips,
+            profile: self.profile.clone(),
+            seed: self.seed,
+            budget: self.budget,
+            wafer: if self.wafer_depth > 0.0 {
+                SystematicPattern::Bowl {
+                    depth: self.wafer_depth,
+                    center: (0.5, 0.5),
+                }
+            } else {
+                SystematicPattern::None
+            },
+            threads: self.threads,
+            shards: self.shards,
+        }
+    }
+}
+
+/// Streams a sampled chip population through a mission profile.
+fn fleet(design_arg: &str, opts: &FleetOptions) -> Result<(), String> {
+    // The design argument is a bundled benchmark name or a chip-spec path.
+    let design = match Benchmark::parse(design_arg) {
+        Ok(bench) => DesignSource::Benchmark(bench),
+        Err(_) => {
+            let json = std::fs::read_to_string(design_arg)
+                .map_err(|e| format!("reading {design_arg}: {e}"))?;
+            DesignSource::Chip(
+                statobd::num::json::from_str::<ChipSpec>(&json)
+                    .map_err(|e| format!("parsing {design_arg}: {e}"))?,
+            )
+        }
+    };
+    // The fleet never queries the engine; the closed-form selection keeps
+    // the session build light.
+    let mut aspec = match design {
+        DesignSource::Benchmark(b) => AnalysisSpec::benchmark(b),
+        DesignSource::Chip(c) => AnalysisSpec::chip(c),
+    };
+    aspec.grid_side = opts.grid;
+    aspec.model.kernel = statobd::variation::CorrelationKernel::Exponential {
+        rel_distance: opts.rho,
+    };
+    aspec.engine = EngineKind::StClosed.default_spec();
+    aspec.threads = opts.threads;
+    let session = Session::build(&aspec).map_err(|e| e.to_string())?;
+    let tech = session.spec().tech.tech();
+
+    let config = opts.config();
+    let report = run_fleet(session.analysis(), &tech, &config).map_err(|e| e.to_string())?;
+    if opts.json {
+        println!("{}", statobd::num::json::to_string_pretty(&report));
+        return Ok(());
+    }
+
+    let a = &report.aggregates;
+    let years = |t: f64| t / 3.156e7;
+    println!(
+        "fleet: {} chips through '{}' ({})",
+        a.chips,
+        a.profile,
+        opts.profile.description()
+    );
+    println!(
+        "  {} threads, {} shards, {:.2} s  [{:.0} chips/s, {} workspace(s)]",
+        report.threads, report.shards, report.run_s, report.chips_per_s, report.workspaces_created
+    );
+    println!(
+        "budget P = {:.1e}: {} chips over budget at mission end ({:.3}%)",
+        a.budget,
+        a.exceed_budget,
+        100.0 * a.exceed_budget as f64 / a.chips as f64
+    );
+    if a.censored_low + a.censored_high > 0 {
+        println!(
+            "  lifetime censoring: {} below {:.0e} s, {} beyond {:.0e} s",
+            a.censored_low,
+            statobd::FLEET_LIFE_BRACKET_S.0,
+            a.censored_high,
+            statobd::FLEET_LIFE_BRACKET_S.1
+        );
+    }
+    println!("\nweakest block across the fleet:");
+    for (name, count) in a.block_names.iter().zip(&a.weakest_counts) {
+        println!(
+            "  {name:<14} {count:>10}  ({:.2}%)",
+            100.0 * *count as f64 / a.chips as f64
+        );
+    }
+    println!(
+        "\n{:>8}  {:>12}  {:>10}  {:>12}  {:>10}",
+        "quantile", "life (s)", "life (yr)", "P(mission)", "FIT"
+    );
+    for (i, q) in a.quantile_levels.iter().enumerate() {
+        println!(
+            "{q:>8}  {:>12.4e}  {:>10.2}  {:>12.4e}  {:>10.3}",
+            a.lifetime_quantiles_s[i],
+            years(a.lifetime_quantiles_s[i]),
+            a.p_mission_quantiles[i],
+            a.fit_quantiles[i]
+        );
+    }
+    Ok(())
+}
+
 #[derive(Debug, Default)]
 struct ServeOptions {
     socket: Option<String>,
@@ -844,6 +1089,15 @@ fn main() -> ExitCode {
             },
             _ => return usage(),
         },
+        "fleet" => {
+            let Some(design) = args.get(1) else {
+                return usage();
+            };
+            match parse_fleet_options(&args[2..]) {
+                Ok(opts) => fleet(design, &opts),
+                Err(e) => Err(e),
+            }
+        }
         "bench" => {
             let Some(name) = args.get(1) else {
                 return usage();
@@ -928,6 +1182,64 @@ mod tests {
     fn parse_options_rejects_unknown_and_dangling_flags() {
         assert!(parse_options(&args(&["--frobnicate"])).is_err());
         assert!(parse_options(&args(&["--rho"])).is_err());
+    }
+
+    #[test]
+    fn parse_fleet_options_accepts_sane_flags() {
+        let opts = parse_fleet_options(&args(&[
+            "--chips",
+            "5000",
+            "--profile",
+            "AUTOMOTIVE",
+            "--seed",
+            "7",
+            "--budget",
+            "1e-5",
+            "--wafer-depth",
+            "0",
+            "--threads",
+            "2",
+            "--shards",
+            "5",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(opts.chips, 5000);
+        assert_eq!(opts.profile.name(), "automotive");
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.shards, Some(5));
+        assert!(opts.json);
+        assert_eq!(opts.config().wafer, SystematicPattern::None);
+    }
+
+    #[test]
+    fn parse_fleet_options_rejects_degenerate_values_at_parse_time() {
+        for (bad, needle) in [
+            (vec!["--chips", "0"], "--chips"),
+            (vec!["--shards", "0"], "--shards"),
+            (vec!["--threads", "0"], "--threads"),
+            (vec!["--budget", "0"], "--budget"),
+            (vec!["--budget", "1"], "--budget"),
+            (vec!["--wafer-depth", "-1"], "--wafer-depth"),
+            (vec!["--rho", "0"], "--rho"),
+            (vec!["--grid", "0"], "--grid"),
+            (vec!["--profile"], "--profile"),
+            (vec!["--frobnicate"], "--frobnicate"),
+        ] {
+            let err = parse_fleet_options(&args(&bad)).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "rejection for {bad:?} should mention {needle}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_fleet_options_suggests_profile_names() {
+        let err = parse_fleet_options(&args(&["--profile", "datacentre"])).unwrap_err();
+        assert!(err.contains("did you mean 'datacenter'"), "{err}");
+        assert!(err.contains("htol"), "menu missing from: {err}");
     }
 
     #[test]

@@ -110,5 +110,11 @@ impl From<JsonError> for Error {
     }
 }
 
+impl From<statobd_num::NumError> for Error {
+    fn from(e: statobd_num::NumError) -> Self {
+        Error::Core(CoreError::from(e))
+    }
+}
+
 /// Convenience result alias for the facade.
 pub type Result<T> = std::result::Result<T, Error>;

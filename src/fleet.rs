@@ -1,0 +1,815 @@
+//! Fleet-scale population simulation: millions of chip instances streamed
+//! through a mission profile into constant-memory aggregate statistics.
+//!
+//! The paper's point is that reliability is a *population* property:
+//! process variation makes every die different, so FIT budgets and
+//! burn-in decisions are made over distributions, not a single chip. This
+//! module samples a fleet of chip instances — wafer position × inter-die
+//! principal components (via [`FieldSampler`]) on top of the compiled
+//! intra-die model — evaluates each against a [`MissionProfile`], and
+//! reduces the population to aggregate statistics through a sharded,
+//! constant-memory streaming reducer.
+//!
+//! # Determinism architecture
+//!
+//! Three properties combine to make fleet aggregates *bit-identical* at
+//! any thread count and independent of the shard layout:
+//!
+//! 1. **Counter-based RNG streams.** Chip `i` draws from
+//!    `base.substream(i)` ([`Xoshiro256pp::substream`]), a pure function
+//!    of `(seed, i)` — so a chip's draws never depend on which thread or
+//!    shard evaluates it.
+//! 2. **Exact-commutative shard accumulators.** Every compared aggregate
+//!    is either a `u64` count ([`Histogram1d`]-backed
+//!    [`QuantileSketch`]es, exceedance and weakest-block counters) or an
+//!    exact `min`/`max` fold; integer addition and f64 min/max are exact
+//!    and commutative, so any partitioning of the chip range merges to
+//!    the same bits.
+//! 3. **Serial index-order reduction.** Shards are evaluated via
+//!    [`run_indexed`] (results gathered in shard order) and merged
+//!    serially — and because of (2) even the shard *count* cannot change
+//!    the merged aggregates.
+//!
+//! Quantiles are extracted deterministically from the merged counts, so
+//! the whole [`FleetAggregates`] value is reproducible bit-for-bit.
+//!
+//! # Constant-memory guarantee
+//!
+//! The hot path is allocation-free per chip: each shard allocates one
+//! reusable [`Workspace`] (principal-component and per-block scratch
+//! buffers) up front and every chip reuses it. The number of workspaces
+//! actually created is reported in
+//! [`FleetReport::workspaces_created`] and asserted (≤ shard count) by
+//! the `fleet` bench binary.
+//!
+//! [`FieldSampler`]: statobd_variation::FieldSampler
+//! [`MissionProfile`]: statobd_manager::MissionProfile
+//! [`Xoshiro256pp::substream`]: statobd_num::rng::Xoshiro256pp::substream
+//! [`Histogram1d`]: statobd_num::hist::Histogram1d
+//! [`QuantileSketch`]: statobd_num::stats::QuantileSketch
+//! [`run_indexed`]: statobd_num::parallel::run_indexed
+
+use crate::error::{Error, Result};
+use statobd_core::{conditional_block_failure, params, ChipAnalysis, GCoefficients, WeakestLink};
+use statobd_device::ObdTechnology;
+use statobd_manager::MissionProfile;
+use statobd_num::impl_json_struct;
+use statobd_num::parallel::{resolve_threads, run_indexed};
+use statobd_num::rng::{Rng, Xoshiro256pp};
+use statobd_num::stats::QuantileSketch;
+use statobd_variation::{FieldSampler, SystematicPattern};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Chips per work tile. Shards own contiguous tile ranges; the tile size
+/// is a fixed constant so the chip → shard assignment depends only on the
+/// shard count — and per-chip results depend on neither (substream RNG).
+const TILE_CHIPS: u64 = 256;
+
+/// Quantile levels reported for the lifetime / FIT / mission-probability
+/// distributions.
+pub const QUANTILE_LEVELS: [f64; 8] = [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999];
+
+/// Lifetime solve bracket (seconds): generous enough for any physical
+/// fleet member; chips whose budget-crossing falls outside are counted
+/// as censored at the edge.
+pub const LIFE_BRACKET_S: (f64, f64) = (1e2, 1e16);
+
+/// Bisection iterations for the per-chip lifetime solve on `x = ln t`.
+/// 52 halvings of the ~32-wide bracket reach f64 resolution.
+const LIFE_BISECTIONS: u32 = 52;
+
+/// Log₁₀-seconds layout of the lifetime quantile sketch (0.05 decades per
+/// bin).
+const LIFE_SKETCH: (f64, f64, usize) = (2.0, 16.0, 280);
+
+/// Log₁₀ layout of the mission failure-probability sketch.
+const P_SKETCH: (f64, f64, usize) = (-30.0, 0.0, 240);
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of chip instances to sample (10⁵–10⁷ is the target regime).
+    pub chips: u64,
+    /// The mission profile every chip is evaluated against.
+    pub profile: MissionProfile,
+    /// Root seed of the per-chip substream family.
+    pub seed: u64,
+    /// Mission-end failure-probability budget: chips above it count as
+    /// exceedances, and the per-chip lifetime is the age at which the
+    /// chip's failure probability reaches it.
+    pub budget: f64,
+    /// Wafer-level systematic thickness pattern, sampled at a uniform
+    /// wafer position per chip; the offset shifts the die-mean oxide
+    /// thickness. [`SystematicPattern::None`] disables wafer variation.
+    pub wafer: SystematicPattern,
+    /// Worker threads (`None` = `STATOBD_THREADS`, then all cores).
+    pub threads: Option<usize>,
+    /// Shard count (`None` = the resolved thread count). Aggregates are
+    /// bit-identical for any value; this knob exists for testing that
+    /// claim and for tuning reduction granularity.
+    pub shards: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            chips: 100_000,
+            profile: MissionProfile::datacenter(),
+            seed: 42,
+            budget: params::ONE_PER_MILLION,
+            wafer: SystematicPattern::Bowl {
+                depth: 0.02,
+                center: (0.5, 0.5),
+            },
+            threads: None,
+            shards: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the scalar knobs (the profile validates at compile time
+    /// against the chip's block count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.chips == 0 {
+            return Err(Error::Spec(
+                "chips: the fleet needs at least one chip".to_string(),
+            ));
+        }
+        if self.shards == Some(0) {
+            return Err(Error::Spec("shards: need at least one shard".to_string()));
+        }
+        if self.threads == Some(0) {
+            return Err(Error::Spec(
+                "threads: need at least one worker thread".to_string(),
+            ));
+        }
+        if !(self.budget > 0.0 && self.budget < 1.0) {
+            return Err(Error::Spec(format!(
+                "budget: failure-probability budget must be in (0, 1), got {}",
+                self.budget
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-block mission constants, precomputed once per run.
+///
+/// The damage identity makes this possible: a block's failure probability
+/// depends on its stress history only through `γ = ln ξ` with
+/// `ξ = Σ Δt/α(T, V)` — which is *chip-independent* (temperatures and
+/// voltages come from the spec and profile, not the thickness draw). So
+/// one serial pass over the profile reduces every mission to a handful of
+/// per-block constants, and the per-chip hot path never touches the
+/// technology model.
+#[derive(Debug, Clone)]
+struct BlockMission {
+    /// `g`-kernel coefficients divided by the thickness moments: at
+    /// mission end, `ln g = γ_mission·b_eff·u + ½·γ_mission²·b_eff²·v`.
+    coeff_mission: GCoefficients,
+    /// `ln(ξ_mission / D)`: under steady mission repetition the block's
+    /// effective age is `ξ(t) = t·ξ_mission/D`, so `γ(t) = ln_rate + ln t`.
+    ln_rate: f64,
+    /// Time-weighted effective thickness slope `b` over the mission.
+    b_eff: f64,
+    /// Block area `A_j`.
+    area: f64,
+}
+
+/// A fleet compiled against one chip analysis: per-block mission
+/// constants plus everything the per-chip evaluation needs.
+#[derive(Debug)]
+struct CompiledFleet<'a> {
+    analysis: &'a ChipAnalysis,
+    blocks: Vec<BlockMission>,
+    base_rng: Xoshiro256pp,
+    wafer: SystematicPattern,
+    budget: f64,
+    /// `ln(1 − budget)`: the log-survival threshold of the lifetime solve.
+    ln1p_neg_budget: f64,
+}
+
+/// Per-shard scratch buffers, allocated once and reused by every chip the
+/// shard evaluates (the constant-memory guarantee).
+#[derive(Debug)]
+struct Workspace {
+    /// Principal-component draw of the current chip.
+    z: Vec<f64>,
+    /// Per-block `b_eff·u` of the current chip.
+    bu: Vec<f64>,
+    /// Per-block `b_eff²·v` of the current chip.
+    bbv: Vec<f64>,
+}
+
+impl Workspace {
+    fn new(n_components: usize, n_blocks: usize, created: &AtomicU64) -> Self {
+        created.fetch_add(1, Ordering::Relaxed);
+        Workspace {
+            z: vec![0.0; n_components],
+            bu: vec![0.0; n_blocks],
+            bbv: vec![0.0; n_blocks],
+        }
+    }
+}
+
+/// The outcome of one chip's mission evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipOutcome {
+    /// Chip failure probability at mission end (weakest-link composed).
+    pub p_mission: f64,
+    /// Index of the block with the largest mission-end failure
+    /// probability (ties resolve to the lowest index).
+    pub weakest_block: usize,
+    /// Age (seconds) at which the chip's failure probability reaches the
+    /// budget, under steady mission repetition; clamped to the solve
+    /// bracket when censored.
+    pub lifetime_s: f64,
+    /// The chip already exceeds the budget at the bracket's low edge.
+    pub censored_low: bool,
+    /// The chip never reaches the budget inside the bracket.
+    pub censored_high: bool,
+}
+
+/// One shard's streaming accumulators. Every field is exact-commutative
+/// under merge (integer counts, f64 min/max), which is what makes the
+/// reduction independent of the shard layout.
+#[derive(Debug)]
+struct ShardAcc {
+    chips: u64,
+    exceed_budget: u64,
+    censored_low: u64,
+    censored_high: u64,
+    weakest: Vec<u64>,
+    life_sketch: QuantileSketch,
+    p_sketch: QuantileSketch,
+    lifetime_min_s: f64,
+    lifetime_max_s: f64,
+    p_min: f64,
+    p_max: f64,
+}
+
+impl ShardAcc {
+    fn new(n_blocks: usize) -> Result<Self> {
+        Ok(ShardAcc {
+            chips: 0,
+            exceed_budget: 0,
+            censored_low: 0,
+            censored_high: 0,
+            weakest: vec![0; n_blocks],
+            life_sketch: QuantileSketch::new(LIFE_SKETCH.0, LIFE_SKETCH.1, LIFE_SKETCH.2)?,
+            p_sketch: QuantileSketch::new(P_SKETCH.0, P_SKETCH.1, P_SKETCH.2)?,
+            lifetime_min_s: f64::INFINITY,
+            lifetime_max_s: f64::NEG_INFINITY,
+            p_min: f64::INFINITY,
+            p_max: f64::NEG_INFINITY,
+        })
+    }
+
+    fn absorb(&mut self, outcome: &ChipOutcome, budget: f64) {
+        self.chips += 1;
+        if outcome.p_mission > budget {
+            self.exceed_budget += 1;
+        }
+        self.censored_low += u64::from(outcome.censored_low);
+        self.censored_high += u64::from(outcome.censored_high);
+        self.weakest[outcome.weakest_block] += 1;
+        self.life_sketch.add(outcome.lifetime_s.log10());
+        // Sub-normal-proof: a fully underflowed p lands in the sketch's
+        // below-range mass and reports as the (clamped) minimum.
+        self.p_sketch
+            .add(outcome.p_mission.max(f64::MIN_POSITIVE).log10());
+        self.lifetime_min_s = self.lifetime_min_s.min(outcome.lifetime_s);
+        self.lifetime_max_s = self.lifetime_max_s.max(outcome.lifetime_s);
+        self.p_min = self.p_min.min(outcome.p_mission);
+        self.p_max = self.p_max.max(outcome.p_mission);
+    }
+
+    fn merge(&mut self, other: &ShardAcc) -> Result<()> {
+        self.chips += other.chips;
+        self.exceed_budget += other.exceed_budget;
+        self.censored_low += other.censored_low;
+        self.censored_high += other.censored_high;
+        for (w, &o) in self.weakest.iter_mut().zip(&other.weakest) {
+            *w += o;
+        }
+        self.life_sketch.merge(&other.life_sketch)?;
+        self.p_sketch.merge(&other.p_sketch)?;
+        self.lifetime_min_s = self.lifetime_min_s.min(other.lifetime_min_s);
+        self.lifetime_max_s = self.lifetime_max_s.max(other.lifetime_max_s);
+        self.p_min = self.p_min.min(other.p_min);
+        self.p_max = self.p_max.max(other.p_max);
+        Ok(())
+    }
+}
+
+/// The deterministic aggregate statistics of one fleet run.
+///
+/// Every field is a pure function of `(analysis, tech, chips, profile,
+/// seed, budget, wafer)` — bit-identical at any thread count and for any
+/// shard layout. The bench binary and the consistency tests compare the
+/// compact-JSON rendering of this struct across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAggregates {
+    /// Fleet size.
+    pub chips: u64,
+    /// Mission profile name.
+    pub profile: String,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Failure-probability budget.
+    pub budget: f64,
+    /// Mission duration (seconds).
+    pub mission_s: f64,
+    /// Chips whose mission-end failure probability exceeds the budget.
+    pub exceed_budget: u64,
+    /// Chips already over budget at the bracket's low edge (10² s).
+    pub censored_low: u64,
+    /// Chips that never reach the budget inside the bracket (10¹⁶ s).
+    pub censored_high: u64,
+    /// Block names, in chip block order.
+    pub block_names: Vec<String>,
+    /// Per-block count of chips for which that block is the weakest.
+    pub weakest_counts: Vec<u64>,
+    /// The quantile levels the distributions are reported at.
+    pub quantile_levels: Vec<f64>,
+    /// Budget-lifetime quantiles (seconds) at `quantile_levels`.
+    pub lifetime_quantiles_s: Vec<f64>,
+    /// Mission-end failure-probability quantiles at `quantile_levels`.
+    pub p_mission_quantiles: Vec<f64>,
+    /// Mission-average FIT quantiles (failures per 10⁹ chip-hours)
+    /// at `quantile_levels` — `p_q · 10⁹ / mission_hours`.
+    pub fit_quantiles: Vec<f64>,
+    /// Exact minimum budget-lifetime (seconds).
+    pub lifetime_min_s: f64,
+    /// Exact maximum budget-lifetime (seconds).
+    pub lifetime_max_s: f64,
+    /// Exact minimum mission-end failure probability.
+    pub p_mission_min: f64,
+    /// Exact maximum mission-end failure probability.
+    pub p_mission_max: f64,
+}
+
+impl_json_struct!(FleetAggregates {
+    chips,
+    profile,
+    seed,
+    budget,
+    mission_s,
+    exceed_budget,
+    censored_low,
+    censored_high,
+    block_names,
+    weakest_counts,
+    quantile_levels,
+    lifetime_quantiles_s,
+    p_mission_quantiles,
+    fit_quantiles,
+    lifetime_min_s,
+    lifetime_max_s,
+    p_mission_min,
+    p_mission_max,
+});
+
+/// A fleet run's full report: the deterministic aggregates plus run
+/// metadata (thread/shard layout, wall time, throughput) that is *not*
+/// part of the bit-compared surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The deterministic aggregate statistics.
+    pub aggregates: FleetAggregates,
+    /// Resolved worker-thread count.
+    pub threads: u64,
+    /// Resolved shard count.
+    pub shards: u64,
+    /// Wall time of the evaluation+reduction (seconds).
+    pub run_s: f64,
+    /// Headline throughput: chips evaluated per second.
+    pub chips_per_s: f64,
+    /// Workspaces allocated during the run — the constant-memory check:
+    /// must never exceed the shard count.
+    pub workspaces_created: u64,
+}
+
+impl_json_struct!(FleetReport {
+    aggregates,
+    threads,
+    shards,
+    run_s,
+    chips_per_s,
+    workspaces_created,
+});
+
+/// Compiles the per-block mission constants.
+fn compile_fleet<'a>(
+    analysis: &'a ChipAnalysis,
+    tech: &dyn ObdTechnology,
+    config: &FleetConfig,
+) -> Result<CompiledFleet<'a>> {
+    config.validate()?;
+    let spec = analysis.spec();
+    let mission_s = config.profile.mission_s();
+    // Resolve and validate every phase against this design up front so a
+    // bad profile/design pairing fails with a named phase, not NaNs.
+    for phase_spec in config.profile.phases() {
+        phase_spec.resolve(spec).validate(spec.n_blocks())?;
+    }
+    let blocks = analysis
+        .blocks()
+        .iter()
+        .map(|block| {
+            let t_spec = block.spec().temperature_k();
+            let mut xi = 0.0;
+            let mut t_weighted = 0.0;
+            for phase in config.profile.phases() {
+                let t_k = t_spec + phase.dt_k;
+                xi += phase.duration_s / tech.alpha(t_k, phase.vdd_v);
+                t_weighted += phase.duration_s * t_k;
+            }
+            let b_eff = tech.b(t_weighted / mission_s);
+            let gamma_mission = xi.ln();
+            BlockMission {
+                coeff_mission: GCoefficients::from_gamma(gamma_mission, b_eff),
+                ln_rate: (xi / mission_s).ln(),
+                b_eff,
+                area: block.spec().area(),
+            }
+        })
+        .collect();
+    Ok(CompiledFleet {
+        analysis,
+        blocks,
+        base_rng: Xoshiro256pp::seed_from_u64(config.seed),
+        wafer: config.wafer,
+        budget: config.budget,
+        ln1p_neg_budget: (-config.budget).ln_1p(),
+    })
+}
+
+impl CompiledFleet<'_> {
+    /// Evaluates chip `chip` into `ws`, allocation-free.
+    fn evaluate_chip(&self, chip: u64, ws: &mut Workspace) -> ChipOutcome {
+        let mut rng = self.base_rng.substream(chip);
+        // Draw order is part of the contract (the consistency test
+        // replays it): wafer position first, then the principal
+        // components. A fresh FieldSampler per chip is free (a reference
+        // plus an empty spare cache) and keeps chips fully independent.
+        let x = rng.gen_range(0.0..1.0);
+        let y = rng.gen_range(0.0..1.0);
+        let offset = self.wafer.offset(x, y);
+        let mut sampler = FieldSampler::new(self.analysis.model());
+        sampler.sample_z_into(&mut rng, &mut ws.z);
+
+        // Mission-end failure probability, weakest-link composed, and the
+        // per-block (b·u, b²·v) cache for the lifetime solve.
+        let mut weakest_link = WeakestLink::new();
+        let mut weakest_block = 0usize;
+        let mut weakest_p = f64::NEG_INFINITY;
+        for (j, (block, mission)) in self.analysis.blocks().iter().zip(&self.blocks).enumerate() {
+            let (u, v) = block.moments().uv_given_z(&ws.z);
+            // A uniform die-mean thickness shift moves the block mean
+            // one-for-one and leaves the within-block spread unchanged.
+            let u = u + offset;
+            ws.bu[j] = mission.b_eff * u;
+            ws.bbv[j] = mission.b_eff * mission.b_eff * v;
+            let p = conditional_block_failure(mission.area, mission.coeff_mission.g(u, v));
+            weakest_link.absorb(p);
+            if p > weakest_p {
+                weakest_p = p;
+                weakest_block = j;
+            }
+        }
+        let p_mission = weakest_link.failure_probability();
+
+        // Budget lifetime under steady mission repetition:
+        // γ_j(t) = ln_rate_j + ln t, so on x = ln t the chip log-survival
+        // ln S(x) = Σ_j ln(1 − p_j(x)) is monotone decreasing; bisect for
+        // ln S(x) = ln(1 − budget).
+        let ln_surv = |x: f64| {
+            let mut s = 0.0;
+            for (j, mission) in self.blocks.iter().enumerate() {
+                let gamma = mission.ln_rate + x;
+                let ln_g = gamma * ws.bu[j] + 0.5 * gamma * gamma * ws.bbv[j];
+                let p = -(-mission.area * ln_g.exp()).exp_m1();
+                s += (-p.clamp(0.0, 1.0)).ln_1p();
+            }
+            s
+        };
+        let (mut lo, mut hi) = (LIFE_BRACKET_S.0.ln(), LIFE_BRACKET_S.1.ln());
+        let mut censored_low = false;
+        let mut censored_high = false;
+        let lifetime_s = if ln_surv(lo) <= self.ln1p_neg_budget {
+            censored_low = true;
+            LIFE_BRACKET_S.0
+        } else if ln_surv(hi) > self.ln1p_neg_budget {
+            censored_high = true;
+            LIFE_BRACKET_S.1
+        } else {
+            for _ in 0..LIFE_BISECTIONS {
+                let mid = 0.5 * (lo + hi);
+                if ln_surv(mid) <= self.ln1p_neg_budget {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            (0.5 * (lo + hi)).exp()
+        };
+        ChipOutcome {
+            p_mission,
+            weakest_block,
+            lifetime_s,
+            censored_low,
+            censored_high,
+        }
+    }
+}
+
+/// Runs a fleet: samples `config.chips` chip instances, evaluates each
+/// against the mission profile, and reduces to [`FleetAggregates`]
+/// through the sharded constant-memory reducer.
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] for a degenerate configuration and propagates
+/// profile-resolution failures.
+pub fn run_fleet(
+    analysis: &ChipAnalysis,
+    tech: &dyn ObdTechnology,
+    config: &FleetConfig,
+) -> Result<FleetReport> {
+    let start = std::time::Instant::now();
+    let compiled = compile_fleet(analysis, tech, config)?;
+    let threads = resolve_threads(config.threads);
+    let n_tiles = config.chips.div_ceil(TILE_CHIPS);
+    let shards = config
+        .shards
+        .unwrap_or(threads)
+        .max(1)
+        .min(n_tiles.max(1) as usize);
+    let n_blocks = analysis.n_blocks();
+    let n_components = analysis.model().n_components();
+    let workspaces_created = AtomicU64::new(0);
+
+    // Shard s owns the contiguous tile range [s·T/S, (s+1)·T/S).
+    let shard_results: Vec<Result<ShardAcc>> = run_indexed(shards, threads, |s| {
+        let mut acc = ShardAcc::new(n_blocks)?;
+        let mut ws = Workspace::new(n_components, n_blocks, &workspaces_created);
+        let tile_lo = n_tiles * s as u64 / shards as u64;
+        let tile_hi = n_tiles * (s as u64 + 1) / shards as u64;
+        for tile in tile_lo..tile_hi {
+            let chip_lo = tile * TILE_CHIPS;
+            let chip_hi = (chip_lo + TILE_CHIPS).min(config.chips);
+            for chip in chip_lo..chip_hi {
+                let outcome = compiled.evaluate_chip(chip, &mut ws);
+                acc.absorb(&outcome, compiled.budget);
+            }
+        }
+        Ok(acc)
+    });
+
+    // Serial merge in shard order. (Order is irrelevant for the result —
+    // the accumulators are exact-commutative — but keeping it fixed makes
+    // that claim testable rather than assumed.)
+    let mut merged = ShardAcc::new(n_blocks)?;
+    for shard in shard_results {
+        merged.merge(&shard?)?;
+    }
+    debug_assert_eq!(merged.chips, config.chips);
+
+    let mission_s = config.profile.mission_s();
+    let mission_hours = config.profile.mission_hours();
+    let mut lifetime_quantiles_s = Vec::with_capacity(QUANTILE_LEVELS.len());
+    let mut p_mission_quantiles = Vec::with_capacity(QUANTILE_LEVELS.len());
+    let mut fit_quantiles = Vec::with_capacity(QUANTILE_LEVELS.len());
+    for &q in &QUANTILE_LEVELS {
+        lifetime_quantiles_s.push(10f64.powf(merged.life_sketch.quantile(q).map_err(Error::from)?));
+        let p_q = 10f64.powf(merged.p_sketch.quantile(q).map_err(Error::from)?);
+        p_mission_quantiles.push(p_q);
+        fit_quantiles.push(p_q * 1e9 / mission_hours);
+    }
+    let aggregates = FleetAggregates {
+        chips: config.chips,
+        profile: config.profile.name().to_string(),
+        seed: config.seed,
+        budget: config.budget,
+        mission_s,
+        exceed_budget: merged.exceed_budget,
+        censored_low: merged.censored_low,
+        censored_high: merged.censored_high,
+        block_names: analysis
+            .spec()
+            .blocks()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect(),
+        weakest_counts: merged.weakest,
+        quantile_levels: QUANTILE_LEVELS.to_vec(),
+        lifetime_quantiles_s,
+        p_mission_quantiles,
+        fit_quantiles,
+        lifetime_min_s: merged.lifetime_min_s,
+        lifetime_max_s: merged.lifetime_max_s,
+        p_mission_min: merged.p_min,
+        p_mission_max: merged.p_max,
+    };
+    let run_s = start.elapsed().as_secs_f64();
+    Ok(FleetReport {
+        aggregates,
+        threads: threads as u64,
+        shards: shards as u64,
+        run_s,
+        chips_per_s: config.chips as f64 / run_s.max(1e-12),
+        workspaces_created: workspaces_created.load(Ordering::Relaxed),
+    })
+}
+
+/// Evaluates the first `n` chips of the fleet serially, returning each
+/// chip's individual outcome — the cross-check surface for the
+/// consistency tests (`tests/fleet_consistency.rs`), which re-derive the
+/// same outcomes through the public per-instance APIs.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_fleet`].
+pub fn chip_outcomes(
+    analysis: &ChipAnalysis,
+    tech: &dyn ObdTechnology,
+    config: &FleetConfig,
+    n: u64,
+) -> Result<Vec<ChipOutcome>> {
+    let compiled = compile_fleet(analysis, tech, config)?;
+    let counter = AtomicU64::new(0);
+    let mut ws = Workspace::new(
+        analysis.model().n_components(),
+        analysis.n_blocks(),
+        &counter,
+    );
+    Ok((0..n.min(config.chips))
+        .map(|chip| compiled.evaluate_chip(chip, &mut ws))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AnalysisSpec;
+    use crate::Session;
+    use statobd_core::{BlockSpec, ChipSpec};
+    use statobd_num::json;
+
+    fn tiny_analysis() -> Session {
+        let mut chip = ChipSpec::new();
+        chip.add_block(
+            BlockSpec::new("core", 4e4, 40_000, 368.15, 1.2, vec![(0, 0.5), (6, 0.5)]).unwrap(),
+        )
+        .unwrap();
+        chip.add_block(BlockSpec::new("cache", 6e4, 60_000, 341.15, 1.2, vec![(12, 1.0)]).unwrap())
+            .unwrap();
+        Session::build(&AnalysisSpec::chip(chip).with_grid_side(5)).unwrap()
+    }
+
+    fn small_config(chips: u64) -> FleetConfig {
+        FleetConfig {
+            chips,
+            threads: Some(1),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_knobs() {
+        for (mutate, needle) in [
+            (
+                Box::new(|c: &mut FleetConfig| c.chips = 0) as Box<dyn Fn(&mut FleetConfig)>,
+                "chips",
+            ),
+            (Box::new(|c: &mut FleetConfig| c.shards = Some(0)), "shards"),
+            (
+                Box::new(|c: &mut FleetConfig| c.threads = Some(0)),
+                "threads",
+            ),
+            (Box::new(|c: &mut FleetConfig| c.budget = 0.0), "budget"),
+            (Box::new(|c: &mut FleetConfig| c.budget = 1.5), "budget"),
+        ] {
+            let mut bad = FleetConfig::default();
+            mutate(&mut bad);
+            let err = bad.validate().unwrap_err().to_string();
+            assert!(err.contains(needle), "expected '{needle}' in: {err}");
+        }
+        assert!(FleetConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn aggregates_are_shard_and_thread_independent() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let mut reference: Option<String> = None;
+        for (threads, shards) in [(1, None), (2, Some(1)), (2, Some(3)), (4, Some(7))] {
+            let config = FleetConfig {
+                chips: 1500,
+                threads: Some(threads),
+                shards,
+                ..FleetConfig::default()
+            };
+            let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+            assert!(report.workspaces_created <= report.shards);
+            let rendered = json::to_string(&report.aggregates);
+            match &reference {
+                None => reference = Some(rendered),
+                Some(r) => assert_eq!(r, &rendered, "threads={threads} shards={shards:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_account_for_every_chip() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let config = small_config(777);
+        let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+        let a = &report.aggregates;
+        assert_eq!(a.weakest_counts.iter().sum::<u64>(), a.chips);
+        assert_eq!(a.chips, 777);
+        assert!(a.lifetime_min_s <= a.lifetime_quantiles_s[0]);
+        assert!(a.lifetime_max_s >= *a.lifetime_quantiles_s.last().unwrap());
+        assert!(
+            a.lifetime_quantiles_s.windows(2).all(|w| w[0] <= w[1]),
+            "lifetime quantiles must be monotone: {:?}",
+            a.lifetime_quantiles_s
+        );
+        assert!(
+            a.p_mission_quantiles.windows(2).all(|w| w[0] <= w[1]),
+            "p quantiles must be monotone"
+        );
+        // FIT is a fixed monotone transform of the p quantiles.
+        for (fit, p) in a.fit_quantiles.iter().zip(&a.p_mission_quantiles) {
+            assert!((fit - p * 1e9 / (a.mission_s / 3600.0)).abs() <= fit.abs() * 1e-12);
+        }
+    }
+
+    #[test]
+    fn outcomes_match_streaming_aggregates() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let config = small_config(256);
+        let outcomes = chip_outcomes(session.analysis(), &tech, &config, 256).unwrap();
+        let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+        let exceed = outcomes
+            .iter()
+            .filter(|o| o.p_mission > config.budget)
+            .count() as u64;
+        assert_eq!(report.aggregates.exceed_budget, exceed);
+        let p_max = outcomes
+            .iter()
+            .map(|o| o.p_mission)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(report.aggregates.p_mission_max.to_bits(), p_max.to_bits());
+    }
+
+    #[test]
+    fn harsher_missions_fail_more() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let field = run_fleet(
+            session.analysis(),
+            &tech,
+            &FleetConfig {
+                profile: MissionProfile::datacenter(),
+                ..small_config(400)
+            },
+        )
+        .unwrap();
+        let stress = run_fleet(
+            session.analysis(),
+            &tech,
+            &FleetConfig {
+                profile: MissionProfile::htol(),
+                ..small_config(400)
+            },
+        )
+        .unwrap();
+        // HTOL packs hot, high-voltage stress into 1000 h: the median
+        // budget-lifetime under repeated stress must be far shorter than
+        // under the datacenter duty cycle.
+        assert!(
+            stress.aggregates.lifetime_quantiles_s[3] < field.aggregates.lifetime_quantiles_s[3],
+            "HTOL {:?} vs datacenter {:?}",
+            stress.aggregates.lifetime_quantiles_s[3],
+            field.aggregates.lifetime_quantiles_s[3]
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let report = run_fleet(session.analysis(), &tech, &small_config(64)).unwrap();
+        let back: FleetReport = json::from_str(&json::to_string_pretty(&report)).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -60,12 +60,17 @@ pub use statobd_variation as variation;
 
 mod artifact;
 mod error;
+mod fleet;
 mod serve;
 mod session;
 mod spec;
 
 pub use artifact::{ArtifactCache, CompiledModel, CACHE_ENV, FORMAT_VERSION};
 pub use error::{Error, Result};
+pub use fleet::{
+    chip_outcomes, run_fleet, ChipOutcome, FleetAggregates, FleetConfig, FleetReport,
+    LIFE_BRACKET_S as FLEET_LIFE_BRACKET_S, QUANTILE_LEVELS,
+};
 pub use serve::{serve, serve_lines, ServeConfig};
 pub use session::{
     Session, SessionSource, SessionStats, DEFAULT_SERVICE_LIFE_S, LIFETIME_BRACKET_S,

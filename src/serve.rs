@@ -21,6 +21,7 @@
 //! | `sweep` | `session`, `t_lo_s`, `t_hi_s`, `points` | `curve` = `[[t, p], ...]` |
 //! | `lifetime` | `session`, `target` | `t_s`, `years` |
 //! | `manage_step` | `session`, `dt_s`, `vdd_v`, `temps_k` *or* `dt_k` | `p_now`, `p_projected`, `level`, `capped`, `vdd_v` |
+//! | `fleet` | `session`, opt. `chips`, `profile`, `seed`, `budget`, `shards` | `aggregates`, `threads`, `shards`, `run_s`, `chips_per_s`, `workspaces_created` |
 //! | `stats` | `session` | `stats`, `lanes` (SIMD lane dispatch label) |
 //! | `close` | `session` | `closed` |
 //! | `shutdown` | — | — (server exits after replying) |
@@ -36,9 +37,10 @@
 
 use crate::artifact::ArtifactCache;
 use crate::error::{Error, Result};
+use crate::fleet::{run_fleet, FleetConfig};
 use crate::session::Session;
 use crate::spec::AnalysisSpec;
-use statobd_manager::StepReport;
+use statobd_manager::{MissionProfile, StepReport};
 use statobd_num::json::{FromJson, Json, ToJson};
 use std::io::{BufRead, Write};
 
@@ -177,6 +179,45 @@ impl Server {
                 };
                 ok(report_json(&report))
             }
+            "fleet" => {
+                let defaults = FleetConfig::default();
+                let chips = match request.get("chips") {
+                    Some(v) => u64::from_json(v).map_err(Error::from)?,
+                    None => defaults.chips,
+                };
+                let profile = match request.get("profile") {
+                    Some(v) => {
+                        let name = String::from_json(v).map_err(Error::from)?;
+                        MissionProfile::named(&name)?
+                    }
+                    None => defaults.profile,
+                };
+                let seed = match request.get("seed") {
+                    Some(v) => u64::from_json(v).map_err(Error::from)?,
+                    None => defaults.seed,
+                };
+                let budget = match request.get("budget") {
+                    Some(v) => f64::from_json(v).map_err(Error::from)?,
+                    None => defaults.budget,
+                };
+                let shards = match request.get("shards") {
+                    Some(v) => Some(usize::from_json(v).map_err(Error::from)?),
+                    None => None,
+                };
+                let session = self.session(request)?;
+                let config = FleetConfig {
+                    chips,
+                    profile,
+                    seed,
+                    budget,
+                    wafer: defaults.wafer,
+                    threads: session.spec().threads,
+                    shards,
+                };
+                let tech = session.spec().tech.tech();
+                let report = run_fleet(session.analysis(), &tech, &config)?;
+                ok(report.to_json())
+            }
             "stats" => {
                 let stats = self.session(request)?.stats().clone();
                 ok(object(vec![
@@ -199,7 +240,7 @@ impl Server {
             }),
             other => Err(Error::Spec(format!(
                 "unknown op '{other}' (one of: open, p_at, sweep, lifetime, manage_step, \
-                 stats, close, shutdown)"
+                 fleet, stats, close, shutdown)"
             ))),
         }
     }
@@ -450,6 +491,40 @@ mod tests {
             lanes.contains("lane"),
             "stats reply self-describes the SIMD dispatch, got {lanes:?}"
         );
+    }
+
+    #[test]
+    fn fleet_op_returns_deterministic_aggregates() {
+        let spec = tiny_spec_json();
+        let replies = run(&[
+            format!(r#"{{"op": "open", "session": "s", "spec": {spec}}}"#),
+            r#"{"op": "fleet", "session": "s", "chips": 600, "profile": "htol", "seed": 9}"#
+                .to_string(),
+            r#"{"op": "fleet", "session": "s", "chips": 600, "profile": "htol", "seed": 9, "shards": 4}"#
+                .to_string(),
+            r#"{"op": "fleet", "session": "s", "profile": "weekend_warrior"}"#.to_string(),
+        ]);
+        assert_eq!(replies[1].get("ok").and_then(Json::as_bool), Some(true));
+        let agg = replies[1].get("aggregates").expect("aggregates field");
+        assert_eq!(agg.get("chips").and_then(Json::as_f64), Some(600.0));
+        assert_eq!(
+            agg.get("profile").and_then(Json::as_str),
+            Some("htol"),
+            "{}",
+            replies[1].to_compact()
+        );
+        // A different shard count must not change the aggregates.
+        assert_eq!(
+            agg.to_compact(),
+            replies[2].get("aggregates").unwrap().to_compact()
+        );
+        // Unknown profiles fail with a did-you-mean, not a dead server.
+        assert_eq!(replies[3].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(replies[3]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("did you mean"));
     }
 
     #[test]

@@ -320,3 +320,92 @@ fn thermal_subcommand_reports_block_temperatures() {
     assert!(stdout.contains("hot"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn fleet_subcommand_streams_a_small_fleet() {
+    let dir = std::env::temp_dir().join("statobd_cli_fleet");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+    let out = Command::new(bin())
+        .args(["template", spec.to_str().unwrap()])
+        .output()
+        .expect("run template");
+    assert!(out.status.success(), "template failed: {out:?}");
+
+    let out = Command::new(bin())
+        .args([
+            "fleet",
+            spec.to_str().unwrap(),
+            "--chips",
+            "500",
+            "--grid",
+            "6",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("run fleet");
+    assert!(out.status.success(), "fleet failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fleet:"), "{stdout}");
+    assert!(stdout.contains("chips/s"), "{stdout}");
+    assert!(stdout.contains("weakest"), "{stdout}");
+    assert!(stdout.contains("quantile"), "{stdout}");
+
+    // --json emits one machine-readable report that parses back.
+    let out = Command::new(bin())
+        .args([
+            "fleet",
+            spec.to_str().unwrap(),
+            "--chips",
+            "500",
+            "--grid",
+            "6",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .output()
+        .expect("run fleet --json");
+    assert!(out.status.success(), "fleet --json failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    use statobd::num::json::{FromJson, Json};
+    let value = Json::parse(&stdout).expect("fleet --json output parses");
+    let report = statobd::FleetReport::from_json(&value).expect("fleet report schema");
+    assert_eq!(report.aggregates.chips, 500);
+    assert_eq!(report.aggregates.seed, 7);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_rejects_degenerate_flags_at_parse_time() {
+    for (flag, value) in [
+        ("--chips", "0"),
+        ("--shards", "0"),
+        ("--threads", "0"),
+        ("--budget", "0"),
+        ("--budget", "1.5"),
+        ("--grid", "0"),
+    ] {
+        let out = Command::new(bin())
+            .args(["fleet", "C1", flag, value])
+            .output()
+            .expect("run fleet");
+        assert!(!out.status.success(), "{flag} {value} accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{flag} {value}: {stderr}");
+    }
+}
+
+#[test]
+fn fleet_suggests_profiles_on_typo() {
+    let out = Command::new(bin())
+        .args(["fleet", "C1", "--profile", "datacentre"])
+        .output()
+        .expect("run fleet");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("datacenter"), "{stderr}");
+}

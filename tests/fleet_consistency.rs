@@ -1,0 +1,253 @@
+//! Fleet-simulation consistency: the sharded streaming reducer must agree
+//! chip-by-chip with a direct evaluation through the public per-instance
+//! APIs, and its aggregates must be bit-identical across every thread and
+//! shard layout.
+
+use statobd::core::{conditional_block_failure, GCoefficients, WeakestLink};
+use statobd::device::{ClosedFormTech, ObdTechnology};
+use statobd::manager::MissionProfile;
+use statobd::num::json;
+use statobd::num::rng::{Rng, Xoshiro256pp};
+use statobd::variation::FieldSampler;
+use statobd::{chip_outcomes, run_fleet, AnalysisSpec, FleetConfig, Session, FLEET_LIFE_BRACKET_S};
+
+fn session() -> Session {
+    let mut chip = statobd::core::ChipSpec::new();
+    chip.add_block(
+        statobd::core::BlockSpec::new(
+            "core",
+            50_000.0,
+            50_000,
+            368.15,
+            1.2,
+            vec![(0, 0.4), (7, 0.6)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    chip.add_block(
+        statobd::core::BlockSpec::new("cache", 90_000.0, 90_000, 341.15, 1.2, vec![(20, 1.0)])
+            .unwrap(),
+    )
+    .unwrap();
+    Session::build(&AnalysisSpec::chip(chip).with_grid_side(6)).unwrap()
+}
+
+fn config(chips: u64) -> FleetConfig {
+    FleetConfig {
+        chips,
+        profile: MissionProfile::datacenter(),
+        seed: 2718,
+        threads: Some(1),
+        ..FleetConfig::default()
+    }
+}
+
+/// Per-block mission constants derived independently of the fleet module,
+/// straight from the public technology and profile APIs.
+struct RefBlock {
+    coeff_mission: GCoefficients,
+    ln_rate: f64,
+    b_eff: f64,
+    area: f64,
+}
+
+fn reference_blocks(session: &Session, config: &FleetConfig) -> Vec<RefBlock> {
+    let tech = ClosedFormTech::nominal_45nm();
+    let mission_s = config.profile.mission_s();
+    session
+        .analysis()
+        .blocks()
+        .iter()
+        .map(|block| {
+            let t_spec = block.spec().temperature_k();
+            let mut xi = 0.0;
+            let mut t_weighted = 0.0;
+            for phase in config.profile.phases() {
+                let t_k = t_spec + phase.dt_k;
+                xi += phase.duration_s / tech.alpha(t_k, phase.vdd_v);
+                t_weighted += phase.duration_s * t_k;
+            }
+            let b_eff = tech.b(t_weighted / mission_s);
+            RefBlock {
+                coeff_mission: GCoefficients::from_gamma(xi.ln(), b_eff),
+                ln_rate: (xi / mission_s).ln(),
+                b_eff,
+                area: block.spec().area(),
+            }
+        })
+        .collect()
+}
+
+/// The chip log-survival at age `t_s` under steady mission repetition —
+/// the quantity the fleet's lifetime solve bisects.
+fn ln_survival_at(t_s: f64, u: &[f64], v: &[f64], blocks: &[RefBlock]) -> f64 {
+    let x = t_s.ln();
+    let mut s = 0.0;
+    for (j, b) in blocks.iter().enumerate() {
+        let gamma = b.ln_rate + x;
+        let ln_g = gamma * (b.b_eff * u[j]) + 0.5 * gamma * gamma * (b.b_eff * b.b_eff * v[j]);
+        let p = -(-b.area * ln_g.exp()).exp_m1();
+        s += (-p.clamp(0.0, 1.0)).ln_1p();
+    }
+    s
+}
+
+#[test]
+fn fleet_matches_direct_per_chip_evaluation() {
+    let session = session();
+    let config = config(64);
+    let tech = ClosedFormTech::nominal_45nm();
+    let outcomes = chip_outcomes(session.analysis(), &tech, &config, 64).unwrap();
+    assert_eq!(outcomes.len(), 64);
+
+    let blocks = reference_blocks(&session, &config);
+    let model = session.analysis().model();
+    let base = Xoshiro256pp::seed_from_u64(config.seed);
+    let mut censored_seen = 0;
+    for (chip, outcome) in outcomes.iter().enumerate() {
+        // Replay the documented draw order: wafer position, then the
+        // principal components — through the allocating sample_die path,
+        // which is draw-for-draw identical to the fleet's sample_z_into.
+        let mut rng = base.substream(chip as u64);
+        let x = rng.gen_range(0.0..1.0);
+        let y = rng.gen_range(0.0..1.0);
+        let offset = config.wafer.offset(x, y);
+        let die = FieldSampler::new(model).sample_die(&mut rng);
+
+        let mut weakest_link = WeakestLink::new();
+        let mut weakest = (0usize, f64::NEG_INFINITY);
+        let mut u_blocks = Vec::new();
+        let mut v_blocks = Vec::new();
+        for (j, (block, rb)) in session.analysis().blocks().iter().zip(&blocks).enumerate() {
+            let (u, v) = block.moments().uv_given_z(&die.z);
+            let u = u + offset;
+            let p = conditional_block_failure(rb.area, rb.coeff_mission.g(u, v));
+            weakest_link.absorb(p);
+            if p > weakest.1 {
+                weakest = (j, p);
+            }
+            u_blocks.push(u);
+            v_blocks.push(v);
+        }
+        let p_ref = weakest_link.failure_probability();
+        let rel = ((outcome.p_mission - p_ref) / p_ref.max(f64::MIN_POSITIVE)).abs();
+        assert!(
+            rel <= 1e-12,
+            "chip {chip}: fleet P {} vs direct {} (rel {rel:.3e})",
+            outcome.p_mission,
+            p_ref
+        );
+        assert_eq!(
+            outcome.weakest_block, weakest.0,
+            "chip {chip}: weakest-block index"
+        );
+
+        // The reported lifetime must put the chip exactly at the budget
+        // (unless censored at a bracket edge).
+        if outcome.censored_low || outcome.censored_high {
+            censored_seen += 1;
+            let edge = if outcome.censored_low {
+                FLEET_LIFE_BRACKET_S.0
+            } else {
+                FLEET_LIFE_BRACKET_S.1
+            };
+            assert_eq!(outcome.lifetime_s, edge, "chip {chip}: censored edge");
+        } else {
+            let target = (-config.budget).ln_1p();
+            let at_life = ln_survival_at(outcome.lifetime_s, &u_blocks, &v_blocks, &blocks);
+            let rel = ((at_life - target) / target).abs();
+            assert!(
+                rel <= 1e-9,
+                "chip {chip}: ln-survival at reported lifetime {} deviates {rel:.3e}",
+                outcome.lifetime_s
+            );
+            assert!(outcome.lifetime_s > FLEET_LIFE_BRACKET_S.0);
+            assert!(outcome.lifetime_s < FLEET_LIFE_BRACKET_S.1);
+        }
+    }
+    // The tiny fleet exercises the uncensored path at minimum; censoring
+    // is allowed but must have been consistent when it appeared.
+    assert!(censored_seen < 64, "every chip censored — solve is broken");
+}
+
+#[test]
+fn streaming_aggregates_match_per_chip_outcomes() {
+    let session = session();
+    let config = config(300);
+    let tech = ClosedFormTech::nominal_45nm();
+    let outcomes = chip_outcomes(session.analysis(), &tech, &config, 300).unwrap();
+    let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+    let a = &report.aggregates;
+
+    let exceed = outcomes
+        .iter()
+        .filter(|o| o.p_mission > config.budget)
+        .count() as u64;
+    assert_eq!(a.exceed_budget, exceed);
+    assert_eq!(
+        a.censored_low,
+        outcomes.iter().filter(|o| o.censored_low).count() as u64
+    );
+    assert_eq!(
+        a.censored_high,
+        outcomes.iter().filter(|o| o.censored_high).count() as u64
+    );
+    for (j, count) in a.weakest_counts.iter().enumerate() {
+        let direct = outcomes.iter().filter(|o| o.weakest_block == j).count() as u64;
+        assert_eq!(*count, direct, "weakest count of block {j}");
+    }
+    let life_min = outcomes
+        .iter()
+        .map(|o| o.lifetime_s)
+        .fold(f64::MAX, f64::min);
+    let life_max = outcomes
+        .iter()
+        .map(|o| o.lifetime_s)
+        .fold(f64::MIN, f64::max);
+    assert_eq!(a.lifetime_min_s.to_bits(), life_min.to_bits());
+    assert_eq!(a.lifetime_max_s.to_bits(), life_max.to_bits());
+
+    // Quantiles come from histogram counts: each reported quantile must
+    // sit within one (log-space) bin of the exact order statistic.
+    let mut lives: Vec<f64> = outcomes.iter().map(|o| o.lifetime_s.log10()).collect();
+    lives.sort_by(f64::total_cmp);
+    for (q, est) in a.quantile_levels.iter().zip(&a.lifetime_quantiles_s) {
+        let idx = ((q * lives.len() as f64) as usize).min(lives.len() - 1);
+        let exact = lives[idx];
+        assert!(
+            (est.log10() - exact).abs() <= 0.1,
+            "lifetime q={q}: {} vs exact 10^{exact}",
+            est
+        );
+    }
+}
+
+#[test]
+fn aggregates_are_bit_identical_across_threads_and_shards() {
+    let session = session();
+    let tech = ClosedFormTech::nominal_45nm();
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 5] {
+            let config = FleetConfig {
+                threads: Some(threads),
+                shards: Some(shards),
+                ..config(1000)
+            };
+            let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+            assert!(
+                report.workspaces_created <= report.shards,
+                "threads={threads} shards={shards}: allocated per chip"
+            );
+            let rendered = json::to_string(&report.aggregates);
+            match &reference {
+                None => reference = Some(rendered),
+                Some(r) => assert_eq!(
+                    r, &rendered,
+                    "aggregates diverged at threads={threads} shards={shards}"
+                ),
+            }
+        }
+    }
+}
