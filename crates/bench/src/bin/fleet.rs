@@ -1,7 +1,7 @@
 //! Fleet benchmark: millions of chips through the sharded constant-memory
 //! streaming reducer, with the determinism claims enforced.
 //!
-//! Three gates, any failure exits non-zero:
+//! Five gates, any failure exits non-zero:
 //!
 //! 1. **Cross-thread/shard determinism** — the deterministic aggregate
 //!    block of [`statobd::FleetReport`] must render to bit-identical JSON
@@ -11,6 +11,16 @@
 //!    workspace per shard and nothing per chip.
 //! 3. **Time budget** (full mode only) — the 10⁶-chip headline run must
 //!    finish inside [`HEADLINE_BUDGET_S`].
+//! 4. **Tiled-vs-scalar agreement** — at the default lane width the fleet
+//!    aggregates must match the forced width-1 (scalar reference) run:
+//!    discrete counts exactly, the exact per-chip extremes within
+//!    [`DIVERGENCE_GATE`] relative, sketch quantiles in the same bin.
+//! 5. **Tiled speedup** (full mode, lane width > 1) — single-thread tiled
+//!    chips/s must beat the scalar path on **every** mission profile,
+//!    and by ≥ [`W8_SPEEDUP_BAR`]× on the datacenter profile at lane
+//!    width 8. Both sides are re-measured interleaved (min across up to
+//!    [`MAX_ATTEMPTS`] attempts, as BENCH_sweeps does) so noise
+//!    converges out but a real regression stays.
 //!
 //! ```text
 //! cargo run --release -p statobd-bench --bin fleet -- \
@@ -23,15 +33,20 @@
 //! { "lanes": "...", "rows": [ { "design": "two_block", "scenario":
 //!   "throughput", "profile": "datacenter", "chips": 100000, "threads": 1,
 //!   "shards": 1, "run_s": ..., "chips_per_s": ..., "exceed_budget": ...,
-//!   "deterministic": true, "workspaces_ok": true }, ... ] }
+//!   "deterministic": true, "workspaces_ok": true }, ... ],
+//!   "speedup": [ { "profile": "datacenter", "chips": 100000,
+//!   "lane_width": 8, "scalar_chips_per_s": ..., "tiled_chips_per_s": ...,
+//!   "speedup": ..., "max_rel_divergence": ..., "within_gate": true },
+//!   ... ] }
 //! ```
 
-use statobd::{run_fleet, AnalysisSpec, FleetConfig, FleetReport, Session};
+use statobd::{run_fleet, AnalysisSpec, FleetAggregates, FleetConfig, FleetReport, Session};
 use statobd_core::{BlockSpec, ChipSpec};
 use statobd_device::ClosedFormTech;
 use statobd_manager::MissionProfile;
 use statobd_num::impl_json_struct;
 use statobd_num::json;
+use statobd_num::simd::{self, LaneWidth};
 
 /// Wall-clock budget for the full-mode headline run (10⁶ chips).
 const HEADLINE_BUDGET_S: f64 = 120.0;
@@ -39,6 +54,17 @@ const HEADLINE_BUDGET_S: f64 = 120.0;
 /// Thread × shard determinism matrix.
 const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
 const SHARD_MATRIX: [usize; 3] = [1, 2, 5];
+
+/// Minimum tiled/scalar throughput ratio on the datacenter profile at
+/// lane width 8 — the cross-chip tiling headline claim.
+const W8_SPEEDUP_BAR: f64 = 2.5;
+
+/// Relative gate on the exact aggregate extremes between the tiled and
+/// the scalar run (the lane kernels' per-chip error budget).
+const DIVERGENCE_GATE: f64 = 1e-12;
+
+/// Interleaved re-measure cap for the speedup rows.
+const MAX_ATTEMPTS: usize = 12;
 
 /// One measurement row.
 #[derive(Debug, Clone)]
@@ -74,15 +100,101 @@ impl_json_struct!(FleetRow {
     workspaces_ok
 });
 
+/// One scalar-vs-tiled speedup row (single thread, one mission profile).
+#[derive(Debug, Clone)]
+struct SpeedupRow {
+    profile: String,
+    chips: u64,
+    /// Lanes per chip tile on the tiled side (the scalar side is always
+    /// the forced width-1 reference path).
+    lane_width: u64,
+    scalar_chips_per_s: f64,
+    tiled_chips_per_s: f64,
+    /// `tiled_chips_per_s / scalar_chips_per_s`.
+    speedup: f64,
+    /// Max relative difference across the exact aggregate extremes
+    /// (infinite if any discrete count differs).
+    max_rel_divergence: f64,
+    /// Counts exact, extremes within [`DIVERGENCE_GATE`], quantiles in
+    /// the same sketch bin.
+    within_gate: bool,
+}
+
+impl_json_struct!(SpeedupRow {
+    profile,
+    chips,
+    lane_width,
+    scalar_chips_per_s,
+    tiled_chips_per_s,
+    speedup,
+    max_rel_divergence,
+    within_gate
+});
+
 /// The whole report (`BENCH_fleet.json`).
 #[derive(Debug, Clone)]
 struct Report {
     /// SIMD lane dispatch active during the run.
     lanes: String,
     rows: Vec<FleetRow>,
+    speedup: Vec<SpeedupRow>,
 }
 
-impl_json_struct!(Report { lanes, rows });
+impl_json_struct!(Report {
+    lanes,
+    rows,
+    speedup
+});
+
+/// Tiled-vs-scalar aggregate divergence: `None` if any discrete count
+/// differs or a sketch quantile landed in a different bin (rendered as
+/// an infinite divergence by the caller); otherwise the max relative
+/// difference over the exact per-chip extremes.
+fn aggregates_divergence(tiled: &FleetAggregates, scalar: &FleetAggregates) -> Option<f64> {
+    if tiled.exceed_budget != scalar.exceed_budget
+        || tiled.censored_low != scalar.censored_low
+        || tiled.censored_high != scalar.censored_high
+        || tiled.weakest_counts != scalar.weakest_counts
+    {
+        return None;
+    }
+    let rel = |a: f64, b: f64| {
+        if a == b {
+            0.0
+        } else {
+            (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+        }
+    };
+    // Quantiles pass through the log-sketch's binning: a sub-gate per-chip
+    // difference either leaves them bit-identical or moves one whole bin,
+    // so "same bin" is the right equality there (1e-9 spans rounding in
+    // the pow/log round-trip but never a bin).
+    for (a, b) in tiled
+        .lifetime_quantiles_s
+        .iter()
+        .zip(&scalar.lifetime_quantiles_s)
+        .chain(
+            tiled
+                .p_mission_quantiles
+                .iter()
+                .zip(&scalar.p_mission_quantiles),
+        )
+    {
+        if rel(*a, *b) > 1e-9 {
+            return None;
+        }
+    }
+    Some(
+        [
+            rel(tiled.lifetime_min_s, scalar.lifetime_min_s),
+            rel(tiled.lifetime_max_s, scalar.lifetime_max_s),
+            rel(tiled.p_mission_min, scalar.p_mission_min),
+            rel(tiled.p_mission_max, scalar.p_mission_max),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max),
+    )
+}
 
 struct Options {
     out: String,
@@ -265,6 +377,89 @@ fn main() {
         rows.push(r);
     }
 
+    // Gates 4+5 — scalar vs tiled per mission profile, single thread.
+    // Skipped when the default dispatch is already width 1 (forced scalar
+    // CI runs): both sides would time the identical path and the ≥1×
+    // gate would be a coin flip on noise.
+    let mut speedup_rows = Vec::new();
+    let default_width = simd::active_width();
+    if default_width.lanes() > 1 {
+        let sp_chips: u64 = if opts.quick { 5_000 } else { 100_000 };
+        println!("scalar vs tiled, single thread ({sp_chips} chips):");
+        for profile in MissionProfile::all() {
+            let name = profile.name();
+            let cfg = config(sp_chips, profile, 1, None);
+            let run_at = |w: Option<LaneWidth>| {
+                simd::force_width(w);
+                let report = run_fleet(analysis, &tech, &cfg).expect("fleet runs");
+                simd::force_width(None);
+                report
+            };
+            let mut scalar = run_at(Some(LaneWidth::W1));
+            let mut tiled = run_at(None);
+            // Interleaved re-measure, keeping each path's best run: noise
+            // converges out, a real regression stays. The datacenter row
+            // additionally chases the width-8 headline bar.
+            let bar = if name == "datacenter" && default_width.lanes() == 8 {
+                W8_SPEEDUP_BAR
+            } else {
+                1.0
+            };
+            let mut attempts = 0;
+            while tiled.chips_per_s < bar * scalar.chips_per_s && attempts < MAX_ATTEMPTS {
+                let s = run_at(Some(LaneWidth::W1));
+                if s.chips_per_s > scalar.chips_per_s {
+                    scalar = s;
+                }
+                let t = run_at(None);
+                if t.chips_per_s > tiled.chips_per_s {
+                    tiled = t;
+                }
+                attempts += 1;
+            }
+            let divergence = aggregates_divergence(&tiled.aggregates, &scalar.aggregates);
+            let max_rel_divergence = divergence.unwrap_or(f64::INFINITY);
+            let within_gate = divergence.is_some_and(|d| d <= DIVERGENCE_GATE);
+            let row = SpeedupRow {
+                profile: name.to_string(),
+                chips: sp_chips,
+                lane_width: tiled.lane_width,
+                scalar_chips_per_s: scalar.chips_per_s,
+                tiled_chips_per_s: tiled.chips_per_s,
+                speedup: tiled.chips_per_s / scalar.chips_per_s.max(1e-12),
+                max_rel_divergence,
+                within_gate,
+            };
+            println!(
+                "  {:<13} w={}  scalar {:>9.0} chips/s  tiled {:>9.0} chips/s  {:.2}x  {}",
+                row.profile,
+                row.lane_width,
+                row.scalar_chips_per_s,
+                row.tiled_chips_per_s,
+                row.speedup,
+                if row.within_gate { "agree" } else { "DIVERGED" }
+            );
+            if !row.within_gate {
+                eprintln!(
+                    "ERROR: {name}: tiled aggregates diverged from scalar \
+                     (max rel {max_rel_divergence:.3e}, gate {DIVERGENCE_GATE:.0e})"
+                );
+                all_ok = false;
+            }
+            if !opts.quick && row.speedup < bar {
+                eprintln!(
+                    "ERROR: {name}: tiled {:.0} chips/s is below {bar}x the scalar \
+                     {:.0} chips/s ({:.2}x)",
+                    row.tiled_chips_per_s, row.scalar_chips_per_s, row.speedup
+                );
+                all_ok = false;
+            }
+            speedup_rows.push(row);
+        }
+    } else {
+        println!("scalar vs tiled: skipped (default dispatch is width 1)");
+    }
+
     // Gate 3 — the headline: a production-scale fleet, all cores.
     let headline_chips = if opts.quick { 10_000 } else { opts.chips };
     println!("headline ({headline_chips} chips):");
@@ -294,13 +489,14 @@ fn main() {
     let report = Report {
         lanes: statobd_num::simd::dispatch_label(),
         rows,
+        speedup: speedup_rows,
     };
     std::fs::write(&opts.out, json::to_string_pretty(&report)).expect("report written");
     println!("wrote {}", opts.out);
     if !all_ok {
         eprintln!(
-            "ERROR: fleet aggregates diverged across threads/shards, allocated per chip, \
-             or blew the time budget"
+            "ERROR: fleet aggregates diverged across threads/shards or lane widths, \
+             allocated per chip, missed the tiled speedup bar, or blew the time budget"
         );
         std::process::exit(1);
     }

@@ -28,6 +28,7 @@ use crate::Result;
 use statobd_num::dist::{ContinuousDistribution, Gamma, Normal};
 use statobd_num::eigen::{SpectralOptions, SymmetricEigen};
 use statobd_num::matrix::DMatrix;
+use statobd_num::simd;
 use statobd_variation::ThicknessModel;
 
 /// Fraction of `tr(Q)` the retained low-rank projection of `Q` must
@@ -435,6 +436,38 @@ impl BlodMoments {
         }
         (u, v)
     }
+
+    /// Exact `(u_j, v_j)` for `W` principal-component draws at once,
+    /// lane dimension across draws: `z_tile[k·W + w]` holds component `k`
+    /// of draw `w` (SoA), and `u[w]`/`v[w]` receive draw `w`'s moments.
+    ///
+    /// Every lane accumulates in the same `k`-sequential order as
+    /// [`BlodMoments::uv_given_z`], so lane `w` is **bit-identical** to
+    /// the scalar evaluation of its draw at any `W` — the property that
+    /// lets the fleet's chip tiles and the `st_MC` chunk fill adopt this
+    /// without changing a single reported number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z_tile.len()` is not `W` times the component count.
+    pub fn uv_given_z_tile<const W: usize>(
+        &self,
+        z_tile: &[f64],
+        u: &mut [f64; W],
+        v: &mut [f64; W],
+    ) {
+        assert_eq!(
+            z_tile.len(),
+            self.u_coeffs.len() * W,
+            "component tile size mismatch"
+        );
+        *u = [self.u_nominal; W];
+        simd::lane_dot_acc::<W>(&self.u_coeffs, z_tile, u);
+        *v = [self.v_floor; W];
+        for a in &self.v_projections {
+            simd::lane_dot_sq_acc::<W>(a, z_tile, v);
+        }
+    }
 }
 
 /// Computes the exact `(u_j, v_j)` of a block directly from a sampled
@@ -479,6 +512,43 @@ mod tests {
 
     fn block(grids: Vec<(usize, f64)>) -> BlockSpec {
         BlockSpec::new("b", 10_000.0, 10_000, 350.0, 1.2, grids).unwrap()
+    }
+
+    #[test]
+    fn uv_tile_lanes_match_scalar_bitwise() {
+        // Every lane of the SoA tile evaluation must reproduce the
+        // scalar uv_given_z of its draw bit for bit, at both tile widths
+        // and for tiles that exercise multiple v projections.
+        let m = model(5);
+        let mom =
+            BlodMoments::characterize(&m, &block(vec![(0, 0.3), (7, 0.3), (20, 0.4)])).unwrap();
+        let n_pc = m.n_components();
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let mut normal = NormalSampler::new();
+        fn check<const W: usize>(
+            mom: &BlodMoments,
+            n_pc: usize,
+            rng: &mut Xoshiro256pp,
+            normal: &mut NormalSampler,
+        ) {
+            let mut tile = vec![0.0; n_pc * W];
+            let mut draws = vec![vec![0.0; n_pc]; W];
+            for (w, draw) in draws.iter_mut().enumerate() {
+                normal.fill(rng, draw);
+                for k in 0..n_pc {
+                    tile[k * W + w] = draw[k];
+                }
+            }
+            let (mut u, mut v) = ([0.0; W], [0.0; W]);
+            mom.uv_given_z_tile::<W>(&tile, &mut u, &mut v);
+            for (w, draw) in draws.iter().enumerate() {
+                let (su, sv) = mom.uv_given_z(draw);
+                assert_eq!(u[w].to_bits(), su.to_bits(), "u lane {w} of {W}");
+                assert_eq!(v[w].to_bits(), sv.to_bits(), "v lane {w} of {W}");
+            }
+        }
+        check::<4>(&mom, n_pc, &mut rng, &mut normal);
+        check::<8>(&mom, n_pc, &mut rng, &mut normal);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::{CoreError, Result};
 use statobd_num::hist::Histogram2d;
 use statobd_num::parallel;
 use statobd_num::rng::{NormalSampler, Xoshiro256pp};
+use statobd_num::simd::{self, LaneWidth};
 
 /// Configuration of the [`StMc`] engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,15 +85,18 @@ impl<'a> StMc<'a> {
                 ),
             });
         }
-        let n_pc = analysis.model().n_components();
-
         // Draw all samples once, fanned out over threads; sample i uses a
         // stream derived from (seed, i), so results do not depend on the
         // thread partitioning. The flat layout [sample][block] gives each
-        // thread a disjoint mutable slice.
+        // thread a disjoint mutable slice. Within a chunk the (u, v)
+        // evaluation runs `width` samples per tile through the lane-FMA
+        // `uv_given_z_tile` kernel; each sample still consumes its own
+        // `(seed, sample)` stream, so the fill is bit-identical to the
+        // scalar loop at every lane width.
         let n_blocks = analysis.n_blocks();
         let mut flat = vec![(0.0, 0.0); config.n_samples * n_blocks];
         let threads = parallel::resolve_threads(config.threads);
+        let width = simd::active_width();
         let chunk_samples = 256;
         parallel::for_each_chunk_mut(
             &mut flat,
@@ -100,15 +104,11 @@ impl<'a> StMc<'a> {
             threads,
             move |chunk_idx, chunk: &mut [(f64, f64)]| {
                 let first = chunk_idx * chunk_samples;
-                let mut z = vec![0.0; n_pc];
-                for local in 0..chunk.len() / n_blocks {
-                    let sample = first + local;
-                    let mut rng = Xoshiro256pp::stream(config.seed, sample as u64);
-                    let mut normal = NormalSampler::new();
-                    normal.fill(&mut rng, &mut z);
-                    for (j, block) in analysis.blocks().iter().enumerate() {
-                        chunk[local * n_blocks + j] = block.moments().uv_given_z(&z);
-                    }
+                let n = chunk.len() / n_blocks;
+                match width {
+                    LaneWidth::W8 => fill_uv_tiled::<8>(analysis, config.seed, first, n, chunk),
+                    LaneWidth::W4 => fill_uv_tiled::<4>(analysis, config.seed, first, n, chunk),
+                    LaneWidth::W1 => fill_uv_scalar(analysis, config.seed, first, 0, n, chunk),
                 }
             },
         );
@@ -223,6 +223,73 @@ impl<'a> StMc<'a> {
     /// Panics if `block_idx` is out of range.
     pub fn joint_histogram(&self, block_idx: usize) -> &Histogram2d {
         &self.joints[block_idx].hist
+    }
+}
+
+/// Fills `chunk` (flat `[sample][block]` layout) with exact `(u, v)`
+/// pairs for samples `first..first + n`, evaluated `W` samples per tile
+/// through [`statobd_variation` moments'] SoA `uv_given_z_tile`. The
+/// principal-component draws stay scalar and per-sample — each sample's
+/// `(seed, sample)` substream is consumed in the documented order — and
+/// the ragged tail (`n % W` samples) runs the scalar path, so the chunk
+/// contents are bit-identical to [`fill_uv_scalar`] at every width.
+fn fill_uv_tiled<const W: usize>(
+    analysis: &ChipAnalysis,
+    seed: u64,
+    first: usize,
+    n: usize,
+    chunk: &mut [(f64, f64)],
+) {
+    let n_pc = analysis.model().n_components();
+    let n_blocks = analysis.n_blocks();
+    let mut z = vec![0.0; n_pc];
+    let mut z_tile = vec![0.0; n_pc * W];
+    let (mut u, mut v) = ([0.0; W], [0.0; W]);
+    let mut local = 0;
+    while local + W <= n {
+        for w in 0..W {
+            let sample = first + local + w;
+            let mut rng = Xoshiro256pp::stream(seed, sample as u64);
+            let mut normal = NormalSampler::new();
+            normal.fill(&mut rng, &mut z);
+            for k in 0..n_pc {
+                z_tile[k * W + w] = z[k];
+            }
+        }
+        for (j, block) in analysis.blocks().iter().enumerate() {
+            block
+                .moments()
+                .uv_given_z_tile::<W>(&z_tile, &mut u, &mut v);
+            for w in 0..W {
+                chunk[(local + w) * n_blocks + j] = (u[w], v[w]);
+            }
+        }
+        local += W;
+    }
+    fill_uv_scalar(analysis, seed, first, local, n, chunk);
+}
+
+/// The scalar reference fill for samples `first + from .. first + n` —
+/// the pre-tiling chunk loop, also used for ragged tile tails.
+fn fill_uv_scalar(
+    analysis: &ChipAnalysis,
+    seed: u64,
+    first: usize,
+    from: usize,
+    n: usize,
+    chunk: &mut [(f64, f64)],
+) {
+    let n_pc = analysis.model().n_components();
+    let n_blocks = analysis.n_blocks();
+    let mut z = vec![0.0; n_pc];
+    for local in from..n {
+        let sample = first + local;
+        let mut rng = Xoshiro256pp::stream(seed, sample as u64);
+        let mut normal = NormalSampler::new();
+        normal.fill(&mut rng, &mut z);
+        for (j, block) in analysis.blocks().iter().enumerate() {
+            chunk[local * n_blocks + j] = block.moments().uv_given_z(&z);
+        }
     }
 }
 

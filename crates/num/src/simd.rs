@@ -261,14 +261,32 @@ const EXP_TAIL: [f64; 12] = [
     1.0 / 6_227_020_800.0,
 ];
 
-/// Horner evaluation of the shared tail polynomial `P(r)`.
+/// Estrin evaluation of the shared tail polynomial `P(r)`.
+///
+/// Estrin rather than Horner because the hot consumers are
+/// latency-bound: the fleet bisection's serial step chain runs this on
+/// two-vector tiles where a 12-deep Horner chain (~8 cycles per
+/// mul+add level) IS the critical path. Estrin's tree needs the same
+/// multiply count at ~4 levels of depth. The reassociated rounding
+/// stays in the kernels' ulp class (the truncation analysis on the
+/// coefficients is unchanged); like any core edit it moves lane-path
+/// bits, which the cross-path gates bound relatively, never bitwise.
 #[inline(always)]
 fn exp_tail(r: f64) -> f64 {
-    let mut p = EXP_TAIL[EXP_TAIL.len() - 1];
-    for &c in EXP_TAIL.iter().rev().skip(1) {
-        p = p * r + c;
-    }
-    p
+    let c = &EXP_TAIL;
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let p01 = c[0] + c[1] * r;
+    let p23 = c[2] + c[3] * r;
+    let p45 = c[4] + c[5] * r;
+    let p67 = c[6] + c[7] * r;
+    let p89 = c[8] + c[9] * r;
+    let pab = c[10] + c[11] * r;
+    let q0 = p01 + p23 * r2;
+    let q1 = p45 + p67 * r2;
+    let q2 = p89 + pab * r2;
+    (q0 + q1 * r4) + q2 * r8
 }
 
 /// Branch-free `exp(x)` core: clamp to the finite-result window,
@@ -281,14 +299,19 @@ fn exp_core(x: f64) -> f64 {
     // Outside [-746, 710] the scaled result is exactly 0 or +inf anyway,
     // and the clamp keeps k·LN2_HI in its exact range. NaN survives clamp.
     let x = x.clamp(-746.0, 710.0);
-    let kf = {
-        let y = x * std::f64::consts::LOG2_E + ROUND_MAGIC;
-        y - ROUND_MAGIC
-    };
+    let y = x * std::f64::consts::LOG2_E + ROUND_MAGIC;
+    let kf = y - ROUND_MAGIC;
     let r = (x - kf * LN2_HI) - kf * LN2_LO;
     let poly = 1.0 + r + (r * r) * exp_tail(r);
-    // NaN input: `kf as i64` saturates to 0, leaving poly (= NaN) intact.
-    let ki = kf as i64;
+    // `k` is read straight out of the round-magic sum: `y = 2^52 + 2^51
+    // + k` stores `k` two's-complement in the low 32 mantissa bits (the
+    // clamp bounds |k| ≤ 1076 ≪ 2^31). A `kf as i64` cast computes the
+    // same integer but scalarizes every lane loop — packed f64→i64
+    // needs AVX-512DQ, which neither dispatch tier enables — while the
+    // bit extraction is plain integer ops on every tier. NaN input: `y`
+    // is NaN, so `ki` is payload garbage, but `poly` (= NaN) still
+    // propagates through the final scaling multiplies.
+    let ki = (y.to_bits() as u32 as i32) as i64;
     let k1 = ki >> 1;
     let k2 = ki - k1;
     let s1 = f64::from_bits(((1023 + k1) as u64) << 52);
@@ -347,14 +370,24 @@ const ATANH_TAIL: [f64; 11] = [
     1.0 / 21.0,
 ];
 
-/// Horner evaluation of `Q(w) = Σ w^k/(2k+1)`.
+/// Estrin evaluation of `Q(w) = Σ w^k/(2k+1)` — same shallow-tree
+/// rationale as [`exp_tail`]: the bisection's serial step chain is
+/// bound by this polynomial's depth, not its multiply count.
 #[inline(always)]
 fn atanh_poly(w: f64) -> f64 {
-    let mut q = ATANH_TAIL[ATANH_TAIL.len() - 1];
-    for &c in ATANH_TAIL.iter().rev().skip(1) {
-        q = q * w + c;
-    }
-    q
+    let c = &ATANH_TAIL;
+    let w2 = w * w;
+    let w4 = w2 * w2;
+    let w8 = w4 * w4;
+    let p01 = c[0] + c[1] * w;
+    let p23 = c[2] + c[3] * w;
+    let p45 = c[4] + c[5] * w;
+    let p67 = c[6] + c[7] * w;
+    let p89 = c[8] + c[9] * w;
+    let q0 = p01 + p23 * w2;
+    let q1 = p45 + p67 * w2;
+    let q2 = p89 + c[10] * w2;
+    (q0 + q1 * w4) + q2 * w8
 }
 
 /// `ln(1 + x)` core. `x ∈ [−1/3, 1/2]` uses `2·atanh(x/(2+x))` directly
@@ -876,6 +909,86 @@ pub fn lane_sum_acc<const W: usize>(terms: &[f64], acc: &mut [f64; W]) {
     }
 }
 
+/// Accumulates `acc[w] += Σ_k coeffs[k] · tile[k·W + w]` — one dot
+/// product per lane of a `W`-interleaved SoA tile (`tile[k·W + w]` is
+/// component `k` of item `w`). Each lane's accumulation is sequential in
+/// `k` (vectorization runs *across* the `W` lanes) and uses plain
+/// mul-then-add, so every lane reproduces the scalar left-to-right dot
+/// product `acc += Σ c_k·z_k` bit for bit at any width.
+///
+/// # Panics
+///
+/// Panics if `tile.len() != coeffs.len() · W`.
+#[inline(always)]
+pub fn lane_dot_acc<const W: usize>(coeffs: &[f64], tile: &[f64], acc: &mut [f64; W]) {
+    assert_eq!(tile.len(), coeffs.len() * W, "lane dot length mismatch");
+    for (chunk, &c) in tile.chunks_exact(W).zip(coeffs) {
+        let chunk: &[f64; W] = chunk.try_into().expect("chunks_exact yields W");
+        for w in 0..W {
+            acc[w] += c * chunk[w];
+        }
+    }
+}
+
+/// Accumulates `acc[w] += (Σ_k coeffs[k] · tile[k·W + w])²` — the squared
+/// projection term of a variance quadratic form, one lane per item. The
+/// inner dot is `k`-sequential per lane like [`lane_dot_acc`], so each
+/// lane is bit-identical to the scalar `d = Σ a_k·z_k; acc += d·d`.
+///
+/// # Panics
+///
+/// Panics if `tile.len() != coeffs.len() · W`.
+#[inline(always)]
+pub fn lane_dot_sq_acc<const W: usize>(coeffs: &[f64], tile: &[f64], acc: &mut [f64; W]) {
+    assert_eq!(tile.len(), coeffs.len() * W, "lane dot length mismatch");
+    let mut d = [0.0; W];
+    for (chunk, &c) in tile.chunks_exact(W).zip(coeffs) {
+        let chunk: &[f64; W] = chunk.try_into().expect("chunks_exact yields W");
+        for w in 0..W {
+            d[w] += c * chunk[w];
+        }
+    }
+    for w in 0..W {
+        acc[w] += d[w] * d[w];
+    }
+}
+
+/// Per-lane comparison mask `xs[w] <= threshold` — the branch condition
+/// of a lane-parallel bisection step. NaN lanes compare false, matching
+/// the scalar `if x <= t` the mask replaces.
+#[inline(always)]
+pub fn lane_le<const W: usize>(xs: &[f64; W], threshold: f64) -> [bool; W] {
+    let mut mask = [false; W];
+    for w in 0..W {
+        mask[w] = xs[w] <= threshold;
+    }
+    mask
+}
+
+/// Per-lane select `mask[w] ? a[w] : b[w]`, bit-exact in either arm
+/// (the lane-array form of the cores' branchless [`select`]) — the
+/// lo/hi interval update of a lane-parallel bisection.
+#[inline(always)]
+pub fn lane_select<const W: usize>(mask: &[bool; W], a: &[f64; W], b: &[f64; W]) -> [f64; W] {
+    let mut out = [0.0; W];
+    for w in 0..W {
+        out[w] = select(mask[w], a[w], b[w]);
+    }
+    out
+}
+
+/// Horizontal OR of a lane mask: `true` if any lane is set.
+#[inline(always)]
+pub fn lane_any<const W: usize>(mask: &[bool; W]) -> bool {
+    mask.iter().any(|&m| m)
+}
+
+/// Horizontal AND of a lane mask: `true` if every lane is set.
+#[inline(always)]
+pub fn lane_all<const W: usize>(mask: &[bool; W]) -> bool {
+    mask.iter().all(|&m| m)
+}
+
 /// Intermediate tile length for [`failure_term_slice`]'s two-pass
 /// evaluation: 4 KiB of stack, small enough to stay L1-resident next to
 /// the caller's argument and output buffers.
@@ -1097,6 +1210,324 @@ pub fn failure_term_slice_bounded(xs: &[f64], scale: f64, lo: f64, hi: f64, out:
         failure_term_tiles_big(xs, scale, x_sat, out);
     } else {
         failure_term_tiles(xs, scale, x_tiny, x_small, x_sat, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused lane-tile survival kernel (fleet lifetime bisection)
+// ---------------------------------------------------------------------------
+
+/// Shared body of [`ln_surv_tile_sum`]: per lane `w`, the log-survival sum
+///
+/// ```text
+/// s[w] = Σ_j ln_1p(−clamp(−expm1(−area_j·exp(arg_jw)), 0, 1))
+/// arg_jw = γ·bu[jW+w] + ½γ²·bbv[jW+w],   γ = ln_rate_j + x[w]
+/// ```
+///
+/// evaluated block-sequentially per lane (the scalar accumulation order,
+/// matching [`lane_sum_acc`]). Every step is the exact expression the
+/// three-pass `exp_slice` → scale → `exp_m1_slice` → clamp →
+/// `ln_1p_slice` composition evaluates per element, in the same order, so
+/// the fusion changes no bits — it removes the per-pass dispatch
+/// overhead and intermediate stores, which matter on the few-block tiles
+/// the fleet produces (`n_blocks·W` is typically 8–32 elements).
+///
+/// Per block, the lane-argument bounds screen the tile into a regime,
+/// exactly like [`failure_term_slice`]'s tile screens — each screened
+/// route evaluates the same elementwise expressions the general route
+/// selects for those arguments, so the screens change cost, never bits:
+///
+/// * all `arg ≥ x_sat` → `p` rounds to exactly 1.0 (see [`FAILURE_SAT`])
+///   and `ln_1p(−1)` is `−∞`, so the block contributes an exact `−∞`
+///   fill — zero transcendentals. (A dead block at age `x` forces
+///   `ln S = −∞`; the bisection's `≤ target` compare handles it.)
+/// * all `arg < x_small` → `|z| <` [`EXPM1_SWITCH`] takes `expm1`'s
+///   small arm, and the resulting `p ≤ 0.293` keeps `−p` inside
+///   `ln_1p`'s small-arm window `[−1/3, 0.5]` — one `exp` plus two
+///   short polynomials, no second `exp` and no exponent split. This is
+///   the regime the bisection converges in (per-block `p` near the
+///   fleet budget), so it carries most of the 52 steps.
+/// * mixed → the general both-arm cores.
+///
+/// NaN arguments set a separate lane-NaN flag that fails both screens,
+/// routing the block through the general cores, which propagate NaN
+/// elementwise.
+#[inline(always)]
+fn ln_surv_tile_body<const W: usize>(
+    x: &[f64; W],
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+    out: &mut [f64; W],
+) {
+    let mut s = [0.0; W];
+    for ((bp, bu_j), bbv_j) in block_params
+        .chunks_exact(4)
+        .zip(bu.chunks_exact(W))
+        .zip(bbv.chunks_exact(W))
+    {
+        let (ln_rate, area, x_small, x_sat) = (bp[0], bp[1], bp[2], bp[3]);
+        let mut arg = [0.0; W];
+        for w in 0..W {
+            let gamma = ln_rate + x[w];
+            arg[w] = gamma * bu_j[w] + 0.5 * gamma * gamma * bbv_j[w];
+        }
+        // Lane bounds by pairwise tree (log₂W select depth, not a
+        // serial W-long chain). A NaN argument makes the tree results
+        // arbitrary, so NaN presence is folded separately and fails
+        // both screens, routing the block through the general cores.
+        let mut nan = false;
+        for &a in &arg {
+            nan |= a.is_nan();
+        }
+        let mut mn = arg;
+        let mut mx = arg;
+        let mut half = W;
+        while half > 1 {
+            half /= 2;
+            for i in 0..half {
+                mn[i] = select(mn[i + half] < mn[i], mn[i + half], mn[i]);
+                mx[i] = select(mx[i + half] > mx[i], mx[i + half], mx[i]);
+            }
+        }
+        let (amin, amax) = (mn[0], mx[0]);
+        if !nan && amin >= x_sat {
+            for sv in &mut s {
+                *sv += f64::NEG_INFINITY;
+            }
+            continue;
+        }
+        let mut term = [0.0; W];
+        if !nan && amax < x_small {
+            for w in 0..W {
+                let z = exp_core(arg[w]) * -area;
+                // expm1's small arm (|z| < EXPM1_SWITCH is certified) and
+                // ln_1p's small arm (−p ∈ [−0.293, 0] ⊂ [−1/3, 0.5]) —
+                // the same expressions the general cores select here.
+                let e = z + (z * z) * exp_tail(z);
+                let neg_p = -((-e).clamp(0.0, 1.0));
+                let t = neg_p / (2.0 + neg_p);
+                term[w] = 2.0 * t * atanh_poly(t * t);
+            }
+        } else {
+            for w in 0..W {
+                let z = exp_core(arg[w]) * -area;
+                let e = exp_m1_core(z);
+                // e = expm1(−A·g) = −p; the ln_1p argument is
+                // −clamp(p, 0, 1).
+                term[w] = ln_1p_core(-((-e).clamp(0.0, 1.0)));
+            }
+        }
+        for w in 0..W {
+            s[w] += term[w];
+        }
+    }
+    *out = s;
+}
+
+/// AVX2 clone of [`ln_surv_tile_body`] (same IEEE arithmetic, 256-bit
+/// codegen).
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ln_surv_tile_avx2<const W: usize>(
+    x: &[f64; W],
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+    out: &mut [f64; W],
+) {
+    ln_surv_tile_body::<W>(x, block_params, bu, bbv, out);
+}
+
+/// AVX-512F clone of [`ln_surv_tile_body`].
+///
+/// # Safety
+///
+/// Caller must have verified `avx512f` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn ln_surv_tile_avx512<const W: usize>(
+    x: &[f64; W],
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+    out: &mut [f64; W],
+) {
+    ln_surv_tile_body::<W>(x, block_params, bu, bbv, out);
+}
+
+/// One step of the fleet's lane-parallel lifetime bisection, fused:
+/// fills `out[w]` with the `W`-chip tile's log-survival sums at per-lane
+/// log-ages `x[w]`. `block_params` holds one `(ln_rate, area, x_small,
+/// x_sat)` quad per block, where `x_small =`
+/// [`failure_poly_threshold`]`(area)` and `x_sat =`
+/// [`failure_sat_threshold`]`(area)` are the precomputed regime screens
+/// (see [`ln_surv_tile_body`]); `bu`/`bbv` are the `[block][lane]` SoA
+/// scratch (`bu[j·W + w]` is lane `w`'s `b_eff·u` for block `j`).
+///
+/// Elementwise this evaluates the polynomial cores behind
+/// [`exp_slice`]/[`exp_m1_slice`]/[`ln_1p_slice`] with bit-identical
+/// results to that three-pass composition (see [`ln_surv_tile_body`]) —
+/// callers choose it for the dispatch economics, not different math: the
+/// bisection calls this ~54 times per tile on slices of `n_blocks·W`
+/// elements, where three dispatched passes plus two fixup loops per step
+/// cost more than the transcendental work itself. Dispatch is by detected
+/// ISA alone; the caller has already committed to lane width `W`, so the
+/// scalar-exact width-1 route does not apply (the fleet's width-1 path
+/// never calls this).
+///
+/// # Panics
+///
+/// Panics if `block_params.len()` is not a multiple of 4 or `bu`/`bbv`
+/// are not exactly `(block_params.len() / 4) · W` long.
+pub fn ln_surv_tile_sum<const W: usize>(
+    x: &[f64; W],
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+    out: &mut [f64; W],
+) {
+    assert_eq!(
+        block_params.len() % 4,
+        0,
+        "block params are (ln_rate, area, x_small, x_sat) quads"
+    );
+    let n = block_params.len() / 4 * W;
+    assert_eq!(bu.len(), n, "bu tile length mismatch");
+    assert_eq!(bbv.len(), n, "bbv tile length mismatch");
+    match isa() {
+        Isa::Portable => ln_surv_tile_body::<W>(x, block_params, bu, bbv, out),
+        // SAFETY: `isa()` only reports tiers confirmed by runtime CPUID
+        // feature detection on this machine.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { ln_surv_tile_avx2::<W>(x, block_params, bu, bbv, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { ln_surv_tile_avx512::<W>(x, block_params, bu, bbv, out) },
+    }
+}
+
+/// Shared body of [`ln_surv_bisect`]: `steps` rounds of per-lane
+/// bracket halving. Each round evaluates the tile log-survival at the
+/// per-lane midpoints through [`ln_surv_tile_body`], then moves each
+/// lane's own bracket with branchless bitwise selects on `s ≤ target`
+/// (NaN compares false, freezing that lane's bracket — the caller's
+/// mask semantics). Bit-identical, round for round, to a caller loop of
+/// [`ln_surv_tile_sum`] + [`lane_le`] + [`lane_select`]; hoisting the
+/// loop inside the dispatched clone exists purely so the bracket state
+/// stays in registers across all `steps` rounds instead of paying a
+/// non-inlinable dispatch per round.
+#[inline(always)]
+fn ln_surv_bisect_body<const W: usize>(
+    lo: &mut [f64; W],
+    hi: &mut [f64; W],
+    target: f64,
+    steps: u32,
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+) {
+    for _ in 0..steps {
+        let mut mid = [0.0; W];
+        for w in 0..W {
+            mid[w] = 0.5 * (lo[w] + hi[w]);
+        }
+        let mut s = [0.0; W];
+        ln_surv_tile_body::<W>(&mid, block_params, bu, bbv, &mut s);
+        for w in 0..W {
+            let le = s[w] <= target;
+            hi[w] = select(le, mid[w], hi[w]);
+            lo[w] = select(le, lo[w], mid[w]);
+        }
+    }
+}
+
+/// AVX2 clone of [`ln_surv_bisect_body`].
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn ln_surv_bisect_avx2<const W: usize>(
+    lo: &mut [f64; W],
+    hi: &mut [f64; W],
+    target: f64,
+    steps: u32,
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+) {
+    ln_surv_bisect_body::<W>(lo, hi, target, steps, block_params, bu, bbv);
+}
+
+/// AVX-512F clone of [`ln_surv_bisect_body`].
+///
+/// # Safety
+///
+/// Caller must have verified `avx512f` via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn ln_surv_bisect_avx512<const W: usize>(
+    lo: &mut [f64; W],
+    hi: &mut [f64; W],
+    target: f64,
+    steps: u32,
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+) {
+    ln_surv_bisect_body::<W>(lo, hi, target, steps, block_params, bu, bbv);
+}
+
+/// The fleet's lane-parallel masked lifetime bisection, whole-loop
+/// fused: runs `steps` rounds of per-lane bracket halving on
+/// `lo`/`hi` in place, against the log-survival threshold `target`.
+/// Parameters and per-element math are exactly
+/// [`ln_surv_tile_sum`]'s; see [`ln_surv_bisect_body`] for the
+/// bit-identity contract with the unfused caller loop and the NaN/mask
+/// semantics. One dispatched call replaces `steps` of them — the
+/// bracket arrays live in registers for the whole solve.
+///
+/// # Panics
+///
+/// Panics if `block_params.len()` is not a multiple of 4 or `bu`/`bbv`
+/// are not exactly `(block_params.len() / 4) · W` long.
+#[allow(clippy::too_many_arguments)]
+pub fn ln_surv_bisect<const W: usize>(
+    lo: &mut [f64; W],
+    hi: &mut [f64; W],
+    target: f64,
+    steps: u32,
+    block_params: &[f64],
+    bu: &[f64],
+    bbv: &[f64],
+) {
+    assert_eq!(
+        block_params.len() % 4,
+        0,
+        "block params are (ln_rate, area, x_small, x_sat) quads"
+    );
+    let n = block_params.len() / 4 * W;
+    assert_eq!(bu.len(), n, "bu tile length mismatch");
+    assert_eq!(bbv.len(), n, "bbv tile length mismatch");
+    match isa() {
+        Isa::Portable => ln_surv_bisect_body::<W>(lo, hi, target, steps, block_params, bu, bbv),
+        // SAFETY: `isa()` only reports tiers confirmed by runtime CPUID
+        // feature detection on this machine.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            ln_surv_bisect_avx2::<W>(lo, hi, target, steps, block_params, bu, bbv)
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe {
+            ln_surv_bisect_avx512::<W>(lo, hi, target, steps, block_params, bu, bbv)
+        },
     }
 }
 
@@ -1362,6 +1793,120 @@ mod tests {
             );
         }
         force_width(None);
+    }
+
+    #[test]
+    fn lane_dot_acc_matches_scalar_bitwise() {
+        // Each lane must reproduce a scalar left-to-right dot product bit
+        // for bit — the property the SoA (u, v) tile evaluation rests on.
+        let coeffs: Vec<f64> = (0..17).map(|k| 0.3 - 0.07 * k as f64).collect();
+        const W: usize = 4;
+        let tile: Vec<f64> = (0..17 * W).map(|i| (i as f64 * 0.831).sin()).collect();
+        let mut acc = [1.5; W];
+        lane_dot_acc::<W>(&coeffs, &tile, &mut acc);
+        let mut sq = [0.25; W];
+        lane_dot_sq_acc::<W>(&coeffs, &tile, &mut sq);
+        for w in 0..W {
+            let mut scalar = 1.5;
+            let mut d = 0.0;
+            for (k, &c) in coeffs.iter().enumerate() {
+                scalar += c * tile[k * W + w];
+                d += c * tile[k * W + w];
+            }
+            assert_eq!(acc[w].to_bits(), scalar.to_bits(), "dot lane {w}");
+            let scalar_sq = 0.25 + d * d;
+            assert_eq!(sq[w].to_bits(), scalar_sq.to_bits(), "dot-sq lane {w}");
+        }
+    }
+
+    #[test]
+    fn lane_masks_and_selects() {
+        let xs = [1.0, 2.0, f64::NAN, -3.0];
+        let mask = lane_le::<4>(&xs, 1.5);
+        assert_eq!(mask, [true, false, false, true]);
+        let a = [10.0, 20.0, 30.0, 40.0];
+        let b = [-1.0, -2.0, -3.0, -4.0];
+        let sel = lane_select::<4>(&mask, &a, &b);
+        assert_eq!(sel, [10.0, -2.0, -3.0, 40.0]);
+        // Selects are bit-exact: -0.0 and NaN payloads survive.
+        let weird = lane_select::<2>(&[true, false], &[-0.0, -0.0], &[f64::NAN, f64::NAN]);
+        assert_eq!(weird[0].to_bits(), (-0.0f64).to_bits());
+        assert!(weird[1].is_nan());
+        assert!(lane_any::<4>(&mask));
+        assert!(!lane_all::<4>(&mask));
+        assert!(lane_all::<2>(&[true, true]));
+        assert!(!lane_any::<2>(&[false, false]));
+    }
+
+    #[test]
+    fn ln_surv_tile_sum_matches_three_pass_composition_bitwise() {
+        // The fused kernel must evaluate exactly what the dispatched
+        // exp → scale → exp_m1 → clamp → ln_1p pipeline evaluates — the
+        // bisection's cross-width agreement bound is derived from that
+        // composition's error budget, and the fusion is a dispatch
+        // economization, not a re-derivation.
+        const W: usize = 8;
+        let mut block_params = Vec::new();
+        for (ln_rate, area) in [(2.1, 60_000.0), (1.7, 140_000.0), (-0.4, 5.0)] {
+            block_params.extend([
+                ln_rate,
+                area,
+                failure_poly_threshold(area),
+                failure_sat_threshold(area),
+            ]);
+        }
+        let n_blocks = block_params.len() / 4;
+        let bu: Vec<f64> = (0..n_blocks * W)
+            .map(|i| -9.0 - (i as f64 * 0.37).sin())
+            .collect();
+        let bbv: Vec<f64> = (0..n_blocks * W)
+            .map(|i| 1e-4 * (1.0 + (i as f64 * 0.61).cos()))
+            .collect();
+        // The x sweep crosses all three screened regimes (saturated
+        // early ages, mixed, and the small-arm convergence zone).
+        for x0 in [5.0, 10.0, 14.0, 18.0, 22.5, 26.0, 30.0] {
+            let mut x = [0.0; W];
+            for (w, xv) in x.iter_mut().enumerate() {
+                *xv = x0 + 0.25 * w as f64;
+            }
+            let mut fused = [0.0; W];
+            ln_surv_tile_sum::<W>(&x, &block_params, &bu, &bbv, &mut fused);
+
+            // Reference: the three-pass composition over the same tile,
+            // through the same cores.
+            let mut a = vec![0.0; n_blocks * W];
+            let mut b = vec![0.0; n_blocks * W];
+            for j in 0..n_blocks {
+                let ln_rate = block_params[4 * j];
+                for w in 0..W {
+                    let gamma = ln_rate + x[w];
+                    a[j * W + w] = gamma * bu[j * W + w] + 0.5 * gamma * gamma * bbv[j * W + w];
+                }
+            }
+            for (bi, &ai) in b.iter_mut().zip(&a) {
+                *bi = exp_core(ai);
+            }
+            for j in 0..n_blocks {
+                let area = block_params[4 * j + 1];
+                for g in &mut b[j * W..(j + 1) * W] {
+                    *g *= -area;
+                }
+            }
+            for (ai, &bi) in a.iter_mut().zip(&b) {
+                *ai = exp_m1_core(bi);
+            }
+            for e in a.iter_mut() {
+                *e = -((-*e).clamp(0.0, 1.0));
+            }
+            for (bi, &ai) in b.iter_mut().zip(&a) {
+                *bi = ln_1p_core(ai);
+            }
+            let mut want = [0.0; W];
+            lane_sum_acc::<W>(&b, &mut want);
+            for w in 0..W {
+                assert_eq!(fused[w].to_bits(), want[w].to_bits(), "lane {w} at x0 {x0}");
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,47 @@ impl<'a> FieldSampler<'a> {
         self.model
     }
 
+    /// Discards any cached polar-method spare, restoring the sampler to
+    /// its freshly-constructed draw state.
+    ///
+    /// A reused sampler that starts chip `i+1` with chip `i`'s leftover
+    /// spare would shift every subsequent draw; resetting makes a hoisted
+    /// per-shard sampler draw-for-draw identical to constructing a fresh
+    /// one per chip.
+    pub fn reset(&mut self) {
+        self.normal = NormalSampler::new();
+    }
+
+    /// Draws one die's principal components into lane `lane` of a
+    /// `width`-interleaved SoA tile: component `k` lands at
+    /// `z_tile[k·width + lane]`.
+    ///
+    /// Draw order is identical to [`FieldSampler::sample_z_into`] — only
+    /// the destination stride differs — so a lane consumes exactly the
+    /// substream its chip would consume on the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width` or `z_tile.len()` is not `width` times
+    /// the model's component count.
+    pub fn sample_z_lane<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        z_tile: &mut [f64],
+        width: usize,
+        lane: usize,
+    ) {
+        assert!(lane < width, "lane index out of range");
+        assert_eq!(
+            z_tile.len(),
+            self.model.n_components() * width,
+            "z tile length must be width times the model's component count"
+        );
+        for slot in z_tile[lane..].iter_mut().step_by(width) {
+            *slot = self.normal.sample(rng);
+        }
+    }
+
     /// Draws one die: principal components and grid base thicknesses.
     pub fn sample_die<R: Rng + ?Sized>(&mut self, rng: &mut R) -> GridBaseSample {
         let mut z = vec![0.0; self.model.n_components()];
@@ -221,6 +262,39 @@ mod tests {
             sampler_b.sample_z_into(&mut rng_b, &mut z);
             for (a, b) in die.z.iter().zip(&z) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_z_lane_matches_sample_z_into_bitwise() {
+        // Same RNG state, same draws — only the destination stride
+        // differs. Also covers reset(): the reused sampler must behave
+        // like a fresh one even when a spare was cached mid-stream.
+        let m = model();
+        let n_pc = m.n_components();
+        const W: usize = 4;
+        let mut sampler = FieldSampler::new(&m);
+        let mut poison_rng = Xoshiro256pp::seed_from_u64(1);
+        let die = FieldSampler::new(&m).sample_die(&mut poison_rng);
+        let mut z = vec![0.0; n_pc];
+        let mut tile = vec![0.0; n_pc * W];
+        for lane in 0..W {
+            let mut rng_a = Xoshiro256pp::seed_from_u64(400 + lane as u64);
+            let mut rng_b = rng_a.clone();
+            // Poison the sampler with a cached spare (a lone sample()
+            // call always leaves one); reset must clear it.
+            sampler.sample_device(&mut poison_rng, &die, 0);
+            sampler.reset();
+            sampler.sample_z_lane(&mut rng_a, &mut tile, W, lane);
+            let mut fresh = FieldSampler::new(&m);
+            fresh.sample_z_into(&mut rng_b, &mut z);
+            for k in 0..n_pc {
+                assert_eq!(
+                    tile[k * W + lane].to_bits(),
+                    z[k].to_bits(),
+                    "component {k} lane {lane}"
+                );
             }
         }
     }

@@ -949,6 +949,13 @@ fn fleet(design_arg: &str, opts: &FleetOptions) -> Result<(), String> {
         report.threads, report.shards, report.run_s, report.chips_per_s, report.workspaces_created
     );
     println!(
+        "  {}: {} chips/tile, {} lane tile(s), scalar tail {} chip(s)",
+        report.lanes,
+        report.lane_width,
+        report.lane_tiles,
+        a.chips - report.lane_tiles * report.lane_width
+    );
+    println!(
         "budget P = {:.1e}: {} chips over budget at mission end ({:.3}%)",
         a.budget,
         a.exceed_budget,

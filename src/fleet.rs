@@ -33,6 +33,24 @@
 //! Quantiles are extracted deterministically from the merged counts, so
 //! the whole [`FleetAggregates`] value is reproducible bit-for-bit.
 //!
+//! # Lane tiling
+//!
+//! The hot path evaluates chips in **lane tiles** of the active
+//! `num::simd` width `W` (8 on AVX-512F, 4 on AVX2), lane dimension
+//! across chips: each lane still consumes its own `substream(chip)` in
+//! the documented draw order (the sampling stays per-lane scalar — the
+//! polar method is rejection-based), but the `(u, v)` dot products, the
+//! mission-end failure terms and each of the 52 lifetime-bisection steps
+//! run `W` chips at once through the lane kernels, with per-lane lo/hi
+//! selects and censoring masks. Lane-tile boundaries are absolute
+//! multiples of `W` inside the fixed [`TILE_CHIPS`] work tiles
+//! (`TILE_CHIPS % 8 == 0`), so a chip's route — and therefore its bits —
+//! is a pure function of `(chip, chips, W)`, never of the shard layout:
+//! the bit-identity guarantees above hold per fixed width. Width 1 and
+//! the ragged tail at `chips` route through the scalar reference path
+//! [`CompiledFleet::evaluate_chip`]; tiled and scalar outcomes agree to
+//! ≤ 1e-12 relative per chip (enforced by `tests/fleet_consistency.rs`).
+//!
 //! # Constant-memory guarantee
 //!
 //! The hot path is allocation-free per chip: each shard allocates one
@@ -56,13 +74,17 @@ use statobd_manager::MissionProfile;
 use statobd_num::impl_json_struct;
 use statobd_num::parallel::{resolve_threads, run_indexed};
 use statobd_num::rng::{Rng, Xoshiro256pp};
+use statobd_num::simd::{self, LaneWidth};
 use statobd_num::stats::QuantileSketch;
-use statobd_variation::{FieldSampler, SystematicPattern};
+use statobd_variation::{FieldSampler, SystematicPattern, ThicknessModel};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Chips per work tile. Shards own contiguous tile ranges; the tile size
 /// is a fixed constant so the chip → shard assignment depends only on the
 /// shard count — and per-chip results depend on neither (substream RNG).
+/// A multiple of every lane width (8, 4, 1), so lane tiles never straddle
+/// a work-tile boundary and their start positions are absolute multiples
+/// of the width regardless of the shard layout.
 const TILE_CHIPS: u64 = 256;
 
 /// Quantile levels reported for the lifetime / FIT / mission-probability
@@ -187,6 +209,11 @@ struct BlockMission {
 struct CompiledFleet<'a> {
     analysis: &'a ChipAnalysis,
     blocks: Vec<BlockMission>,
+    /// Flat `(ln_rate, area, x_small, x_sat)` quad per block — the
+    /// parameter layout of the fused [`simd::ln_surv_tile_sum`]
+    /// bisection kernel, with the regime-screen thresholds precomputed
+    /// once per compile.
+    block_params: Vec<f64>,
     base_rng: Xoshiro256pp,
     wafer: SystematicPattern,
     budget: f64,
@@ -197,22 +224,43 @@ struct CompiledFleet<'a> {
 /// Per-shard scratch buffers, allocated once and reused by every chip the
 /// shard evaluates (the constant-memory guarantee).
 #[derive(Debug)]
-struct Workspace {
-    /// Principal-component draw of the current chip.
+struct Workspace<'a> {
+    /// The shard's thickness-field sampler, hoisted out of the per-chip
+    /// loop and [`FieldSampler::reset`] per chip — so the hot path runs
+    /// no constructor at all.
+    sampler: FieldSampler<'a>,
+    /// Principal-component draw of the current chip (scalar path).
     z: Vec<f64>,
-    /// Per-block `b_eff·u` of the current chip.
+    /// Per-block `b_eff·u` of the current chip (scalar path).
     bu: Vec<f64>,
-    /// Per-block `b_eff²·v` of the current chip.
+    /// Per-block `b_eff²·v` of the current chip (scalar path).
     bbv: Vec<f64>,
+    /// SoA principal-component tile: `z_tile[k·W + w]` is component `k`
+    /// of the tile's lane-`w` chip.
+    z_tile: Vec<f64>,
+    /// Per-`[block][lane]` `b_eff·u` of the current tile.
+    tile_bu: Vec<f64>,
+    /// Per-`[block][lane]` `b_eff²·v` of the current tile.
+    tile_bbv: Vec<f64>,
 }
 
-impl Workspace {
-    fn new(n_components: usize, n_blocks: usize, created: &AtomicU64) -> Self {
+impl<'a> Workspace<'a> {
+    fn new(
+        model: &'a ThicknessModel,
+        n_components: usize,
+        n_blocks: usize,
+        lanes: usize,
+        created: &AtomicU64,
+    ) -> Self {
         created.fetch_add(1, Ordering::Relaxed);
         Workspace {
+            sampler: FieldSampler::new(model),
             z: vec![0.0; n_components],
             bu: vec![0.0; n_blocks],
             bbv: vec![0.0; n_blocks],
+            z_tile: vec![0.0; n_components * lanes],
+            tile_bu: vec![0.0; n_blocks * lanes],
+            tile_bbv: vec![0.0; n_blocks * lanes],
         }
     }
 }
@@ -386,6 +434,14 @@ pub struct FleetReport {
     pub threads: u64,
     /// Resolved shard count.
     pub shards: u64,
+    /// SIMD lane dispatch active during the run, e.g.
+    /// `"8 lanes (avx512f, default)"` (see [`simd::dispatch_label`]).
+    pub lanes: String,
+    /// Chips evaluated per lane tile (1 = the scalar reference path).
+    pub lane_width: u64,
+    /// Full lane tiles evaluated through the tiled path; the ragged tail
+    /// at the fleet end and width-1 runs go through the scalar path.
+    pub lane_tiles: u64,
     /// Wall time of the evaluation+reduction (seconds).
     pub run_s: f64,
     /// Headline throughput: chips evaluated per second.
@@ -399,6 +455,9 @@ impl_json_struct!(FleetReport {
     aggregates,
     threads,
     shards,
+    lanes,
+    lane_width,
+    lane_tiles,
     run_s,
     chips_per_s,
     workspaces_created,
@@ -418,7 +477,7 @@ fn compile_fleet<'a>(
     for phase_spec in config.profile.phases() {
         phase_spec.resolve(spec).validate(spec.n_blocks())?;
     }
-    let blocks = analysis
+    let blocks: Vec<BlockMission> = analysis
         .blocks()
         .iter()
         .map(|block| {
@@ -440,9 +499,21 @@ fn compile_fleet<'a>(
             }
         })
         .collect();
+    let block_params = blocks
+        .iter()
+        .flat_map(|m| {
+            [
+                m.ln_rate,
+                m.area,
+                simd::failure_poly_threshold(m.area),
+                simd::failure_sat_threshold(m.area),
+            ]
+        })
+        .collect();
     Ok(CompiledFleet {
         analysis,
         blocks,
+        block_params,
         base_rng: Xoshiro256pp::seed_from_u64(config.seed),
         wafer: config.wafer,
         budget: config.budget,
@@ -451,18 +522,19 @@ fn compile_fleet<'a>(
 }
 
 impl CompiledFleet<'_> {
-    /// Evaluates chip `chip` into `ws`, allocation-free.
-    fn evaluate_chip(&self, chip: u64, ws: &mut Workspace) -> ChipOutcome {
+    /// Evaluates chip `chip` into `ws`, allocation-free — the scalar
+    /// reference path (lane width 1 and the ragged tail tile).
+    fn evaluate_chip(&self, chip: u64, ws: &mut Workspace<'_>) -> ChipOutcome {
         let mut rng = self.base_rng.substream(chip);
         // Draw order is part of the contract (the consistency test
         // replays it): wafer position first, then the principal
-        // components. A fresh FieldSampler per chip is free (a reference
-        // plus an empty spare cache) and keeps chips fully independent.
+        // components. The shard sampler is reset per chip — draw-for-draw
+        // identical to a fresh sampler, with no per-chip constructor.
         let x = rng.gen_range(0.0..1.0);
         let y = rng.gen_range(0.0..1.0);
         let offset = self.wafer.offset(x, y);
-        let mut sampler = FieldSampler::new(self.analysis.model());
-        sampler.sample_z_into(&mut rng, &mut ws.z);
+        ws.sampler.reset();
+        ws.sampler.sample_z_into(&mut rng, &mut ws.z);
 
         // Mission-end failure probability, weakest-link composed, and the
         // per-block (b·u, b²·v) cache for the lifetime solve.
@@ -527,6 +599,203 @@ impl CompiledFleet<'_> {
             censored_high,
         }
     }
+
+    /// Evaluates the chip range `[chip_lo, chip_hi)` through the active
+    /// lane dispatch, feeding each outcome to `sink` in chip order and
+    /// returning the number of full lane tiles evaluated.
+    ///
+    /// Width 1 routes every chip through the scalar reference path
+    /// ([`CompiledFleet::evaluate_chip`]) — bit-identical to the
+    /// pre-tiling code by construction. At widths 4/8 full `W`-chip tiles
+    /// go through [`CompiledFleet::evaluate_tile`]; the ragged tail
+    /// (fewer than `W` chips at the range end) falls back to the scalar
+    /// path. Callers pass work-tile ranges aligned to [`TILE_CHIPS`], so
+    /// tails only occur at the fleet end and tile membership is a pure
+    /// function of `(chip, chips, W)`.
+    fn evaluate_range(
+        &self,
+        chip_lo: u64,
+        chip_hi: u64,
+        width: LaneWidth,
+        ws: &mut Workspace<'_>,
+        sink: &mut impl FnMut(ChipOutcome),
+    ) -> u64 {
+        match width {
+            LaneWidth::W1 => {
+                for chip in chip_lo..chip_hi {
+                    sink(self.evaluate_chip(chip, ws));
+                }
+                0
+            }
+            LaneWidth::W4 => self.evaluate_range_tiled::<4>(chip_lo, chip_hi, ws, sink),
+            LaneWidth::W8 => self.evaluate_range_tiled::<8>(chip_lo, chip_hi, ws, sink),
+        }
+    }
+
+    fn evaluate_range_tiled<const W: usize>(
+        &self,
+        chip_lo: u64,
+        chip_hi: u64,
+        ws: &mut Workspace<'_>,
+        sink: &mut impl FnMut(ChipOutcome),
+    ) -> u64 {
+        let n = chip_hi.saturating_sub(chip_lo);
+        let full = n - n % W as u64;
+        let mut tiles = 0;
+        let mut chip = chip_lo;
+        while chip < chip_lo + full {
+            for outcome in self.evaluate_tile::<W>(chip, ws) {
+                sink(outcome);
+            }
+            tiles += 1;
+            chip += W as u64;
+        }
+        for chip in chip_lo + full..chip_hi {
+            sink(self.evaluate_chip(chip, ws));
+        }
+        tiles
+    }
+
+    /// Evaluates the `W` chips `chip0..chip0 + W` as one lane tile:
+    /// per-lane scalar sampling (the substream draw-order contract), then
+    /// `(u, v)` dot products, mission-end failure terms and the
+    /// lane-parallel masked lifetime bisection across all `W` chips at
+    /// once. Agrees with [`CompiledFleet::evaluate_chip`] to ≤ 1e-12
+    /// relative per chip (the lane kernels' error budget).
+    fn evaluate_tile<const W: usize>(
+        &self,
+        chip0: u64,
+        ws: &mut Workspace<'_>,
+    ) -> [ChipOutcome; W] {
+        // Sampling stays per-lane scalar — the polar method is
+        // rejection-based, so each lane consumes exactly the substream
+        // draws its chip would consume on the scalar path.
+        let mut offsets = [0.0; W];
+        for (w, offset) in offsets.iter_mut().enumerate() {
+            let mut rng = self.base_rng.substream(chip0 + w as u64);
+            let x = rng.gen_range(0.0..1.0);
+            let y = rng.gen_range(0.0..1.0);
+            *offset = self.wafer.offset(x, y);
+            ws.sampler.reset();
+            ws.sampler.sample_z_lane(&mut rng, &mut ws.z_tile, W, w);
+        }
+
+        // Mission end: (u, v) lane dots per block, the failure term for
+        // all W chips through the fused kernel, per-lane weakest link.
+        let mut u = [0.0; W];
+        let mut v = [0.0; W];
+        let mut args = [0.0; W];
+        let mut p = [0.0; W];
+        let mut ln_survival = [0.0; W];
+        let mut weakest_p = [f64::NEG_INFINITY; W];
+        let mut weakest_block = [0usize; W];
+        for (j, (block, mission)) in self.analysis.blocks().iter().zip(&self.blocks).enumerate() {
+            block
+                .moments()
+                .uv_given_z_tile::<W>(&ws.z_tile, &mut u, &mut v);
+            for w in 0..W {
+                let uw = u[w] + offsets[w];
+                ws.tile_bu[j * W + w] = mission.b_eff * uw;
+                ws.tile_bbv[j * W + w] = mission.b_eff * mission.b_eff * v[w];
+                args[w] = mission.coeff_mission.s1 * uw + mission.coeff_mission.s2 * v[w];
+            }
+            simd::failure_term_slice(&args, mission.area, &mut p);
+            for w in 0..W {
+                // Same composition as WeakestLink::absorb; ties in the
+                // argmax resolve to the lowest index via the strict `>`,
+                // exactly like the scalar path.
+                ln_survival[w] += (-p[w].clamp(0.0, 1.0)).ln_1p();
+                if p[w] > weakest_p[w] {
+                    weakest_p[w] = p[w];
+                    weakest_block[w] = j;
+                }
+            }
+        }
+
+        // Censoring masks from the bracket edges, with the scalar path's
+        // precedence: a low-censored lane never reports high censoring.
+        let target = self.ln1p_neg_budget;
+        let lo_edge = [LIFE_BRACKET_S.0.ln(); W];
+        let hi_edge = [LIFE_BRACKET_S.1.ln(); W];
+        let mut s = [0.0; W];
+        self.ln_surv_tile::<W>(&lo_edge, ws, &mut s);
+        let censored_low = simd::lane_le::<W>(&s, target);
+        self.ln_surv_tile::<W>(&hi_edge, ws, &mut s);
+        let reaches_budget = simd::lane_le::<W>(&s, target);
+        let mut active = [false; W];
+        let mut censored_high = [false; W];
+        for w in 0..W {
+            censored_high[w] = !censored_low[w] && !reaches_budget[w];
+            active[w] = !censored_low[w] && !censored_high[w];
+        }
+
+        // Lane-parallel masked bisection: every step evaluates ln S for
+        // all W chips at once; per-lane selects move each lane's own
+        // bracket. Censored lanes ride along harmlessly (their bracket
+        // converges somewhere, but the censored edge wins below); if the
+        // whole tile is censored the 52 steps are skipped. The whole
+        // solve is one dispatched kernel call so the brackets stay in
+        // registers across steps — see [`simd::ln_surv_bisect`].
+        let mut lo = lo_edge;
+        let mut hi = hi_edge;
+        if simd::lane_any::<W>(&active) {
+            let n = self.blocks.len() * W;
+            simd::ln_surv_bisect::<W>(
+                &mut lo,
+                &mut hi,
+                target,
+                LIFE_BISECTIONS,
+                &self.block_params,
+                &ws.tile_bu[..n],
+                &ws.tile_bbv[..n],
+            );
+        }
+
+        let mut out = [ChipOutcome {
+            p_mission: 0.0,
+            weakest_block: 0,
+            lifetime_s: 0.0,
+            censored_low: false,
+            censored_high: false,
+        }; W];
+        for w in 0..W {
+            let lifetime_s = if censored_low[w] {
+                LIFE_BRACKET_S.0
+            } else if censored_high[w] {
+                LIFE_BRACKET_S.1
+            } else {
+                (0.5 * (lo[w] + hi[w])).exp()
+            };
+            out[w] = ChipOutcome {
+                p_mission: -ln_survival[w].exp_m1(),
+                weakest_block: weakest_block[w],
+                lifetime_s,
+                censored_low: censored_low[w],
+                censored_high: censored_high[w],
+            };
+        }
+        out
+    }
+
+    /// The tile log-survival `s[w] = ln S_w(x[w])` at per-lane ages
+    /// `x = ln t`, through the fused lane `exp`/`exp_m1`/`ln_1p` kernel
+    /// over the `[block][lane]` scratch — the lane-width form of the
+    /// scalar path's `ln_surv` closure, same op order per element and
+    /// block-sequential per-lane sums (the scalar accumulation order),
+    /// so lane and scalar ln S differ only by the kernels' elementwise
+    /// rounding. One dispatched call per bisection step; see
+    /// [`simd::ln_surv_tile_sum`] for why fusion matters on the
+    /// `n_blocks·W`-element tiles this produces.
+    fn ln_surv_tile<const W: usize>(&self, x: &[f64; W], ws: &mut Workspace<'_>, s: &mut [f64; W]) {
+        let n = self.blocks.len() * W;
+        simd::ln_surv_tile_sum::<W>(
+            x,
+            &self.block_params,
+            &ws.tile_bu[..n],
+            &ws.tile_bbv[..n],
+            s,
+        );
+    }
 }
 
 /// Runs a fleet: samples `config.chips` chip instances, evaluates each
@@ -552,23 +821,36 @@ pub fn run_fleet(
         .max(1)
         .min(n_tiles.max(1) as usize);
     let n_blocks = analysis.n_blocks();
-    let n_components = analysis.model().n_components();
+    let model = analysis.model();
+    let n_components = model.n_components();
     let workspaces_created = AtomicU64::new(0);
+    let lane_tiles = AtomicU64::new(0);
+    // Captured once so every shard runs the same dispatch even if a
+    // concurrent force_width lands mid-run.
+    let width = simd::active_width();
 
     // Shard s owns the contiguous tile range [s·T/S, (s+1)·T/S).
     let shard_results: Vec<Result<ShardAcc>> = run_indexed(shards, threads, |s| {
         let mut acc = ShardAcc::new(n_blocks)?;
-        let mut ws = Workspace::new(n_components, n_blocks, &workspaces_created);
+        let mut ws = Workspace::new(
+            model,
+            n_components,
+            n_blocks,
+            width.lanes(),
+            &workspaces_created,
+        );
         let tile_lo = n_tiles * s as u64 / shards as u64;
         let tile_hi = n_tiles * (s as u64 + 1) / shards as u64;
+        let mut shard_lane_tiles = 0;
         for tile in tile_lo..tile_hi {
             let chip_lo = tile * TILE_CHIPS;
             let chip_hi = (chip_lo + TILE_CHIPS).min(config.chips);
-            for chip in chip_lo..chip_hi {
-                let outcome = compiled.evaluate_chip(chip, &mut ws);
-                acc.absorb(&outcome, compiled.budget);
-            }
+            shard_lane_tiles +=
+                compiled.evaluate_range(chip_lo, chip_hi, width, &mut ws, &mut |outcome| {
+                    acc.absorb(&outcome, compiled.budget);
+                });
         }
+        lane_tiles.fetch_add(shard_lane_tiles, Ordering::Relaxed);
         Ok(acc)
     });
 
@@ -622,6 +904,9 @@ pub fn run_fleet(
         aggregates,
         threads: threads as u64,
         shards: shards as u64,
+        lanes: simd::dispatch_label(),
+        lane_width: width.lanes() as u64,
+        lane_tiles: lane_tiles.load(Ordering::Relaxed),
         run_s,
         chips_per_s: config.chips as f64 / run_s.max(1e-12),
         workspaces_created: workspaces_created.load(Ordering::Relaxed),
@@ -632,6 +917,12 @@ pub fn run_fleet(
 /// chip's individual outcome — the cross-check surface for the
 /// consistency tests (`tests/fleet_consistency.rs`), which re-derive the
 /// same outcomes through the public per-instance APIs.
+///
+/// Chips route through the same lane-tiled dispatch as [`run_fleet`], so
+/// outcomes match the streaming run bit for bit whenever `n` equals
+/// `config.chips` or is a multiple of the active lane width (otherwise
+/// the last few chips take the scalar tail here but a lane tile there —
+/// still within the 1e-12 cross-path gate).
 ///
 /// # Errors
 ///
@@ -644,14 +935,24 @@ pub fn chip_outcomes(
 ) -> Result<Vec<ChipOutcome>> {
     let compiled = compile_fleet(analysis, tech, config)?;
     let counter = AtomicU64::new(0);
+    let width = simd::active_width();
     let mut ws = Workspace::new(
+        analysis.model(),
         analysis.model().n_components(),
         analysis.n_blocks(),
+        width.lanes(),
         &counter,
     );
-    Ok((0..n.min(config.chips))
-        .map(|chip| compiled.evaluate_chip(chip, &mut ws))
-        .collect())
+    let n = n.min(config.chips);
+    let mut outcomes = Vec::with_capacity(n as usize);
+    for tile in 0..n.div_ceil(TILE_CHIPS) {
+        let chip_lo = tile * TILE_CHIPS;
+        let chip_hi = (chip_lo + TILE_CHIPS).min(n);
+        compiled.evaluate_range(chip_lo, chip_hi, width, &mut ws, &mut |outcome| {
+            outcomes.push(outcome);
+        });
+    }
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -802,6 +1103,63 @@ mod tests {
             stress.aggregates.lifetime_quantiles_s[3],
             field.aggregates.lifetime_quantiles_s[3]
         );
+    }
+
+    /// Width 1 must route through [`CompiledFleet::evaluate_chip`]
+    /// verbatim — the scalar libm path, not a 1-lane instance of the
+    /// tiled kernels (whose `exp`/`exp_m1`/`ln_1p` cores round
+    /// differently in the last ulp). Routing W1 through
+    /// `evaluate_tile::<1>` would silently break the historical bits.
+    #[test]
+    fn width_1_dispatch_is_bit_identical_to_scalar_reference() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let config = small_config(37);
+        let compiled = compile_fleet(session.analysis(), &tech, &config).unwrap();
+        let model = session.analysis().model();
+        let counter = AtomicU64::new(0);
+        let n_blocks = session.analysis().n_blocks();
+        let mut ws = Workspace::new(model, model.n_components(), n_blocks, 1, &counter);
+        let mut w1 = Vec::new();
+        let tiles = compiled.evaluate_range(0, 37, LaneWidth::W1, &mut ws, &mut |o| w1.push(o));
+        assert_eq!(tiles, 0, "width 1 reports no lane tiles");
+        assert_eq!(w1.len(), 37);
+        for (chip, t) in w1.iter().enumerate() {
+            let s = compiled.evaluate_chip(chip as u64, &mut ws);
+            assert_eq!(
+                t.p_mission.to_bits(),
+                s.p_mission.to_bits(),
+                "chip {chip} p"
+            );
+            assert_eq!(
+                t.lifetime_s.to_bits(),
+                s.lifetime_s.to_bits(),
+                "chip {chip} lifetime"
+            );
+            assert_eq!(
+                (t.weakest_block, t.censored_low, t.censored_high),
+                (s.weakest_block, s.censored_low, s.censored_high),
+                "chip {chip} discrete outcome"
+            );
+        }
+    }
+
+    /// The ragged tail below one lane width must fall back to the scalar
+    /// path and report zero tiles; full tiles are counted.
+    #[test]
+    fn tiled_range_counts_tiles_and_covers_ragged_tail() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let config = small_config(19);
+        let compiled = compile_fleet(session.analysis(), &tech, &config).unwrap();
+        let model = session.analysis().model();
+        let counter = AtomicU64::new(0);
+        let n_blocks = session.analysis().n_blocks();
+        let mut ws = Workspace::new(model, model.n_components(), n_blocks, 8, &counter);
+        let mut seen = 0u64;
+        let tiles = compiled.evaluate_range(0, 19, LaneWidth::W8, &mut ws, &mut |_| seen += 1);
+        assert_eq!(tiles, 2, "19 chips = 2 full width-8 tiles + tail of 3");
+        assert_eq!(seen, 19, "every chip reported exactly once");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! | `sweep` | `session`, `t_lo_s`, `t_hi_s`, `points` | `curve` = `[[t, p], ...]` |
 //! | `lifetime` | `session`, `target` | `t_s`, `years` |
 //! | `manage_step` | `session`, `dt_s`, `vdd_v`, `temps_k` *or* `dt_k` | `p_now`, `p_projected`, `level`, `capped`, `vdd_v` |
-//! | `fleet` | `session`, opt. `chips`, `profile`, `seed`, `budget`, `shards` | `aggregates`, `threads`, `shards`, `run_s`, `chips_per_s`, `workspaces_created` |
+//! | `fleet` | `session`, opt. `chips`, `profile`, `seed`, `budget`, `shards` | `aggregates`, `threads`, `shards`, `lanes`, `lane_width`, `lane_tiles`, `run_s`, `chips_per_s`, `workspaces_created` |
 //! | `stats` | `session` | `stats`, `lanes` (SIMD lane dispatch label) |
 //! | `close` | `session` | `closed` |
 //! | `shutdown` | — | — (server exits after replying) |
@@ -512,6 +512,26 @@ mod tests {
             Some("htol"),
             "{}",
             replies[1].to_compact()
+        );
+        // The reply self-describes the lane-tiled dispatch.
+        assert!(
+            replies[1]
+                .get("lanes")
+                .and_then(Json::as_str)
+                .is_some_and(|l| !l.is_empty()),
+            "fleet reply carries the lane dispatch label"
+        );
+        let lane_width = replies[1]
+            .get("lane_width")
+            .and_then(Json::as_f64)
+            .expect("lane_width field");
+        let lane_tiles = replies[1]
+            .get("lane_tiles")
+            .and_then(Json::as_f64)
+            .expect("lane_tiles field");
+        assert!(
+            lane_tiles * lane_width <= 600.0,
+            "tiles cover at most the fleet: {lane_tiles} x {lane_width}"
         );
         // A different shard count must not change the aggregates.
         assert_eq!(

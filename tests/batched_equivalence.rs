@@ -7,8 +7,42 @@
 
 use statobd::circuits::{build_design, Benchmark, DesignConfig};
 use statobd::core::{build_engine, ChipAnalysis, EngineKind, EngineSpec, MonteCarloConfig};
+use statobd::core::{ReliabilityEngine, StMc, StMcConfig};
 use statobd::device::ClosedFormTech;
+use statobd::num::simd::{self, LaneWidth};
 use statobd::variation::{CorrelationKernel, ThicknessModelBuilder, VarianceBudget};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lane-width forcing is process-global, so the cross-width test holds
+/// this lock while overriding and every other test holds it plainly —
+/// otherwise a width flip mid-test could change an engine's lane
+/// dispatch between its scalar reference and batched evaluation.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn width_guard() -> MutexGuard<'static, ()> {
+    WIDTH_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII width override; restores the environment default on drop.
+struct ForcedWidth(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ForcedWidth {
+    fn new(w: LaneWidth) -> Self {
+        let guard = width_guard();
+        simd::force_width(Some(w));
+        ForcedWidth(guard)
+    }
+
+    fn set(&self, w: LaneWidth) {
+        simd::force_width(Some(w));
+    }
+}
+
+impl Drop for ForcedWidth {
+    fn drop(&mut self) {
+        simd::force_width(None);
+    }
+}
 
 fn c1_analysis() -> ChipAnalysis {
     let built = build_design(
@@ -47,6 +81,7 @@ fn spec_for(kind: EngineKind, threads: usize) -> EngineSpec {
 
 #[test]
 fn batched_matches_scalar_loop_for_every_engine_at_any_thread_count() {
+    let _width = width_guard();
     let analysis = c1_analysis();
     // Log-spaced sweep wide enough to hit P ~ 0 and P ~ 1 regions, with an
     // awkward length (not a multiple of any internal chunking).
@@ -82,6 +117,7 @@ fn batched_matches_scalar_loop_for_every_engine_at_any_thread_count() {
 /// repeated identical points.
 #[test]
 fn batched_handles_degenerate_sweeps() {
+    let _width = width_guard();
     let analysis = c1_analysis();
     for kind in EngineKind::ALL {
         let mut engine = build_engine(&analysis, &spec_for(kind, 2)).expect("engine");
@@ -100,6 +136,47 @@ fn batched_handles_degenerate_sweeps() {
         assert!(
             repeated.iter().all(|p| p.to_bits() == scalar.to_bits()),
             "{kind}: repeated points differ"
+        );
+    }
+}
+
+/// The `st_MC` joint-PDF construction fills its sample chunks through
+/// the SoA `uv_given_z_tile` kernel; every lane accumulates in the same
+/// component order as the scalar fill, so the engine must be
+/// **bit-identical** across lane widths {1, 4, 8} — including the ragged
+/// tile tail an awkward sample count leaves in the final chunk.
+#[test]
+fn st_mc_chunk_fill_bit_identical_across_lane_widths() {
+    let analysis = c1_analysis();
+    let ts: Vec<f64> = (0..9).map(|i| 10f64.powf(7.0 + i as f64 * 0.5)).collect();
+    // 1037 = 4 full 256-sample chunks + 13: the last chunk exercises one
+    // full width-8 tile plus a 5-sample scalar tail (and a 1-sample tail
+    // at width 4), on top of the 2-thread chunk partitioning.
+    let config = StMcConfig {
+        n_samples: 1037,
+        threads: Some(2),
+        ..StMcConfig::default()
+    };
+    let guard = ForcedWidth::new(LaneWidth::W1);
+    let curve_at = |w: LaneWidth| -> Vec<f64> {
+        guard.set(w);
+        let mut engine = StMc::new(&analysis, config).expect("st_MC build");
+        engine.failure_probabilities(&ts).expect("batched P(t)")
+    };
+    let p1 = curve_at(LaneWidth::W1);
+    let p4 = curve_at(LaneWidth::W4);
+    let p8 = curve_at(LaneWidth::W8);
+    assert!(p1.iter().any(|&p| p > 1e-9), "degenerate st_MC curve");
+    for (i, ((&a, &b), &c)) in p1.iter().zip(&p4).zip(&p8).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "w4 differs at t[{i}]: {a:e} vs {b:e}"
+        );
+        assert_eq!(
+            a.to_bits(),
+            c.to_bits(),
+            "w8 differs at t[{i}]: {a:e} vs {c:e}"
         );
     }
 }

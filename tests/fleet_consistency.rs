@@ -1,15 +1,49 @@
 //! Fleet-simulation consistency: the sharded streaming reducer must agree
 //! chip-by-chip with a direct evaluation through the public per-instance
 //! APIs, and its aggregates must be bit-identical across every thread and
-//! shard layout.
+//! shard layout — at every lane width, with the lane-tiled path agreeing
+//! with the scalar reference within the 1e-12 cross-path gate.
+//!
+//! Lane-width forcing is process-global, so every test serializes on one
+//! mutex and restores the environment default before releasing.
 
 use statobd::core::{conditional_block_failure, GCoefficients, WeakestLink};
 use statobd::device::{ClosedFormTech, ObdTechnology};
 use statobd::manager::MissionProfile;
 use statobd::num::json;
 use statobd::num::rng::{Rng, Xoshiro256pp};
+use statobd::num::simd::{self, LaneWidth};
 use statobd::variation::FieldSampler;
 use statobd::{chip_outcomes, run_fleet, AnalysisSpec, FleetConfig, Session, FLEET_LIFE_BRACKET_S};
+use std::sync::{Mutex, MutexGuard};
+
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn width_guard() -> MutexGuard<'static, ()> {
+    WIDTH_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII width override holding the global lock; restores the
+/// environment-derived default on drop even on panic.
+struct ForcedWidth(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ForcedWidth {
+    fn new(w: LaneWidth) -> Self {
+        let guard = width_guard();
+        simd::force_width(Some(w));
+        ForcedWidth(guard)
+    }
+
+    fn set(&self, w: LaneWidth) {
+        simd::force_width(Some(w));
+    }
+}
+
+impl Drop for ForcedWidth {
+    fn drop(&mut self) {
+        simd::force_width(None);
+    }
+}
 
 fn session() -> Session {
     let mut chip = statobd::core::ChipSpec::new();
@@ -93,15 +127,18 @@ fn ln_survival_at(t_s: f64, u: &[f64], v: &[f64], blocks: &[RefBlock]) -> f64 {
     s
 }
 
-#[test]
-fn fleet_matches_direct_per_chip_evaluation() {
-    let session = session();
-    let config = config(64);
+/// Replays the documented sampling contract through the public APIs and
+/// checks every fleet outcome against it: mission-end probability within
+/// `1e-12` relative, exact weakest-block index, censoring flags pinned to
+/// the bracket edges, and uncensored lifetimes sitting on the budget.
+/// Run at each lane width this is the tiled-vs-scalar gate — the replay
+/// *is* the scalar reference computation.
+fn check_outcomes_against_direct(session: &Session, config: &FleetConfig, chips: u64, what: &str) {
     let tech = ClosedFormTech::nominal_45nm();
-    let outcomes = chip_outcomes(session.analysis(), &tech, &config, 64).unwrap();
-    assert_eq!(outcomes.len(), 64);
+    let outcomes = chip_outcomes(session.analysis(), &tech, config, chips).unwrap();
+    assert_eq!(outcomes.len(), chips as usize);
 
-    let blocks = reference_blocks(&session, &config);
+    let blocks = reference_blocks(session, config);
     let model = session.analysis().model();
     let base = Xoshiro256pp::seed_from_u64(config.seed);
     let mut censored_seen = 0;
@@ -134,13 +171,13 @@ fn fleet_matches_direct_per_chip_evaluation() {
         let rel = ((outcome.p_mission - p_ref) / p_ref.max(f64::MIN_POSITIVE)).abs();
         assert!(
             rel <= 1e-12,
-            "chip {chip}: fleet P {} vs direct {} (rel {rel:.3e})",
+            "{what} chip {chip}: fleet P {} vs direct {} (rel {rel:.3e})",
             outcome.p_mission,
             p_ref
         );
         assert_eq!(
             outcome.weakest_block, weakest.0,
-            "chip {chip}: weakest-block index"
+            "{what} chip {chip}: weakest-block index"
         );
 
         // The reported lifetime must put the chip exactly at the budget
@@ -152,14 +189,17 @@ fn fleet_matches_direct_per_chip_evaluation() {
             } else {
                 FLEET_LIFE_BRACKET_S.1
             };
-            assert_eq!(outcome.lifetime_s, edge, "chip {chip}: censored edge");
+            assert_eq!(
+                outcome.lifetime_s, edge,
+                "{what} chip {chip}: censored edge"
+            );
         } else {
             let target = (-config.budget).ln_1p();
             let at_life = ln_survival_at(outcome.lifetime_s, &u_blocks, &v_blocks, &blocks);
             let rel = ((at_life - target) / target).abs();
             assert!(
                 rel <= 1e-9,
-                "chip {chip}: ln-survival at reported lifetime {} deviates {rel:.3e}",
+                "{what} chip {chip}: ln-survival at reported lifetime {} deviates {rel:.3e}",
                 outcome.lifetime_s
             );
             assert!(outcome.lifetime_s > FLEET_LIFE_BRACKET_S.0);
@@ -168,11 +208,31 @@ fn fleet_matches_direct_per_chip_evaluation() {
     }
     // The tiny fleet exercises the uncensored path at minimum; censoring
     // is allowed but must have been consistent when it appeared.
-    assert!(censored_seen < 64, "every chip censored — solve is broken");
+    assert!(
+        censored_seen < chips,
+        "{what}: every chip censored — solve is broken"
+    );
+}
+
+/// The per-chip cross-check at every lane width: width 1 is the scalar
+/// reference itself; widths 4 and 8 run the lane-tiled path (67 chips
+/// leaves a ragged 3-chip scalar tail at width 8) and must agree with
+/// the direct replay chip by chip, censoring flags and weakest-block
+/// index included.
+#[test]
+fn fleet_matches_direct_per_chip_evaluation_at_every_width() {
+    let session = session();
+    let config = config(67);
+    let guard = ForcedWidth::new(LaneWidth::W1);
+    for w in [LaneWidth::W1, LaneWidth::W4, LaneWidth::W8] {
+        guard.set(w);
+        check_outcomes_against_direct(&session, &config, 67, &format!("{w:?}"));
+    }
 }
 
 #[test]
 fn streaming_aggregates_match_per_chip_outcomes() {
+    let _width = width_guard();
     let session = session();
     let config = config(300);
     let tech = ClosedFormTech::nominal_45nm();
@@ -223,31 +283,122 @@ fn streaming_aggregates_match_per_chip_outcomes() {
     }
 }
 
+/// At every fixed lane width the aggregates must be bit-identical over
+/// the full 3×3 thread × shard matrix — the tiled path inherits the
+/// scalar path's layout-independence because tile membership is a pure
+/// function of `(chip, chips, W)`, never of the shard boundaries.
 #[test]
-fn aggregates_are_bit_identical_across_threads_and_shards() {
+fn aggregates_are_bit_identical_across_threads_and_shards_at_every_width() {
     let session = session();
     let tech = ClosedFormTech::nominal_45nm();
-    let mut reference: Option<String> = None;
-    for threads in [1usize, 2, 8] {
-        for shards in [1usize, 2, 5] {
-            let config = FleetConfig {
-                threads: Some(threads),
-                shards: Some(shards),
-                ..config(1000)
-            };
-            let report = run_fleet(session.analysis(), &tech, &config).unwrap();
-            assert!(
-                report.workspaces_created <= report.shards,
-                "threads={threads} shards={shards}: allocated per chip"
-            );
-            let rendered = json::to_string(&report.aggregates);
-            match &reference {
-                None => reference = Some(rendered),
-                Some(r) => assert_eq!(
-                    r, &rendered,
-                    "aggregates diverged at threads={threads} shards={shards}"
-                ),
+    let guard = ForcedWidth::new(LaneWidth::W1);
+    for w in [LaneWidth::W1, LaneWidth::W4, LaneWidth::W8] {
+        guard.set(w);
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            for shards in [1usize, 2, 5] {
+                let config = FleetConfig {
+                    threads: Some(threads),
+                    shards: Some(shards),
+                    ..config(1000)
+                };
+                let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+                assert!(
+                    report.workspaces_created <= report.shards,
+                    "{w:?} threads={threads} shards={shards}: allocated per chip"
+                );
+                assert_eq!(report.lane_width, w.lanes() as u64);
+                let rendered = json::to_string(&report.aggregates);
+                match &reference {
+                    None => reference = Some(rendered),
+                    Some(r) => assert_eq!(
+                        r, &rendered,
+                        "aggregates diverged at {w:?} threads={threads} shards={shards}"
+                    ),
+                }
             }
         }
+    }
+}
+
+/// Cross-width agreement on the aggregate surface: float statistics
+/// within 1e-12 relative, discrete counts exactly equal (this seed puts
+/// no chip within the gate of the budget threshold), and the lane-tile
+/// count reflecting the dispatch.
+#[test]
+fn aggregates_agree_across_lane_widths() {
+    let session = session();
+    let tech = ClosedFormTech::nominal_45nm();
+    // 1003 chips: ragged tails at both width 4 (3 chips) and width 8
+    // (3 chips after 125 tiles), exercising tile + scalar mixing.
+    let config = config(1003);
+    let guard = ForcedWidth::new(LaneWidth::W1);
+    let report_at = |w: LaneWidth| {
+        guard.set(w);
+        run_fleet(session.analysis(), &tech, &config).unwrap()
+    };
+    let r1 = report_at(LaneWidth::W1);
+    let r4 = report_at(LaneWidth::W4);
+    let r8 = report_at(LaneWidth::W8);
+    assert_eq!(r1.lane_tiles, 0, "width 1 runs no lane tiles");
+    assert_eq!(r4.lane_tiles, 1003 / 4);
+    assert_eq!(r8.lane_tiles, 1003 / 8);
+
+    let rel = |a: f64, b: f64| {
+        if a == b {
+            0.0
+        } else {
+            (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+        }
+    };
+    for r in [&r4, &r8] {
+        let (a, b) = (&r.aggregates, &r1.aggregates);
+        assert_eq!(a.exceed_budget, b.exceed_budget);
+        assert_eq!(a.censored_low, b.censored_low);
+        assert_eq!(a.censored_high, b.censored_high);
+        assert_eq!(a.weakest_counts, b.weakest_counts);
+        for (x, y) in [
+            (a.lifetime_min_s, b.lifetime_min_s),
+            (a.lifetime_max_s, b.lifetime_max_s),
+            (a.p_mission_min, b.p_mission_min),
+            (a.p_mission_max, b.p_mission_max),
+        ] {
+            assert!(rel(x, y) <= 1e-12, "extreme {x:e} vs {y:e}");
+        }
+        for (x, y) in a.lifetime_quantiles_s.iter().zip(&b.lifetime_quantiles_s) {
+            assert!(rel(*x, *y) <= 1e-9, "lifetime quantile {x:e} vs {y:e}");
+        }
+        for (x, y) in a.p_mission_quantiles.iter().zip(&b.p_mission_quantiles) {
+            assert!(rel(*x, *y) <= 1e-9, "p quantile {x:e} vs {y:e}");
+        }
+    }
+}
+
+/// Two blocks with identical geometry, environment and grid weights tie
+/// exactly in mission-end failure probability on every chip; the
+/// weakest-block argmax must resolve to the lowest index on the scalar
+/// and the lane-tiled path alike.
+#[test]
+fn weakest_block_ties_resolve_to_lowest_index_at_every_width() {
+    let mut chip = statobd::core::ChipSpec::new();
+    for name in ["twin_a", "twin_b"] {
+        chip.add_block(
+            statobd::core::BlockSpec::new(name, 70_000.0, 70_000, 358.15, 1.2, vec![(8, 1.0)])
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    let session = Session::build(&AnalysisSpec::chip(chip).with_grid_side(6)).unwrap();
+    let tech = ClosedFormTech::nominal_45nm();
+    let config = config(96);
+    let guard = ForcedWidth::new(LaneWidth::W1);
+    for w in [LaneWidth::W1, LaneWidth::W4, LaneWidth::W8] {
+        guard.set(w);
+        let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+        assert_eq!(
+            report.aggregates.weakest_counts,
+            vec![96, 0],
+            "{w:?}: tie must resolve to block 0 on every chip"
+        );
     }
 }
