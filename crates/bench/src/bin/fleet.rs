@@ -1,7 +1,7 @@
 //! Fleet benchmark: millions of chips through the sharded constant-memory
 //! streaming reducer, with the determinism claims enforced.
 //!
-//! Five gates, any failure exits non-zero:
+//! Six gates, any failure exits non-zero:
 //!
 //! 1. **Cross-thread/shard determinism** — the deterministic aggregate
 //!    block of [`statobd::FleetReport`] must render to bit-identical JSON
@@ -21,6 +21,12 @@
 //!    width 8. Both sides are re-measured interleaved (min across up to
 //!    [`MAX_ATTEMPTS`] attempts, as BENCH_sweeps does) so noise
 //!    converges out but a real regression stays.
+//! 6. **Spares determinism** — the same fleet with one spare block
+//!    (`spares: 1`) must hold the scalar dispatch (grouped composition
+//!    routes around the lane kernels) and render bit-identical
+//!    aggregates across the full thread × shard matrix *and* across
+//!    forced lane widths, and must never exceed the failure budget more
+//!    often than the weakest-link fleet.
 //!
 //! ```text
 //! cargo run --release -p statobd-bench --bin fleet -- \
@@ -357,6 +363,85 @@ fn main() {
             all_ok &= r.deterministic && r.workspaces_ok;
             print_row(&r);
             rows.push(r);
+        }
+    }
+
+    // Gate 6 — the redundancy-aware scenario: the same fleet with one
+    // spare over the chip's blocks. Grouped runs force the scalar
+    // dispatch internally, so the aggregates must be bit-identical not
+    // only across the thread × shard matrix but also across *forced
+    // lane widths* — the forced width alternates across the matrix to
+    // prove it. Any divergence past DIVERGENCE_GATE exits non-zero (in
+    // practice the comparison is bit-exact).
+    let spares_chips: u64 = if opts.quick { 2_000 } else { 20_000 };
+    println!("spares scenario ({spares_chips} chips, 1 spare):");
+    let mut spares_reference: Option<FleetReport> = None;
+    for &threads in &THREAD_MATRIX {
+        for (i, &shards) in SHARD_MATRIX.iter().enumerate() {
+            let forced = if (threads + i) % 2 == 0 {
+                Some(LaneWidth::W1)
+            } else {
+                None
+            };
+            simd::force_width(forced);
+            let report = run_fleet(
+                analysis,
+                &tech,
+                &FleetConfig {
+                    spares: 1,
+                    ..config(
+                        spares_chips,
+                        MissionProfile::datacenter(),
+                        threads,
+                        Some(shards),
+                    )
+                },
+            )
+            .expect("spares fleet runs");
+            simd::force_width(None);
+            if report.lane_width != 1 {
+                eprintln!("ERROR: spares run did not hold the scalar dispatch");
+                all_ok = false;
+            }
+            let deterministic = match &spares_reference {
+                None => {
+                    spares_reference = Some(report.clone());
+                    true
+                }
+                Some(reference) => {
+                    let bit_identical = json::to_string(&reference.aggregates)
+                        == json::to_string(&report.aggregates);
+                    let divergence =
+                        aggregates_divergence(&report.aggregates, &reference.aggregates)
+                            .unwrap_or(f64::INFINITY);
+                    if divergence > DIVERGENCE_GATE {
+                        eprintln!(
+                            "ERROR: spares aggregates diverged across the width/layout \
+                             matrix (max rel {divergence:.3e}, gate {DIVERGENCE_GATE:.0e})"
+                        );
+                    }
+                    bit_identical && divergence <= DIVERGENCE_GATE
+                }
+            };
+            let r = row(&report, "spares", "datacenter", deterministic);
+            all_ok &= r.deterministic && r.workspaces_ok;
+            print_row(&r);
+            rows.push(r);
+        }
+    }
+    // The spare must matter: a fleet that tolerates one block failure
+    // exceeds the budget no more often than the weakest-link fleet.
+    if let (Some(spares), Some(_)) = (&spares_reference, &reference) {
+        let wl_exceed = rows
+            .iter()
+            .find(|r| r.scenario == "determinism")
+            .map_or(0, |r| r.exceed_budget);
+        if spares_chips == det_chips && spares.aggregates.exceed_budget > wl_exceed {
+            eprintln!(
+                "ERROR: spares fleet exceeds the budget more often ({}) than weakest-link ({})",
+                spares.aggregates.exceed_budget, wl_exceed
+            );
+            all_ok = false;
         }
     }
 

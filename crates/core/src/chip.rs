@@ -8,6 +8,7 @@
 //! parameters.
 
 use crate::blod::BlodMoments;
+use crate::engines::composition::Composition;
 use crate::{CoreError, Result};
 use statobd_device::ObdTechnology;
 use statobd_num::impl_json_struct;
@@ -275,6 +276,10 @@ pub struct ChipAnalysis {
     spec: ChipSpec,
     model: ThicknessModel,
     blocks: Vec<AnalysisBlock>,
+    /// How blocks compose into the chip-level failure probability;
+    /// weakest-link unless [`with_composition`](Self::with_composition)
+    /// installed redundancy groups.
+    composition: Composition,
 }
 
 impl ChipAnalysis {
@@ -319,6 +324,7 @@ impl ChipAnalysis {
             spec,
             model,
             blocks,
+            composition: Composition::WeakestLink,
         })
     }
 
@@ -392,7 +398,27 @@ impl ChipAnalysis {
             spec,
             model,
             blocks,
+            composition: Composition::WeakestLink,
         })
+    }
+
+    /// Installs a block composition (redundancy groups with spares),
+    /// validated against this chip's block count. Every engine built over
+    /// the analysis composes through it; the default is weakest-link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Composition::validate`] failures.
+    pub fn with_composition(mut self, composition: Composition) -> Result<Self> {
+        composition.validate(self.n_blocks())?;
+        self.composition = composition;
+        Ok(self)
+    }
+
+    /// How this chip's blocks compose into the chip-level failure
+    /// probability.
+    pub fn composition(&self) -> &Composition {
+        &self.composition
     }
 
     /// The chip specification.
@@ -419,11 +445,17 @@ impl ChipAnalysis {
 impl statobd_num::json::ToJson for ChipAnalysis {
     fn to_json(&self) -> statobd_num::json::Json {
         use statobd_num::json::Json;
-        Json::Object(vec![
+        let mut members = vec![
             ("spec".to_string(), self.spec.to_json()),
             ("model".to_string(), self.model.to_json()),
             ("blocks".to_string(), self.blocks.to_json()),
-        ])
+        ];
+        // Weakest-link stays implicit so pre-composition artifacts and
+        // their checksums keep rendering byte-identically.
+        if !self.composition.is_weakest_link() {
+            members.push(("composition".to_string(), self.composition.to_json()));
+        }
+        Json::Object(members)
     }
 }
 
@@ -434,12 +466,18 @@ impl statobd_num::json::FromJson for ChipAnalysis {
             v.get(k)
                 .ok_or_else(|| JsonError::new(format!("missing field '{k}' in ChipAnalysis")))
         };
-        ChipAnalysis::from_parts(
+        let analysis = ChipAnalysis::from_parts(
             ChipSpec::from_json(field("spec")?)?,
             ThicknessModel::from_json(field("model")?)?,
             Vec::<AnalysisBlock>::from_json(field("blocks")?)?,
         )
-        .map_err(|e| JsonError::new(e.to_string()))
+        .map_err(|e| JsonError::new(e.to_string()))?;
+        match v.get("composition") {
+            None => Ok(analysis),
+            Some(c) => analysis
+                .with_composition(Composition::from_json(c)?)
+                .map_err(|e| JsonError::new(e.to_string())),
+        }
     }
 }
 

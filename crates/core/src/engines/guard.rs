@@ -4,6 +4,7 @@
 //! Table III shows, ~50 % pessimistic.
 
 use crate::chip::ChipAnalysis;
+use crate::engines::composition::{Composition, CompositionAccumulator};
 use crate::engines::ReliabilityEngine;
 use crate::{CoreError, Result};
 
@@ -35,6 +36,12 @@ pub struct GuardBand {
     b_worst: f64,
     /// Total chip area `A`.
     total_area: f64,
+    /// Per-block areas `A_j`, in block order — the grouped evaluation
+    /// needs per-block corner probabilities, not just their sum.
+    block_areas: Vec<f64>,
+    /// The chip's block composition, captured at build time (the corner
+    /// is self-contained: no `ChipAnalysis` borrow at query time).
+    composition: Composition,
 }
 
 impl GuardBand {
@@ -79,7 +86,25 @@ impl GuardBand {
             alpha_worst_s: worst.alpha_s(),
             b_worst: worst.b_per_nm(),
             total_area: analysis.spec().total_area(),
+            block_areas: analysis
+                .blocks()
+                .iter()
+                .map(|b| b.spec().area())
+                .collect(),
+            composition: analysis.composition().clone(),
         })
+    }
+
+    /// The grouped corner probability at hazard kernel `k`: each block's
+    /// worst-case failure probability `1 − exp(−A_j·k)` composed through
+    /// the redundancy groups. (The weakest-link path keeps the original
+    /// whole-chip-area closed form, bit-identically.)
+    fn grouped_probability(&self, chip: &mut CompositionAccumulator, kernel: f64) -> f64 {
+        chip.reset();
+        for (j, &area) in self.block_areas.iter().enumerate() {
+            chip.absorb(j, -(-area * kernel).exp_m1());
+        }
+        chip.failure_probability()
     }
 
     /// The assumed minimum thickness (nm).
@@ -125,22 +150,31 @@ impl ReliabilityEngine for GuardBand {
             return Ok(0.0);
         }
         let beta = self.b_worst * self.x_min_nm;
-        let hazard = self.total_area * (beta * (t_s / self.alpha_worst_s).ln()).exp();
-        Ok(-(-hazard).exp_m1())
+        let kernel = (beta * (t_s / self.alpha_worst_s).ln()).exp();
+        if self.composition.is_weakest_link() {
+            return Ok(-(-self.total_area * kernel).exp_m1());
+        }
+        let mut chip = self.composition.accumulator(self.block_areas.len());
+        Ok(self.grouped_probability(&mut chip, kernel))
     }
 
     /// The closed form is two `exp`s per point; the batched win is simply
     /// hoisting the Weibull slope `β = b·x_min` out of the loop.
     fn failure_probabilities(&mut self, ts: &[f64]) -> Result<Vec<f64>> {
         let beta = self.b_worst * self.x_min_nm;
+        let mut chip = (!self.composition.is_weakest_link())
+            .then(|| self.composition.accumulator(self.block_areas.len()));
         Ok(ts
             .iter()
             .map(|&t_s| {
                 if t_s <= 0.0 {
                     return 0.0;
                 }
-                let hazard = self.total_area * (beta * (t_s / self.alpha_worst_s).ln()).exp();
-                -(-hazard).exp_m1()
+                let kernel = (beta * (t_s / self.alpha_worst_s).ln()).exp();
+                match &mut chip {
+                    None => -(-self.total_area * kernel).exp_m1(),
+                    Some(chip) => self.grouped_probability(chip, kernel),
+                }
             })
             .collect())
     }

@@ -17,7 +17,8 @@
 
 use crate::chip::ChipAnalysis;
 use crate::engines::st_fast::{BlockQuadrature, StFastConfig};
-use crate::engines::{ReliabilityEngine, WeakestLink};
+use crate::engines::composition::Composition;
+use crate::engines::ReliabilityEngine;
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
 use statobd_num::impl_json_struct;
@@ -173,6 +174,10 @@ pub struct HybridTables {
     tables: Vec<BlockTable>,
     interps: Vec<Bilinear>,
     config: HybridConfig,
+    /// The chip's block composition, captured at build time — the engine
+    /// is self-contained (no `ChipAnalysis` borrow at query time), so the
+    /// redundancy structure has to travel with the tables.
+    composition: Composition,
     /// Queries that fell off the non-conservative table edges (`γ` above
     /// the grid, or `b` outside it) and were silently clamped by the
     /// bilinear interpolation — see [`HybridTables::off_grid_queries`].
@@ -252,8 +257,14 @@ impl HybridTables {
             tables,
             interps,
             config,
+            composition: analysis.composition().clone(),
             off_grid: AtomicU64::new(0),
         })
+    }
+
+    /// The chip composition the tables were built with.
+    pub fn composition(&self) -> &Composition {
+        &self.composition
     }
 
     /// The construction configuration.
@@ -404,6 +415,7 @@ impl HybridTables {
         SerializedTables {
             tables: self.tables.clone(),
             config: self.config,
+            composition: self.composition.clone(),
         }
         .to_json()
     }
@@ -435,10 +447,16 @@ impl HybridTables {
             .iter()
             .map(|t| t.ln_p.to_interp())
             .collect::<Result<Vec<_>>>()?;
+        s.composition
+            .validate(s.tables.len())
+            .map_err(|e| CoreError::InvalidParameter {
+                detail: format!("deserialization failed: {e}"),
+            })?;
         Ok(HybridTables {
             tables: s.tables,
             interps,
             config: s.config,
+            composition: s.composition,
             off_grid: AtomicU64::new(0),
         })
     }
@@ -448,9 +466,16 @@ impl HybridTables {
 struct SerializedTables {
     tables: Vec<BlockTable>,
     config: HybridConfig,
+    /// Absent in pre-composition documents; [`Composition::from_missing`]
+    /// fills in weakest-link.
+    composition: Composition,
 }
 
-impl_json_struct!(SerializedTables { tables, config });
+impl_json_struct!(SerializedTables {
+    tables,
+    config,
+    composition
+});
 
 impl ReliabilityEngine for HybridTables {
     fn name(&self) -> &str {
@@ -458,9 +483,9 @@ impl ReliabilityEngine for HybridTables {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut chip = WeakestLink::new();
+        let mut chip = self.composition.accumulator(self.tables.len());
         for j in 0..self.tables.len() {
-            chip.absorb(self.block_failure_probability(j, t_s)?);
+            chip.absorb(j, self.block_failure_probability(j, t_s)?);
         }
         Ok(chip.failure_probability())
     }
@@ -478,10 +503,10 @@ impl ReliabilityEngine for HybridTables {
             .map(|table| (table.alpha_s, table.b_per_nm))
             .collect();
         let eval_one = |&t_s: &f64| -> f64 {
-            let mut chip = WeakestLink::new();
+            let mut chip = self.composition.accumulator(points.len());
             for (j, &(alpha_s, b_per_nm)) in points.iter().enumerate() {
                 let gamma = (t_s / alpha_s).ln();
-                chip.absorb(self.eval_tracked(j, gamma, b_per_nm));
+                chip.absorb(j, self.eval_tracked(j, gamma, b_per_nm));
             }
             chip.failure_probability()
         };

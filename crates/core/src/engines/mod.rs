@@ -2,6 +2,7 @@
 //! failure probability `P(t) = 1 − R_c(t)`, plus the unified
 //! [`build_engine`] construction entry point.
 
+pub mod composition;
 pub mod guard;
 pub mod hybrid;
 pub mod monte_carlo;
@@ -41,8 +42,26 @@ impl WeakestLink {
     }
 
     /// Absorbs one block's failure probability (clamped to `[0, 1]`).
+    ///
+    /// A NaN input is a bug upstream, never a legitimate probability:
+    /// `NaN.clamp(0.0, 1.0)` is NaN, which used to poison `ln_survival`
+    /// silently — every later query returned NaN with no hint of the
+    /// offending block. Debug builds now panic at the call site;
+    /// release builds map NaN to certain failure (`p = 1`), the
+    /// deterministic conservative reading of "this block's probability
+    /// is not a number".
     pub fn absorb(&mut self, p: f64) {
+        debug_assert!(
+            !p.is_nan(),
+            "WeakestLink::absorb: NaN block failure probability"
+        );
+        let p = if p.is_nan() { 1.0 } else { p };
         self.ln_survival += (-p.clamp(0.0, 1.0)).ln_1p();
+    }
+
+    /// The running `Σ_j ln(1 − p_j)` (≤ 0).
+    pub fn ln_survival(&self) -> f64 {
+        self.ln_survival
     }
 
     /// The composed chip-level failure probability `1 − Π_j (1 − p_j)`.
@@ -442,6 +461,16 @@ mod tests {
         assert_eq!(compose_weakest_link([1.5]), 1.0);
         assert_eq!(compose_weakest_link([-0.5]), 0.0);
         assert_eq!(compose_weakest_link(std::iter::empty()), 0.0);
+    }
+
+    // Regression for the silent NaN absorption: a NaN block probability
+    // used to poison `ln_survival` with no diagnostic. Debug builds now
+    // panic at the offending `absorb`; release builds deterministically
+    // treat the block as failed.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "NaN"))]
+    fn weakest_link_rejects_nan_deterministically() {
+        assert_eq!(compose_weakest_link([0.25, f64::NAN]), 1.0);
     }
 
     #[test]

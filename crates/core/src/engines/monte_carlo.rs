@@ -18,6 +18,7 @@
 
 use crate::blod::uv_from_grid_base;
 use crate::chip::ChipAnalysis;
+use crate::engines::composition::Composition;
 use crate::engines::ReliabilityEngine;
 use crate::{CoreError, Result};
 use statobd_num::parallel;
@@ -454,6 +455,17 @@ impl ReliabilityEngine for MonteCarlo<'_> {
         // individual fields, not `&self` (the workspace `RefCell` makes the
         // engine `!Sync`).
         let counts = &self.counts;
+        // Redundancy groups flip the per-chip composition: instead of
+        // summing block hazards into one chip hazard (weakest-link:
+        // survival factorizes, so the sum *is* the composition), each
+        // sampled chip keeps its exact per-block failure probabilities and
+        // runs the spares directly through a linear-space Poisson-binomial
+        // pass — the "simulate spares on every sample chip" reference the
+        // analytic log-space DP is validated against.
+        let groups = match self.analysis.composition() {
+            Composition::WeakestLink => None,
+            Composition::Groups(groups) => Some(groups.as_slice()),
+        };
         let chunk_chips = 16;
         parallel::for_each_chunk_mut(
             per_chip.as_mut_slice(),
@@ -464,6 +476,8 @@ impl ReliabilityEngine for MonteCarlo<'_> {
                 let chips_here = out_chunk.len() / n_t;
                 let mut acc = vec![0.0; n_t];
                 let mut hazards = vec![0.0; n_t];
+                let mut block_haz = vec![0.0; if groups.is_some() { n_blocks * n_t } else { 0 }];
+                let mut dp: Vec<f64> = Vec::new();
                 for local in 0..chips_here {
                     let chip = first_chip + local;
                     let chip_counts = &counts[chip * stride_chip..(chip + 1) * stride_chip];
@@ -481,13 +495,46 @@ impl ReliabilityEngine for MonteCarlo<'_> {
                                 }
                             }
                         }
-                        for (h, a) in hazards.iter_mut().zip(&acc) {
-                            *h += a;
+                        match groups {
+                            None => {
+                                for (h, a) in hazards.iter_mut().zip(&acc) {
+                                    *h += a;
+                                }
+                            }
+                            Some(_) => {
+                                block_haz[j * n_t..(j + 1) * n_t].copy_from_slice(&acc);
+                            }
                         }
                     }
                     let out = &mut out_chunk[local * n_t..(local + 1) * n_t];
-                    for (o, h) in out.iter_mut().zip(&hazards) {
-                        *o = -(-h).exp_m1();
+                    match groups {
+                        None => {
+                            for (o, h) in out.iter_mut().zip(&hazards) {
+                                *o = -(-h).exp_m1();
+                            }
+                        }
+                        Some(groups) => {
+                            for (ti, o) in out.iter_mut().enumerate() {
+                                let mut survival = 1.0;
+                                for group in groups {
+                                    let s = group.spares;
+                                    dp.clear();
+                                    dp.resize(s + 1, 0.0);
+                                    dp[0] = 1.0;
+                                    let mut tail = 0.0;
+                                    for &j in &group.blocks {
+                                        let p = -(-block_haz[j * n_t + ti]).exp_m1();
+                                        tail += dp[s] * p;
+                                        for m in (1..=s).rev() {
+                                            dp[m] = dp[m] * (1.0 - p) + dp[m - 1] * p;
+                                        }
+                                        dp[0] *= 1.0 - p;
+                                    }
+                                    survival *= 1.0 - tail;
+                                }
+                                *o = 1.0 - survival;
+                            }
+                        }
                     }
                 }
             },

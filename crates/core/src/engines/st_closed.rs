@@ -17,7 +17,7 @@
 
 use crate::chip::ChipAnalysis;
 use crate::engines::st_fast::{StFast, StFastConfig};
-use crate::engines::{ReliabilityEngine, WeakestLink};
+use crate::engines::ReliabilityEngine;
 use crate::gfun::GCoefficients;
 use crate::Result;
 
@@ -64,13 +64,16 @@ impl ReliabilityEngine for StClosed<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut chip = WeakestLink::new();
+        let mut chip = self
+            .analysis
+            .composition()
+            .accumulator(self.analysis.n_blocks());
         for j in 0..self.analysis.n_blocks() {
             let p = match self.block_failure_probability_closed(j, t_s) {
                 Some(p) => p,
                 None => self.fallback.block_failure_probability(j, t_s)?,
             };
-            chip.absorb(p);
+            chip.absorb(j, p);
         }
         Ok(chip.failure_probability())
     }
@@ -98,8 +101,9 @@ impl ReliabilityEngine for StClosed<'_> {
             })
             .collect();
         let mut out = Vec::with_capacity(ts.len());
+        let mut chip = self.analysis.composition().accumulator(blocks.len());
         for (ti, &t_s) in ts.iter().enumerate() {
-            let mut chip = WeakestLink::new();
+            chip.reset();
             for (j, (alpha_s, b_per_nm, area, u0, u_sigma, v_dist)) in blocks.iter().enumerate() {
                 let coeff = GCoefficients::at(t_s, *alpha_s, *b_per_nm);
                 let mean_term =
@@ -109,10 +113,13 @@ impl ReliabilityEngine for StClosed<'_> {
                     .ok()
                     .map(|v_term| area * mean_term * v_term)
                     .filter(|&p| p < 0.01);
-                chip.absorb(match closed {
-                    Some(p) => p,
-                    None => self.fallback.block_failure_probability(j, ts[ti])?,
-                });
+                chip.absorb(
+                    j,
+                    match closed {
+                        Some(p) => p,
+                        None => self.fallback.block_failure_probability(j, ts[ti])?,
+                    },
+                );
             }
             out.push(chip.failure_probability());
         }

@@ -15,7 +15,7 @@
 
 use crate::blod::{MeanDist, VarianceDist};
 use crate::chip::ChipAnalysis;
-use crate::engines::{ReliabilityEngine, WeakestLink};
+use crate::engines::ReliabilityEngine;
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
 use statobd_num::dist::ContinuousDistribution;
@@ -740,9 +740,12 @@ impl ReliabilityEngine for StFast<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut chip = WeakestLink::new();
+        let mut chip = self
+            .analysis
+            .composition()
+            .accumulator(self.analysis.n_blocks());
         for j in 0..self.analysis.n_blocks() {
-            chip.absorb(self.block_failure_probability(j, t_s)?);
+            chip.absorb(j, self.block_failure_probability(j, t_s)?);
         }
         Ok(chip.failure_probability())
     }
@@ -790,11 +793,12 @@ impl ReliabilityEngine for StFast<'_> {
             let lo = (idx % chunks_per_block) * T_CHUNK;
             per_block_t[j * n_t + lo..j * n_t + lo + chunk.len()].copy_from_slice(&chunk);
         }
+        let mut chip = self.analysis.composition().accumulator(n_blocks);
         Ok((0..n_t)
             .map(|ti| {
-                let mut chip = WeakestLink::new();
+                chip.reset();
                 for j in 0..n_blocks {
-                    chip.absorb(per_block_t[j * n_t + ti]);
+                    chip.absorb(j, per_block_t[j * n_t + ti]);
                 }
                 chip.failure_probability()
             })

@@ -10,7 +10,7 @@
 //! `f(u,v) ≈ f(u)·f(v)` approximation costs (~0.1 %).
 
 use crate::chip::ChipAnalysis;
-use crate::engines::{ReliabilityEngine, WeakestLink};
+use crate::engines::ReliabilityEngine;
 use crate::gfun::GCoefficients;
 use crate::{CoreError, Result};
 use statobd_num::hist::Histogram2d;
@@ -323,9 +323,12 @@ impl ReliabilityEngine for StMc<'_> {
     }
 
     fn failure_probability(&mut self, t_s: f64) -> Result<f64> {
-        let mut chip = WeakestLink::new();
+        let mut chip = self
+            .analysis
+            .composition()
+            .accumulator(self.analysis.n_blocks());
         for j in 0..self.analysis.n_blocks() {
-            chip.absorb(self.block_failure_probability(j, t_s));
+            chip.absorb(j, self.block_failure_probability(j, t_s));
         }
         Ok(chip.failure_probability())
     }
@@ -368,11 +371,12 @@ impl ReliabilityEngine for StMc<'_> {
             let threads = parallel::resolve_threads(self.threads);
             parallel::run_indexed(n_items, threads, eval_one)
         };
+        let mut chip = self.analysis.composition().accumulator(n_blocks);
         Ok((0..n_t)
             .map(|ti| {
-                let mut chip = WeakestLink::new();
+                chip.reset();
                 for j in 0..n_blocks {
-                    chip.absorb(per_block_t[j * n_t + ti]);
+                    chip.absorb(j, per_block_t[j * n_t + ti]);
                 }
                 chip.failure_probability()
             })

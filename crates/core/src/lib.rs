@@ -87,6 +87,7 @@ pub use engines::monte_carlo::{MonteCarlo, MonteCarloConfig};
 pub use engines::st_closed::StClosed;
 pub use engines::st_fast::{StFast, StFastConfig, VarianceMethod};
 pub use engines::st_mc::{StMc, StMcConfig};
+pub use engines::composition::{Composition, CompositionAccumulator, RedundancyGroup};
 pub use engines::{
     build_engine, compose_weakest_link, edit_distance, EngineKind, EngineSpec, ReliabilityEngine,
     WeakestLink,

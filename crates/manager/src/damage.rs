@@ -83,6 +83,27 @@ impl DamageState {
         Ok(())
     }
 
+    /// Records a repair event: block `block` is swapped for a pristine
+    /// spare (or repaired in place), re-baselining its effective age to
+    /// zero. Wall-clock time is untouched — the rest of the chip keeps
+    /// its accumulated damage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::InvalidParameter`] for an out-of-range
+    /// block index.
+    pub fn repair(&mut self, block: usize) -> Result<()> {
+        let n = self.xi.len();
+        let xi = self
+            .xi
+            .get_mut(block)
+            .ok_or_else(|| ManagerError::InvalidParameter {
+                detail: format!("repair of block {block}, but the chip has {n}"),
+            })?;
+        *xi = 0.0;
+        Ok(())
+    }
+
     /// The ages this state would reach after `extra_s` more seconds at
     /// the operating point described by `alphas_s` — the policy layer's
     /// end-of-service projection (does not mutate the state).
@@ -141,6 +162,20 @@ mod tests {
         assert_eq!(d.elapsed_s(), 200.0);
         // Constant-point identity: ξ = t/α.
         assert_eq!(d.effective_ages()[0], d.elapsed_s() / 50.0);
+    }
+
+    #[test]
+    fn repair_rebaselines_one_block_only() {
+        let mut d = DamageState::new(3);
+        d.advance(100.0, &[10.0, 20.0, 50.0]).unwrap();
+        d.repair(1).unwrap();
+        assert_eq!(d.effective_ages(), &[10.0, 0.0, 2.0]);
+        // Elapsed wall-clock time is not a per-block quantity.
+        assert_eq!(d.elapsed_s(), 100.0);
+        // The repaired block re-ages from zero.
+        d.advance(40.0, &[10.0, 20.0, 50.0]).unwrap();
+        assert_eq!(d.effective_ages()[1], 2.0);
+        assert!(d.repair(3).is_err());
     }
 
     #[test]

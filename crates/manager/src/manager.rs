@@ -5,7 +5,7 @@ use crate::damage::DamageState;
 use crate::policy::PolicyConfig;
 use crate::schedule::OperatingPhase;
 use crate::{ManagerError, Result};
-use statobd_core::{ChipAnalysis, HybridConfig, HybridTables, WeakestLink};
+use statobd_core::{ChipAnalysis, HybridConfig, HybridTables};
 use statobd_device::ObdTechnology;
 
 /// Construction options for [`ReliabilityManager::new`].
@@ -217,14 +217,32 @@ impl ReliabilityManager {
         self.tables.off_grid_queries()
     }
 
-    /// Chip failure probability at the accumulated damage, composed
-    /// weakest-link over the block tables at `γ_j = ln ξ_j`.
+    /// Records a repair event: block `block` was swapped for a pristine
+    /// spare, re-baselining its effective age to zero (the rest of the
+    /// chip keeps its damage). Under a redundancy-group composition this
+    /// is how the analysis learns that a group's spare budget was spent
+    /// on a fresh part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::InvalidParameter`] for an out-of-range
+    /// block index.
+    pub fn repair(&mut self, block: usize) -> Result<()> {
+        self.damage.repair(block)
+    }
+
+    /// Chip failure probability at the accumulated damage, composed over
+    /// the block tables at `γ_j = ln ξ_j` through the design's
+    /// composition (weakest-link, or k-out-of-n redundancy groups).
     ///
     /// # Errors
     ///
     /// Propagates table-query failures.
     pub fn failure_probability_now(&self) -> Result<f64> {
-        let mut chip = WeakestLink::new();
+        let mut chip = self
+            .tables
+            .composition()
+            .accumulator(self.last_b.len());
         for (j, (&xi, &b)) in self
             .damage
             .effective_ages()
@@ -232,7 +250,7 @@ impl ReliabilityManager {
             .zip(&self.last_b)
             .enumerate()
         {
-            chip.absorb(self.tables.block_failure_probability_at_age(j, xi, b)?);
+            chip.absorb(j, self.tables.block_failure_probability_at_age(j, xi, b)?);
         }
         Ok(chip.failure_probability())
     }
@@ -346,7 +364,7 @@ impl ReliabilityManager {
     fn projected(&self, temps_k: &[f64], vdd_req_v: f64, level: usize) -> Result<f64> {
         let (vdd_v, _, dt_k) = self.granted(vdd_req_v, level);
         let remaining_s = (self.policy.service_life_s - self.damage.elapsed_s()).max(0.0);
-        let mut chip = WeakestLink::new();
+        let mut chip = self.tables.composition().accumulator(self.last_b.len());
         for (j, (&xi, &t)) in self.damage.effective_ages().iter().zip(temps_k).enumerate() {
             let t_eff = t + dt_k;
             let alpha = self.tech.alpha(t_eff, vdd_v);
@@ -355,7 +373,7 @@ impl ReliabilityManager {
                 xi + remaining_s / alpha,
                 self.tech.b(t_eff),
             )?;
-            chip.absorb(p);
+            chip.absorb(j, p);
         }
         Ok(chip.failure_probability())
     }
@@ -571,6 +589,74 @@ mod tests {
             gamma_hi > HybridConfig::default().gamma_range.1,
             "tables were not widened: γ_hi = {gamma_hi}"
         );
+    }
+
+    #[test]
+    fn repair_lowers_current_probability() {
+        let a = analysis();
+        let temps: Vec<f64> = a
+            .blocks()
+            .iter()
+            .map(|b| b.spec().temperature_k())
+            .collect();
+        let mut mgr = monitoring_manager(&a);
+        for _ in 0..10 {
+            mgr.step(YEAR_S, &temps, 1.2).unwrap();
+        }
+        let before = mgr.failure_probability_now().unwrap();
+        mgr.repair(0).unwrap();
+        let after = mgr.failure_probability_now().unwrap();
+        assert!(
+            after < before,
+            "repair should lower P: {after:.3e} vs {before:.3e}"
+        );
+        // ξ_0 = 0 ⇒ block 0 contributes nothing; the remainder is the
+        // cache block alone.
+        assert_eq!(mgr.damage().effective_ages()[0], 0.0);
+        assert!(after > 0.0, "the unrepaired block still carries damage");
+        assert!(mgr.repair(17).is_err());
+    }
+
+    #[test]
+    fn grouped_composition_flows_through_monitoring() {
+        use statobd_core::Composition;
+        let wl = analysis();
+        let grouped = analysis()
+            .with_composition(Composition::uniform_spares(2, 1))
+            .unwrap();
+        let temps: Vec<f64> = wl
+            .blocks()
+            .iter()
+            .map(|b| b.spec().temperature_k())
+            .collect();
+        let mut mgr_wl = monitoring_manager(&wl);
+        let mut mgr_gr = monitoring_manager(&grouped);
+        for _ in 0..10 {
+            mgr_wl.step(YEAR_S, &temps, 1.2).unwrap();
+            mgr_gr.step(YEAR_S, &temps, 1.2).unwrap();
+        }
+        let p_wl = mgr_wl.failure_probability_now().unwrap();
+        let p_gr = mgr_gr.failure_probability_now().unwrap();
+        // One spare over two blocks: the chip only fails when BOTH
+        // blocks fail — orders of magnitude below weakest-link.
+        assert!(
+            p_gr < 1e-3 * p_wl,
+            "grouped {p_gr:.3e} should be far below weakest-link {p_wl:.3e}"
+        );
+        // And it matches composing the same per-block table reads by hand.
+        let ages = mgr_gr.damage().effective_ages().to_vec();
+        let ps: Vec<f64> = ages
+            .iter()
+            .enumerate()
+            .map(|(j, &xi)| {
+                mgr_gr
+                    .tables()
+                    .block_failure_probability_at_age(j, xi, wl.blocks()[j].b_per_nm())
+                    .unwrap()
+            })
+            .collect();
+        let expected = Composition::uniform_spares(2, 1).compose(&ps);
+        assert_eq!(p_gr.to_bits(), expected.to_bits());
     }
 
     #[test]

@@ -195,21 +195,25 @@ impl Histogram1d {
                 detail: "quantile of a histogram with no in-range observations".to_string(),
             });
         }
+        // The cumulative walk stays in u64: summing counts in f64 loses
+        // integer precision past 2^53 and accumulates rounding that can
+        // select a neighboring bin. Only the within-bin interpolation —
+        // inherently fractional — converts to float.
         let target = q * self.total_in_range as f64;
         let width = self.bin_width();
-        let mut cum = 0.0;
+        let mut cum: u64 = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             if c == 0 {
                 continue;
             }
-            let cf = c as f64;
-            if cum + cf >= target {
-                let frac = ((target - cum) / cf).clamp(0.0, 1.0);
+            if (cum + c) as f64 >= target {
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
                 return Ok(self.lo + (i as f64 + frac) * width);
             }
-            cum += cf;
+            cum += c;
         }
-        // Float rounding walked past the last occupied bin: its top edge.
+        // Float rounding in `target` walked past the last occupied bin:
+        // its top edge.
         let last = self
             .counts
             .iter()
@@ -481,6 +485,24 @@ mod tests {
             .map(|i| h.quantile(i as f64 / 10.0).unwrap())
             .collect();
         assert!(vs.windows(2).all(|w| w[0] <= w[1]), "{vs:?}");
+    }
+
+    #[test]
+    fn quantile_cumulative_walk_is_exact_beyond_2_pow_53() {
+        // Counts past 2^53 are not representable in f64: an f64
+        // cumulative walk silently drops the low bits (2^53 + 1 rounds
+        // to 2^53, and + 1 is then a no-op), which can land the
+        // quantile a whole bin away. The u64 walk keeps the running
+        // count exact; only the within-bin interpolation is float.
+        let big = (1u64 << 53) + 1;
+        let mut h = Histogram1d::new(0.0, 4.0, 4).unwrap();
+        h.counts = vec![big, 1, 1, big];
+        h.total_in_range = 2 * big + 2;
+        // Exact cumulative: bin 0 holds 2^53 + 1, bin 1 reaches the
+        // median mass 2^53 + 2 at its top edge — x = 2.0. The rounding
+        // walk skips bin 1 entirely and lands in bin 3.
+        let v = h.quantile(0.5).unwrap();
+        assert!((v - 2.0).abs() < 1e-9, "median at bin-1 top edge, got {v}");
     }
 
     #[test]

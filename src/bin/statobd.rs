@@ -154,7 +154,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--cache] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd serve [--socket path] [--cache-dir path] [--no-cache|--quick] [--max-sessions n]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>\n  statobd fleet <spec.json|C1..MC16> [--chips n] [--profile name] [--seed n] [--budget f] [--wafer-depth f] [--rho f] [--grid n] [--threads n] [--shards n] [--json]"
+        "usage:\n  statobd template <out.json>\n  statobd analyze <spec.json> [--rho f] [--grid n] [--l0 n] [--target f] [--engine name] [--threads n] [--mc n] [--curve n] [--tables path] [--cache] [--timings]\n  statobd bench <C1|C2|C3|C4|C5|C6|MC16> [same options]\n  statobd serve [--socket path] [--cache-dir path] [--no-cache|--quick] [--max-sessions n]\n  statobd thermal <floorplan.json> <power.json> [--solver name] [--grid n] [--timings]\n  statobd manage <spec.json> <schedule.json> [--rho f] [--grid n] [--l0 n] [--threads n] [--checkpoint path]\n  statobd manage template <out.json>\n  statobd fleet <spec.json|C1..MC16> [--chips n] [--profile name] [--seed n] [--budget f] [--wafer-depth f] [--rho f] [--grid n] [--threads n] [--shards n] [--spares n] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -771,6 +771,7 @@ struct FleetOptions {
     grid: usize,
     threads: Option<usize>,
     shards: Option<usize>,
+    spares: usize,
     json: bool,
 }
 
@@ -785,6 +786,7 @@ fn parse_fleet_options(args: &[String]) -> Result<FleetOptions, String> {
         grid: params::DEFAULT_GRID_SIDE,
         threads: None,
         shards: None,
+        spares: 0,
         json: false,
     };
     let mut it = args.iter();
@@ -842,6 +844,11 @@ fn parse_fleet_options(args: &[String]) -> Result<FleetOptions, String> {
                         .map_err(|e| format!("--shards: {e}"))?,
                 )
             }
+            "--spares" => {
+                opts.spares = value("--spares")?
+                    .parse()
+                    .map_err(|e| format!("--spares: {e}"))?
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -896,6 +903,7 @@ impl FleetOptions {
             },
             threads: self.threads,
             shards: self.shards,
+            spares: self.spares,
         }
     }
 }
@@ -944,6 +952,12 @@ fn fleet(design_arg: &str, opts: &FleetOptions) -> Result<(), String> {
         a.profile,
         opts.profile.description()
     );
+    if opts.spares > 0 {
+        println!(
+            "  redundancy: one group over all blocks, {} spare(s) (chip fails only past {} block failures)",
+            opts.spares, opts.spares
+        );
+    }
     println!(
         "  {} threads, {} shards, {:.2} s  [{:.0} chips/s, {} workspace(s)]",
         report.threads, report.shards, report.run_s, report.chips_per_s, report.workspaces_created

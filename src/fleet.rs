@@ -51,6 +51,12 @@
 //! [`CompiledFleet::evaluate_chip`]; tiled and scalar outcomes agree to
 //! ≤ 1e-12 relative per chip (enforced by `tests/fleet_consistency.rs`).
 //!
+//! Redundancy-grouped runs ([`FleetConfig::spares`] > 0, or an analysis
+//! carrying a non-trivial [`Composition`]) force the scalar route for
+//! *every* chip — the fused lane kernels hard-code the weakest-link
+//! sum — so grouped aggregates are additionally bit-identical across
+//! lane widths, not just per fixed width.
+//!
 //! # Constant-memory guarantee
 //!
 //! The hot path is allocation-free per chip: each shard allocates one
@@ -68,7 +74,10 @@
 //! [`run_indexed`]: statobd_num::parallel::run_indexed
 
 use crate::error::{Error, Result};
-use statobd_core::{conditional_block_failure, params, ChipAnalysis, GCoefficients, WeakestLink};
+use statobd_core::{
+    conditional_block_failure, params, ChipAnalysis, Composition, CompositionAccumulator,
+    GCoefficients,
+};
 use statobd_device::ObdTechnology;
 use statobd_manager::MissionProfile;
 use statobd_num::impl_json_struct;
@@ -130,6 +139,14 @@ pub struct FleetConfig {
     /// bit-identical for any value; this knob exists for testing that
     /// claim and for tuning reduction granularity.
     pub shards: Option<usize>,
+    /// Spare budget for redundancy-aware composition: `0` inherits the
+    /// analysis's own [`Composition`]; `s > 0` overrides it with a
+    /// single k-out-of-n group spanning every block that tolerates `s`
+    /// block failures before the chip fails. Grouped runs route every
+    /// chip through the scalar reference path (the lane-tiled kernels
+    /// are weakest-link only), so aggregates stay bit-identical at any
+    /// lane width as well as any thread/shard layout.
+    pub spares: usize,
 }
 
 impl Default for FleetConfig {
@@ -145,6 +162,7 @@ impl Default for FleetConfig {
             },
             threads: None,
             shards: None,
+            spares: 0,
         }
     }
 }
@@ -219,6 +237,10 @@ struct CompiledFleet<'a> {
     budget: f64,
     /// `ln(1 − budget)`: the log-survival threshold of the lifetime solve.
     ln1p_neg_budget: f64,
+    /// How block failures compose into chip failure: the analysis's own
+    /// composition, or the [`FleetConfig::spares`] override. Non-trivial
+    /// groups force the scalar dispatch (see [`CompiledFleet::width`]).
+    composition: Composition,
 }
 
 /// Per-shard scratch buffers, allocated once and reused by every chip the
@@ -242,6 +264,9 @@ struct Workspace<'a> {
     tile_bu: Vec<f64>,
     /// Per-`[block][lane]` `b_eff²·v` of the current tile.
     tile_bbv: Vec<f64>,
+    /// The chip-level composition accumulator, reset per chip (and per
+    /// bisection step) — the hot path never allocates group state.
+    chip_acc: CompositionAccumulator,
 }
 
 impl<'a> Workspace<'a> {
@@ -250,6 +275,7 @@ impl<'a> Workspace<'a> {
         n_components: usize,
         n_blocks: usize,
         lanes: usize,
+        composition: &Composition,
         created: &AtomicU64,
     ) -> Self {
         created.fetch_add(1, Ordering::Relaxed);
@@ -261,6 +287,7 @@ impl<'a> Workspace<'a> {
             z_tile: vec![0.0; n_components * lanes],
             tile_bu: vec![0.0; n_blocks * lanes],
             tile_bbv: vec![0.0; n_blocks * lanes],
+            chip_acc: composition.accumulator(n_blocks),
         }
     }
 }
@@ -268,10 +295,13 @@ impl<'a> Workspace<'a> {
 /// The outcome of one chip's mission evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChipOutcome {
-    /// Chip failure probability at mission end (weakest-link composed).
+    /// Chip failure probability at mission end, composed through the
+    /// chip's [`Composition`] (weakest-link, or k-out-of-n redundancy
+    /// groups with spares).
     pub p_mission: f64,
     /// Index of the block with the largest mission-end failure
-    /// probability (ties resolve to the lowest index).
+    /// probability (ties resolve to the lowest index; see
+    /// [`update_weakest`] for the full tie/NaN rule).
     pub weakest_block: usize,
     /// Age (seconds) at which the chip's failure probability reaches the
     /// budget, under steady mission repetition; clamped to the solve
@@ -510,6 +540,13 @@ fn compile_fleet<'a>(
             ]
         })
         .collect();
+    let composition = if config.spares > 0 {
+        let c = Composition::uniform_spares(analysis.n_blocks(), config.spares);
+        c.validate(analysis.n_blocks())?;
+        c
+    } else {
+        analysis.composition().clone()
+    };
     Ok(CompiledFleet {
         analysis,
         blocks,
@@ -518,10 +555,42 @@ fn compile_fleet<'a>(
         wafer: config.wafer,
         budget: config.budget,
         ln1p_neg_budget: (-config.budget).ln_1p(),
+        composition,
     })
 }
 
+/// Updates the running weakest-block argmax with block `j`'s mission-end
+/// failure probability `p` — the single definition shared by the scalar
+/// and lane-tiled paths.
+///
+/// The rule, made explicit: the strict `>` against a `−∞` seed means
+/// **ties resolve to the lowest block index** (a later equal `p` never
+/// displaces the incumbent), and a **NaN `p` never wins** (every
+/// comparison against NaN is false) — so a chip whose blocks all produce
+/// NaN deterministically reports block 0, the seed incumbent.
+#[inline]
+fn update_weakest(j: usize, p: f64, weakest_block: &mut usize, weakest_p: &mut f64) {
+    if p > *weakest_p {
+        *weakest_p = p;
+        *weakest_block = j;
+    }
+}
+
 impl CompiledFleet<'_> {
+    /// The lane dispatch this fleet runs at: the active `num::simd`
+    /// width under weakest-link composition, forced to the scalar
+    /// reference path ([`LaneWidth::W1`]) when redundancy groups are in
+    /// play — the fused bisection/failure-term kernels hard-code the
+    /// weakest-link sum, and forcing one route keeps grouped aggregates
+    /// bit-identical at every build's active width.
+    fn width(&self) -> LaneWidth {
+        if self.composition.is_weakest_link() {
+            simd::active_width()
+        } else {
+            LaneWidth::W1
+        }
+    }
+
     /// Evaluates chip `chip` into `ws`, allocation-free — the scalar
     /// reference path (lane width 1 and the ragged tail tile).
     fn evaluate_chip(&self, chip: u64, ws: &mut Workspace<'_>) -> ChipOutcome {
@@ -536,9 +605,14 @@ impl CompiledFleet<'_> {
         ws.sampler.reset();
         ws.sampler.sample_z_into(&mut rng, &mut ws.z);
 
-        // Mission-end failure probability, weakest-link composed, and the
-        // per-block (b·u, b²·v) cache for the lifetime solve.
-        let mut weakest_link = WeakestLink::new();
+        // Mission-end failure probability — composed through the chip's
+        // redundancy structure (the weakest-link accumulator variant
+        // reproduces the historical `Σ ln(1 − p)` bits verbatim) — and
+        // the per-block (b·u, b²·v) cache for the lifetime solve. The
+        // accumulators and scratch live in disjoint workspace fields.
+        let chip_acc = &mut ws.chip_acc;
+        let (bu, bbv) = (&mut ws.bu, &mut ws.bbv);
+        chip_acc.reset();
         let mut weakest_block = 0usize;
         let mut weakest_p = f64::NEG_INFINITY;
         for (j, (block, mission)) in self.analysis.blocks().iter().zip(&self.blocks).enumerate() {
@@ -546,30 +620,29 @@ impl CompiledFleet<'_> {
             // A uniform die-mean thickness shift moves the block mean
             // one-for-one and leaves the within-block spread unchanged.
             let u = u + offset;
-            ws.bu[j] = mission.b_eff * u;
-            ws.bbv[j] = mission.b_eff * mission.b_eff * v;
+            bu[j] = mission.b_eff * u;
+            bbv[j] = mission.b_eff * mission.b_eff * v;
             let p = conditional_block_failure(mission.area, mission.coeff_mission.g(u, v));
-            weakest_link.absorb(p);
-            if p > weakest_p {
-                weakest_p = p;
-                weakest_block = j;
-            }
+            chip_acc.absorb(j, p);
+            update_weakest(j, p, &mut weakest_block, &mut weakest_p);
         }
-        let p_mission = weakest_link.failure_probability();
+        let p_mission = chip_acc.failure_probability();
 
         // Budget lifetime under steady mission repetition:
         // γ_j(t) = ln_rate_j + ln t, so on x = ln t the chip log-survival
-        // ln S(x) = Σ_j ln(1 − p_j(x)) is monotone decreasing; bisect for
-        // ln S(x) = ln(1 − budget).
-        let ln_surv = |x: f64| {
-            let mut s = 0.0;
+        // ln S(x) = Σ_group ln S_group(x) is monotone decreasing (more
+        // time never helps any block); bisect for ln S(x) = ln(1 − budget).
+        // Weakest-link degenerates to the historical Σ_j ln(1 − p_j(x))
+        // with the same accumulation order and bits.
+        let mut ln_surv = |x: f64| {
+            chip_acc.reset();
             for (j, mission) in self.blocks.iter().enumerate() {
                 let gamma = mission.ln_rate + x;
-                let ln_g = gamma * ws.bu[j] + 0.5 * gamma * gamma * ws.bbv[j];
+                let ln_g = gamma * bu[j] + 0.5 * gamma * gamma * bbv[j];
                 let p = -(-mission.area * ln_g.exp()).exp_m1();
-                s += (-p.clamp(0.0, 1.0)).ln_1p();
+                chip_acc.absorb(j, p);
             }
-            s
+            chip_acc.ln_survival()
         };
         let (mut lo, mut hi) = (LIFE_BRACKET_S.0.ln(), LIFE_BRACKET_S.1.ln());
         let mut censored_low = false;
@@ -667,6 +740,9 @@ impl CompiledFleet<'_> {
         chip0: u64,
         ws: &mut Workspace<'_>,
     ) -> [ChipOutcome; W] {
+        // The fused lane kernels hard-code the weakest-link composition;
+        // grouped runs are routed to width 1 by [`CompiledFleet::width`].
+        debug_assert!(self.composition.is_weakest_link());
         // Sampling stays per-lane scalar — the polar method is
         // rejection-based, so each lane consumes exactly the substream
         // draws its chip would consume on the scalar path.
@@ -701,14 +777,11 @@ impl CompiledFleet<'_> {
             }
             simd::failure_term_slice(&args, mission.area, &mut p);
             for w in 0..W {
-                // Same composition as WeakestLink::absorb; ties in the
-                // argmax resolve to the lowest index via the strict `>`,
+                // Same composition as WeakestLink::absorb; the argmax
+                // applies [`update_weakest`]'s documented tie/NaN rule,
                 // exactly like the scalar path.
                 ln_survival[w] += (-p[w].clamp(0.0, 1.0)).ln_1p();
-                if p[w] > weakest_p[w] {
-                    weakest_p[w] = p[w];
-                    weakest_block[w] = j;
-                }
+                update_weakest(j, p[w], &mut weakest_block[w], &mut weakest_p[w]);
             }
         }
 
@@ -826,8 +899,9 @@ pub fn run_fleet(
     let workspaces_created = AtomicU64::new(0);
     let lane_tiles = AtomicU64::new(0);
     // Captured once so every shard runs the same dispatch even if a
-    // concurrent force_width lands mid-run.
-    let width = simd::active_width();
+    // concurrent force_width lands mid-run (and so grouped runs hold
+    // the scalar route everywhere).
+    let width = compiled.width();
 
     // Shard s owns the contiguous tile range [s·T/S, (s+1)·T/S).
     let shard_results: Vec<Result<ShardAcc>> = run_indexed(shards, threads, |s| {
@@ -837,6 +911,7 @@ pub fn run_fleet(
             n_components,
             n_blocks,
             width.lanes(),
+            &compiled.composition,
             &workspaces_created,
         );
         let tile_lo = n_tiles * s as u64 / shards as u64;
@@ -935,12 +1010,13 @@ pub fn chip_outcomes(
 ) -> Result<Vec<ChipOutcome>> {
     let compiled = compile_fleet(analysis, tech, config)?;
     let counter = AtomicU64::new(0);
-    let width = simd::active_width();
+    let width = compiled.width();
     let mut ws = Workspace::new(
         analysis.model(),
         analysis.model().n_components(),
         analysis.n_blocks(),
         width.lanes(),
+        &compiled.composition,
         &counter,
     );
     let n = n.min(config.chips);
@@ -1003,6 +1079,92 @@ mod tests {
             assert!(err.contains(needle), "expected '{needle}' in: {err}");
         }
         assert!(FleetConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn weakest_block_rule_ties_low_and_nan_never_wins() {
+        // Ties resolve to the lowest index: an equal later p loses.
+        let (mut block, mut p) = (0usize, f64::NEG_INFINITY);
+        for (j, pj) in [0.3, 0.5, 0.5, 0.1].iter().enumerate() {
+            update_weakest(j, *pj, &mut block, &mut p);
+        }
+        assert_eq!((block, p), (1, 0.5));
+        // NaN never displaces a real value...
+        update_weakest(4, f64::NAN, &mut block, &mut p);
+        assert_eq!((block, p), (1, 0.5));
+        // ...and an all-NaN chip deterministically reports block 0.
+        let (mut block, mut p) = (0usize, f64::NEG_INFINITY);
+        for j in 0..3 {
+            update_weakest(j, f64::NAN, &mut block, &mut p);
+        }
+        assert_eq!(block, 0);
+        // Zero still beats the −∞ seed.
+        update_weakest(2, 0.0, &mut block, &mut p);
+        assert_eq!((block, p), (2, 0.0));
+    }
+
+    #[test]
+    fn spares_lower_failure_and_stay_layout_independent() {
+        let session = tiny_analysis();
+        let tech = session.spec().tech.tech();
+        let base = FleetConfig {
+            chips: 1200,
+            ..FleetConfig::default()
+        };
+        let wl = run_fleet(
+            session.analysis(),
+            &tech,
+            &FleetConfig {
+                threads: Some(1),
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let mut reference: Option<String> = None;
+        for (threads, shards) in [(1, None), (2, Some(1)), (2, Some(3)), (4, Some(7))] {
+            let config = FleetConfig {
+                spares: 1,
+                threads: Some(threads),
+                shards,
+                ..base.clone()
+            };
+            let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+            // Grouped runs hold the scalar dispatch, making the
+            // aggregates width-independent too.
+            assert_eq!(report.lane_width, 1, "grouped runs force the scalar path");
+            assert_eq!(report.lane_tiles, 0);
+            let rendered = json::to_string(&report.aggregates);
+            match &reference {
+                None => reference = Some(rendered),
+                Some(r) => assert_eq!(r, &rendered, "threads={threads} shards={shards:?} diverged"),
+            }
+            // One spare over two blocks: the chip survives any single
+            // block failure, so every outcome weakly improves.
+            let a = &report.aggregates;
+            assert!(a.p_mission_max <= wl.aggregates.p_mission_max);
+            assert!(a.exceed_budget <= wl.aggregates.exceed_budget);
+            assert!(a.lifetime_min_s >= wl.aggregates.lifetime_min_s);
+        }
+        // And the improvement is real, not a no-op: the median mission
+        // probability collapses (both blocks must fail).
+        let grouped: FleetAggregates =
+            json::from_str(reference.as_deref().unwrap()).unwrap();
+        assert!(
+            grouped.p_mission_quantiles[3] < 1e-3 * wl.aggregates.p_mission_quantiles[3],
+            "grouped median {:.3e} vs weakest-link median {:.3e}",
+            grouped.p_mission_quantiles[3],
+            wl.aggregates.p_mission_quantiles[3]
+        );
+        // An over-budget spare spec is a structured error.
+        assert!(run_fleet(
+            session.analysis(),
+            &tech,
+            &FleetConfig {
+                spares: 2,
+                ..base
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -1119,7 +1281,14 @@ mod tests {
         let model = session.analysis().model();
         let counter = AtomicU64::new(0);
         let n_blocks = session.analysis().n_blocks();
-        let mut ws = Workspace::new(model, model.n_components(), n_blocks, 1, &counter);
+        let mut ws = Workspace::new(
+            model,
+            model.n_components(),
+            n_blocks,
+            1,
+            &Composition::WeakestLink,
+            &counter,
+        );
         let mut w1 = Vec::new();
         let tiles = compiled.evaluate_range(0, 37, LaneWidth::W1, &mut ws, &mut |o| w1.push(o));
         assert_eq!(tiles, 0, "width 1 reports no lane tiles");
@@ -1155,7 +1324,14 @@ mod tests {
         let model = session.analysis().model();
         let counter = AtomicU64::new(0);
         let n_blocks = session.analysis().n_blocks();
-        let mut ws = Workspace::new(model, model.n_components(), n_blocks, 8, &counter);
+        let mut ws = Workspace::new(
+            model,
+            model.n_components(),
+            n_blocks,
+            8,
+            &Composition::WeakestLink,
+            &counter,
+        );
         let mut seen = 0u64;
         let tiles = compiled.evaluate_range(0, 19, LaneWidth::W8, &mut ws, &mut |_| seen += 1);
         assert_eq!(tiles, 2, "19 chips = 2 full width-8 tiles + tail of 3");

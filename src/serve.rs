@@ -204,6 +204,10 @@ impl Server {
                     Some(v) => Some(usize::from_json(v).map_err(Error::from)?),
                     None => None,
                 };
+                let spares = match request.get("spares") {
+                    Some(v) => usize::from_json(v).map_err(Error::from)?,
+                    None => defaults.spares,
+                };
                 let session = self.session(request)?;
                 let config = FleetConfig {
                     chips,
@@ -213,6 +217,7 @@ impl Server {
                     wafer: defaults.wafer,
                     threads: session.spec().threads,
                     shards,
+                    spares,
                 };
                 let tech = session.spec().tech.tech();
                 let report = run_fleet(session.analysis(), &tech, &config)?;

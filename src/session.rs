@@ -459,7 +459,8 @@ pub(crate) fn compile(spec: &AnalysisSpec) -> Result<CompiledModel> {
         .systematic(spec.model.systematic)
         .build()?;
     let tech = spec.tech.tech();
-    let analysis = ChipAnalysis::new(chip, model, &tech)?;
+    let analysis =
+        ChipAnalysis::new(chip, model, &tech)?.with_composition(spec.composition.clone())?;
     let tables = match effective_engine(spec) {
         EngineSpec::Hybrid(config) => Some(HybridTables::build(&analysis, config)?),
         _ => None,

@@ -7,7 +7,7 @@
 //! Lane-width forcing is process-global, so every test serializes on one
 //! mutex and restores the environment default before releasing.
 
-use statobd::core::{conditional_block_failure, GCoefficients, WeakestLink};
+use statobd::core::{conditional_block_failure, Composition, GCoefficients, WeakestLink};
 use statobd::device::{ClosedFormTech, ObdTechnology};
 use statobd::manager::MissionProfile;
 use statobd::num::json;
@@ -372,6 +372,61 @@ fn aggregates_agree_across_lane_widths() {
             assert!(rel(*x, *y) <= 1e-9, "p quantile {x:e} vs {y:e}");
         }
     }
+}
+
+/// With one spare over the two blocks, every chip's mission-end failure
+/// probability must equal the analytic 1-out-of-2 Poisson-binomial of
+/// the replayed per-block probabilities — and the grouped run must hold
+/// the scalar dispatch even under a forced wide lane width, which is
+/// what makes its aggregates lane-width-independent.
+#[test]
+fn spares_outcomes_match_direct_composition_and_stay_scalar() {
+    let session = session();
+    let tech = ClosedFormTech::nominal_45nm();
+    let config = FleetConfig {
+        spares: 1,
+        ..config(67)
+    };
+    let guard = ForcedWidth::new(LaneWidth::W8);
+
+    let report = run_fleet(session.analysis(), &tech, &config).unwrap();
+    assert_eq!(report.lane_width, 1, "grouped runs must dispatch scalar");
+    assert_eq!(report.lane_tiles, 0);
+
+    let outcomes = chip_outcomes(session.analysis(), &tech, &config, 67).unwrap();
+    let blocks = reference_blocks(&session, &config);
+    let model = session.analysis().model();
+    let base = Xoshiro256pp::seed_from_u64(config.seed);
+    let composition = Composition::uniform_spares(blocks.len(), 1);
+    for (chip, outcome) in outcomes.iter().enumerate() {
+        let mut rng = base.substream(chip as u64);
+        let x = rng.gen_range(0.0..1.0);
+        let y = rng.gen_range(0.0..1.0);
+        let offset = config.wafer.offset(x, y);
+        let die = FieldSampler::new(model).sample_die(&mut rng);
+
+        let mut weakest_link = WeakestLink::new();
+        let mut ps = Vec::new();
+        for (block, rb) in session.analysis().blocks().iter().zip(&blocks) {
+            let (u, v) = block.moments().uv_given_z(&die.z);
+            let p = conditional_block_failure(rb.area, rb.coeff_mission.g(u + offset, v));
+            weakest_link.absorb(p);
+            ps.push(p);
+        }
+        let p_grouped = composition.compose(&ps);
+        let rel = ((outcome.p_mission - p_grouped) / p_grouped.max(f64::MIN_POSITIVE)).abs();
+        assert!(
+            rel <= 1e-12,
+            "chip {chip}: fleet grouped P {} vs direct {} (rel {rel:.3e})",
+            outcome.p_mission,
+            p_grouped
+        );
+        assert!(
+            outcome.p_mission <= weakest_link.failure_probability(),
+            "chip {chip}: a spare cannot raise the failure probability"
+        );
+    }
+    drop(guard);
 }
 
 /// Two blocks with identical geometry, environment and grid weights tie
